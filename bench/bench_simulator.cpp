@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Substrate benchmark: throughput of the simulation backends that every
+ * reproduction number rests on -- statevector gate kernels, shot
+ * sampling, exact branching distributions, density-matrix evolution,
+ * and the stabilizer tableau.
+ */
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "algos/qft.hpp"
+#include "linalg/states.hpp"
+#include "sim/density.hpp"
+#include "sim/statevector.hpp"
+#include "stab/tableau.hpp"
+
+namespace
+{
+
+using namespace qa;
+
+QuantumCircuit
+layeredCircuit(int n, int layers)
+{
+    QuantumCircuit qc(n);
+    Rng rng(1);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < n; ++q) {
+            qc.u3(q, rng.uniform(0, 3), rng.uniform(0, 3),
+                  rng.uniform(0, 3));
+        }
+        for (int q = 0; q + 1 < n; q += 2) qc.cx(q, q + 1);
+        for (int q = 1; q + 1 < n; q += 2) qc.cx(q, q + 1);
+    }
+    return qc;
+}
+
+void
+BM_StatevectorLayers(benchmark::State& state)
+{
+    const int n = int(state.range(0));
+    const QuantumCircuit qc = layeredCircuit(n, 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finalState(qc).amplitudes().dim());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(qc.size()));
+}
+BENCHMARK(BM_StatevectorLayers)->DenseRange(4, 16, 4);
+
+void
+BM_ShotSampling(benchmark::State& state)
+{
+    QuantumCircuit qc = layeredCircuit(8, 5);
+    QuantumCircuit measured(8, 8);
+    std::vector<int> ident{0, 1, 2, 3, 4, 5, 6, 7};
+    measured.compose(qc, ident);
+    measured.measureAll();
+    SimOptions options;
+    options.shots = int(state.range(0));
+    options.seed = 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runShots(measured, options).shots);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * options.shots);
+}
+BENCHMARK(BM_ShotSampling)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ExactBranching(benchmark::State& state)
+{
+    // Mid-circuit measurements force branching: 4 measurements on an
+    // 8-qubit circuit.
+    QuantumCircuit qc(8, 4);
+    std::vector<int> ident{0, 1, 2, 3, 4, 5, 6, 7};
+    qc.compose(layeredCircuit(8, 3), ident);
+    for (int m = 0; m < 4; ++m) qc.measure(m, m);
+    qc.compose(layeredCircuit(8, 2), ident);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exactDistribution(qc).probs.size());
+    }
+}
+BENCHMARK(BM_ExactBranching)->Unit(benchmark::kMillisecond);
+
+void
+BM_DensityMatrixLayers(benchmark::State& state)
+{
+    const int n = int(state.range(0));
+    const QuantumCircuit qc = layeredCircuit(n, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finalDensity(qc).rows());
+    }
+}
+BENCHMARK(BM_DensityMatrixLayers)->DenseRange(2, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DensityMatrixWithNoise(benchmark::State& state)
+{
+    const NoiseModel noise = NoiseModel::ibmqMelbourneLike();
+    const QuantumCircuit qc = layeredCircuit(int(state.range(0)), 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finalDensity(qc, &noise).rows());
+    }
+}
+BENCHMARK(BM_DensityMatrixWithNoise)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StabilizerTableau(benchmark::State& state)
+{
+    const int n = int(state.range(0));
+    QuantumCircuit qc(n);
+    Rng rng(3);
+    for (int g = 0; g < 20 * n; ++g) {
+        const int a = int(rng.index(n));
+        int b = int(rng.index(n));
+        if (b == a) b = (b + 1) % n;
+        switch (rng.index(4)) {
+          case 0: qc.h(a); break;
+          case 1: qc.s(a); break;
+          case 2: qc.cx(a, b); break;
+          case 3: qc.cz(a, b); break;
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runClifford(qc).numQubits());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(qc.size()));
+}
+BENCHMARK(BM_StabilizerTableau)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_QftFullStack(benchmark::State& state)
+{
+    // End-to-end: build QFT, lower it, simulate it.
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            finalState(qa::algos::qft(n)).amplitudes().dim());
+    }
+}
+BENCHMARK(BM_QftFullStack)->DenseRange(4, 12, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/reproduction harness: formatting of
+ * paper-vs-measured rows and a standard banner.
+ */
+#ifndef QA_BENCH_BENCH_UTIL_HPP
+#define QA_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <string>
+
+#include "common/format.hpp"
+
+namespace qa
+{
+namespace bench
+{
+
+/** Print a section banner. */
+inline void
+banner(const std::string& title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+/** Render "measured (paper: X)" cells. */
+inline std::string
+vsPaper(int measured, const std::string& paper)
+{
+    return std::to_string(measured) + " (paper: " + paper + ")";
+}
+
+inline std::string
+vsPaper(const std::string& measured, const std::string& paper)
+{
+    return measured + " (paper: " + paper + ")";
+}
+
+} // namespace bench
+} // namespace qa
+
+#endif // QA_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The paper's Appendix D case study: a copy-paste bug inside a recursive
+ * subroutine (the Fourier-space controlled adder emits rz / crz / ccrz
+ * variants of the same loop; the doubly-controlled copy targets qr[j]
+ * instead of qr[i]). Precise assertions placed after each adder layer
+ * bracket the faulty rotation.
+ *
+ *   $ ./adder_recursion_debug
+ */
+#include <cmath>
+#include <iostream>
+
+#include "algos/adder.hpp"
+#include "algos/qft.hpp"
+#include "common/format.hpp"
+#include "core/runner.hpp"
+#include "sim/statevector.hpp"
+
+int
+main()
+{
+    using namespace qa;
+    using namespace qa::algos;
+
+    const int width = 3;
+    const uint64_t initial = 4, a = 3;
+
+    std::cout << "Fourier-space controlled adder: qr = qr + " << a
+              << " (qr starts at " << initial << ", " << width
+              << " bits, 2 controls)\n\n";
+
+    // Functional symptom: only the doubly-controlled path misbehaves.
+    for (int nc : {0, 1, 2}) {
+        QuantumCircuit qc = adderProgram(width, initial, a, nc, true,
+                                         /*buggy=*/true);
+        const auto probs = finalState(qc).basisProbabilities(1e-6);
+        std::cout << "  " << nc << "-control call: ";
+        if (probs.size() == 1) {
+            std::cout << "result "
+                      << formatBits(probs.begin()->first >> nc, width)
+                      << (((probs.begin()->first >> nc) ==
+                           (initial + a) % (1u << width))
+                              ? " (correct)\n"
+                              : " (WRONG)\n");
+        } else {
+            std::cout << "superposed output (WRONG)\n";
+        }
+    }
+
+    // Localize with per-layer assertions on the 2-control variant.
+    std::cout << "\nPer-layer precise assertions (2-control variant):\n";
+    std::vector<int> data{0, 1, 2};
+    std::vector<int> controls{3, 4};
+    auto build = [&](bool buggy, int layers) {
+        QuantumCircuit qc(width + 2);
+        for (int q = 0; q < width; ++q) {
+            if ((initial >> (width - 1 - q)) & 1) qc.x(q);
+        }
+        qc.x(3);
+        qc.x(4);
+        appendQft(qc, data);
+        for (int i = width - 1, done = 0; i >= 0 && done < layers;
+             --i, ++done) {
+            for (int j = i; j >= 0; --j) {
+                if (!((a >> j) & 1)) continue;
+                const double angle = M_PI / double(uint64_t(1) << (i - j));
+                qc.ccrz(3, 4, buggy ? data[j] : data[i], angle);
+            }
+        }
+        return qc;
+    };
+
+    for (int layers = 1; layers <= width; ++layers) {
+        const CVector expected =
+            finalState(build(false, layers)).amplitudes();
+        AssertedProgram prog(build(true, layers));
+        prog.assertState({0, 1, 2, 3, 4}, StateSet::pure(expected),
+                         AssertionDesign::kSwap);
+        const double err = runAssertedExact(prog).slot_error_prob[0];
+        std::cout << "  after layer " << layers
+                  << " (paper loop i = " << width - layers
+                  << "): P(err) = " << formatDouble(err, 3) << "\n";
+    }
+    std::cout
+        << "\nThe first firing assertion brackets the faulty rotation;\n"
+        << "because i == j in the very first emitted rotation, the bug\n"
+        << "is invisible until a layer with i != j executes -- the\n"
+        << "paper's observation that asserting after the second rz\n"
+        << "suffices.\n";
+    return 0;
+}

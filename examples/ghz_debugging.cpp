@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The paper's Figure 1 / Table I walkthrough: five ways to assert a GHZ
+ * state, trading assertion precision against circuit cost, applied to
+ * the two GHZ preparation bugs of Sec. III.
+ *
+ *   $ ./ghz_debugging
+ */
+#include <cmath>
+#include <iostream>
+
+#include "algos/states.hpp"
+#include "common/format.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+
+int
+main()
+{
+    using namespace qa;
+    using namespace qa::algos;
+
+    const CVector ghz = ghzVector(3);
+    const CMatrix rho23 = partialTrace(densityFromPure(ghz), {1, 2});
+    auto pair = [](int a, int b) {
+        CVector v(8);
+        v[a] = v[b] = 1.0 / std::sqrt(2.0);
+        return v;
+    };
+
+    struct Variant
+    {
+        const char* name;
+        StateSet set;
+        std::vector<int> qubits;
+        AssertionDesign design;
+    };
+    const std::vector<Variant> variants = {
+        {"precise 3-qubit pure state (SWAP)", StateSet::pure(ghz),
+         {0, 1, 2}, AssertionDesign::kSwap},
+        {"precise mixed state of qubits 1,2 (SWAP)",
+         StateSet::mixed(rho23), {1, 2}, AssertionDesign::kSwap},
+        {"approximate {|000>,|111>} (SWAP)",
+         StateSet::approximate({CVector::basisState(8, 0),
+                                CVector::basisState(8, 7)}),
+         {0, 1, 2}, AssertionDesign::kSwap},
+        {"approximate 4-state superset (SWAP)",
+         StateSet::approximate({CVector::basisState(8, 0),
+                                CVector::basisState(8, 3),
+                                CVector::basisState(8, 4),
+                                CVector::basisState(8, 7)}),
+         {0, 1, 2}, AssertionDesign::kSwap},
+        {"approximate GHZ-parity set (NDD)",
+         StateSet::approximate({pair(0, 7), pair(1, 6), pair(3, 4),
+                                pair(2, 5)}),
+         {0, 1, 2}, AssertionDesign::kNdd},
+    };
+
+    std::cout << "GHZ preparation bugs (paper Sec. III):\n"
+              << "  Bug1: swapped u2 arguments -> (|000> - |111>)/sqrt2\n"
+              << "  Bug2: reordered CX chain  -> (|000> + |011>)/sqrt2\n\n";
+
+    TextTable table({"assertion variant", "#CX", "P(err|correct)",
+                     "P(err|Bug1)", "P(err|Bug2)"});
+    for (const Variant& v : variants) {
+        auto errorProb = [&](int bug) {
+            AssertedProgram prog(ghzPrep(3, bug));
+            prog.assertState(v.qubits, v.set, v.design);
+            return runAssertedExact(prog).slot_error_prob[0];
+        };
+        const CircuitCost cost = estimateAssertionCost(v.set, v.design);
+        table.addRow({v.name, std::to_string(cost.cx),
+                      formatDouble(errorProb(0), 3),
+                      formatDouble(errorProb(1), 3),
+                      formatDouble(errorProb(2), 3)});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout
+        << "Reading the table:\n"
+        << " * Every variant stays silent on the correct state\n"
+        << "   (dynamic assertions are non-destructive).\n"
+        << " * Only the precise variants see Bug1 -- coefficients are\n"
+        << "   invisible to basis-set membership checks.\n"
+        << " * Every variant sees Bug2, at falling circuit cost:\n"
+        << "   that is the Fig. 1 precision/cost trade-off.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's Sec. IX-B use of assertions beyond debugging: improving a
+ * noisy program's success rate by post-selecting on assertion success.
+ * Runs QPE on a melbourne-like noise model and compares the raw output
+ * distribution with the assertion-filtered one.
+ *
+ *   $ ./noisy_filtering
+ */
+#include <cmath>
+#include <iostream>
+
+#include "algos/qpe.hpp"
+#include "common/format.hpp"
+#include "core/runner.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+
+int
+main()
+{
+    using namespace qa;
+    using namespace qa::algos;
+
+    const double theta = M_PI / 4;
+    const NoiseModel noise = NoiseModel::ibmqMelbourneLike();
+
+    // The ideal outcome distribution (noiseless) defines "success".
+    AssertedProgram ideal(qpeRyProgram(4, theta, false));
+    ideal.measureProgram();
+    const Distribution ideal_dist =
+        runAssertedExact(ideal).program_dist;
+
+    auto successRate = [&](const Counts& counts) {
+        double total = 0.0;
+        const Distribution measured = counts.toDistribution();
+        for (const auto& [bits, p] : ideal_dist.probs) {
+            if (p > 1e-9) total += measured.probability(bits);
+        }
+        return total;
+    };
+
+    // Raw noisy run.
+    SimOptions options;
+    options.shots = 8192;
+    options.seed = 2026;
+    options.noise = &noise;
+
+    AssertedProgram raw(qpeRyProgram(4, theta, false));
+    raw.measureProgram();
+    const AssertionOutcome raw_out = runAsserted(raw, options);
+
+    // Asserted run: check the counting register's expected pure state
+    // right before measurement, then keep only the shots whose
+    // assertion ancillas all read |0>.
+    const CVector final_state =
+        finalState(qpeRyProgram(4, theta, false)).amplitudes();
+    const CMatrix rho_counting =
+        partialTrace(densityFromPure(final_state), {0, 1, 2, 3});
+    const EigenResult eig = eigHermitian(rho_counting);
+
+    AssertedProgram filtered(qpeRyProgram(4, theta, false));
+    filtered.assertState({0, 1, 2, 3},
+                         StateSet::pure(eig.vectors.column(0)),
+                         AssertionDesign::kSwap);
+    filtered.measureProgram();
+    const AssertionOutcome filt_out = runAsserted(filtered, options);
+
+    std::cout << "QPE(theta = pi/4) on the melbourne-like noise model, "
+              << options.shots << " shots\n\n"
+              << "raw success rate               : "
+              << formatPercent(successRate(raw_out.program_counts))
+              << "\n"
+              << "assertion pass rate            : "
+              << formatPercent(filt_out.pass_rate) << "\n"
+              << "filtered success rate          : "
+              << formatPercent(
+                     successRate(filt_out.program_counts_passed))
+              << "\n"
+              << "shots surviving the filter     : "
+              << filt_out.program_counts_passed.shots << "\n\n"
+              << "The assertion trades shots for fidelity: discarded\n"
+              << "runs are the ones the ancillas caught misbehaving --\n"
+              << "the Sec. IX-B success-rate improvement.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The paper's Sec. IX case study: debugging 4-qubit quantum phase
+ * estimation by inserting one precise assertion per slot (Fig. 15/16).
+ * The pattern of failing slots localizes each injected bug to a gate
+ * range.
+ *
+ *   $ ./qpe_debugging
+ */
+#include <cmath>
+#include <iostream>
+
+#include "algos/qpe.hpp"
+#include "common/format.hpp"
+#include "core/runner.hpp"
+
+int
+main()
+{
+    using namespace qa;
+    using namespace qa::algos;
+
+    const double lambda = M_PI / 8;
+    QpeProgram reference(4, lambda);
+
+    std::cout
+        << "4-qubit QPE with U = p(pi/8); assertion slots 1.."
+        << reference.numSlots() << " sit between program stages.\n"
+        << "Expected slot states V1..V6 are precalculated from the\n"
+        << "bug-free program (paper Fig. 16 line 9).\n\n";
+
+    const std::vector<std::pair<const char*, QpeBug>> scenarios = {
+        {"clean program", QpeBug::kNone},
+        {"Bug1: loop index dropped (angle stuck at lambda)",
+         QpeBug::kFixedAngle},
+        {"Bug2: 'cu3' typed as 'u3' (control lost)",
+         QpeBug::kMissingControl},
+    };
+
+    for (const auto& [label, bug] : scenarios) {
+        std::cout << "--- " << label << " ---\n";
+        int first_failing = -1;
+        for (int slot = 1; slot <= reference.numSlots(); ++slot) {
+            // Build the program prefix up to this slot and assert the
+            // expected state there.
+            QpeProgram program(4, lambda, bug);
+            QuantumCircuit prefix(program.numQubits());
+            std::vector<int> ident{0, 1, 2, 3, 4};
+            for (int s = 0; s < slot; ++s) {
+                prefix.compose(program.stage(s), ident);
+            }
+            AssertedProgram asserted(prefix);
+            asserted.assertState(
+                {0, 1, 2, 3, 4},
+                StateSet::pure(reference.expectedStateAtSlot(slot)),
+                AssertionDesign::kSwap);
+            const double err =
+                runAssertedExact(asserted).slot_error_prob[0];
+            std::cout << "  slot " << slot << ": P(assertion error) = "
+                      << formatDouble(err, 4) << "\n";
+            if (err > 1e-6 && first_failing < 0) first_failing = slot;
+        }
+        if (first_failing < 0) {
+            std::cout << "  all slots pass: no bug detected.\n\n";
+        } else {
+            std::cout << "  => first failing slot is " << first_failing
+                      << ": the bug sits in the gates between slot "
+                      << first_failing - 1 << " and slot "
+                      << first_failing << ".\n\n";
+        }
+    }
+
+    std::cout
+        << "Cheaper alternatives at slot 5 (Sec. IX-A2/A3): a mixed-state\n"
+        << "assertion of the counting register costs less but misses\n"
+        << "Bug2; the two-member approximate set catches both bugs --\n"
+        << "run bench_qpe_slots for the full comparison table.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Assertion-guarded quantum teleportation: the entanglement workload
+ * the paper's related-work section motivates. A Bell-pair assertion
+ * checks the resource mid-protocol (non-destructively!), and a precise
+ * single-qubit assertion verifies delivery at the end.
+ *
+ *   $ ./teleport_assertions
+ */
+#include <cmath>
+#include <iostream>
+
+#include "algos/states.hpp"
+#include "algos/teleport.hpp"
+#include "common/format.hpp"
+#include "core/runner.hpp"
+
+int
+main()
+{
+    using namespace qa;
+    using namespace qa::algos;
+
+    const CVector payload{Complex(0.6, 0.0), Complex(0.0, 0.8)};
+    std::cout << "Teleporting " << payload.toString(2)
+              << " from qubit 0 to qubit 2 via a Bell pair on (1,2)\n\n";
+
+    const std::vector<std::pair<const char*, TeleportBug>> scenarios = {
+        {"clean protocol", TeleportBug::kNone},
+        {"bug: resource pair prepared as Psi+ instead of Phi+",
+         TeleportBug::kWrongBellPair},
+        {"bug: CZ correction dropped", TeleportBug::kMissingZCorrection},
+    };
+
+    for (const auto& [label, bug] : scenarios) {
+        // Slot A: assert the Bell resource right after its preparation.
+        QuantumCircuit prefix(3);
+        std::vector<int> ident{0, 1, 2};
+        prefix.compose(teleportStage(payload, 0, bug), ident);
+        prefix.compose(teleportStage(payload, 1, bug), ident);
+        AssertedProgram mid(prefix);
+        mid.assertState({1, 2},
+                        StateSet::pure(bellVector(BellKind::kPhiPlus)),
+                        AssertionDesign::kNdd);
+        const double bell_err = runAssertedExact(mid).slot_error_prob[0];
+
+        // Slot B: assert the delivered payload at the end.
+        AssertedProgram full(teleportProgram(payload, bug));
+        full.assertState({2}, StateSet::pure(payload),
+                         AssertionDesign::kSwap);
+        const double out_err = runAssertedExact(full).slot_error_prob[0];
+
+        std::cout << "--- " << label << " ---\n"
+                  << "  Bell-pair assertion (slot A): P(err) = "
+                  << formatDouble(bell_err, 3) << "\n"
+                  << "  payload assertion   (slot B): P(err) = "
+                  << formatDouble(out_err, 3) << "\n";
+        if (bell_err > 1e-9) {
+            std::cout << "  => the resource pair is wrong: fix the "
+                         "entanglement stage.\n";
+        } else if (out_err > 1e-9) {
+            std::cout << "  => resource fine, delivery wrong: the bug "
+                         "is in the correction stage.\n";
+        } else {
+            std::cout << "  => protocol verified end to end.\n";
+        }
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "Note the division of labour: the mid-protocol assertion is\n"
+        << "non-destructive (teleportation proceeds on pass), and the\n"
+        << "two slots bracket WHICH stage broke -- the paper's slot\n"
+        << "debugging methodology applied to a communication protocol.\n";
+    return 0;
+}

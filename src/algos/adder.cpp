@@ -1,0 +1,83 @@
+#include "algos/adder.hpp"
+
+#include <cmath>
+
+#include "algos/qft.hpp"
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+void
+appendControlledAdder(QuantumCircuit& circuit,
+                      const std::vector<int>& controls,
+                      const std::vector<int>& qubits, uint64_t a,
+                      bool buggy)
+{
+    const int width = int(qubits.size());
+    QA_REQUIRE(controls.size() <= 2,
+               "the paper's subroutine supports 0, 1, or 2 controls");
+
+    // Paper Fig. 21 loop: paper's qr[i] is the Fourier coefficient with
+    // phase denominator 2^{i+1}; after appendQft (MSB-first register,
+    // with swaps) that is exactly qubit i.
+    auto target = [&](int paper_index) {
+        return qubits[paper_index];
+    };
+
+    for (int i = width - 1; i >= 0; --i) {
+        for (int j = i; j >= 0; --j) {
+            if (!((a >> j) & 1)) continue;
+            const double angle = M_PI / double(uint64_t(1) << (i - j));
+            // The Appendix D bug: in the doubly-controlled branch the
+            // programmer wrote qr[j] instead of qr[i].
+            const int tq = (buggy && controls.size() == 2) ? target(j)
+                                                           : target(i);
+            switch (controls.size()) {
+              case 0:
+                circuit.rz(tq, angle);
+                break;
+              case 1:
+                circuit.crz(controls[0], tq, angle);
+                break;
+              case 2:
+                circuit.ccrz(controls[0], controls[1], tq, angle);
+                break;
+            }
+        }
+    }
+}
+
+QuantumCircuit
+adderProgram(int width, uint64_t initial, uint64_t a, int num_controls,
+             bool controls_on, bool buggy)
+{
+    QA_REQUIRE(width >= 1 && width <= 10, "width out of range");
+    QA_REQUIRE(initial < (uint64_t(1) << width), "initial out of range");
+
+    const int total = width + num_controls;
+    QuantumCircuit qc(total);
+
+    // Data register: qubits [0, width); controls afterwards.
+    std::vector<int> data;
+    for (int q = 0; q < width; ++q) data.push_back(q);
+    std::vector<int> controls;
+    for (int c = 0; c < num_controls; ++c) controls.push_back(width + c);
+
+    // Encode `initial` and move to Fourier space.
+    for (int q = 0; q < width; ++q) {
+        if ((initial >> (width - 1 - q)) & 1) qc.x(q);
+    }
+    if (controls_on) {
+        for (int c : controls) qc.x(c);
+    }
+    appendQft(qc, data);
+    appendControlledAdder(qc, controls, data, a, buggy);
+    appendIqft(qc, data);
+    return qc;
+}
+
+} // namespace algos
+} // namespace qa

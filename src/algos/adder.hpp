@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fourier-space controlled adder (Appendix D, Fig. 21): computes
+ * qr = a + qr where qr holds an integer encoded in Fourier space. The
+ * same subroutine is emitted with 0, 1, or 2 control qubits (the
+ * recursion pattern whose copy-paste bug the paper debugs).
+ */
+#ifndef QA_ALGOS_ADDER_HPP
+#define QA_ALGOS_ADDER_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/**
+ * Append the Fourier-space addition of constant `a` onto the listed
+ * target qubits (qubits[0] = most significant Fourier coefficient),
+ * optionally controlled.
+ *
+ * @param controls 0, 1, or 2 control qubit indices.
+ * @param buggy Reproduce the Appendix D bug: in the doubly-controlled
+ *        branch the rotation lands on qr[j] instead of qr[i].
+ */
+void appendControlledAdder(QuantumCircuit& circuit,
+                           const std::vector<int>& controls,
+                           const std::vector<int>& qubits, uint64_t a,
+                           bool buggy = false);
+
+/**
+ * Full demo program over `width` + controls.size() qubits: QFT-encode
+ * `initial`, add `a` (controlled on the given control states), and
+ * decode with the inverse QFT. Measuring yields initial + a when the
+ * controls are satisfied.
+ */
+QuantumCircuit adderProgram(int width, uint64_t initial, uint64_t a,
+                            int num_controls, bool controls_on,
+                            bool buggy = false);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_ADDER_HPP

@@ -1,0 +1,128 @@
+#include "algos/deutsch_jozsa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "synth/mcgates.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+QuantumCircuit
+djFunctionEval(int n_inputs, DjOracle oracle, uint64_t mask)
+{
+    QA_REQUIRE(n_inputs >= 1, "need at least one input qubit");
+    QuantumCircuit qc(n_inputs + 1);
+    const int out = n_inputs;
+    for (int q = 0; q < n_inputs; ++q) qc.h(q);
+
+    switch (oracle) {
+      case DjOracle::kConstantZero:
+        break;
+      case DjOracle::kConstantOne:
+        qc.x(out);
+        break;
+      case DjOracle::kBalancedMask:
+        QA_REQUIRE(mask != 0 && mask < (uint64_t(1) << n_inputs),
+                   "balanced mask must select at least one input");
+        for (int q = 0; q < n_inputs; ++q) {
+            if ((mask >> q) & 1) qc.cx(q, out);
+        }
+        break;
+      case DjOracle::kBuggyAnd: {
+        std::vector<int> controls;
+        for (int q = 0; q < n_inputs; ++q) controls.push_back(q);
+        mcx(qc, controls, out);
+        break;
+      }
+    }
+    return qc;
+}
+
+namespace
+{
+
+/** Joint state sum_x |x>|f(x)> / 2^{n/2} from a truth table. */
+CVector
+jointFromTruthTable(int n_inputs, const std::vector<int>& table)
+{
+    const size_t inputs = size_t(1) << n_inputs;
+    CVector v(inputs * 2);
+    const double amp = 1.0 / std::sqrt(double(inputs));
+    for (size_t x = 0; x < inputs; ++x) {
+        v[2 * x + size_t(table[x])] = amp;
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<CVector>
+djConstantSet(int n_inputs)
+{
+    const size_t inputs = size_t(1) << n_inputs;
+    std::vector<CVector> set;
+    for (int value : {0, 1}) {
+        std::vector<int> table(inputs, value);
+        set.push_back(jointFromTruthTable(n_inputs, table));
+    }
+    return set;
+}
+
+std::vector<CVector>
+djBalancedSet(int n_inputs)
+{
+    QA_REQUIRE(n_inputs <= 3,
+               "balanced-set enumeration supported up to 3 inputs");
+    const size_t inputs = size_t(1) << n_inputs;
+    std::vector<CVector> set;
+    // Enumerate truth tables with exactly half ones.
+    for (uint64_t bits = 0; bits < (uint64_t(1) << inputs); ++bits) {
+        if (size_t(__builtin_popcountll(bits)) != inputs / 2) continue;
+        std::vector<int> table(inputs);
+        for (size_t x = 0; x < inputs; ++x) {
+            table[x] = int((bits >> x) & 1);
+        }
+        set.push_back(jointFromTruthTable(n_inputs, table));
+    }
+    return set;
+}
+
+CVector
+djJointState(int n_inputs, DjOracle oracle, uint64_t mask)
+{
+    const size_t inputs = size_t(1) << n_inputs;
+    std::vector<int> table(inputs, 0);
+    for (size_t x = 0; x < inputs; ++x) {
+        switch (oracle) {
+          case DjOracle::kConstantZero:
+            table[x] = 0;
+            break;
+          case DjOracle::kConstantOne:
+            table[x] = 1;
+            break;
+          case DjOracle::kBalancedMask: {
+            // mask bit q selects input QUBIT q; qubit q is bit
+            // (n_inputs - 1 - q) of the basis index x.
+            int parity = 0;
+            for (int q = 0; q < n_inputs; ++q) {
+                if (((mask >> q) & 1) &&
+                    ((x >> (n_inputs - 1 - q)) & 1)) {
+                    parity ^= 1;
+                }
+            }
+            table[x] = parity;
+            break;
+          }
+          case DjOracle::kBuggyAnd:
+            table[x] = x == inputs - 1 ? 1 : 0;
+            break;
+        }
+    }
+    return jointFromTruthTable(n_inputs, table);
+}
+
+} // namespace algos
+} // namespace qa

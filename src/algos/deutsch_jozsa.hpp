@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deutsch-Jozsa workload for the approximate-assertion case study
+ * (Sec. X, Fig. 17, Table IV): black-box oracles writing f(x) into an
+ * output qubit, plus the constant/balanced joint-output state sets the
+ * paper asserts membership against.
+ */
+#ifndef QA_ALGOS_DEUTSCH_JOZSA_HPP
+#define QA_ALGOS_DEUTSCH_JOZSA_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/** Oracle families for an n-input boolean function. */
+enum class DjOracle
+{
+    kConstantZero, ///< f(x) = 0.
+    kConstantOne,  ///< f(x) = 1.
+    kBalancedMask, ///< f(x) = parity(x & mask), mask != 0.
+    kBuggyAnd      ///< f(x) = AND(x): neither constant nor balanced.
+};
+
+/**
+ * Circuit over n+1 qubits: inputs are qubits [0, n), output is qubit n.
+ * Prepares the inputs in |+>^n and writes |x>|f(x)>.
+ */
+QuantumCircuit djFunctionEval(int n_inputs, DjOracle oracle,
+                              uint64_t mask = 0);
+
+/** Joint output-state set of the two constant functions (Table IV). */
+std::vector<CVector> djConstantSet(int n_inputs);
+
+/**
+ * Joint output-state set of every balanced function (Table IV rows 3-8
+ * for n_inputs = 2).
+ */
+std::vector<CVector> djBalancedSet(int n_inputs);
+
+/** The joint state |x>|f(x)> summed over x in |+>^n, analytically. */
+CVector djJointState(int n_inputs, DjOracle oracle, uint64_t mask = 0);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_DEUTSCH_JOZSA_HPP

@@ -1,0 +1,103 @@
+#include "algos/grover.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "synth/mcgates.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+namespace
+{
+
+/** Phase-flip the single basis state `index` (multi-controlled Z). */
+void
+emitMark(QuantumCircuit& qc, int n, uint64_t index)
+{
+    // Open controls where the index bit is 0: X-conjugate those qubits,
+    // then an (n-1)-controlled Z on the last qubit.
+    for (int q = 0; q < n; ++q) {
+        if (!((index >> (n - 1 - q)) & 1)) qc.x(q);
+    }
+    if (n == 1) {
+        qc.z(0);
+    } else {
+        std::vector<int> controls;
+        for (int q = 0; q + 1 < n; ++q) controls.push_back(q);
+        CMatrix z{{1, 0}, {0, -1}};
+        mcu(qc, controls, n - 1, z);
+    }
+    for (int q = 0; q < n; ++q) {
+        if (!((index >> (n - 1 - q)) & 1)) qc.x(q);
+    }
+}
+
+} // namespace
+
+QuantumCircuit
+groverStage(int n, uint64_t target, int stage, GroverBug bug)
+{
+    QA_REQUIRE(n >= 1 && target < (uint64_t(1) << n),
+               "target out of range");
+    QuantumCircuit qc(n);
+    if (stage == 0) {
+        for (int q = 0; q < n; ++q) qc.h(q);
+        return qc;
+    }
+    if (stage % 2 == 1) {
+        // Oracle.
+        const uint64_t marked = bug == GroverBug::kWrongMark
+                                    ? (target ^ 1)
+                                    : target;
+        emitMark(qc, n, marked);
+        return qc;
+    }
+    // Diffusion: H^n (2|0><0| - I) H^n.
+    for (int q = 0; q < n; ++q) qc.h(q);
+    if (bug != GroverBug::kMissingDiffusionPhase) {
+        emitMark(qc, n, 0);
+    }
+    for (int q = 0; q < n; ++q) qc.h(q);
+    return qc;
+}
+
+QuantumCircuit
+groverProgram(int n, uint64_t target, int iterations, GroverBug bug)
+{
+    QuantumCircuit qc(n);
+    std::vector<int> ident;
+    for (int q = 0; q < n; ++q) ident.push_back(q);
+    qc.compose(groverStage(n, target, 0, bug), ident);
+    for (int k = 0; k < iterations; ++k) {
+        qc.compose(groverStage(n, target, 2 * k + 1, bug), ident);
+        qc.compose(groverStage(n, target, 2 * k + 2, bug), ident);
+    }
+    return qc;
+}
+
+CVector
+groverExpectedState(int n, uint64_t target, int iterations)
+{
+    const size_t dim = size_t(1) << n;
+    const double theta = std::asin(1.0 / std::sqrt(double(dim)));
+    const double angle = double(2 * iterations + 1) * theta;
+    CVector v(dim);
+    const double rest =
+        std::cos(angle) / std::sqrt(double(dim - 1));
+    for (size_t i = 0; i < dim; ++i) v[i] = rest;
+    v[target] = std::sin(angle);
+    return v;
+}
+
+int
+groverOptimalIterations(int n)
+{
+    const double theta = std::asin(1.0 / std::sqrt(double(1 << n)));
+    return int(std::floor(M_PI / (4.0 * theta)));
+}
+
+} // namespace algos
+} // namespace qa

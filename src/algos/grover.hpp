@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Grover search. The diffusion operator 2|s><s| - I is exactly the
+ * reflection the paper's NDD assertion synthesizes (Sec. V with the
+ * roles of "correct" and "incorrect" swapped), and the state after
+ * every iteration is known in closed form -- making Grover a natural
+ * slot-assertion workload: one precise assertion per iteration.
+ */
+#ifndef QA_ALGOS_GROVER_HPP
+#define QA_ALGOS_GROVER_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/** Bug injected into the Grover iteration. */
+enum class GroverBug
+{
+    kNone,
+    kMissingDiffusionPhase, ///< The diffusion's central phase is dropped
+                            ///< (the X-layer sandwich is emitted empty).
+    kWrongMark              ///< The oracle marks target ^ 1 instead.
+};
+
+/**
+ * Stage circuits over n qubits:
+ *   stage 0: uniform superposition;
+ *   stage 2k+1: oracle marking `target` (phase flip);
+ *   stage 2k+2: diffusion about the mean.
+ */
+QuantumCircuit groverStage(int n, uint64_t target, int stage,
+                           GroverBug bug = GroverBug::kNone);
+
+/** Full program with the given number of iterations. */
+QuantumCircuit groverProgram(int n, uint64_t target, int iterations,
+                             GroverBug bug = GroverBug::kNone);
+
+/**
+ * Closed-form state after `iterations` Grover iterations:
+ * sin((2k+1) theta)|target> + cos((2k+1) theta)|rest>,
+ * sin(theta) = 2^{-n/2}.
+ */
+CVector groverExpectedState(int n, uint64_t target, int iterations);
+
+/** The iteration count maximizing the success probability. */
+int groverOptimalIterations(int n);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_GROVER_HPP

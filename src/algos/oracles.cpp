@@ -1,0 +1,78 @@
+#include "algos/oracles.hpp"
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+QuantumCircuit
+bernsteinVazirani(int n_inputs, uint64_t mask, int buggy_drop_bit)
+{
+    QA_REQUIRE(n_inputs >= 1, "need at least one input qubit");
+    QA_REQUIRE(mask < (uint64_t(1) << n_inputs), "mask out of range");
+    QuantumCircuit qc(n_inputs + 1);
+    const int anc = n_inputs;
+
+    // Superposition precondition + phase ancilla |->.
+    for (int q = 0; q < n_inputs; ++q) qc.h(q);
+    qc.x(anc);
+    qc.h(anc);
+
+    // Oracle: f(x) = mask . x as phase kickback.
+    for (int q = 0; q < n_inputs; ++q) {
+        if (!((mask >> q) & 1)) continue;
+        if (q == buggy_drop_bit) continue;
+        qc.cx(q, anc);
+    }
+
+    // Decode.
+    for (int q = 0; q < n_inputs; ++q) qc.h(q);
+    return qc;
+}
+
+CVector
+bernsteinVaziraniFinalState(int n_inputs, uint64_t mask)
+{
+    return finalState(bernsteinVazirani(n_inputs, mask)).amplitudes();
+}
+
+QuantumCircuit
+superdenseStage(int stage, int b1, int b0)
+{
+    QA_REQUIRE(b0 == 0 || b0 == 1, "b0 must be a bit");
+    QA_REQUIRE(b1 == 0 || b1 == 1, "b1 must be a bit");
+    QuantumCircuit qc(2);
+    switch (stage) {
+      case 0:
+        qc.h(0);
+        qc.cx(0, 1);
+        return qc;
+      case 1:
+        if (b0) qc.x(0);
+        if (b1) qc.z(0);
+        return qc;
+      case 2:
+        qc.cx(0, 1);
+        qc.h(0);
+        return qc;
+      default:
+        QA_FAIL("superdense coding has stages 0..2");
+    }
+}
+
+QuantumCircuit
+superdenseProgram(int b1, int b0)
+{
+    QuantumCircuit qc(2);
+    std::vector<int> ident{0, 1};
+    for (int s = 0; s < 3; ++s) {
+        qc.compose(superdenseStage(s, b1, b0), ident);
+    }
+    return qc;
+}
+
+} // namespace algos
+} // namespace qa

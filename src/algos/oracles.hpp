@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Additional phase-kickback workloads from the paper's Sec. VIII list
+ * of algorithms sharing the subroutine ("Shor's algorithm, phase
+ * estimation, Deutsch algorithm, Bernstein-Vazirani"), plus superdense
+ * coding from the entanglement applications of Sec. II-B.
+ */
+#ifndef QA_ALGOS_ORACLES_HPP
+#define QA_ALGOS_ORACLES_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/**
+ * Bernstein-Vazirani over n input qubits: recovers the hidden mask of
+ * f(x) = mask . x in one oracle call. Qubits [0, n) are inputs, qubit n
+ * is the phase ancilla (|->). When `buggy_drop_bit` is in [0, n), the
+ * oracle omits that bit's CX -- the classic off-by-one oracle bug.
+ *
+ * The deterministic output equals `mask` on the input register.
+ */
+QuantumCircuit bernsteinVazirani(int n_inputs, uint64_t mask,
+                                 int buggy_drop_bit = -1);
+
+/** The BV pre-measurement state (inputs hold |mask>, ancilla |->). */
+CVector bernsteinVaziraniFinalState(int n_inputs, uint64_t mask);
+
+/**
+ * Superdense coding: sends two classical bits (b1, b0) through one
+ * qubit of a shared Bell pair. Stages:
+ *   0: Bell-pair preparation on (0, 1)
+ *   1: encoding on qubit 0 (Z^b1 X^b0)
+ *   2: decoding Bell measurement rotation
+ * Measuring yields |b1 b0> deterministically.
+ */
+QuantumCircuit superdenseStage(int stage, int b1, int b0);
+
+/** The full superdense-coding program. */
+QuantumCircuit superdenseProgram(int b1, int b0);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_ORACLES_HPP

@@ -1,0 +1,61 @@
+#include "algos/qft.hpp"
+
+#include <cmath>
+
+namespace qa
+{
+namespace algos
+{
+
+void
+appendQft(QuantumCircuit& circuit, const std::vector<int>& qubits,
+          bool do_swaps)
+{
+    const int n = int(qubits.size());
+    for (int i = 0; i < n; ++i) {
+        circuit.h(qubits[i]);
+        for (int j = i + 1; j < n; ++j) {
+            circuit.cp(qubits[j], qubits[i], M_PI / double(1 << (j - i)));
+        }
+    }
+    if (do_swaps) {
+        for (int i = 0; i < n / 2; ++i) {
+            circuit.swap(qubits[i], qubits[n - 1 - i]);
+        }
+    }
+}
+
+void
+appendIqft(QuantumCircuit& circuit, const std::vector<int>& qubits,
+           bool do_swaps)
+{
+    QuantumCircuit fwd(circuit.numQubits());
+    appendQft(fwd, qubits, do_swaps);
+    const QuantumCircuit inv = fwd.inverse();
+    std::vector<int> ident;
+    for (int q = 0; q < circuit.numQubits(); ++q) ident.push_back(q);
+    circuit.compose(inv, ident);
+}
+
+QuantumCircuit
+qft(int n, bool do_swaps)
+{
+    QuantumCircuit circuit(n);
+    std::vector<int> qubits;
+    for (int q = 0; q < n; ++q) qubits.push_back(q);
+    appendQft(circuit, qubits, do_swaps);
+    return circuit;
+}
+
+QuantumCircuit
+iqft(int n, bool do_swaps)
+{
+    QuantumCircuit circuit(n);
+    std::vector<int> qubits;
+    for (int q = 0; q < n; ++q) qubits.push_back(q);
+    appendIqft(circuit, qubits, do_swaps);
+    return circuit;
+}
+
+} // namespace algos
+} // namespace qa

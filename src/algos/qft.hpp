@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Quantum Fourier transform circuits (with the inverse used by QPE and
+ * the Fourier-space adder of Appendix D).
+ */
+#ifndef QA_ALGOS_QFT_HPP
+#define QA_ALGOS_QFT_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/**
+ * Append the QFT on the listed qubits (qubits[0] = most significant).
+ * @param do_swaps Include the final bit-reversal swap layer.
+ */
+void appendQft(QuantumCircuit& circuit, const std::vector<int>& qubits,
+               bool do_swaps = true);
+
+/** Append the inverse QFT. */
+void appendIqft(QuantumCircuit& circuit, const std::vector<int>& qubits,
+                bool do_swaps = true);
+
+/** Standalone n-qubit QFT circuit. */
+QuantumCircuit qft(int n, bool do_swaps = true);
+
+/** Standalone n-qubit inverse QFT circuit. */
+QuantumCircuit iqft(int n, bool do_swaps = true);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_QFT_HPP

@@ -1,0 +1,116 @@
+#include "algos/states.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+#include "synth/state_prep.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+QuantumCircuit
+bellPrep(BellKind kind)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.cx(0, 1);
+    switch (kind) {
+      case BellKind::kPhiPlus:
+        break;
+      case BellKind::kPhiMinus:
+        qc.z(0);
+        break;
+      case BellKind::kPsiPlus:
+        qc.x(1);
+        break;
+      case BellKind::kPsiMinus:
+        qc.z(0);
+        qc.x(1);
+        break;
+    }
+    return qc;
+}
+
+CVector
+bellVector(BellKind kind)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    CVector v(4);
+    switch (kind) {
+      case BellKind::kPhiPlus: v[0] = s; v[3] = s; break;
+      case BellKind::kPhiMinus: v[0] = s; v[3] = -s; break;
+      case BellKind::kPsiPlus: v[1] = s; v[2] = s; break;
+      case BellKind::kPsiMinus: v[1] = s; v[2] = -s; break;
+    }
+    return v;
+}
+
+QuantumCircuit
+ghzPrep(int n, int bug)
+{
+    QA_REQUIRE(n >= 2, "GHZ needs at least two qubits");
+    QuantumCircuit qc(n);
+    if (bug == 1) {
+        qc.u2(0, M_PI, 0); // swapped u2 arguments: phase-flipped GHZ
+    } else {
+        qc.u2(0, 0, M_PI); // u2(0, pi) == H
+    }
+    if (bug == 2 && n >= 3) {
+        // Reordered CX chain: the second CX fires before its control is
+        // entangled, yielding (|0...0> + |011...;>)-type wrong state.
+        for (int q = 1; q + 1 < n; ++q) qc.cx(q, q + 1);
+        qc.cx(0, 1);
+    } else {
+        for (int q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+    }
+    return qc;
+}
+
+CVector
+ghzVector(int n)
+{
+    const size_t dim = size_t(1) << n;
+    CVector v(dim);
+    v[0] = v[dim - 1] = 1.0 / std::sqrt(2.0);
+    return v;
+}
+
+CVector
+wVector(int n)
+{
+    const size_t dim = size_t(1) << n;
+    CVector v(dim);
+    const double amp = 1.0 / std::sqrt(double(n));
+    for (int q = 0; q < n; ++q) {
+        v[size_t(1) << (n - 1 - q)] = amp;
+    }
+    return v;
+}
+
+QuantumCircuit
+wPrep(int n)
+{
+    return prepareState(wVector(n));
+}
+
+QuantumCircuit
+linearClusterPrep(int n)
+{
+    QA_REQUIRE(n >= 2, "cluster state needs at least two qubits");
+    QuantumCircuit qc(n);
+    for (int q = 0; q < n; ++q) qc.h(q);
+    for (int q = 0; q + 1 < n; ++q) qc.cz(q, q + 1);
+    return qc;
+}
+
+CVector
+linearClusterVector(int n)
+{
+    return finalState(linearClusterPrep(n)).amplitudes();
+}
+
+} // namespace algos
+} // namespace qa

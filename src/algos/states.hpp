@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Canonical state-preparation circuits and state vectors used across the
+ * paper's evaluation: Bell pairs, GHZ, W, and linear cluster states.
+ */
+#ifndef QA_ALGOS_STATES_HPP
+#define QA_ALGOS_STATES_HPP
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/** The four Bell states. */
+enum class BellKind
+{
+    kPhiPlus,  ///< (|00> + |11>)/sqrt2
+    kPhiMinus, ///< (|00> - |11>)/sqrt2
+    kPsiPlus,  ///< (|01> + |10>)/sqrt2
+    kPsiMinus  ///< (|01> - |10>)/sqrt2
+};
+
+/** Two-qubit Bell-pair preparation circuit. */
+QuantumCircuit bellPrep(BellKind kind);
+
+/** Bell-state vector. */
+CVector bellVector(BellKind kind);
+
+/**
+ * n-qubit GHZ preparation, following the paper's Fig. 2 (u2 + CX chain).
+ * Optional bug injection reproducing Table I:
+ *  bug 1: u2 parameter order swapped -> sign-flipped coefficient;
+ *  bug 2: CX chain reordered -> wrong entanglement.
+ */
+QuantumCircuit ghzPrep(int n, int bug = 0);
+
+/** n-qubit GHZ state vector (|0..0> + |1..1>)/sqrt2. */
+CVector ghzVector(int n);
+
+/** n-qubit W state vector (equal superposition of single-excitations). */
+CVector wVector(int n);
+
+/** n-qubit W state preparation (via general state synthesis). */
+QuantumCircuit wPrep(int n);
+
+/** Linear cluster state: |+>^n then CZ between neighbours. */
+QuantumCircuit linearClusterPrep(int n);
+
+/** Linear cluster state vector. */
+CVector linearClusterVector(int n);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_STATES_HPP

@@ -1,0 +1,49 @@
+#include "algos/teleport.hpp"
+
+#include "common/error.hpp"
+#include "synth/state_prep.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+QuantumCircuit
+teleportStage(const CVector& payload, int stage, TeleportBug bug)
+{
+    QA_REQUIRE(payload.dim() == 2, "payload must be a single-qubit state");
+    QuantumCircuit qc(3);
+    switch (stage) {
+      case 0:
+        prepareStateInto(qc, payload, {0});
+        return qc;
+      case 1:
+        qc.h(1);
+        qc.cx(1, 2);
+        if (bug == TeleportBug::kWrongBellPair) qc.x(2);
+        return qc;
+      case 2:
+        // Bell-basis rotation on (0, 1) and deferred corrections.
+        qc.cx(0, 1);
+        qc.h(0);
+        qc.cx(1, 2);
+        if (bug != TeleportBug::kMissingZCorrection) qc.cz(0, 2);
+        return qc;
+      default:
+        QA_FAIL("teleportation has stages 0..2");
+    }
+}
+
+QuantumCircuit
+teleportProgram(const CVector& payload, TeleportBug bug)
+{
+    QuantumCircuit qc(3);
+    std::vector<int> ident{0, 1, 2};
+    for (int s = 0; s < 3; ++s) {
+        qc.compose(teleportStage(payload, s, bug), ident);
+    }
+    return qc;
+}
+
+} // namespace algos
+} // namespace qa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quantum teleportation in the deferred-measurement form (controlled
+ * corrections instead of classically-controlled gates, matching the
+ * paper's constraint that real devices only measure at the end).
+ * Teleportation is one of the entanglement workloads the paper's
+ * related-work section motivates assertions with: the Bell resource
+ * pair can be asserted mid-protocol, and the teleported qubit precisely
+ * at the end.
+ */
+#ifndef QA_ALGOS_TELEPORT_HPP
+#define QA_ALGOS_TELEPORT_HPP
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+namespace algos
+{
+
+/** Bug injected into the teleportation protocol. */
+enum class TeleportBug
+{
+    kNone,
+    kMissingZCorrection, ///< The CZ correction is dropped.
+    kWrongBellPair       ///< The resource pair is prepared as Psi+.
+};
+
+/**
+ * Teleport `payload` (a single-qubit state prepared on qubit 0) onto
+ * qubit 2 through a Bell pair on qubits (1, 2). After the protocol
+ * qubit 2 holds the payload exactly and qubits (0, 1) are left in
+ * |+>|+>.
+ *
+ * Stages (for slot-style assertion placement):
+ *   0: payload preparation on qubit 0
+ *   1: Bell-pair preparation on qubits (1, 2)
+ *   2: Bell measurement basis rotation + deferred corrections
+ */
+QuantumCircuit teleportStage(const CVector& payload, int stage,
+                             TeleportBug bug = TeleportBug::kNone);
+
+/** The full three-stage program. */
+QuantumCircuit teleportProgram(const CVector& payload,
+                               TeleportBug bug = TeleportBug::kNone);
+
+} // namespace algos
+} // namespace qa
+
+#endif // QA_ALGOS_TELEPORT_HPP

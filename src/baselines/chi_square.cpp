@@ -1,0 +1,103 @@
+#include "baselines/chi_square.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Lower incomplete gamma P(a, x) via its series expansion (x < a+1). */
+double
+gammaPSeries(double a, double x)
+{
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::abs(term) < std::abs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Upper incomplete gamma Q(a, x) via continued fraction (x >= a+1). */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 500; ++i) {
+        const double an = -double(i) * (double(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < tiny) d = tiny;
+        c = b + an / c;
+        if (std::abs(c) < tiny) c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::abs(delta - 1.0) < 1e-14) break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // namespace
+
+double
+regularizedGammaQ(double a, double x)
+{
+    QA_REQUIRE(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if (x == 0.0) return 1.0;
+    if (x < a + 1.0) return 1.0 - gammaPSeries(a, x);
+    return gammaQContinuedFraction(a, x);
+}
+
+double
+chiSquareSurvival(double x, int k)
+{
+    QA_REQUIRE(k >= 1, "chi-square needs at least one dof");
+    if (x <= 0.0) return 1.0;
+    return regularizedGammaQ(double(k) / 2.0, x / 2.0);
+}
+
+ChiSquareResult
+chiSquareTest(const std::vector<long>& observed,
+              const std::vector<double>& expected_probs)
+{
+    QA_REQUIRE(observed.size() == expected_probs.size(),
+               "observed/expected arity mismatch");
+    long total = 0;
+    for (long n : observed) total += n;
+    QA_REQUIRE(total > 0, "no observations");
+
+    // Floor impossible cells so observed mass there rejects strongly.
+    const double floor = 1e-9;
+    double stat = 0.0;
+    int cells = 0;
+    for (size_t i = 0; i < observed.size(); ++i) {
+        double p = expected_probs[i];
+        if (p < floor && observed[i] == 0) continue; // pool empty cells
+        p = std::max(p, floor);
+        const double expected = p * double(total);
+        const double diff = double(observed[i]) - expected;
+        stat += diff * diff / expected;
+        ++cells;
+    }
+
+    ChiSquareResult result;
+    result.statistic = stat;
+    result.dof = std::max(cells - 1, 1);
+    result.p_value = chiSquareSurvival(stat, result.dof);
+    return result;
+}
+
+} // namespace qa

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Pearson chi-square goodness-of-fit test, the statistical engine behind
+ * the Stat baseline [28] (Huang & Martonosi, ISCA'19).
+ */
+#ifndef QA_BASELINES_CHI_SQUARE_HPP
+#define QA_BASELINES_CHI_SQUARE_HPP
+
+#include <vector>
+
+namespace qa
+{
+
+/** Result of a chi-square goodness-of-fit test. */
+struct ChiSquareResult
+{
+    double statistic = 0.0;
+    int dof = 0;
+    double p_value = 1.0;
+};
+
+/**
+ * Pearson test of observed counts against expected probabilities.
+ * Expected cells with negligible probability are pooled; observed mass
+ * in zero-probability cells is handled by assigning those cells a tiny
+ * floor (so impossible outcomes strongly reject).
+ */
+ChiSquareResult chiSquareTest(const std::vector<long>& observed,
+                              const std::vector<double>& expected_probs);
+
+/** Upper tail P(X >= x) of a chi-square distribution with k dof. */
+double chiSquareSurvival(double x, int k);
+
+/** Regularized upper incomplete gamma Q(a, x). */
+double regularizedGammaQ(double a, double x);
+
+} // namespace qa
+
+#endif // QA_BASELINES_CHI_SQUARE_HPP

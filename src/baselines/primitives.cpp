@@ -1,0 +1,56 @@
+#include "baselines/primitives.hpp"
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+int
+primitiveAssertClassical(AssertedProgram& program, int qubit, int expected)
+{
+    QA_REQUIRE(expected == 0 || expected == 1,
+               "classical expectation must be 0 or 1");
+    return program.addCustomAssertion(
+        1, 1, [&](const BuildContext& ctx) {
+            QuantumCircuit frag(ctx.total_qubits, ctx.total_clbits);
+            const int anc = ctx.ancillas[0];
+            frag.cx(qubit, anc);
+            if (expected == 1) frag.x(anc);
+            frag.measure(anc, ctx.clbits[0]);
+            return frag;
+        });
+}
+
+int
+primitiveAssertSuperposition(AssertedProgram& program, int qubit, bool plus)
+{
+    return program.addCustomAssertion(
+        1, 1, [&](const BuildContext& ctx) {
+            QuantumCircuit frag(ctx.total_qubits, ctx.total_clbits);
+            const int anc = ctx.ancillas[0];
+            frag.h(anc);
+            frag.cx(anc, qubit); // phase kickback distinguishes |+>/|->
+            frag.h(anc);
+            if (!plus) frag.x(anc);
+            frag.measure(anc, ctx.clbits[0]);
+            return frag;
+        });
+}
+
+int
+primitiveAssertParity(AssertedProgram& program,
+                      const std::vector<int>& qubits, bool even)
+{
+    QA_REQUIRE(qubits.size() >= 2, "parity assertion needs >= 2 qubits");
+    return program.addCustomAssertion(
+        1, 1, [&](const BuildContext& ctx) {
+            QuantumCircuit frag(ctx.total_qubits, ctx.total_clbits);
+            const int anc = ctx.ancillas[0];
+            for (int q : qubits) frag.cx(q, anc);
+            if (!even) frag.x(anc);
+            frag.measure(anc, ctx.clbits[0]);
+            return frag;
+        });
+}
+
+} // namespace qa

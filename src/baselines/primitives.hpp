@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dynamic assertion primitives baseline [32] (Liu et al., ASPLOS'20):
+ * ad-hoc ancilla circuits for exactly three state families — classical,
+ * superposition (|+>/|->), and even/odd-parity entanglement. The paper
+ * proves these are special cases of its systematic designs (Appendix A,
+ * Fig. 13, Fig. 14); the limited menu below is the point of contrast:
+ * GHZ-with-coefficients, general entangled states, and mixed states are
+ * simply not expressible.
+ *
+ * All primitives keep the |0> = pass ancilla convention.
+ */
+#ifndef QA_BASELINES_PRIMITIVES_HPP
+#define QA_BASELINES_PRIMITIVES_HPP
+
+#include "core/asserted_program.hpp"
+
+namespace qa
+{
+
+/**
+ * Assert a qubit is in classical state |expected>.
+ * Circuit: CX(q -> ancilla) (+ X on the ancilla when expected == 1).
+ */
+int primitiveAssertClassical(AssertedProgram& program, int qubit,
+                             int expected);
+
+/**
+ * Assert a qubit is |+> (plus = true) or |-> (plus = false).
+ * Circuit: H(anc); CX(anc -> q); H(anc) — the X-basis NDD check.
+ */
+int primitiveAssertSuperposition(AssertedProgram& program, int qubit,
+                                 bool plus);
+
+/**
+ * Assert the qubits are inside the even-parity (or odd-parity) span,
+ * e.g. a|00> + b|11>. Circuit: CX chain into the ancilla (+ X for odd).
+ */
+int primitiveAssertParity(AssertedProgram& program,
+                          const std::vector<int>& qubits, bool even);
+
+} // namespace qa
+
+#endif // QA_BASELINES_PRIMITIVES_HPP

@@ -1,0 +1,68 @@
+#include "baselines/stat_assertion.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+
+StatAssertionResult
+statAssert(const QuantumCircuit& program_prefix,
+           const std::vector<int>& qubits,
+           const std::vector<double>& expected_probs,
+           const StatAssertionOptions& options)
+{
+    const size_t dim = size_t(1) << qubits.size();
+    QA_REQUIRE(expected_probs.size() == dim,
+               "expected distribution arity mismatch");
+
+    // Truncate-and-measure: append destructive measurements of the
+    // asserted qubits and histogram the outcomes.
+    QuantumCircuit breakpoint(program_prefix.numQubits(),
+                              int(qubits.size()));
+    std::vector<int> ident;
+    for (int q = 0; q < program_prefix.numQubits(); ++q) {
+        ident.push_back(q);
+    }
+    breakpoint.compose(program_prefix, ident);
+    for (size_t i = 0; i < qubits.size(); ++i) {
+        breakpoint.measure(qubits[i], int(i));
+    }
+
+    SimOptions sim;
+    sim.shots = options.shots;
+    sim.seed = options.seed;
+    sim.noise = options.noise;
+    const Counts counts = runShots(breakpoint, sim);
+
+    StatAssertionResult result;
+    result.observed.assign(dim, 0);
+    for (const auto& [bits, n] : counts.map) {
+        size_t index = 0;
+        for (size_t i = 0; i < qubits.size(); ++i) {
+            if (bits[i] == '1') {
+                index |= size_t(1) << (qubits.size() - 1 - i);
+            }
+        }
+        result.observed[index] += n;
+    }
+
+    result.test = chiSquareTest(result.observed, expected_probs);
+    result.rejected = result.test.p_value < options.alpha;
+    return result;
+}
+
+StatAssertionResult
+statAssertState(const QuantumCircuit& program_prefix,
+                const std::vector<int>& qubits, const CVector& expected,
+                const StatAssertionOptions& options)
+{
+    const CVector v = expected.normalized();
+    std::vector<double> probs(v.dim());
+    for (size_t i = 0; i < v.dim(); ++i) probs[i] = std::norm(v[i]);
+    return statAssert(program_prefix, qubits, probs, options);
+}
+
+} // namespace qa

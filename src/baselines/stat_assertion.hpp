@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistical assertion baseline [28] (Huang & Martonosi, ISCA'19): set
+ * a breakpoint, measure the qubits of interest over many shots, and
+ * chi-square-test the histogram against the expected distribution.
+ *
+ * Two properties the paper contrasts against are reproduced faithfully:
+ *  - the measurement is destructive, so the program cannot continue
+ *    (the API truncates at the breakpoint and only reports statistics);
+ *  - relative phases are invisible in the computational basis, so
+ *    phase bugs (e.g. GHZ Bug1) are NOT detected.
+ */
+#ifndef QA_BASELINES_STAT_ASSERTION_HPP
+#define QA_BASELINES_STAT_ASSERTION_HPP
+
+#include <vector>
+
+#include "baselines/chi_square.hpp"
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+#include "sim/noise.hpp"
+
+namespace qa
+{
+
+/** Outcome of one statistical assertion. */
+struct StatAssertionResult
+{
+    ChiSquareResult test;
+
+    /** True when the histogram deviates at the chosen significance. */
+    bool rejected = false;
+
+    /** Observed histogram over the asserted qubits (index = basis). */
+    std::vector<long> observed;
+};
+
+/** Parameters of a statistical assertion run. */
+struct StatAssertionOptions
+{
+    int shots = 8192;
+    uint64_t seed = 12345;
+    double alpha = 0.01;
+    const NoiseModel* noise = nullptr;
+};
+
+/**
+ * Break the program after `program_prefix`, measure `qubits` for
+ * options.shots shots, and test against `expected_probs` (size
+ * 2^qubits.size(), basis-ordered with qubits[0] as MSB).
+ */
+StatAssertionResult
+statAssert(const QuantumCircuit& program_prefix,
+           const std::vector<int>& qubits,
+           const std::vector<double>& expected_probs,
+           const StatAssertionOptions& options = {});
+
+/**
+ * Convenience: expected distribution derived from a pure state (this is
+ * where phase information is lost, by construction of the scheme).
+ */
+StatAssertionResult
+statAssertState(const QuantumCircuit& program_prefix,
+                const std::vector<int>& qubits, const CVector& expected,
+                const StatAssertionOptions& options = {});
+
+} // namespace qa
+
+#endif // QA_BASELINES_STAT_ASSERTION_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Circuit instruction model.
+ *
+ * Every gate instruction carries its full unitary over the qubits it
+ * touches (local ordering: qubits[0] is the most significant bit of the
+ * local index). This keeps the simulators generic -- they never need a
+ * gate-name switch -- while names and params are preserved for counting,
+ * transpilation, and QASM export.
+ */
+#ifndef QA_CIRCUIT_INSTRUCTION_HPP
+#define QA_CIRCUIT_INSTRUCTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/** Instruction category. */
+enum class OpType
+{
+    kGate,    ///< Unitary gate application.
+    kMeasure, ///< Computational-basis measurement into a classical bit.
+    kReset,   ///< Reset a qubit to |0>.
+    kBarrier  ///< Optimization barrier; no semantic effect.
+};
+
+/** One circuit instruction. */
+struct Instruction
+{
+    OpType type = OpType::kGate;
+
+    /** Gate name, e.g. "h", "cx", "u3", "unitary". */
+    std::string name;
+
+    /** Qubits acted on; controls (if any) come first by convention. */
+    std::vector<int> qubits;
+
+    /** Rotation angles or other gate parameters. */
+    std::vector<double> params;
+
+    /** Unitary over `qubits` (dimension 2^qubits.size()) for kGate. */
+    CMatrix matrix;
+
+    /** Destination classical bit for kMeasure. */
+    int cbit = -1;
+
+    /** True for unitary gate instructions. */
+    bool isGate() const { return type == OpType::kGate; }
+
+    /** Number of qubits the instruction touches. */
+    size_t arity() const { return qubits.size(); }
+};
+
+} // namespace qa
+
+#endif // QA_CIRCUIT_INSTRUCTION_HPP

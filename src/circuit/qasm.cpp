@@ -1,0 +1,430 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Recursive-descent evaluator for gate-parameter expressions. */
+class ExprParser
+{
+  public:
+    explicit ExprParser(const std::string& text) : text_(text) {}
+
+    double
+    parse()
+    {
+        const double value = parseSum();
+        skipSpace();
+        QA_REQUIRE(pos_ == text_.size(),
+                   "trailing characters in expression: '" + text_ + "'");
+        return value;
+    }
+
+  private:
+    double
+    parseSum()
+    {
+        double value = parseProduct();
+        for (;;) {
+            skipSpace();
+            if (consume('+')) {
+                value += parseProduct();
+            } else if (consume('-')) {
+                value -= parseProduct();
+            } else {
+                return value;
+            }
+        }
+    }
+
+    double
+    parseProduct()
+    {
+        double value = parseUnary();
+        for (;;) {
+            skipSpace();
+            if (consume('*')) {
+                value *= parseUnary();
+            } else if (consume('/')) {
+                const double rhs = parseUnary();
+                QA_REQUIRE(rhs != 0.0, "division by zero in expression");
+                value /= rhs;
+            } else {
+                return value;
+            }
+        }
+    }
+
+    double
+    parseUnary()
+    {
+        skipSpace();
+        if (consume('-')) return -parseUnary();
+        if (consume('+')) return parseUnary();
+        return parseAtom();
+    }
+
+    double
+    parseAtom()
+    {
+        skipSpace();
+        if (consume('(')) {
+            const double value = parseSum();
+            skipSpace();
+            QA_REQUIRE(consume(')'), "missing ')' in expression");
+            return value;
+        }
+        if (pos_ < text_.size() &&
+            (std::isalpha(static_cast<unsigned char>(text_[pos_])))) {
+            std::string name;
+            while (pos_ < text_.size() &&
+                   std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+                name.push_back(text_[pos_++]);
+            }
+            QA_REQUIRE(name == "pi", "unknown identifier '" + name +
+                                         "' in expression");
+            return M_PI;
+        }
+        size_t digits = 0;
+        const double value =
+            std::stod(text_.substr(pos_), &digits);
+        QA_REQUIRE(digits > 0, "expected number in expression");
+        pos_ += digits;
+        return value;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+/** A named register with its flattened base offset. */
+struct Register
+{
+    int base = 0;
+    int size = 0;
+};
+
+/** One parsed statement, split into head / args. */
+struct Statement
+{
+    std::string text;
+    int line = 0;
+};
+
+/** Strip // comments and split on ';'. */
+std::vector<Statement>
+tokenizeStatements(const std::string& source)
+{
+    std::vector<Statement> statements;
+    std::string current;
+    int line = 1;
+    int statement_line = 1;
+    for (size_t i = 0; i < source.size(); ++i) {
+        if (source[i] == '/' && i + 1 < source.size() &&
+            source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n') ++i;
+            ++line;
+            continue;
+        }
+        if (source[i] == '\n') {
+            ++line;
+            current.push_back(' ');
+            continue;
+        }
+        if (source[i] == ';') {
+            statements.push_back({current, statement_line});
+            current.clear();
+            statement_line = line;
+            continue;
+        }
+        if (current.empty() &&
+            std::isspace(static_cast<unsigned char>(source[i]))) {
+            statement_line = line;
+            continue;
+        }
+        current.push_back(source[i]);
+    }
+    // Trailing non-statement text must be whitespace.
+    for (char c : current) {
+        QA_REQUIRE(std::isspace(static_cast<unsigned char>(c)),
+                   "unterminated statement at end of input");
+    }
+    return statements;
+}
+
+std::string
+trim(const std::string& s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+/** Split "a, b, c" at top level (no nested commas in qasm operands). */
+std::vector<std::string>
+splitCommas(const std::string& s)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+        if (c == ',' && depth == 0) {
+            parts.push_back(trim(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!trim(current).empty()) parts.push_back(trim(current));
+    return parts;
+}
+
+} // namespace
+
+QuantumCircuit
+parseQasm(const std::string& source)
+{
+    const std::vector<Statement> statements = tokenizeStatements(source);
+
+    // First pass: collect register declarations to size the circuit.
+    std::map<std::string, Register> qregs, cregs;
+    int total_qubits = 0, total_clbits = 0;
+    auto parseDecl = [](const std::string& body, std::string* name,
+                        int* size) {
+        // body: "name[size]".
+        const size_t lb = body.find('[');
+        const size_t rb = body.find(']');
+        QA_REQUIRE(lb != std::string::npos && rb != std::string::npos &&
+                       rb > lb,
+                   "malformed register declaration: " + body);
+        *name = trim(body.substr(0, lb));
+        *size = std::stoi(body.substr(lb + 1, rb - lb - 1));
+        QA_REQUIRE(*size > 0, "register size must be positive");
+    };
+    for (const Statement& st : statements) {
+        const std::string text = trim(st.text);
+        if (text.rfind("qreg", 0) == 0) {
+            std::string name;
+            int size = 0;
+            parseDecl(trim(text.substr(4)), &name, &size);
+            QA_REQUIRE(!qregs.count(name), "duplicate qreg " + name);
+            qregs[name] = {total_qubits, size};
+            total_qubits += size;
+        } else if (text.rfind("creg", 0) == 0) {
+            std::string name;
+            int size = 0;
+            parseDecl(trim(text.substr(4)), &name, &size);
+            QA_REQUIRE(!cregs.count(name), "duplicate creg " + name);
+            cregs[name] = {total_clbits, size};
+            total_clbits += size;
+        }
+    }
+    QA_REQUIRE(total_qubits > 0, "QASM program declares no qubits");
+    QuantumCircuit circuit(total_qubits, total_clbits);
+
+    auto resolve = [](const std::map<std::string, Register>& regs,
+                      const std::string& operand, int line) {
+        const size_t lb = operand.find('[');
+        const size_t rb = operand.find(']');
+        QA_REQUIRE(lb != std::string::npos && rb != std::string::npos,
+                   "line " + std::to_string(line) +
+                       ": register-wide operands are not supported: " +
+                       operand);
+        const std::string name = trim(operand.substr(0, lb));
+        const int index = std::stoi(operand.substr(lb + 1, rb - lb - 1));
+        auto it = regs.find(name);
+        QA_REQUIRE(it != regs.end(), "line " + std::to_string(line) +
+                                         ": unknown register " + name);
+        QA_REQUIRE(index >= 0 && index < it->second.size,
+                   "line " + std::to_string(line) +
+                       ": index out of range for " + name);
+        return it->second.base + index;
+    };
+
+    for (const Statement& st : statements) {
+        const std::string text = trim(st.text);
+        if (text.empty()) continue;
+        if (text.rfind("OPENQASM", 0) == 0 ||
+            text.rfind("include", 0) == 0 || text.rfind("qreg", 0) == 0 ||
+            text.rfind("creg", 0) == 0) {
+            continue;
+        }
+        if (text.rfind("barrier", 0) == 0) {
+            circuit.barrier();
+            continue;
+        }
+        if (text.rfind("measure", 0) == 0) {
+            const size_t arrow = text.find("->");
+            QA_REQUIRE(arrow != std::string::npos,
+                       "line " + std::to_string(st.line) +
+                           ": measure needs '->'");
+            const int q = resolve(qregs, trim(text.substr(7, arrow - 7)),
+                                  st.line);
+            const int c =
+                resolve(cregs, trim(text.substr(arrow + 2)), st.line);
+            circuit.measure(q, c);
+            continue;
+        }
+        if (text.rfind("reset", 0) == 0) {
+            circuit.reset(resolve(qregs, trim(text.substr(5)), st.line));
+            continue;
+        }
+
+        // Gate statement: name[(params)] operand{, operand}.
+        size_t head_end = 0;
+        while (head_end < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[head_end])) ||
+                text[head_end] == '_')) {
+            ++head_end;
+        }
+        const std::string name = text.substr(0, head_end);
+        std::string rest = trim(text.substr(head_end));
+
+        std::vector<double> params;
+        if (!rest.empty() && rest[0] == '(') {
+            int depth = 0;
+            size_t close = 0;
+            for (size_t i = 0; i < rest.size(); ++i) {
+                if (rest[i] == '(') ++depth;
+                if (rest[i] == ')') {
+                    --depth;
+                    if (depth == 0) {
+                        close = i;
+                        break;
+                    }
+                }
+            }
+            QA_REQUIRE(close > 0, "line " + std::to_string(st.line) +
+                                      ": unbalanced parameter list");
+            for (const std::string& expr :
+                 splitCommas(rest.substr(1, close - 1))) {
+                params.push_back(ExprParser(expr).parse());
+            }
+            rest = trim(rest.substr(close + 1));
+        }
+        std::vector<int> qubits;
+        for (const std::string& operand : splitCommas(rest)) {
+            qubits.push_back(resolve(qregs, operand, st.line));
+        }
+
+        auto needQubits = [&](size_t n) {
+            QA_REQUIRE(qubits.size() == n,
+                       "line " + std::to_string(st.line) + ": " + name +
+                           " expects " + std::to_string(n) + " qubits");
+        };
+        auto needParams = [&](size_t n) {
+            QA_REQUIRE(params.size() == n,
+                       "line " + std::to_string(st.line) + ": " + name +
+                           " expects " + std::to_string(n) +
+                           " parameters");
+        };
+
+        if (name == "id") { needQubits(1); circuit.id(qubits[0]); }
+        else if (name == "x") { needQubits(1); circuit.x(qubits[0]); }
+        else if (name == "y") { needQubits(1); circuit.y(qubits[0]); }
+        else if (name == "z") { needQubits(1); circuit.z(qubits[0]); }
+        else if (name == "h") { needQubits(1); circuit.h(qubits[0]); }
+        else if (name == "s") { needQubits(1); circuit.s(qubits[0]); }
+        else if (name == "sdg") { needQubits(1); circuit.sdg(qubits[0]); }
+        else if (name == "t") { needQubits(1); circuit.t(qubits[0]); }
+        else if (name == "tdg") { needQubits(1); circuit.tdg(qubits[0]); }
+        else if (name == "sx") { needQubits(1); circuit.sx(qubits[0]); }
+        else if (name == "rx") {
+            needQubits(1);
+            needParams(1);
+            circuit.rx(qubits[0], params[0]);
+        } else if (name == "ry") {
+            needQubits(1);
+            needParams(1);
+            circuit.ry(qubits[0], params[0]);
+        } else if (name == "rz") {
+            needQubits(1);
+            needParams(1);
+            circuit.rz(qubits[0], params[0]);
+        } else if (name == "p" || name == "u1") {
+            needQubits(1);
+            needParams(1);
+            circuit.p(qubits[0], params[0]);
+        } else if (name == "u2") {
+            needQubits(1);
+            needParams(2);
+            circuit.u2(qubits[0], params[0], params[1]);
+        } else if (name == "u3" || name == "u") {
+            needQubits(1);
+            needParams(3);
+            circuit.u3(qubits[0], params[0], params[1], params[2]);
+        } else if (name == "cx" || name == "CX") {
+            needQubits(2);
+            circuit.cx(qubits[0], qubits[1]);
+        } else if (name == "cy") {
+            needQubits(2);
+            circuit.cy(qubits[0], qubits[1]);
+        } else if (name == "cz") {
+            needQubits(2);
+            circuit.cz(qubits[0], qubits[1]);
+        } else if (name == "ch") {
+            needQubits(2);
+            circuit.ch(qubits[0], qubits[1]);
+        } else if (name == "swap") {
+            needQubits(2);
+            circuit.swap(qubits[0], qubits[1]);
+        } else if (name == "crz") {
+            needQubits(2);
+            needParams(1);
+            circuit.crz(qubits[0], qubits[1], params[0]);
+        } else if (name == "cp" || name == "cu1") {
+            needQubits(2);
+            needParams(1);
+            circuit.cp(qubits[0], qubits[1], params[0]);
+        } else if (name == "cu3") {
+            needQubits(2);
+            needParams(3);
+            circuit.cu3(qubits[0], qubits[1], params[0], params[1],
+                        params[2]);
+        } else if (name == "ccx") {
+            needQubits(3);
+            circuit.ccx(qubits[0], qubits[1], qubits[2]);
+        } else {
+            QA_FAIL("line " + std::to_string(st.line) +
+                    ": unsupported gate '" + name + "'");
+        }
+    }
+    return circuit;
+}
+
+} // namespace qa

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * OpenQASM 2.0 importer. Parses the subset qassert's exporter emits
+ * (plus common aliases), so circuits round-trip through text and
+ * programs written for other toolchains can be asserted directly.
+ *
+ * Supported: OPENQASM header, include (ignored), one or more qreg/creg
+ * declarations (flattened in declaration order), the standard gate set
+ * (id x y z h s sdg t tdg sx rx ry rz p u1 u2 u3 cx cy cz ch swap crz
+ * cp cu1 cu3 ccx), barrier, reset, and measure. Parameter expressions
+ * support numbers, pi, + - * / and parentheses.
+ */
+#ifndef QA_CIRCUIT_QASM_HPP
+#define QA_CIRCUIT_QASM_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+
+/** Parse an OpenQASM 2.0 program. Throws UserError with line context. */
+QuantumCircuit parseQasm(const std::string& source);
+
+} // namespace qa
+
+#endif // QA_CIRCUIT_QASM_HPP

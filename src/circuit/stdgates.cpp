@@ -1,0 +1,176 @@
+#include "circuit/stdgates.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+
+namespace qa
+{
+namespace gates
+{
+
+namespace
+{
+const double kSqrt2Inv = 1.0 / std::sqrt(2.0);
+
+Complex
+expi(double phi)
+{
+    return Complex(std::cos(phi), std::sin(phi));
+}
+} // namespace
+
+CMatrix i() { return CMatrix::identity(2); }
+
+CMatrix
+x()
+{
+    return CMatrix{{0, 1}, {1, 0}};
+}
+
+CMatrix
+y()
+{
+    return CMatrix{{0, -kI}, {kI, 0}};
+}
+
+CMatrix
+z()
+{
+    return CMatrix{{1, 0}, {0, -1}};
+}
+
+CMatrix
+h()
+{
+    return CMatrix{{kSqrt2Inv, kSqrt2Inv}, {kSqrt2Inv, -kSqrt2Inv}};
+}
+
+CMatrix
+s()
+{
+    return CMatrix{{1, 0}, {0, kI}};
+}
+
+CMatrix
+sdg()
+{
+    return CMatrix{{1, 0}, {0, -kI}};
+}
+
+CMatrix
+t()
+{
+    return CMatrix{{1, 0}, {0, expi(M_PI / 4)}};
+}
+
+CMatrix
+tdg()
+{
+    return CMatrix{{1, 0}, {0, expi(-M_PI / 4)}};
+}
+
+CMatrix
+sx()
+{
+    return CMatrix{{Complex(0.5, 0.5), Complex(0.5, -0.5)},
+                   {Complex(0.5, -0.5), Complex(0.5, 0.5)}};
+}
+
+CMatrix
+rx(double theta)
+{
+    double c = std::cos(theta / 2), s_ = std::sin(theta / 2);
+    return CMatrix{{c, -kI * s_}, {-kI * s_, c}};
+}
+
+CMatrix
+ry(double theta)
+{
+    double c = std::cos(theta / 2), s_ = std::sin(theta / 2);
+    return CMatrix{{c, -s_}, {s_, c}};
+}
+
+CMatrix
+rz(double theta)
+{
+    return CMatrix{{expi(-theta / 2), 0}, {0, expi(theta / 2)}};
+}
+
+CMatrix
+p(double lambda)
+{
+    return CMatrix{{1, 0}, {0, expi(lambda)}};
+}
+
+CMatrix
+u2(double phi, double lambda)
+{
+    return u3(M_PI / 2, phi, lambda);
+}
+
+CMatrix
+u3(double theta, double phi, double lambda)
+{
+    double c = std::cos(theta / 2), s_ = std::sin(theta / 2);
+    return CMatrix{{c, -expi(lambda) * s_},
+                   {expi(phi) * s_, expi(phi + lambda) * c}};
+}
+
+CMatrix cx() { return controlled(x()); }
+CMatrix cy() { return controlled(y()); }
+CMatrix cz() { return controlled(z()); }
+CMatrix ch() { return controlled(h()); }
+
+CMatrix
+swap()
+{
+    return CMatrix{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+}
+
+CMatrix ccx() { return controlled(x(), 2); }
+CMatrix crz(double theta) { return controlled(rz(theta)); }
+CMatrix cp(double lambda) { return controlled(p(lambda)); }
+
+CMatrix
+cu3(double theta, double phi, double lambda)
+{
+    return controlled(u3(theta, phi, lambda));
+}
+
+CMatrix
+controlled(const CMatrix& u, int num_controls)
+{
+    return controlledOpen(u, num_controls, 0u);
+}
+
+CMatrix
+controlledOpen(const CMatrix& u, int num_controls, unsigned open_mask)
+{
+    QA_REQUIRE(u.rows() == u.cols(), "controlled() needs a square matrix");
+    QA_REQUIRE(num_controls >= 1, "need at least one control");
+    const size_t udim = u.rows();
+    const size_t cdim = size_t(1) << num_controls;
+    const size_t dim = cdim * udim;
+
+    // The control pattern that activates u: closed controls need 1, open
+    // controls need 0. Control i is local qubit i, i.e. bit
+    // (num_controls - 1 - i) of the control-subspace index.
+    size_t active = 0;
+    for (int i = 0; i < num_controls; ++i) {
+        bool open = (open_mask >> i) & 1u;
+        if (!open) active |= size_t(1) << (num_controls - 1 - i);
+    }
+
+    CMatrix out = CMatrix::identity(dim);
+    for (size_t r = 0; r < udim; ++r) {
+        for (size_t c = 0; c < udim; ++c) {
+            out(active * udim + r, active * udim + c) = u(r, c);
+        }
+    }
+    return out;
+}
+
+} // namespace gates
+} // namespace qa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Standard gate matrices (Qiskit u1/u2/u3 conventions) and helpers for
+ * building controlled variants.
+ */
+#ifndef QA_CIRCUIT_STDGATES_HPP
+#define QA_CIRCUIT_STDGATES_HPP
+
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+namespace gates
+{
+
+CMatrix i();
+CMatrix x();
+CMatrix y();
+CMatrix z();
+CMatrix h();
+CMatrix s();
+CMatrix sdg();
+CMatrix t();
+CMatrix tdg();
+CMatrix sx();
+
+/** Rotation about X: exp(-i theta X / 2). */
+CMatrix rx(double theta);
+/** Rotation about Y: exp(-i theta Y / 2). */
+CMatrix ry(double theta);
+/** Rotation about Z: exp(-i theta Z / 2). */
+CMatrix rz(double theta);
+/** Phase gate diag(1, e^{i lambda}) (Qiskit u1). */
+CMatrix p(double lambda);
+/** Qiskit u2(phi, lambda) = u3(pi/2, phi, lambda). */
+CMatrix u2(double phi, double lambda);
+/** Qiskit u3(theta, phi, lambda) general single-qubit unitary. */
+CMatrix u3(double theta, double phi, double lambda);
+
+CMatrix cx();
+CMatrix cy();
+CMatrix cz();
+CMatrix ch();
+CMatrix swap();
+CMatrix ccx();
+CMatrix crz(double theta);
+CMatrix cp(double lambda);
+CMatrix cu3(double theta, double phi, double lambda);
+
+/**
+ * Controlled version of an arbitrary unitary: the first `num_controls`
+ * local qubits control `u` on the remaining ones
+ * (|1...1><1...1| (x) u + rest (x) I).
+ */
+CMatrix controlled(const CMatrix& u, int num_controls = 1);
+
+/**
+ * Like controlled(), but control i is an *open* control (fires on |0>)
+ * when bit i of `open_mask` is set (bit 0 = first control).
+ */
+CMatrix controlledOpen(const CMatrix& u, int num_controls,
+                       unsigned open_mask);
+
+} // namespace gates
+} // namespace qa
+
+#endif // QA_CIRCUIT_STDGATES_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error-handling primitives shared by every qassert module.
+ *
+ * Two failure categories, mirroring the gem5 fatal/panic split:
+ *  - UserError: the caller violated a documented precondition (bad qubit
+ *    index, non-unitary matrix, unassertable state set, ...). Recoverable
+ *    by fixing the call site.
+ *  - InternalError: a qassert invariant broke; indicates a library bug.
+ */
+#ifndef QA_COMMON_ERROR_HPP
+#define QA_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qa
+{
+
+/** Exception for caller mistakes (bad arguments, violated preconditions). */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string& msg)
+        : std::runtime_error("qassert user error: " + msg)
+    {}
+};
+
+/** Exception for broken internal invariants (library bugs). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string& msg)
+        : std::logic_error("qassert internal error: " + msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Builds the exception message with file/line context and throws. */
+template <typename Exc>
+[[noreturn]] inline void
+throwWithContext(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << msg << " [" << file << ":" << line << "]";
+    throw Exc(oss.str());
+}
+
+} // namespace detail
+
+} // namespace qa
+
+/** Throw qa::UserError when a documented precondition fails. */
+#define QA_REQUIRE(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::qa::detail::throwWithContext<::qa::UserError>(                \
+                __FILE__, __LINE__, std::string(msg));                      \
+        }                                                                   \
+    } while (0)
+
+/** Throw qa::InternalError when a library invariant fails. */
+#define QA_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::qa::detail::throwWithContext<::qa::InternalError>(            \
+                __FILE__, __LINE__, std::string(msg));                      \
+        }                                                                   \
+    } while (0)
+
+/** Unconditionally throw qa::UserError with a streamed message. */
+#define QA_FAIL(msg)                                                        \
+    ::qa::detail::throwWithContext<::qa::UserError>(                        \
+        __FILE__, __LINE__, std::string(msg))
+
+#endif // QA_COMMON_ERROR_HPP

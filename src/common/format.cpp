@@ -1,0 +1,109 @@
+#include "format.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "error.hpp"
+
+namespace qa
+{
+
+std::string
+formatComplex(std::complex<double> value, int precision)
+{
+    const double snap = 0.5 * std::pow(10.0, -precision);
+    double re = std::abs(value.real()) < snap ? 0.0 : value.real();
+    double im = std::abs(value.imag()) < snap ? 0.0 : value.imag();
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision);
+    if (im == 0.0) {
+        oss << re;
+    } else if (re == 0.0) {
+        oss << im << "i";
+    } else {
+        oss << re << (im < 0 ? "-" : "+") << std::abs(im) << "i";
+    }
+    return oss.str();
+}
+
+std::string
+formatBits(uint64_t value, int bits)
+{
+    std::string out(static_cast<size_t>(bits), '0');
+    for (int i = 0; i < bits; ++i) {
+        if ((value >> (bits - 1 - i)) & 1ULL) out[i] = '1';
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << fraction * 100.0 << "%";
+    return oss.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    QA_REQUIRE(!header_.empty(), "table header must be non-empty");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    QA_REQUIRE(row.size() == header_.size(),
+               "row arity does not match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto renderRow = [&](const std::vector<std::string>& row) {
+        std::ostringstream oss;
+        oss << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << " " << row[c]
+                << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        oss << "\n";
+        return oss.str();
+    };
+
+    std::ostringstream rule;
+    rule << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+        rule << std::string(widths[c] + 2, '-') << "+";
+    }
+    rule << "\n";
+
+    std::ostringstream out;
+    out << rule.str() << renderRow(header_) << rule.str();
+    for (const auto& row : rows_) out << renderRow(row);
+    out << rule.str();
+    return out.str();
+}
+
+} // namespace qa

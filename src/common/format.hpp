@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Formatting helpers: complex numbers, bitstrings, and aligned text tables
+ * used by the benchmark harness and the examples to print paper-style rows.
+ */
+#ifndef QA_COMMON_FORMAT_HPP
+#define QA_COMMON_FORMAT_HPP
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qa
+{
+
+/** Format a complex amplitude as "a+bi" with small values snapped to zero. */
+std::string formatComplex(std::complex<double> value, int precision = 4);
+
+/** Format integer `value` as an n-bit binary string, MSB first. */
+std::string formatBits(uint64_t value, int bits);
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision = 4);
+
+/** Format a fraction as a percentage string, e.g. "36.2%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+/**
+ * Minimal aligned text table for paper-style output.
+ *
+ * Usage:
+ *   TextTable t({"Assertion type", "Bug1", "Bug2", "#CX"});
+ *   t.addRow({"SWAP-based precise", "True", "True", "10"});
+ *   std::cout << t.render();
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment, a header rule, and outer borders. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qa
+
+#endif // QA_COMMON_FORMAT_HPP

@@ -1,0 +1,117 @@
+#include "core/debugger.hpp"
+
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+
+SlotDebugger::SlotDebugger(std::vector<QuantumCircuit> program,
+                           std::vector<QuantumCircuit> reference)
+    : program_(std::move(program)), reference_(std::move(reference))
+{
+    QA_REQUIRE(!program_.empty(), "debugger needs at least one stage");
+    QA_REQUIRE(program_.size() == reference_.size(),
+               "program and reference must have the same stage count");
+    const int width = program_[0].numQubits();
+    for (const auto& stage : program_) {
+        QA_REQUIRE(stage.numQubits() == width,
+                   "all program stages must share one width");
+        QA_REQUIRE(stage.countMeasure() == 0,
+                   "stages must be measurement free");
+    }
+    for (const auto& stage : reference_) {
+        QA_REQUIRE(stage.numQubits() == width,
+                   "reference width mismatch");
+        QA_REQUIRE(stage.countMeasure() == 0,
+                   "reference stages must be measurement free");
+    }
+}
+
+double
+SlotDebugger::slotErrorProb(int slot, AssertionDesign design) const
+{
+    QA_REQUIRE(slot >= 1 && slot <= numSlots(), "slot out of range");
+    const int width = program_[0].numQubits();
+    std::vector<int> ident;
+    for (int q = 0; q < width; ++q) ident.push_back(q);
+
+    // Expected state: reference prefix (Fig. 16's precalculated V_s).
+    QuantumCircuit ref_prefix(width);
+    for (int s = 0; s < slot; ++s) ref_prefix.compose(reference_[s], ident);
+    const CVector expected = finalState(ref_prefix).amplitudes();
+
+    QuantumCircuit prefix(width);
+    for (int s = 0; s < slot; ++s) prefix.compose(program_[s], ident);
+    AssertedProgram asserted(prefix);
+    asserted.assertState(ident, StateSet::pure(expected), design);
+    return runAssertedExact(asserted).slot_error_prob[0];
+}
+
+SlotDebugReport
+SlotDebugger::run(AssertionDesign design) const
+{
+    SlotDebugReport report;
+    report.slot_error_prob.assign(size_t(numSlots()), -1.0);
+    for (int slot = 1; slot <= numSlots(); ++slot) {
+        const double err = slotErrorProb(slot, design);
+        report.slot_error_prob[slot - 1] = err;
+        ++report.evaluations;
+        if (err > 1e-9 && report.first_failing_slot < 0) {
+            report.first_failing_slot = slot;
+        }
+    }
+    return report;
+}
+
+SlotDebugReport
+SlotDebugger::bisect(AssertionDesign design) const
+{
+    SlotDebugReport report;
+    report.slot_error_prob.assign(size_t(numSlots()), -1.0);
+
+    auto evaluate = [&](int slot) {
+        if (report.slot_error_prob[slot - 1] < 0.0) {
+            report.slot_error_prob[slot - 1] =
+                slotErrorProb(slot, design);
+            ++report.evaluations;
+        }
+        return report.slot_error_prob[slot - 1] > 1e-9;
+    };
+
+    // Find the first failing slot assuming failure is suffix-closed
+    // (true whenever stages never map a wrong prefix state back onto
+    // the expected one).
+    if (!evaluate(numSlots())) {
+        // Last slot passes: either the program is clean or a stage
+        // re-aligned the state; sweep defensively backwards.
+        for (int slot = numSlots() - 1; slot >= 1; --slot) {
+            if (evaluate(slot)) {
+                report.first_failing_slot = slot;
+                // keep searching earlier failures
+            } else if (report.first_failing_slot > 0) {
+                break;
+            }
+        }
+        return report;
+    }
+
+    int lo = 1, hi = numSlots(); // hi fails
+    while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (evaluate(mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    report.first_failing_slot = hi;
+    // Verify the neighbour: guards the suffix-closure assumption.
+    if (hi > 1 && evaluate(hi - 1)) {
+        report.first_failing_slot = hi - 1;
+    }
+    return report;
+}
+
+} // namespace qa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SlotDebugger: automation of the paper's Sec. IX debugging workflow.
+ * A program is split into stages with an assertion slot after each; the
+ * expected slot states are computed from a reference (assumed-correct)
+ * implementation, exactly like Fig. 16's precalculated V1..V6. The
+ * debugger evaluates the slots (linearly or by bisection) and reports
+ * the stage range that must contain the first bug.
+ */
+#ifndef QA_CORE_DEBUGGER_HPP
+#define QA_CORE_DEBUGGER_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/builders.hpp"
+
+namespace qa
+{
+
+/** Localization result. */
+struct SlotDebugReport
+{
+    /** Exact per-slot assertion-error probabilities; slots evaluated
+     *  lazily by bisect() hold -1. Index s = slot after stage s. */
+    std::vector<double> slot_error_prob;
+
+    /** 1-based first failing slot; -1 when every slot passes. */
+    int first_failing_slot = -1;
+
+    /** Number of slot evaluations performed (bisection does O(log S)). */
+    int evaluations = 0;
+
+    /** True when a bug was localized. */
+    bool bugFound() const { return first_failing_slot > 0; }
+
+    /**
+     * The stage index (0-based) whose gates must contain the first
+     * divergence: the gates between the last passing slot and the first
+     * failing one. Only meaningful when bugFound().
+     */
+    int
+    suspectStage() const
+    {
+        return first_failing_slot - 1;
+    }
+};
+
+/** Assertion-driven slot debugger. */
+class SlotDebugger
+{
+  public:
+    /**
+     * @param program Stages of the program under test (all the same
+     *        width; executed in order).
+     * @param reference Stages of the bug-free reference implementation
+     *        used to precalculate the expected slot states.
+     */
+    SlotDebugger(std::vector<QuantumCircuit> program,
+                 std::vector<QuantumCircuit> reference);
+
+    int numSlots() const { return int(program_.size()); }
+
+    /** Evaluate every slot (the paper's manual process). */
+    SlotDebugReport run(AssertionDesign design = AssertionDesign::kSwap)
+        const;
+
+    /**
+     * Bisect: O(log S) slot evaluations. Sound because a precise
+     * assertion slot passes with certainty iff the prefix state is
+     * exactly the expected one, and the first divergence persists...
+     * ALMOST always: a later stage can in principle map a wrong state
+     * back onto the right one, making a later slot pass. bisect()
+     * therefore verifies its answer by also checking the slot before
+     * the reported one.
+     */
+    SlotDebugReport bisect(
+        AssertionDesign design = AssertionDesign::kSwap) const;
+
+    /** Exact error probability of a single slot (1-based). */
+    double slotErrorProb(int slot, AssertionDesign design) const;
+
+  private:
+    std::vector<QuantumCircuit> program_;
+    std::vector<QuantumCircuit> reference_;
+};
+
+} // namespace qa
+
+#endif // QA_CORE_DEBUGGER_HPP

@@ -1,0 +1,85 @@
+#include "core/runner.hpp"
+
+#include "common/error.hpp"
+#include "sim/density.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** True if every listed clbit reads '0' in the bitstring. */
+bool
+allZero(const std::string& bits, const std::vector<int>& clbits)
+{
+    for (int c : clbits) {
+        if (bits[c] != '0') return false;
+    }
+    return true;
+}
+
+} // namespace
+
+AssertionOutcome
+runAsserted(const AssertedProgram& program, const SimOptions& options)
+{
+    AssertionOutcome outcome;
+    outcome.raw = runShots(program.circuit(), options);
+
+    for (const AssertedProgram::Slot& slot : program.slots()) {
+        outcome.slot_error_rate.push_back(outcome.raw.fraction(
+            [&](const std::string& bits) {
+                return !allZero(bits, slot.clbits);
+            }));
+    }
+    const std::vector<int> assertion_bits = program.assertionClbits();
+    outcome.pass_rate = outcome.raw.fractionAllZero(assertion_bits);
+
+    const std::vector<int>& prog_bits = program.programClbits();
+    outcome.program_counts = marginalCounts(outcome.raw, prog_bits);
+
+    Counts passed;
+    for (const auto& [bits, n] : outcome.raw.map) {
+        if (!allZero(bits, assertion_bits)) continue;
+        std::string reduced;
+        for (int c : prog_bits) reduced.push_back(bits[c]);
+        passed.map[reduced] += n;
+        passed.shots += n;
+    }
+    outcome.program_counts_passed = std::move(passed);
+    return outcome;
+}
+
+AssertionOutcomeExact
+runAssertedExact(const AssertedProgram& program, const NoiseModel* noise)
+{
+    AssertionOutcomeExact outcome;
+    outcome.raw = noise != nullptr && noise->enabled()
+                      ? exactDistributionDM(program.circuit(), noise)
+                      : exactDistribution(program.circuit());
+
+    for (const AssertedProgram::Slot& slot : program.slots()) {
+        outcome.slot_error_prob.push_back(outcome.raw.mass(
+            [&](const std::string& bits) {
+                return !allZero(bits, slot.clbits);
+            }));
+    }
+    const std::vector<int> assertion_bits = program.assertionClbits();
+    outcome.pass_prob = outcome.raw.allZero(assertion_bits);
+
+    const std::vector<int>& prog_bits = program.programClbits();
+    outcome.program_dist = marginalDistribution(outcome.raw, prog_bits);
+
+    Distribution passed;
+    for (const auto& [bits, p] : outcome.raw.probs) {
+        if (!allZero(bits, assertion_bits)) continue;
+        std::string reduced;
+        for (int c : prog_bits) reduced.push_back(bits[c]);
+        passed.probs[reduced] += p;
+    }
+    outcome.program_dist_passed = std::move(passed);
+    return outcome;
+}
+
+} // namespace qa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Assertion execution and reporting: run an AssertedProgram (sampled or
+ * exact, with or without noise), compute per-slot assertion-error rates,
+ * and post-select the program's outcomes on assertion success — the
+ * error-filtering use of assertions the paper measures in Sec. IX-B.
+ */
+#ifndef QA_CORE_RUNNER_HPP
+#define QA_CORE_RUNNER_HPP
+
+#include "core/asserted_program.hpp"
+#include "sim/noise.hpp"
+#include "sim/result.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+
+/** Sampled (shot-based) assertion run report. */
+struct AssertionOutcome
+{
+    /** Fraction of shots where the slot flagged an error. */
+    std::vector<double> slot_error_rate;
+
+    /** Fraction of shots where no assertion flagged an error. */
+    double pass_rate = 1.0;
+
+    /** Program-clbit histogram over all shots. */
+    Counts program_counts;
+
+    /** Program-clbit histogram post-selected on assertion success. */
+    Counts program_counts_passed;
+
+    /** Full raw histogram over every classical bit. */
+    Counts raw;
+};
+
+/** Run with the statevector backend (trajectory noise if configured). */
+AssertionOutcome runAsserted(const AssertedProgram& program,
+                             const SimOptions& options);
+
+/** Exact (probability) assertion run report. */
+struct AssertionOutcomeExact
+{
+    std::vector<double> slot_error_prob;
+    double pass_prob = 1.0;
+    Distribution program_dist;
+    Distribution program_dist_passed;
+    Distribution raw;
+};
+
+/**
+ * Exact distribution run: statevector branching when `noise` is null,
+ * density-matrix evolution with exact channels otherwise.
+ */
+AssertionOutcomeExact runAssertedExact(const AssertedProgram& program,
+                                       const NoiseModel* noise = nullptr);
+
+} // namespace qa
+
+#endif // QA_CORE_RUNNER_HPP

@@ -1,0 +1,261 @@
+#include "core/state_set.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "linalg/states.hpp"
+#include "synth/factorize.hpp"
+
+namespace qa
+{
+
+StateSet
+StateSet::pure(const CVector& psi)
+{
+    StateSet set;
+    set.kind_ = StateSetKind::kPure;
+    set.num_qubits_ = qubitCountForDim(psi.dim());
+    set.pure_ = psi.normalized();
+    return set;
+}
+
+StateSet
+StateSet::mixed(const CMatrix& rho)
+{
+    QA_REQUIRE(rho.isDensityMatrix(1e-6),
+               "mixed assertion target must be a density matrix");
+    StateSet set;
+    set.kind_ = StateSetKind::kMixed;
+    set.num_qubits_ = qubitCountForDim(rho.rows());
+    set.rho_ = rho;
+    return set;
+}
+
+StateSet
+StateSet::approximate(const std::vector<CVector>& states)
+{
+    QA_REQUIRE(!states.empty(),
+               "approximate assertion needs at least one state");
+    StateSet set;
+    set.kind_ = StateSetKind::kApproximate;
+    set.num_qubits_ = qubitCountForDim(states[0].dim());
+    for (const CVector& s : states) {
+        QA_REQUIRE(qubitCountForDim(s.dim()) == set.num_qubits_,
+                   "approximate set states must have equal size");
+        set.members_.push_back(s.normalized());
+    }
+    return set;
+}
+
+const CVector&
+StateSet::pureState() const
+{
+    QA_REQUIRE(kind_ == StateSetKind::kPure, "not a pure StateSet");
+    return pure_;
+}
+
+const CMatrix&
+StateSet::density() const
+{
+    QA_REQUIRE(kind_ == StateSetKind::kMixed, "not a mixed StateSet");
+    return rho_;
+}
+
+const std::vector<CVector>&
+StateSet::members() const
+{
+    QA_REQUIRE(kind_ == StateSetKind::kApproximate,
+               "not an approximate StateSet");
+    return members_;
+}
+
+CMatrix
+CorrectSubspace::projector() const
+{
+    const size_t dim = size_t(1) << n;
+    CMatrix p(dim, dim);
+    for (const CVector& b : basis) {
+        p += CMatrix::outer(b, b);
+    }
+    return p;
+}
+
+namespace
+{
+
+constexpr double kRankEps = 1e-8;
+
+/**
+ * If the span of `basis` is a coordinate subspace (its projector is
+ * diagonal), replace the basis with the computational basis states it
+ * spans. This undoes arbitrary rotations inside degenerate eigenspaces
+ * and unlocks the CNOT-only synthesis paths.
+ */
+void
+alignToBasisStates(CorrectSubspace& subspace)
+{
+    const CMatrix p = subspace.projector();
+    for (size_t r = 0; r < p.rows(); ++r) {
+        for (size_t c = 0; c < p.cols(); ++c) {
+            if (r == c) {
+                const double d = p(r, c).real();
+                if (std::abs(d) > kRankEps && std::abs(d - 1.0) > kRankEps) {
+                    return; // fractional occupancy: not a coordinate span
+                }
+            } else if (std::abs(p(r, c)) > kRankEps) {
+                return;
+            }
+        }
+    }
+    std::vector<CVector> aligned;
+    std::vector<uint64_t> indices;
+    for (size_t i = 0; i < p.rows(); ++i) {
+        if (p(i, i).real() > 0.5) {
+            aligned.push_back(CVector::basisState(p.rows(), i));
+            indices.push_back(i);
+        }
+    }
+    QA_ASSERT(aligned.size() == subspace.basis.size(),
+              "basis alignment changed the rank");
+    subspace.basis = std::move(aligned);
+    subspace.all_basis_states = true;
+    subspace.basis_indices = std::move(indices);
+}
+
+/**
+ * Rank-2 realignment: a degenerate eigenvalue pair lets Jacobi return an
+ * arbitrary rotation inside the eigenspace. If the 2-dimensional span
+ * contains a pair of orthogonal PRODUCT states (the natural shape of
+ * "one subsystem entangled with the environment" mixtures, e.g. the QPE
+ * counting register), rebase onto them so the cheap O(n)-CX basis-change
+ * path applies. The product condition across the first-qubit cut is a
+ * complex quadratic in the mixing coefficient; candidates are verified
+ * for full productness.
+ */
+void
+alignRank2ToProducts(CorrectSubspace& subspace)
+{
+    if (subspace.rank() != 2 || subspace.all_basis_states) return;
+    const CVector& v1 = subspace.basis[0];
+    const CVector& v2 = subspace.basis[1];
+    const size_t dim = v1.dim();
+    if (dim < 4) return;
+    const size_t half = dim / 2;
+
+    // Reshape rows across the first-qubit cut: r0 = v[0..half),
+    // r1 = v[half..). Product across the cut <=> all 2x2 minors vanish.
+    auto a0 = [&](size_t i) { return v1[i]; };
+    auto a1 = [&](size_t i) { return v1[half + i]; };
+    auto b0 = [&](size_t i) { return v2[i]; };
+    auto b1 = [&](size_t i) { return v2[half + i]; };
+
+    std::vector<CVector> candidates = {v1, v2};
+    for (size_t i = 0; i < half && candidates.size() < 6; ++i) {
+        for (size_t j = i + 1; j < half && candidates.size() < 6; ++j) {
+            // minor(c) = gamma c^2 + beta c + alpha.
+            const Complex alpha = a0(i) * a1(j) - a0(j) * a1(i);
+            const Complex gamma = b0(i) * b1(j) - b0(j) * b1(i);
+            const Complex beta = a0(i) * b1(j) + b0(i) * a1(j) -
+                                 a0(j) * b1(i) - b0(j) * a1(i);
+            if (std::abs(gamma) < 1e-12 && std::abs(beta) < 1e-12) {
+                continue;
+            }
+            std::vector<Complex> roots;
+            if (std::abs(gamma) < 1e-12) {
+                roots.push_back(-alpha / beta);
+            } else {
+                const Complex disc =
+                    std::sqrt(beta * beta -
+                              Complex(4.0, 0.0) * gamma * alpha);
+                roots.push_back((-beta + disc) /
+                                (Complex(2.0, 0.0) * gamma));
+                roots.push_back((-beta - disc) /
+                                (Complex(2.0, 0.0) * gamma));
+            }
+            for (const Complex& c : roots) {
+                if (std::abs(c) > 1e8) continue;
+                CVector cand = v1 + v2 * c;
+                if (cand.norm() > 1e-9) {
+                    candidates.push_back(cand.normalized());
+                }
+            }
+            // One informative minor is enough to seed candidates.
+            i = half;
+            break;
+        }
+    }
+
+    for (const CVector& cand : candidates) {
+        if (!productStateFactorize(cand)) continue;
+        // The orthogonal complement of cand inside the span is unique.
+        CVector other = v1 - cand * cand.inner(v1);
+        if (other.norm() < 1e-6) {
+            other = v2 - cand * cand.inner(v2);
+        }
+        if (other.norm() < 1e-6) continue;
+        other = other.normalized();
+        if (!productStateFactorize(other)) continue;
+        subspace.basis = {cand, other};
+        return;
+    }
+}
+
+/** Detect whether each basis vector individually is a basis state. */
+void
+detectBasisStates(CorrectSubspace& subspace)
+{
+    std::vector<uint64_t> indices;
+    for (const CVector& b : subspace.basis) {
+        int hits = 0;
+        uint64_t idx = 0;
+        for (uint64_t i = 0; i < b.dim(); ++i) {
+            if (std::abs(b[i]) > 1e-8) {
+                ++hits;
+                idx = i;
+            }
+        }
+        if (hits != 1) return;
+        indices.push_back(idx);
+    }
+    subspace.all_basis_states = true;
+    subspace.basis_indices = std::move(indices);
+}
+
+} // namespace
+
+CorrectSubspace
+analyzeStateSet(const StateSet& set)
+{
+    CorrectSubspace subspace;
+    subspace.n = set.numQubits();
+
+    switch (set.kind()) {
+      case StateSetKind::kPure:
+        subspace.basis = {set.pureState()};
+        break;
+      case StateSetKind::kApproximate:
+        // The correct subspace is the span of the members; probabilities
+        // are irrelevant for membership (Sec. IV-D).
+        subspace.basis = orthonormalize(set.members());
+        break;
+      case StateSetKind::kMixed: {
+        const EigenResult eig = eigHermitian(set.density());
+        for (size_t i = 0; i < eig.values.size(); ++i) {
+            if (eig.values[i] > kRankEps) {
+                subspace.basis.push_back(eig.vectors.column(i));
+            }
+        }
+        break;
+      }
+    }
+    QA_ASSERT(!subspace.basis.empty(), "empty correct subspace");
+
+    detectBasisStates(subspace);
+    if (!subspace.all_basis_states) alignToBasisStates(subspace);
+    if (!subspace.all_basis_states) alignRank2ToProducts(subspace);
+    return subspace;
+}
+
+} // namespace qa

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * StateSet: the "what to assert" argument of the paper's assertion API
+ * (Sec. VII): a single pure state (precise pure assertion), a density
+ * matrix (precise mixed assertion), or a set of pure states (approximate
+ * assertion / Bloom-filter-style membership check).
+ */
+#ifndef QA_CORE_STATE_SET_HPP
+#define QA_CORE_STATE_SET_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+
+/** Kind of assertion target. */
+enum class StateSetKind
+{
+    kPure,        ///< One pure state vector.
+    kMixed,       ///< One density matrix.
+    kApproximate  ///< A set of pure states (membership check).
+};
+
+/** Immutable description of the asserted state(s). */
+class StateSet
+{
+  public:
+    /** Precise pure-state assertion target. */
+    static StateSet pure(const CVector& psi);
+
+    /** Precise mixed-state assertion target. */
+    static StateSet mixed(const CMatrix& rho);
+
+    /** Approximate (set-membership) assertion target. */
+    static StateSet approximate(const std::vector<CVector>& states);
+
+    StateSetKind kind() const { return kind_; }
+    int numQubits() const { return num_qubits_; }
+
+    /** The pure state (kind() == kPure only). */
+    const CVector& pureState() const;
+
+    /** The density matrix (kind() == kMixed only). */
+    const CMatrix& density() const;
+
+    /** The member states (kind() == kApproximate only). */
+    const std::vector<CVector>& members() const;
+
+  private:
+    StateSet() = default;
+
+    StateSetKind kind_ = StateSetKind::kPure;
+    int num_qubits_ = 0;
+    CVector pure_;
+    CMatrix rho_;
+    std::vector<CVector> members_;
+};
+
+/**
+ * The orthonormal "correct" subspace extracted from a StateSet
+ * (eigenvectors of the density matrix for mixed states, Sec. IV-C;
+ * orthonormalized members for approximate sets, Sec. IV-D).
+ */
+struct CorrectSubspace
+{
+    /** Number of qubits under test. */
+    int n = 0;
+
+    /** Orthonormal basis of the correct subspace (t states). */
+    std::vector<CVector> basis;
+
+    /** Rank t = basis.size(). */
+    size_t rank() const { return basis.size(); }
+
+    /** True when every basis vector is a computational basis state. */
+    bool all_basis_states = false;
+
+    /** Basis indices of the correct states when all_basis_states. */
+    std::vector<uint64_t> basis_indices;
+
+    /** Projector onto the correct subspace. */
+    CMatrix projector() const;
+};
+
+/**
+ * Analyze a StateSet into its correct subspace. Degenerate eigenspaces
+ * are re-aligned to computational basis states when the subspace
+ * projector is diagonal, which stabilizes the cheap CNOT-only synthesis
+ * paths.
+ */
+CorrectSubspace analyzeStateSet(const StateSet& set);
+
+} // namespace qa
+
+#endif // QA_CORE_STATE_SET_HPP

@@ -1,0 +1,109 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Sum of squared magnitudes of strictly-off-diagonal entries. */
+double
+offDiagonalNormSq(const CMatrix& a)
+{
+    double sum = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < a.cols(); ++c) {
+            if (r != c) sum += std::norm(a(r, c));
+        }
+    }
+    return sum;
+}
+
+} // namespace
+
+EigenResult
+eigHermitian(const CMatrix& a, double eps)
+{
+    QA_REQUIRE(a.rows() == a.cols(), "eigHermitian requires a square matrix");
+    QA_REQUIRE(a.isHermitian(1e-8), "eigHermitian requires a Hermitian matrix");
+
+    const size_t n = a.rows();
+    CMatrix m = a;
+    CMatrix v = CMatrix::identity(n);
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagonalNormSq(m) < eps * eps) break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                Complex b = m(p, q);
+                double bmag = std::abs(b);
+                if (bmag < 1e-300) continue;
+                double phi = std::arg(b);
+                double app = m(p, p).real();
+                double aqq = m(q, q).real();
+                double theta = 0.5 * std::atan2(2.0 * bmag, app - aqq);
+                double c = std::cos(theta);
+                double s = std::sin(theta);
+                Complex e_pos(std::cos(phi), std::sin(phi));
+                Complex e_neg = std::conj(e_pos);
+
+                // Column update: M <- M J, V <- V J where
+                // J[p][p]=c, J[q][p]=s*e^{-i phi},
+                // J[p][q]=-s*e^{i phi}, J[q][q]=c.
+                for (size_t i = 0; i < n; ++i) {
+                    Complex mp = m(i, p), mq = m(i, q);
+                    m(i, p) = c * mp + s * e_neg * mq;
+                    m(i, q) = -s * e_pos * mp + c * mq;
+                    Complex vp = v(i, p), vq = v(i, q);
+                    v(i, p) = c * vp + s * e_neg * vq;
+                    v(i, q) = -s * e_pos * vp + c * vq;
+                }
+                // Row update: M <- J^dagger M.
+                for (size_t j = 0; j < n; ++j) {
+                    Complex mp = m(p, j), mq = m(q, j);
+                    m(p, j) = c * mp + s * e_pos * mq;
+                    m(q, j) = -s * e_neg * mp + c * mq;
+                }
+            }
+        }
+    }
+
+    QA_ASSERT(offDiagonalNormSq(m) < 1e-16 || offDiagonalNormSq(m) < eps,
+              "Jacobi eigendecomposition did not converge");
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+        return m(i, i).real() > m(j, j).real();
+    });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = CMatrix(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        result.values[k] = m(order[k], order[k]).real();
+        result.vectors.setColumn(k, v.column(order[k]));
+    }
+    return result;
+}
+
+size_t
+rankPsd(const CMatrix& a, double eps)
+{
+    EigenResult eig = eigHermitian(a);
+    size_t rank = 0;
+    for (double lambda : eig.values) {
+        if (lambda > eps) ++rank;
+    }
+    return rank;
+}
+
+} // namespace qa

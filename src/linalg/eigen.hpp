@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hermitian eigendecomposition via the complex two-sided Jacobi method.
+ *
+ * This is the numerical core behind the paper's mixed-state machinery
+ * (Sec. IV-C / V-B): density matrices are Hermitian PSD, so their
+ * eigendecomposition coincides with the SVD the paper describes, and the
+ * eigenvectors give the orthonormal "correct"-state basis.
+ */
+#ifndef QA_LINALG_EIGEN_HPP
+#define QA_LINALG_EIGEN_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/** Result of a Hermitian eigendecomposition: A = V diag(values) V^dagger. */
+struct EigenResult
+{
+    /** Real eigenvalues, sorted in descending order. */
+    std::vector<double> values;
+
+    /** Unitary matrix whose columns are the matching eigenvectors. */
+    CMatrix vectors;
+};
+
+/**
+ * Diagonalize a Hermitian matrix with cyclic complex Jacobi sweeps.
+ *
+ * @param a Hermitian matrix (validated up to tolerance).
+ * @param eps Convergence threshold on the off-diagonal Frobenius norm.
+ * @return Eigenvalues (descending) and an orthonormal eigenvector matrix.
+ */
+EigenResult eigHermitian(const CMatrix& a, double eps = 1e-12);
+
+/** Numerical rank of a PSD matrix: eigenvalues above `eps`. */
+size_t rankPsd(const CMatrix& a, double eps = 1e-8);
+
+} // namespace qa
+
+#endif // QA_LINALG_EIGEN_HPP

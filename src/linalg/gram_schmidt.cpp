@@ -1,0 +1,66 @@
+#include "linalg/gram_schmidt.hpp"
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+std::vector<CVector>
+orthonormalize(const std::vector<CVector>& vectors, double eps)
+{
+    std::vector<CVector> basis;
+    for (const CVector& input : vectors) {
+        CVector v = input;
+        // Two passes of modified Gram-Schmidt for numerical stability.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const CVector& b : basis) {
+                v -= b * b.inner(v);
+            }
+        }
+        if (v.norm() > eps) {
+            basis.push_back(v.normalized());
+        }
+    }
+    return basis;
+}
+
+std::vector<CVector>
+completeBasis(const std::vector<CVector>& seed, size_t dim, double eps)
+{
+    for (const CVector& v : seed) {
+        QA_REQUIRE(v.dim() == dim, "seed vector dimension mismatch");
+    }
+    std::vector<CVector> basis = orthonormalize(seed, eps);
+    QA_REQUIRE(basis.size() <= dim, "seed spans more than the space");
+
+    for (size_t i = 0; i < dim && basis.size() < dim; ++i) {
+        CVector candidate = CVector::basisState(dim, i);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const CVector& b : basis) {
+                candidate -= b * b.inner(candidate);
+            }
+        }
+        if (candidate.norm() > eps) {
+            basis.push_back(candidate.normalized());
+        }
+    }
+    QA_ASSERT(basis.size() == dim, "basis completion failed to reach dim");
+    return basis;
+}
+
+CMatrix
+basisToUnitary(const std::vector<CVector>& basis)
+{
+    QA_REQUIRE(!basis.empty(), "empty basis");
+    const size_t dim = basis[0].dim();
+    QA_REQUIRE(basis.size() == dim, "basis must be complete");
+    CMatrix u(dim, dim);
+    for (size_t c = 0; c < dim; ++c) {
+        QA_REQUIRE(basis[c].dim() == dim, "basis vector dimension mismatch");
+        u.setColumn(c, basis[c]);
+    }
+    QA_ASSERT(u.isUnitary(1e-7), "basis columns are not orthonormal");
+    return u;
+}
+
+} // namespace qa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Gram-Schmidt orthonormalization and orthonormal basis completion.
+ *
+ * Basis completion is the first step of both the SWAP-based and NDD-based
+ * precise assertions (Sec. IV-B / V-A): given the asserted state |psi_0>,
+ * find an orthonormal basis {|psi_i>} that contains it; U^-1 then maps
+ * that basis to the computational basis (Appendix B).
+ */
+#ifndef QA_LINALG_GRAM_SCHMIDT_HPP
+#define QA_LINALG_GRAM_SCHMIDT_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+
+/**
+ * Orthonormalize a list of vectors with modified Gram-Schmidt.
+ *
+ * Vectors that are (numerically) linearly dependent on earlier ones are
+ * dropped, so the result may be shorter than the input.
+ */
+std::vector<CVector>
+orthonormalize(const std::vector<CVector>& vectors, double eps = 1e-9);
+
+/**
+ * Extend an orthonormal (or orthonormalizable) seed set to a complete
+ * orthonormal basis of C^dim by sweeping standard basis vectors.
+ *
+ * The seed vectors (after orthonormalization) come first in the result,
+ * preserving their order; the completion fills the remaining dimensions.
+ */
+std::vector<CVector>
+completeBasis(const std::vector<CVector>& seed, size_t dim,
+              double eps = 1e-9);
+
+/**
+ * Build the unitary whose i-th column is basis[i].
+ *
+ * With basis completion this is exactly the paper's U: it maps the
+ * computational basis state |i> onto |psi_i>, so U^-1 = U^dagger maps
+ * |psi_0> back to |0...0> (Appendix B proposition).
+ */
+CMatrix basisToUnitary(const std::vector<CVector>& basis);
+
+} // namespace qa
+
+#endif // QA_LINALG_GRAM_SCHMIDT_HPP

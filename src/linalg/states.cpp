@@ -1,0 +1,197 @@
+#include "linalg/states.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gram_schmidt.hpp"
+
+namespace qa
+{
+
+int
+qubitCountForDim(size_t dim)
+{
+    QA_REQUIRE(dim > 0, "dimension must be positive");
+    int bits = 0;
+    while ((size_t(1) << bits) < dim) ++bits;
+    QA_REQUIRE((size_t(1) << bits) == dim,
+               "dimension must be a power of two");
+    return bits;
+}
+
+CMatrix
+densityFromPure(const CVector& psi)
+{
+    CVector v = psi.normalized();
+    return CMatrix::outer(v, v);
+}
+
+CMatrix
+densityFromMixture(const std::vector<CVector>& states,
+                   const std::vector<double>& probs)
+{
+    QA_REQUIRE(!states.empty(), "mixture needs at least one state");
+    std::vector<double> p = probs;
+    if (p.empty()) {
+        p.assign(states.size(), 1.0 / double(states.size()));
+    }
+    QA_REQUIRE(p.size() == states.size(),
+               "probability list length mismatch");
+    double total = 0.0;
+    for (double x : p) {
+        QA_REQUIRE(x >= 0.0, "mixture probabilities must be non-negative");
+        total += x;
+    }
+    QA_REQUIRE(total > 0.0, "mixture probabilities sum to zero");
+
+    const size_t dim = states[0].dim();
+    CMatrix rho(dim, dim);
+    for (size_t i = 0; i < states.size(); ++i) {
+        QA_REQUIRE(states[i].dim() == dim, "mixture dimension mismatch");
+        rho += densityFromPure(states[i]) * Complex(p[i] / total, 0.0);
+    }
+    return rho;
+}
+
+CMatrix
+partialTrace(const CMatrix& rho, const std::vector<int>& keep)
+{
+    QA_REQUIRE(rho.rows() == rho.cols(), "density matrix must be square");
+    const int n = qubitCountForDim(rho.rows());
+
+    std::vector<bool> kept(n, false);
+    for (int q : keep) {
+        QA_REQUIRE(q >= 0 && q < n, "partialTrace qubit index out of range");
+        QA_REQUIRE(!kept[q], "partialTrace qubit listed twice");
+        kept[q] = true;
+    }
+    std::vector<int> traced;
+    for (int q = 0; q < n; ++q) {
+        if (!kept[q]) traced.push_back(q);
+    }
+
+    const int nk = int(keep.size());
+    const int nt = int(traced.size());
+    const size_t dim_k = size_t(1) << nk;
+    const size_t dim_t = size_t(1) << nt;
+
+    // Compose a full n-qubit index from a kept-subsystem index and a
+    // traced-subsystem index. Qubit q occupies bit (n-1-q) of the full
+    // index (qubit 0 = MSB).
+    auto fullIndex = [&](size_t k_idx, size_t t_idx) {
+        size_t full = 0;
+        for (int i = 0; i < nk; ++i) {
+            size_t bit = (k_idx >> (nk - 1 - i)) & 1;
+            full |= bit << (n - 1 - keep[i]);
+        }
+        for (int i = 0; i < nt; ++i) {
+            size_t bit = (t_idx >> (nt - 1 - i)) & 1;
+            full |= bit << (n - 1 - traced[i]);
+        }
+        return full;
+    };
+
+    CMatrix out(dim_k, dim_k);
+    for (size_t r = 0; r < dim_k; ++r) {
+        for (size_t c = 0; c < dim_k; ++c) {
+            Complex sum = 0.0;
+            for (size_t t = 0; t < dim_t; ++t) {
+                sum += rho(fullIndex(r, t), fullIndex(c, t));
+            }
+            out(r, c) = sum;
+        }
+    }
+    return out;
+}
+
+double
+purity(const CMatrix& rho)
+{
+    return (rho * rho).trace().real();
+}
+
+double
+fidelity(const CVector& psi, const CVector& phi)
+{
+    return std::norm(psi.normalized().inner(phi.normalized()));
+}
+
+double
+fidelity(const CMatrix& rho, const CVector& psi)
+{
+    CVector v = psi.normalized();
+    return v.inner(rho * v).real();
+}
+
+double
+traceDistance(const CMatrix& rho, const CMatrix& sigma)
+{
+    CMatrix diff = rho - sigma;
+    EigenResult eig = eigHermitian(diff);
+    double sum = 0.0;
+    for (double lambda : eig.values) sum += std::abs(lambda);
+    return 0.5 * sum;
+}
+
+CVector
+randomState(int num_qubits, Rng& rng)
+{
+    QA_REQUIRE(num_qubits >= 1, "need at least one qubit");
+    const size_t dim = size_t(1) << num_qubits;
+    CVector v(dim);
+    for (size_t i = 0; i < dim; ++i) {
+        v[i] = Complex(rng.normal(), rng.normal());
+    }
+    return v.normalized();
+}
+
+CMatrix
+randomUnitary(size_t dim, Rng& rng)
+{
+    std::vector<CVector> cols;
+    cols.reserve(dim);
+    for (size_t c = 0; c < dim; ++c) {
+        CVector v(dim);
+        for (size_t i = 0; i < dim; ++i) {
+            v[i] = Complex(rng.normal(), rng.normal());
+        }
+        cols.push_back(v);
+    }
+    std::vector<CVector> ortho = orthonormalize(cols);
+    // Ginibre columns are almost surely independent; regenerate on the
+    // measure-zero failure path.
+    while (ortho.size() < dim) {
+        CVector v(dim);
+        for (size_t i = 0; i < dim; ++i) {
+            v[i] = Complex(rng.normal(), rng.normal());
+        }
+        ortho.push_back(v);
+        ortho = orthonormalize(ortho);
+    }
+    return basisToUnitary(ortho);
+}
+
+CMatrix
+randomDensity(int num_qubits, size_t rank, Rng& rng)
+{
+    const size_t dim = size_t(1) << num_qubits;
+    QA_REQUIRE(rank >= 1 && rank <= dim, "rank out of range");
+    std::vector<CVector> raw;
+    for (size_t i = 0; i < rank; ++i) {
+        raw.push_back(randomState(num_qubits, rng));
+    }
+    std::vector<CVector> ortho = orthonormalize(raw);
+    while (ortho.size() < rank) {
+        ortho.push_back(randomState(num_qubits, rng));
+        ortho = orthonormalize(ortho);
+    }
+    std::vector<double> probs;
+    for (size_t i = 0; i < rank; ++i) {
+        probs.push_back(rng.uniform(0.1, 1.0));
+    }
+    return densityFromMixture(ortho, probs);
+}
+
+} // namespace qa

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quantum-state utilities on top of the raw linear algebra: density
+ * matrices, partial trace, fidelity measures, and random-state generation.
+ *
+ * Qubit ordering convention (used consistently across qassert): qubit 0 is
+ * the most significant bit of a basis index, matching the paper's ket
+ * notation |q0 q1 q2>.
+ */
+#ifndef QA_LINALG_STATES_HPP
+#define QA_LINALG_STATES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+
+/** Number of qubits for a dimension that must be a power of two. */
+int qubitCountForDim(size_t dim);
+
+/** Density matrix |psi><psi| of a pure state (normalizes the input). */
+CMatrix densityFromPure(const CVector& psi);
+
+/** Equal- or given-weight mixture sum_i p_i |psi_i><psi_i|. */
+CMatrix densityFromMixture(const std::vector<CVector>& states,
+                           const std::vector<double>& probs = {});
+
+/**
+ * Partial trace: keep the listed qubits (in the order given) and trace out
+ * the rest.
+ *
+ * @param rho Density matrix over n qubits (dimension 2^n).
+ * @param keep Distinct qubit indices in [0, n) to retain.
+ * @return Density matrix of dimension 2^keep.size().
+ */
+CMatrix partialTrace(const CMatrix& rho, const std::vector<int>& keep);
+
+/** Tr(rho^2); 1 for pure states, < 1 for proper mixtures. */
+double purity(const CMatrix& rho);
+
+/** |<psi|phi>|^2 for pure states. */
+double fidelity(const CVector& psi, const CVector& phi);
+
+/** <psi|rho|psi> for a pure state against a density matrix. */
+double fidelity(const CMatrix& rho, const CVector& psi);
+
+/** Trace distance (1/2)||rho - sigma||_1 between density matrices. */
+double traceDistance(const CMatrix& rho, const CMatrix& sigma);
+
+/** Haar-ish random pure state of n qubits (Gaussian amplitudes). */
+CVector randomState(int num_qubits, Rng& rng);
+
+/** Random unitary of the given dimension (QR of a Ginibre matrix). */
+CMatrix randomUnitary(size_t dim, Rng& rng);
+
+/**
+ * Random rank-t density matrix over n qubits: t Haar-ish random pure
+ * states mixed with random weights after orthonormalization.
+ */
+CMatrix randomDensity(int num_qubits, size_t rank, Rng& rng);
+
+} // namespace qa
+
+#endif // QA_LINALG_STATES_HPP

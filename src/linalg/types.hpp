@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Core scalar types and numeric tolerances for the linear-algebra layer.
+ */
+#ifndef QA_LINALG_TYPES_HPP
+#define QA_LINALG_TYPES_HPP
+
+#include <complex>
+
+namespace qa
+{
+
+/** Complex scalar used throughout qassert. */
+using Complex = std::complex<double>;
+
+/** Default absolute tolerance for floating-point comparisons. */
+inline constexpr double kEps = 1e-9;
+
+/** Looser tolerance for quantities accumulated over many operations. */
+inline constexpr double kLooseEps = 1e-7;
+
+/** The imaginary unit. */
+inline constexpr Complex kI{0.0, 1.0};
+
+/** True if |a - b| <= eps. */
+inline bool
+approxEqual(double a, double b, double eps = kEps)
+{
+    return std::abs(a - b) <= eps;
+}
+
+/** True if |a - b| <= eps in the complex plane. */
+inline bool
+approxEqual(Complex a, Complex b, double eps = kEps)
+{
+    return std::abs(a - b) <= eps;
+}
+
+} // namespace qa
+
+#endif // QA_LINALG_TYPES_HPP

@@ -1,0 +1,155 @@
+#include "linalg/vector.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace qa
+{
+
+CVector
+CVector::basisState(size_t dim, size_t index)
+{
+    QA_REQUIRE(index < dim, "basis index out of range");
+    CVector v(dim);
+    v[index] = 1.0;
+    return v;
+}
+
+double
+CVector::norm() const
+{
+    double sum = 0.0;
+    for (const Complex& a : data_) sum += std::norm(a);
+    return std::sqrt(sum);
+}
+
+CVector
+CVector::normalized() const
+{
+    double n = norm();
+    QA_REQUIRE(n > kEps, "cannot normalize a (near-)zero vector");
+    return *this * Complex(1.0 / n, 0.0);
+}
+
+Complex
+CVector::inner(const CVector& other) const
+{
+    QA_REQUIRE(dim() == other.dim(), "inner product dimension mismatch");
+    Complex sum = 0.0;
+    for (size_t i = 0; i < dim(); ++i) {
+        sum += std::conj(data_[i]) * other[i];
+    }
+    return sum;
+}
+
+CVector
+CVector::operator+(const CVector& rhs) const
+{
+    CVector out(*this);
+    out += rhs;
+    return out;
+}
+
+CVector
+CVector::operator-(const CVector& rhs) const
+{
+    CVector out(*this);
+    out -= rhs;
+    return out;
+}
+
+CVector
+CVector::operator*(Complex scalar) const
+{
+    CVector out(*this);
+    out *= scalar;
+    return out;
+}
+
+CVector&
+CVector::operator+=(const CVector& rhs)
+{
+    QA_REQUIRE(dim() == rhs.dim(), "vector addition dimension mismatch");
+    for (size_t i = 0; i < dim(); ++i) data_[i] += rhs[i];
+    return *this;
+}
+
+CVector&
+CVector::operator-=(const CVector& rhs)
+{
+    QA_REQUIRE(dim() == rhs.dim(), "vector subtraction dimension mismatch");
+    for (size_t i = 0; i < dim(); ++i) data_[i] -= rhs[i];
+    return *this;
+}
+
+CVector&
+CVector::operator*=(Complex scalar)
+{
+    for (Complex& a : data_) a *= scalar;
+    return *this;
+}
+
+CVector
+CVector::tensor(const CVector& rhs) const
+{
+    CVector out(dim() * rhs.dim());
+    for (size_t i = 0; i < dim(); ++i) {
+        for (size_t j = 0; j < rhs.dim(); ++j) {
+            out[i * rhs.dim() + j] = data_[i] * rhs[j];
+        }
+    }
+    return out;
+}
+
+bool
+CVector::approxEquals(const CVector& other, double eps) const
+{
+    if (dim() != other.dim()) return false;
+    for (size_t i = 0; i < dim(); ++i) {
+        if (std::abs(data_[i] - other[i]) > eps) return false;
+    }
+    return true;
+}
+
+bool
+CVector::equalsUpToPhase(const CVector& other, double eps) const
+{
+    if (dim() != other.dim()) return false;
+    // |<this|other>| == |this||other| iff the vectors are parallel.
+    Complex ip = inner(other);
+    double lhs = std::abs(ip);
+    double rhs = norm() * other.norm();
+    return std::abs(lhs - rhs) <= eps;
+}
+
+std::string
+CVector::toString(int precision) const
+{
+    // Render only in ket notation when the dimension is a power of two.
+    size_t d = dim();
+    int bits = 0;
+    while ((1ULL << bits) < d) ++bits;
+    bool is_pow2 = (1ULL << bits) == d;
+
+    std::ostringstream oss;
+    bool first = true;
+    const double snap = 0.5 * std::pow(10.0, -precision);
+    for (size_t i = 0; i < d; ++i) {
+        if (std::abs(data_[i]) < snap) continue;
+        if (!first) oss << " + ";
+        oss << "(" << formatComplex(data_[i], precision) << ")";
+        if (is_pow2) {
+            oss << "|" << formatBits(i, bits) << ">";
+        } else {
+            oss << "e" << i;
+        }
+        first = false;
+    }
+    if (first) oss << "0";
+    return oss.str();
+}
+
+} // namespace qa

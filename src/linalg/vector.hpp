@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dense complex vector used for quantum state vectors.
+ */
+#ifndef QA_LINALG_VECTOR_HPP
+#define QA_LINALG_VECTOR_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/types.hpp"
+
+namespace qa
+{
+
+/**
+ * Dense complex column vector.
+ *
+ * Amplitude ordering follows the usual big-endian qubit convention used in
+ * the paper: for an n-qubit state, index i's binary expansion b_{n-1}...b_0
+ * lists qubit 0 first (qubit 0 is the most significant bit). Helpers that
+ * care about qubit order document it explicitly.
+ */
+class CVector
+{
+  public:
+    /** Zero vector of the given dimension. */
+    explicit CVector(size_t dim = 0) : data_(dim) {}
+
+    /** Construct from an explicit amplitude list. */
+    CVector(std::initializer_list<Complex> amps) : data_(amps) {}
+
+    /** Construct from a std::vector of amplitudes. */
+    explicit CVector(std::vector<Complex> amps) : data_(std::move(amps)) {}
+
+    /** Computational basis state |index> of the given dimension. */
+    static CVector basisState(size_t dim, size_t index);
+
+    size_t dim() const { return data_.size(); }
+    Complex& operator[](size_t i) { return data_[i]; }
+    const Complex& operator[](size_t i) const { return data_[i]; }
+    const std::vector<Complex>& data() const { return data_; }
+    std::vector<Complex>& data() { return data_; }
+
+    /** Euclidean (l2) norm. */
+    double norm() const;
+
+    /** Scale so the norm is one. Requires a nonzero vector. */
+    CVector normalized() const;
+
+    /** Inner product <this|other> (conjugate-linear in this). */
+    Complex inner(const CVector& other) const;
+
+    CVector operator+(const CVector& rhs) const;
+    CVector operator-(const CVector& rhs) const;
+    CVector operator*(Complex scalar) const;
+    CVector& operator+=(const CVector& rhs);
+    CVector& operator-=(const CVector& rhs);
+    CVector& operator*=(Complex scalar);
+
+    /** Tensor product: this (x) rhs. */
+    CVector tensor(const CVector& rhs) const;
+
+    /** Entry-wise approximate equality. */
+    bool approxEquals(const CVector& other, double eps = kLooseEps) const;
+
+    /**
+     * Approximate equality up to a global phase, i.e. whether there is a
+     * unit-modulus c with this ~= c * other. Both vectors should be
+     * normalized for the tolerance to be meaningful.
+     */
+    bool equalsUpToPhase(const CVector& other, double eps = kLooseEps) const;
+
+    /** Human-readable rendering, e.g. "(0.7071)|00> + (0.7071)|11>". */
+    std::string toString(int precision = 4) const;
+
+  private:
+    std::vector<Complex> data_;
+};
+
+/** Left scalar multiplication. */
+inline CVector
+operator*(Complex scalar, const CVector& v)
+{
+    return v * scalar;
+}
+
+} // namespace qa
+
+#endif // QA_LINALG_VECTOR_HPP

@@ -1,0 +1,294 @@
+#include "sim/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+std::vector<int>
+bitPositions(const std::vector<int>& qubits, int num_qubits)
+{
+    std::vector<int> pos(qubits.size());
+    for (size_t j = 0; j < qubits.size(); ++j) {
+        pos[j] = num_qubits - 1 - qubits[j];
+    }
+    return pos;
+}
+
+uint64_t
+depositZeros(uint64_t packed, const std::vector<int>& sorted_pos)
+{
+    uint64_t out = packed;
+    for (int p : sorted_pos) {
+        uint64_t low = out & ((uint64_t(1) << p) - 1);
+        out = ((out >> p) << (p + 1)) | low;
+    }
+    return out;
+}
+
+/**
+ * Apply `m` to one axis of rho (axis 0 = row index, axis 1 = column
+ * index). Row application computes M rho; column application computes
+ * rho M^T (note: transpose, not dagger -- callers pass conj(M) to get
+ * rho M^dagger).
+ */
+void
+applyAxis(CMatrix& rho, const CMatrix& m, const std::vector<int>& qubits,
+          int num_qubits, int axis)
+{
+    const size_t k = qubits.size();
+    const size_t subdim = size_t(1) << k;
+    const std::vector<int> pos = bitPositions(qubits, num_qubits);
+    std::vector<int> sorted_pos = pos;
+    std::sort(sorted_pos.begin(), sorted_pos.end());
+
+    const size_t dim = rho.rows();
+    const uint64_t rest_count = uint64_t(1) << (num_qubits - int(k));
+    std::vector<Complex> gathered(subdim);
+    std::vector<uint64_t> indices(subdim);
+
+    for (size_t other = 0; other < dim; ++other) {
+        for (uint64_t r = 0; r < rest_count; ++r) {
+            const uint64_t base = depositZeros(r, sorted_pos);
+            for (size_t msub = 0; msub < subdim; ++msub) {
+                uint64_t idx = base;
+                for (size_t j = 0; j < k; ++j) {
+                    uint64_t bit = (msub >> (k - 1 - j)) & 1;
+                    idx |= bit << pos[j];
+                }
+                indices[msub] = idx;
+                gathered[msub] = axis == 0 ? rho(idx, other)
+                                           : rho(other, idx);
+            }
+            for (size_t row = 0; row < subdim; ++row) {
+                Complex sum = 0.0;
+                for (size_t col = 0; col < subdim; ++col) {
+                    sum += m(row, col) * gathered[col];
+                }
+                if (axis == 0) {
+                    rho(indices[row], other) = sum;
+                } else {
+                    rho(other, indices[row]) = sum;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+DensityState::DensityState(int num_qubits)
+    : num_qubits_(num_qubits),
+      rho_(size_t(1) << num_qubits, size_t(1) << num_qubits)
+{
+    QA_REQUIRE(num_qubits >= 1 && num_qubits <= 12,
+               "density simulator supports 1..12 qubits");
+    rho_(0, 0) = 1.0;
+}
+
+DensityState::DensityState(CMatrix rho) : num_qubits_(0),
+    rho_(std::move(rho))
+{
+    num_qubits_ = qubitCountForDim(rho_.rows());
+    QA_REQUIRE(rho_.isDensityMatrix(1e-6),
+               "matrix is not a valid density matrix");
+}
+
+void
+DensityState::applyLeft(const CMatrix& m, const std::vector<int>& qubits)
+{
+    applyAxis(rho_, m, qubits, num_qubits_, 0);
+}
+
+void
+DensityState::applyMatrix(const CMatrix& m, const std::vector<int>& qubits)
+{
+    for (int q : qubits) {
+        QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+    }
+    applyAxis(rho_, m, qubits, num_qubits_, 0);
+    applyAxis(rho_, m.conjugate(), qubits, num_qubits_, 1);
+}
+
+void
+DensityState::applyGate(const Instruction& instr)
+{
+    QA_REQUIRE(instr.isGate(), "applyGate needs a gate instruction");
+    applyMatrix(instr.matrix, instr.qubits);
+}
+
+void
+DensityState::applyKraus(const KrausChannel& channel, int q)
+{
+    CMatrix result(rho_.rows(), rho_.cols());
+    for (const CMatrix& k : channel.ops()) {
+        CMatrix term = rho_;
+        applyAxis(term, k, {q}, num_qubits_, 0);
+        applyAxis(term, k.conjugate(), {q}, num_qubits_, 1);
+        result += term;
+    }
+    rho_ = std::move(result);
+}
+
+double
+DensityState::probabilityOne(int q) const
+{
+    QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+    const uint64_t mask = uint64_t(1) << (num_qubits_ - 1 - q);
+    double prob = 0.0;
+    for (uint64_t i = 0; i < rho_.rows(); ++i) {
+        if (i & mask) prob += rho_(i, i).real();
+    }
+    return prob;
+}
+
+void
+DensityState::collapse(int q, int outcome)
+{
+    QA_REQUIRE(outcome == 0 || outcome == 1, "outcome must be 0 or 1");
+    const uint64_t mask = uint64_t(1) << (num_qubits_ - 1 - q);
+    double kept = 0.0;
+    for (uint64_t r = 0; r < rho_.rows(); ++r) {
+        const bool rbit = (r & mask) != 0;
+        for (uint64_t c = 0; c < rho_.cols(); ++c) {
+            const bool cbit = (c & mask) != 0;
+            if (rbit != (outcome == 1) || cbit != (outcome == 1)) {
+                rho_(r, c) = 0.0;
+            } else if (r == c) {
+                kept += rho_(r, c).real();
+            }
+        }
+    }
+    QA_REQUIRE(kept > 1e-14, "collapse onto a zero-probability outcome");
+    rho_ *= Complex(1.0 / kept, 0.0);
+}
+
+namespace
+{
+
+void
+applyGateNoiseExact(DensityState& state, const Instruction& instr,
+                    const NoiseModel& noise)
+{
+    const auto& channels =
+        instr.arity() == 1 ? noise.noise_1q : noise.noise_2q;
+    for (int q : instr.qubits) {
+        for (const KrausChannel& channel : channels) {
+            state.applyKraus(channel, q);
+        }
+    }
+}
+
+} // namespace
+
+Distribution
+exactDistributionDM(const QuantumCircuit& circuit, const NoiseModel* noise)
+{
+    struct Branch
+    {
+        DensityState state;
+        std::string clbits;
+        double prob;
+        size_t pc;
+    };
+
+    const bool noisy = noise != nullptr && noise->enabled();
+    Distribution dist;
+    std::vector<Branch> stack;
+    stack.push_back(Branch{DensityState(circuit.numQubits()),
+                           std::string(size_t(std::max(
+                               circuit.numClbits(), 0)), '0'),
+                           1.0, 0});
+
+    const auto& instrs = circuit.instructions();
+    while (!stack.empty()) {
+        Branch branch = std::move(stack.back());
+        stack.pop_back();
+
+        bool alive = true;
+        while (branch.pc < instrs.size() && alive) {
+            const Instruction& instr = instrs[branch.pc];
+            ++branch.pc;
+            switch (instr.type) {
+              case OpType::kGate:
+                branch.state.applyGate(instr);
+                if (noisy) {
+                    applyGateNoiseExact(branch.state, instr, *noise);
+                }
+                break;
+              case OpType::kBarrier:
+                break;
+              case OpType::kMeasure:
+              case OpType::kReset: {
+                const int q = instr.qubits[0];
+                const double p1 = branch.state.probabilityOne(q);
+                for (int outcome : {0, 1}) {
+                    const double p = outcome ? p1 : 1.0 - p1;
+                    if (p < 1e-12) continue;
+                    Branch next = branch;
+                    next.prob *= p;
+                    next.state.collapse(q, outcome);
+                    if (instr.type == OpType::kReset) {
+                        if (outcome == 1) {
+                            next.state.applyMatrix(
+                                CMatrix{{0, 1}, {1, 0}}, {q});
+                        }
+                        stack.push_back(std::move(next));
+                        continue;
+                    }
+                    // Fold asymmetric readout error into the classical
+                    // record: the collapse is on the true outcome, only
+                    // the recorded bit may flip.
+                    double flip = 0.0;
+                    if (noisy) {
+                        flip = outcome ? noise->readout_p10
+                                       : noise->readout_p01;
+                    }
+                    if (flip > 0.0) {
+                        Branch flipped = next;
+                        flipped.prob *= flip;
+                        flipped.clbits[instr.cbit] =
+                            outcome ? '0' : '1';
+                        stack.push_back(std::move(flipped));
+                        next.prob *= 1.0 - flip;
+                    }
+                    next.clbits[instr.cbit] = outcome ? '1' : '0';
+                    stack.push_back(std::move(next));
+                }
+                alive = false;
+                break;
+              }
+            }
+        }
+        if (alive) {
+            dist.probs[branch.clbits] += branch.prob;
+        }
+    }
+    return dist;
+}
+
+CMatrix
+finalDensity(const QuantumCircuit& circuit, const NoiseModel* noise)
+{
+    const bool noisy = noise != nullptr && noise->enabled();
+    DensityState state(circuit.numQubits());
+    for (const Instruction& instr : circuit.instructions()) {
+        QA_REQUIRE(instr.type == OpType::kGate ||
+                       instr.type == OpType::kBarrier,
+                   "finalDensity requires a measurement-free circuit");
+        if (instr.type == OpType::kGate) {
+            state.applyGate(instr);
+            if (noisy) applyGateNoiseExact(state, instr, *noise);
+        }
+    }
+    return state.rho();
+}
+
+} // namespace qa

@@ -1,0 +1,72 @@
+#include "sim/kraus.hpp"
+
+#include <cmath>
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+
+namespace qa
+{
+
+KrausChannel::KrausChannel(std::string name, std::vector<CMatrix> ops)
+    : name_(std::move(name)), ops_(std::move(ops))
+{
+    QA_REQUIRE(!ops_.empty(), "Kraus channel needs at least one operator");
+    CMatrix sum(2, 2);
+    for (const CMatrix& k : ops_) {
+        QA_REQUIRE(k.rows() == 2 && k.cols() == 2,
+                   "only single-qubit Kraus operators are supported");
+        sum += k.dagger() * k;
+    }
+    QA_REQUIRE(sum.approxEquals(CMatrix::identity(2), 1e-8),
+               "Kraus operators are not trace preserving");
+}
+
+KrausChannel
+KrausChannel::depolarizing(double p)
+{
+    QA_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    Complex c0(std::sqrt(1.0 - p), 0.0);
+    Complex c1(std::sqrt(p / 3.0), 0.0);
+    return KrausChannel("depolarizing",
+                        {gates::i() * c0, gates::x() * c1,
+                         gates::y() * c1, gates::z() * c1});
+}
+
+KrausChannel
+KrausChannel::amplitudeDamping(double gamma)
+{
+    QA_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "gamma out of range");
+    CMatrix k0{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
+    CMatrix k1{{0, std::sqrt(gamma)}, {0, 0}};
+    return KrausChannel("amplitude_damping", {k0, k1});
+}
+
+KrausChannel
+KrausChannel::phaseDamping(double lambda)
+{
+    QA_REQUIRE(lambda >= 0.0 && lambda <= 1.0, "lambda out of range");
+    CMatrix k0{{1, 0}, {0, std::sqrt(1.0 - lambda)}};
+    CMatrix k1{{0, 0}, {0, std::sqrt(lambda)}};
+    return KrausChannel("phase_damping", {k0, k1});
+}
+
+KrausChannel
+KrausChannel::bitFlip(double p)
+{
+    QA_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    Complex c0(std::sqrt(1.0 - p), 0.0);
+    Complex c1(std::sqrt(p), 0.0);
+    return KrausChannel("bit_flip", {gates::i() * c0, gates::x() * c1});
+}
+
+KrausChannel
+KrausChannel::phaseFlip(double p)
+{
+    QA_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    Complex c0(std::sqrt(1.0 - p), 0.0);
+    Complex c1(std::sqrt(p), 0.0);
+    return KrausChannel("phase_flip", {gates::i() * c0, gates::z() * c1});
+}
+
+} // namespace qa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Single-qubit Kraus channels used by the noise model.
+ */
+#ifndef QA_SIM_KRAUS_HPP
+#define QA_SIM_KRAUS_HPP
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/**
+ * A completely-positive trace-preserving map given by 2x2 Kraus operators
+ * (sum_k K_k^dagger K_k = I, validated on construction).
+ */
+class KrausChannel
+{
+  public:
+    KrausChannel(std::string name, std::vector<CMatrix> ops);
+
+    const std::string& name() const { return name_; }
+    const std::vector<CMatrix>& ops() const { return ops_; }
+
+    /** Depolarizing channel with error probability p. */
+    static KrausChannel depolarizing(double p);
+
+    /** Amplitude damping with decay probability gamma. */
+    static KrausChannel amplitudeDamping(double gamma);
+
+    /** Phase damping with dephasing probability lambda. */
+    static KrausChannel phaseDamping(double lambda);
+
+    /** Bit flip (X) with probability p. */
+    static KrausChannel bitFlip(double p);
+
+    /** Phase flip (Z) with probability p. */
+    static KrausChannel phaseFlip(double p);
+
+  private:
+    std::string name_;
+    std::vector<CMatrix> ops_;
+};
+
+} // namespace qa
+
+#endif // QA_SIM_KRAUS_HPP

@@ -1,0 +1,28 @@
+#include "sim/noise.hpp"
+
+namespace qa
+{
+
+NoiseModel
+NoiseModel::ibmqMelbourneLike()
+{
+    NoiseModel model;
+    model.noise_1q.push_back(KrausChannel::depolarizing(0.0010));
+    model.noise_1q.push_back(KrausChannel::amplitudeDamping(0.0010));
+    model.noise_2q.push_back(KrausChannel::depolarizing(0.0300));
+    model.noise_2q.push_back(KrausChannel::amplitudeDamping(0.0030));
+    model.readout_p01 = 0.015;
+    model.readout_p10 = 0.035;
+    return model;
+}
+
+NoiseModel
+NoiseModel::depolarizing(double p1, double p2)
+{
+    NoiseModel model;
+    if (p1 > 0.0) model.noise_1q.push_back(KrausChannel::depolarizing(p1));
+    if (p2 > 0.0) model.noise_2q.push_back(KrausChannel::depolarizing(p2));
+    return model;
+}
+
+} // namespace qa

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Measurement-outcome containers shared by both simulators.
+ *
+ * Classical bitstrings are rendered with classical bit 0 first, mirroring
+ * the qubit-0-is-MSB ket convention, so measuring qubit i into clbit i
+ * reproduces the paper's ket labels directly.
+ */
+#ifndef QA_SIM_RESULT_HPP
+#define QA_SIM_RESULT_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qa
+{
+
+/** Exact outcome distribution: bitstring -> probability. */
+struct Distribution
+{
+    std::map<std::string, double> probs;
+
+    /** Probability mass where `pred(bitstring)` holds. */
+    double
+    mass(const std::function<bool(const std::string&)>& pred) const
+    {
+        double total = 0.0;
+        for (const auto& [bits, p] : probs) {
+            if (pred(bits)) total += p;
+        }
+        return total;
+    }
+
+    /** Probability of one exact bitstring (0 if absent). */
+    double
+    probability(const std::string& bits) const
+    {
+        auto it = probs.find(bits);
+        return it == probs.end() ? 0.0 : it->second;
+    }
+
+    /** Probability that every listed classical bit reads '0'. */
+    double
+    allZero(const std::vector<int>& clbits) const
+    {
+        return mass([&](const std::string& bits) {
+            for (int c : clbits) {
+                if (bits[c] != '0') return false;
+            }
+            return true;
+        });
+    }
+};
+
+/** Sampled outcome histogram: bitstring -> shot count. */
+struct Counts
+{
+    std::map<std::string, int> map;
+    int shots = 0;
+
+    /** Fraction of shots where `pred(bitstring)` holds. */
+    double
+    fraction(const std::function<bool(const std::string&)>& pred) const
+    {
+        if (shots == 0) return 0.0;
+        long total = 0;
+        for (const auto& [bits, n] : map) {
+            if (pred(bits)) total += n;
+        }
+        return double(total) / double(shots);
+    }
+
+    /** Fraction of shots where every listed classical bit reads '0'. */
+    double
+    fractionAllZero(const std::vector<int>& clbits) const
+    {
+        return fraction([&](const std::string& bits) {
+            for (int c : clbits) {
+                if (bits[c] != '0') return false;
+            }
+            return true;
+        });
+    }
+
+    /** Convert to a frequency distribution. */
+    Distribution
+    toDistribution() const
+    {
+        Distribution d;
+        for (const auto& [bits, n] : map) {
+            d.probs[bits] = double(n) / double(shots);
+        }
+        return d;
+    }
+};
+
+/** Restrict a counts histogram to the listed classical bits (in order). */
+inline Counts
+marginalCounts(const Counts& counts, const std::vector<int>& clbits)
+{
+    Counts out;
+    out.shots = counts.shots;
+    for (const auto& [bits, n] : counts.map) {
+        std::string reduced;
+        reduced.reserve(clbits.size());
+        for (int c : clbits) reduced.push_back(bits[c]);
+        out.map[reduced] += n;
+    }
+    return out;
+}
+
+/** Restrict a distribution to the listed classical bits (in order). */
+inline Distribution
+marginalDistribution(const Distribution& dist,
+                     const std::vector<int>& clbits)
+{
+    Distribution out;
+    for (const auto& [bits, p] : dist.probs) {
+        std::string reduced;
+        reduced.reserve(clbits.size());
+        for (int c : clbits) reduced.push_back(bits[c]);
+        out.probs[reduced] += p;
+    }
+    return out;
+}
+
+} // namespace qa
+
+#endif // QA_SIM_RESULT_HPP

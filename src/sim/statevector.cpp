@@ -1,0 +1,403 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "linalg/states.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/**
+ * Bit positions (in the global index) of the listed qubits, preserving
+ * the local MSB-first order: local bit j of the gate operand lives at
+ * global bit position n-1-qubits[j].
+ */
+std::vector<int>
+bitPositions(const std::vector<int>& qubits, int num_qubits)
+{
+    std::vector<int> pos(qubits.size());
+    for (size_t j = 0; j < qubits.size(); ++j) {
+        pos[j] = num_qubits - 1 - qubits[j];
+    }
+    return pos;
+}
+
+/** Insert zero bits at the (ascending) positions into a packed index. */
+uint64_t
+depositZeros(uint64_t packed, const std::vector<int>& sorted_pos)
+{
+    uint64_t out = packed;
+    for (int p : sorted_pos) {
+        uint64_t low = out & ((uint64_t(1) << p) - 1);
+        out = ((out >> p) << (p + 1)) | low;
+    }
+    return out;
+}
+
+} // namespace
+
+Statevector::Statevector(int num_qubits)
+    : num_qubits_(num_qubits), amps_(size_t(1) << num_qubits)
+{
+    QA_REQUIRE(num_qubits >= 1 && num_qubits <= 24,
+               "statevector supports 1..24 qubits");
+    amps_[0] = 1.0;
+}
+
+Statevector::Statevector(CVector amplitudes) : num_qubits_(0),
+    amps_(std::move(amplitudes))
+{
+    num_qubits_ = qubitCountForDim(amps_.dim());
+    QA_REQUIRE(std::abs(amps_.norm() - 1.0) < 1e-6,
+               "statevector amplitudes must be normalized");
+}
+
+void
+Statevector::applyMatrix(const CMatrix& m, const std::vector<int>& qubits)
+{
+    const size_t k = qubits.size();
+    QA_REQUIRE(m.rows() == (size_t(1) << k) && m.cols() == m.rows(),
+               "matrix dimension does not match qubit count");
+    for (int q : qubits) {
+        QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+    }
+
+    // Specialized kernels for the dominant gate sizes: no gather
+    // buffers, single pass over the amplitudes.
+    if (k == 1) {
+        const uint64_t bit = uint64_t(1) << (num_qubits_ - 1 - qubits[0]);
+        const Complex m00 = m(0, 0), m01 = m(0, 1);
+        const Complex m10 = m(1, 0), m11 = m(1, 1);
+        for (uint64_t i = 0; i < amps_.dim(); ++i) {
+            if (i & bit) continue;
+            const Complex a0 = amps_[i];
+            const Complex a1 = amps_[i | bit];
+            amps_[i] = m00 * a0 + m01 * a1;
+            amps_[i | bit] = m10 * a0 + m11 * a1;
+        }
+        return;
+    }
+    if (k == 2) {
+        const uint64_t hi = uint64_t(1) << (num_qubits_ - 1 - qubits[0]);
+        const uint64_t lo = uint64_t(1) << (num_qubits_ - 1 - qubits[1]);
+        for (uint64_t i = 0; i < amps_.dim(); ++i) {
+            if (i & (hi | lo)) continue;
+            const uint64_t i0 = i, i1 = i | lo, i2 = i | hi,
+                           i3 = i | hi | lo;
+            const Complex a0 = amps_[i0], a1 = amps_[i1],
+                          a2 = amps_[i2], a3 = amps_[i3];
+            amps_[i0] = m(0, 0) * a0 + m(0, 1) * a1 + m(0, 2) * a2 +
+                        m(0, 3) * a3;
+            amps_[i1] = m(1, 0) * a0 + m(1, 1) * a1 + m(1, 2) * a2 +
+                        m(1, 3) * a3;
+            amps_[i2] = m(2, 0) * a0 + m(2, 1) * a1 + m(2, 2) * a2 +
+                        m(2, 3) * a3;
+            amps_[i3] = m(3, 0) * a0 + m(3, 1) * a1 + m(3, 2) * a2 +
+                        m(3, 3) * a3;
+        }
+        return;
+    }
+
+    const std::vector<int> pos = bitPositions(qubits, num_qubits_);
+    std::vector<int> sorted_pos = pos;
+    std::sort(sorted_pos.begin(), sorted_pos.end());
+
+    const size_t subdim = size_t(1) << k;
+    const uint64_t rest_count = uint64_t(1) << (num_qubits_ - int(k));
+    std::vector<Complex> gathered(subdim);
+    std::vector<uint64_t> indices(subdim);
+
+    for (uint64_t r = 0; r < rest_count; ++r) {
+        const uint64_t base = depositZeros(r, sorted_pos);
+        for (size_t msub = 0; msub < subdim; ++msub) {
+            uint64_t idx = base;
+            for (size_t j = 0; j < k; ++j) {
+                uint64_t bit = (msub >> (k - 1 - j)) & 1;
+                idx |= bit << pos[j];
+            }
+            indices[msub] = idx;
+            gathered[msub] = amps_[idx];
+        }
+        for (size_t row = 0; row < subdim; ++row) {
+            Complex sum = 0.0;
+            for (size_t col = 0; col < subdim; ++col) {
+                sum += m(row, col) * gathered[col];
+            }
+            amps_[indices[row]] = sum;
+        }
+    }
+}
+
+void
+Statevector::applyGate(const Instruction& instr)
+{
+    QA_REQUIRE(instr.isGate(), "applyGate needs a gate instruction");
+    applyMatrix(instr.matrix, instr.qubits);
+}
+
+double
+Statevector::probabilityOne(int q) const
+{
+    QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+    const uint64_t mask = uint64_t(1) << (num_qubits_ - 1 - q);
+    double prob = 0.0;
+    for (uint64_t i = 0; i < amps_.dim(); ++i) {
+        if (i & mask) prob += std::norm(amps_[i]);
+    }
+    return prob;
+}
+
+int
+Statevector::measure(int q, Rng& rng)
+{
+    const double p1 = probabilityOne(q);
+    const int outcome = rng.uniform() < p1 ? 1 : 0;
+    collapse(q, outcome);
+    return outcome;
+}
+
+void
+Statevector::collapse(int q, int outcome)
+{
+    QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+    QA_REQUIRE(outcome == 0 || outcome == 1, "outcome must be 0 or 1");
+    const uint64_t mask = uint64_t(1) << (num_qubits_ - 1 - q);
+    double kept = 0.0;
+    for (uint64_t i = 0; i < amps_.dim(); ++i) {
+        const bool bit = (i & mask) != 0;
+        if (bit != (outcome == 1)) {
+            amps_[i] = 0.0;
+        } else {
+            kept += std::norm(amps_[i]);
+        }
+    }
+    QA_REQUIRE(kept > 1e-14, "collapse onto a zero-probability outcome");
+    const Complex scale(1.0 / std::sqrt(kept), 0.0);
+    amps_ *= scale;
+}
+
+void
+Statevector::reset(int q, Rng& rng)
+{
+    if (measure(q, rng) == 1) {
+        applyMatrix(CMatrix{{0, 1}, {1, 0}}, {q});
+    }
+}
+
+void
+Statevector::applyKrausTrajectory(const KrausChannel& channel, int q,
+                                  Rng& rng)
+{
+    const CMatrix rho_q = reducedDensity(q);
+    std::vector<double> probs;
+    probs.reserve(channel.ops().size());
+    for (const CMatrix& k : channel.ops()) {
+        probs.push_back(std::max(0.0, (k.dagger() * k * rho_q)
+                                          .trace()
+                                          .real()));
+    }
+    const size_t choice = rng.discrete(probs);
+    applyMatrix(channel.ops()[choice], {q});
+    const double norm = amps_.norm();
+    QA_ASSERT(norm > 1e-14, "Kraus trajectory annihilated the state");
+    amps_ *= Complex(1.0 / norm, 0.0);
+}
+
+CMatrix
+Statevector::reducedDensity(int q) const
+{
+    QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+    const uint64_t mask = uint64_t(1) << (num_qubits_ - 1 - q);
+    CMatrix rho(2, 2);
+    for (uint64_t i = 0; i < amps_.dim(); ++i) {
+        if (amps_[i] == Complex(0.0)) continue;
+        const size_t a = (i & mask) ? 1 : 0;
+        // Pair index with the bit flipped contributes the off-diagonal.
+        const uint64_t j = i ^ mask;
+        rho(a, a) += std::norm(amps_[i]);
+        rho(a, 1 - a) += amps_[i] * std::conj(amps_[j]);
+    }
+    return rho;
+}
+
+std::map<uint64_t, double>
+Statevector::basisProbabilities(double eps) const
+{
+    std::map<uint64_t, double> out;
+    for (uint64_t i = 0; i < amps_.dim(); ++i) {
+        const double p = std::norm(amps_[i]);
+        if (p > eps) out[i] = p;
+    }
+    return out;
+}
+
+uint64_t
+Statevector::sampleBasis(Rng& rng) const
+{
+    double draw = rng.uniform();
+    double acc = 0.0;
+    for (uint64_t i = 0; i < amps_.dim(); ++i) {
+        acc += std::norm(amps_[i]);
+        if (draw < acc) return i;
+    }
+    return amps_.dim() - 1;
+}
+
+namespace
+{
+
+/** Apply configured noise channels after a gate touching these qubits. */
+void
+applyGateNoise(Statevector& state, const Instruction& instr,
+               const NoiseModel& noise, Rng& rng)
+{
+    const auto& channels =
+        instr.arity() == 1 ? noise.noise_1q : noise.noise_2q;
+    for (int q : instr.qubits) {
+        for (const KrausChannel& channel : channels) {
+            state.applyKrausTrajectory(channel, q, rng);
+        }
+    }
+}
+
+/** Flip a recorded readout with the configured asymmetric error. */
+int
+applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng)
+{
+    if (outcome == 0 && noise.readout_p01 > 0.0 &&
+        rng.bernoulli(noise.readout_p01)) {
+        return 1;
+    }
+    if (outcome == 1 && noise.readout_p10 > 0.0 &&
+        rng.bernoulli(noise.readout_p10)) {
+        return 0;
+    }
+    return outcome;
+}
+
+} // namespace
+
+Counts
+runShots(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    QA_REQUIRE(options.shots > 0, "need a positive shot count");
+    Counts counts;
+    counts.shots = options.shots;
+    Rng rng(options.seed);
+    const bool noisy = options.noise != nullptr && options.noise->enabled();
+
+    for (int shot = 0; shot < options.shots; ++shot) {
+        Statevector state(circuit.numQubits());
+        std::string clbits(size_t(std::max(circuit.numClbits(), 0)), '0');
+        for (const Instruction& instr : circuit.instructions()) {
+            switch (instr.type) {
+              case OpType::kGate:
+                state.applyGate(instr);
+                if (noisy) {
+                    applyGateNoise(state, instr, *options.noise, rng);
+                }
+                break;
+              case OpType::kMeasure: {
+                int outcome = state.measure(instr.qubits[0], rng);
+                if (noisy) {
+                    outcome = applyReadoutError(outcome, *options.noise,
+                                                rng);
+                }
+                clbits[instr.cbit] = outcome ? '1' : '0';
+                break;
+              }
+              case OpType::kReset:
+                state.reset(instr.qubits[0], rng);
+                break;
+              case OpType::kBarrier:
+                break;
+            }
+        }
+        ++counts.map[clbits];
+    }
+    return counts;
+}
+
+Distribution
+exactDistribution(const QuantumCircuit& circuit)
+{
+    struct Branch
+    {
+        Statevector state;
+        std::string clbits;
+        double prob;
+        size_t pc;
+    };
+
+    Distribution dist;
+    std::vector<Branch> stack;
+    stack.push_back(Branch{Statevector(circuit.numQubits()),
+                           std::string(size_t(std::max(
+                               circuit.numClbits(), 0)), '0'),
+                           1.0, 0});
+
+    const auto& instrs = circuit.instructions();
+    while (!stack.empty()) {
+        Branch branch = std::move(stack.back());
+        stack.pop_back();
+
+        bool alive = true;
+        while (branch.pc < instrs.size() && alive) {
+            const Instruction& instr = instrs[branch.pc];
+            ++branch.pc;
+            switch (instr.type) {
+              case OpType::kGate:
+                branch.state.applyGate(instr);
+                break;
+              case OpType::kBarrier:
+                break;
+              case OpType::kMeasure:
+              case OpType::kReset: {
+                const int q = instr.qubits[0];
+                const double p1 = branch.state.probabilityOne(q);
+                for (int outcome : {0, 1}) {
+                    const double p = outcome ? p1 : 1.0 - p1;
+                    if (p < 1e-12) continue;
+                    Branch next = branch;
+                    next.prob *= p;
+                    next.state.collapse(q, outcome);
+                    if (instr.type == OpType::kMeasure) {
+                        next.clbits[instr.cbit] = outcome ? '1' : '0';
+                    } else if (outcome == 1) {
+                        next.state.applyMatrix(CMatrix{{0, 1}, {1, 0}},
+                                               {q});
+                    }
+                    stack.push_back(std::move(next));
+                }
+                alive = false;
+                break;
+              }
+            }
+        }
+        if (alive) {
+            dist.probs[branch.clbits] += branch.prob;
+        }
+    }
+    return dist;
+}
+
+Statevector
+finalState(const QuantumCircuit& circuit)
+{
+    Statevector state(circuit.numQubits());
+    for (const Instruction& instr : circuit.instructions()) {
+        QA_REQUIRE(instr.type == OpType::kGate ||
+                       instr.type == OpType::kBarrier,
+                   "finalState requires a measurement-free circuit");
+        if (instr.type == OpType::kGate) state.applyGate(instr);
+    }
+    return state;
+}
+
+} // namespace qa

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Statevector simulator: the workhorse backend for running programs with
+ * inserted assertion circuits (the paper's "qasm simulator" substitute).
+ *
+ * Supports mid-circuit measurement with collapse (the capability real
+ * devices lack and assertion circuits are engineered around), shot
+ * sampling, trajectory (stochastic Kraus) noise, classical readout error,
+ * and an exact branching distribution for deterministic tests.
+ */
+#ifndef QA_SIM_STATEVECTOR_HPP
+#define QA_SIM_STATEVECTOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "linalg/vector.hpp"
+#include "sim/noise.hpp"
+#include "sim/result.hpp"
+
+namespace qa
+{
+
+/** Mutable n-qubit pure state with gate/measurement/channel application. */
+class Statevector
+{
+  public:
+    /** Ground state |0...0> over the given number of qubits. */
+    explicit Statevector(int num_qubits);
+
+    /** Adopt explicit amplitudes (dimension must be a power of two). */
+    explicit Statevector(CVector amplitudes);
+
+    int numQubits() const { return num_qubits_; }
+    const CVector& amplitudes() const { return amps_; }
+
+    /**
+     * Apply a 2^k x 2^k unitary (or Kraus operator) to the listed qubits;
+     * qubits[0] is the most significant bit of the local index.
+     */
+    void applyMatrix(const CMatrix& m, const std::vector<int>& qubits);
+
+    /** Apply a gate instruction. */
+    void applyGate(const Instruction& instr);
+
+    /** Probability that measuring qubit q yields 1. */
+    double probabilityOne(int q) const;
+
+    /** Measure qubit q, collapse, and return the outcome (0 or 1). */
+    int measure(int q, Rng& rng);
+
+    /**
+     * Project qubit q onto the given outcome and renormalize.
+     * Requires the outcome to have nonzero probability.
+     */
+    void collapse(int q, int outcome);
+
+    /** Reset qubit q to |0> (measure + conditional flip). */
+    void reset(int q, Rng& rng);
+
+    /** Sample one stochastic trajectory of a single-qubit Kraus channel. */
+    void applyKrausTrajectory(const KrausChannel& channel, int q, Rng& rng);
+
+    /** Reduced 2x2 density matrix of qubit q. */
+    CMatrix reducedDensity(int q) const;
+
+    /** Probabilities of all basis outcomes with mass above eps. */
+    std::map<uint64_t, double> basisProbabilities(double eps = 1e-12) const;
+
+    /** Sample a full computational-basis outcome without collapsing. */
+    uint64_t sampleBasis(Rng& rng) const;
+
+  private:
+    int num_qubits_;
+    CVector amps_;
+};
+
+/** Options for shot-based simulation. */
+struct SimOptions
+{
+    int shots = 1024;
+    uint64_t seed = 12345;
+    const NoiseModel* noise = nullptr;
+};
+
+/**
+ * Run the circuit `shots` times, sampling measurements (and trajectory
+ * noise when a model is given), and histogram the classical bits.
+ */
+Counts runShots(const QuantumCircuit& circuit, const SimOptions& options);
+
+/**
+ * Exact noiseless outcome distribution: branches on every measurement and
+ * reset, so mid-circuit measurements are handled exactly. Intended for
+ * circuits with a modest number of measurements.
+ */
+Distribution exactDistribution(const QuantumCircuit& circuit);
+
+/**
+ * Final pure state of a measurement-free, noiseless circuit.
+ * Rejects circuits containing measurements or resets.
+ */
+Statevector finalState(const QuantumCircuit& circuit);
+
+} // namespace qa
+
+#endif // QA_SIM_STATEVECTOR_HPP

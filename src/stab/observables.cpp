@@ -1,0 +1,57 @@
+#include "stab/observables.hpp"
+
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+
+namespace qa
+{
+
+CVector
+applyPauli(const PauliString& pauli, const CVector& psi)
+{
+    const int n = qubitCountForDim(psi.dim());
+    QA_REQUIRE(pauli.numQubits() == n, "Pauli/state size mismatch");
+
+    // X part permutes basis indices; Z part contributes (-1)^(z.x);
+    // Y factors add one i per factor (absorbed into the phase below).
+    uint64_t flip_mask = 0;
+    uint64_t z_mask = 0;
+    int y_count = 0;
+    for (int q = 0; q < n; ++q) {
+        const uint64_t bit = uint64_t(1) << (n - 1 - q);
+        if (pauli.x(q)) flip_mask |= bit;
+        if (pauli.z(q)) z_mask |= bit;
+        if (pauli.x(q) && pauli.z(q)) ++y_count;
+    }
+    static const Complex powers[4] = {1.0, kI, -1.0, -kI};
+    // Y = i X Z applied as (X then Z) contributes i per Y factor; the
+    // string's own phase multiplies on top.
+    const Complex global =
+        powers[(pauli.phase() + y_count) % 4];
+
+    CVector out(psi.dim());
+    for (uint64_t i = 0; i < psi.dim(); ++i) {
+        if (psi[i] == Complex(0.0)) continue;
+        // P|i> = global * (-1)^{z . i} |i ^ flip>.
+        const int sign = __builtin_popcountll(i & z_mask) & 1;
+        out[i ^ flip_mask] += psi[i] * global *
+                              (sign ? Complex(-1.0) : Complex(1.0));
+    }
+    return out;
+}
+
+Complex
+pauliExpectation(const PauliString& pauli, const CVector& psi)
+{
+    const CVector v = psi.normalized();
+    return v.inner(applyPauli(pauli, v));
+}
+
+bool
+stabilizes(const PauliString& pauli, const CVector& psi, double eps)
+{
+    return applyPauli(pauli, psi.normalized())
+        .approxEquals(psi.normalized(), eps);
+}
+
+} // namespace qa

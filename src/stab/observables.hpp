@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Pauli observables on statevectors: expectation values computed
+ * without materializing dense matrices (the symplectic representation
+ * applies factor-by-factor). Useful for checking assertion targets
+ * against their stabilizer descriptions.
+ */
+#ifndef QA_STAB_OBSERVABLES_HPP
+#define QA_STAB_OBSERVABLES_HPP
+
+#include "linalg/vector.hpp"
+#include "stab/pauli.hpp"
+
+namespace qa
+{
+
+/** Apply a Pauli string to a state vector (phase-exact). */
+CVector applyPauli(const PauliString& pauli, const CVector& psi);
+
+/** <psi| P |psi> for a normalized state. */
+Complex pauliExpectation(const PauliString& pauli, const CVector& psi);
+
+/**
+ * True when P stabilizes |psi> (P|psi> = +|psi|> within tolerance) --
+ * the membership test behind stabilizer-based assertion targets.
+ */
+bool stabilizes(const PauliString& pauli, const CVector& psi,
+                double eps = 1e-8);
+
+} // namespace qa
+
+#endif // QA_STAB_OBSERVABLES_HPP

@@ -1,0 +1,322 @@
+#include "synth/cnot_synth.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Parity of the set bits of x. */
+int
+parity(uint64_t x)
+{
+    return __builtin_popcountll(x) & 1;
+}
+
+/** Row-reduce a copy of `rows`, returning the rank. */
+int
+gf2Rank(std::vector<uint64_t> rows)
+{
+    int rank = 0;
+    const int n = int(rows.size());
+    for (int col = 0; col < n && rank < n; ++col) {
+        int pivot = -1;
+        for (int r = rank; r < n; ++r) {
+            if ((rows[r] >> col) & 1) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) continue;
+        std::swap(rows[rank], rows[pivot]);
+        for (int r = 0; r < n; ++r) {
+            if (r != rank && ((rows[r] >> col) & 1)) {
+                rows[r] ^= rows[rank];
+            }
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+} // namespace
+
+LinearFunction::LinearFunction(int n, std::vector<uint64_t> rows)
+    : n_(n), rows_(std::move(rows))
+{
+    QA_REQUIRE(n >= 1 && n <= 63, "linear function size out of range");
+    QA_REQUIRE(int(rows_.size()) == n, "row count mismatch");
+    const uint64_t mask = (uint64_t(1) << n) - 1;
+    for (uint64_t row : rows_) {
+        QA_REQUIRE((row & ~mask) == 0, "row references bits beyond n");
+    }
+}
+
+LinearFunction
+LinearFunction::identity(int n)
+{
+    std::vector<uint64_t> rows(n);
+    for (int i = 0; i < n; ++i) rows[i] = uint64_t(1) << i;
+    return LinearFunction(n, std::move(rows));
+}
+
+uint64_t
+LinearFunction::apply(uint64_t x) const
+{
+    uint64_t out = 0;
+    for (int i = 0; i < n_; ++i) {
+        if (parity(x & rows_[i])) out |= uint64_t(1) << i;
+    }
+    return out;
+}
+
+int
+LinearFunction::rank() const
+{
+    return gf2Rank(rows_);
+}
+
+LinearFunction
+LinearFunction::inverse() const
+{
+    // Gauss-Jordan on [M | I].
+    std::vector<uint64_t> m = rows_;
+    std::vector<uint64_t> inv = identity(n_).rows();
+    int row = 0;
+    for (int col = 0; col < n_; ++col) {
+        int pivot = -1;
+        for (int r = row; r < n_; ++r) {
+            if ((m[r] >> col) & 1) {
+                pivot = r;
+                break;
+            }
+        }
+        QA_REQUIRE(pivot >= 0, "linear function is not invertible");
+        std::swap(m[row], m[pivot]);
+        std::swap(inv[row], inv[pivot]);
+        for (int r = 0; r < n_; ++r) {
+            if (r != row && ((m[r] >> col) & 1)) {
+                m[r] ^= m[row];
+                inv[r] ^= inv[row];
+            }
+        }
+        ++row;
+    }
+    return LinearFunction(n_, std::move(inv));
+}
+
+LinearFunction
+LinearFunction::compose(const LinearFunction& other) const
+{
+    QA_REQUIRE(n_ == other.n_, "composition size mismatch");
+    // (this o other)(x) = this(other(x)): row i of the result selects the
+    // input bits feeding output i through both layers.
+    std::vector<uint64_t> rows(n_, 0);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+            if ((rows_[i] >> j) & 1) rows[i] ^= other.rows_[j];
+        }
+    }
+    return LinearFunction(n_, std::move(rows));
+}
+
+namespace
+{
+
+/**
+ * Gaussian elimination without row swaps: when the diagonal bit is
+ * missing, XOR a row holding it into the pivot row (one operation
+ * instead of a three-operation swap). Returns the (source, target) row
+ * operations reducing M to I.
+ */
+std::vector<std::pair<int, int>>
+eliminationOps(std::vector<uint64_t> m, int n)
+{
+    std::vector<std::pair<int, int>> ops;
+    for (int col = 0; col < n; ++col) {
+        if (!((m[col] >> col) & 1)) {
+            // The donor must come from the not-yet-pivoted rows: pivot
+            // rows above may carry bit `col`, but XORing one in would
+            // re-pollute the columns already cleaned.
+            int donor = -1;
+            for (int r = col + 1; r < n; ++r) {
+                if ((m[r] >> col) & 1) {
+                    donor = r;
+                    break;
+                }
+            }
+            QA_REQUIRE(donor >= 0, "linear function is not invertible");
+            m[col] ^= m[donor];
+            ops.emplace_back(donor, col);
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r != col && ((m[r] >> col) & 1)) {
+                m[r] ^= m[col];
+                ops.emplace_back(col, r);
+            }
+        }
+    }
+    return ops;
+}
+
+} // namespace
+
+QuantumCircuit
+synthesizeLinear(const LinearFunction& f)
+{
+    const int n = f.n();
+
+    // E_k ... E_1 M = I implies M = E_1 ... E_k; since a gate sequence
+    // g1 g2 ... applies as E_{g_last} ... E_{g_1}, emitting the recorded
+    // operations in REVERSE order realizes M. A CNOT circuit reversed
+    // realizes the inverse map, so synthesizing M^-1 and reversing gives
+    // a second candidate; keep the cheaper one.
+    const std::vector<std::pair<int, int>> fwd =
+        eliminationOps(f.rows(), n);
+    const std::vector<std::pair<int, int>> bwd =
+        eliminationOps(f.inverse().rows(), n);
+
+    QuantumCircuit circuit(n);
+    if (fwd.size() <= bwd.size()) {
+        for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
+            circuit.cx(it->first, it->second);
+        }
+    } else {
+        // Reversed circuit of M^-1: emit its (already reversed-for-
+        // synthesis) ops in forward order.
+        for (const auto& op : bwd) {
+            circuit.cx(op.first, op.second);
+        }
+    }
+    return circuit;
+}
+
+std::optional<AffineCompression>
+findAffineCompression(const std::vector<uint64_t>& elements, int n)
+{
+    if (elements.empty()) return std::nullopt;
+    const size_t t = elements.size();
+    if ((t & (t - 1)) != 0) return std::nullopt; // not a power of two
+    int m = 0;
+    while ((size_t(1) << m) < t) ++m;
+    if (m > n) return std::nullopt;
+
+    const uint64_t offset = elements[0];
+
+    // Greedily build a GF(2) basis of the difference set.
+    std::vector<uint64_t> basis;    // reduced echelon pivots
+    std::vector<uint64_t> raw;      // original independent differences
+    for (uint64_t e : elements) {
+        uint64_t v = e ^ offset;
+        uint64_t reduced = v;
+        for (uint64_t b : basis) {
+            reduced = std::min(reduced, reduced ^ b);
+        }
+        if (reduced != 0) {
+            basis.push_back(reduced);
+            raw.push_back(v);
+        }
+    }
+    if (int(raw.size()) != m) return std::nullopt;
+
+    // Verify every element is offset + span(basis): since we found exactly
+    // m independent differences out of 2^m distinct elements, membership
+    // must be re-checked explicitly.
+    auto inSpan = [&](uint64_t v) {
+        uint64_t reduced = v;
+        for (uint64_t b : basis) {
+            reduced = std::min(reduced, reduced ^ b);
+        }
+        return reduced == 0;
+    };
+    for (uint64_t e : elements) {
+        if (!inSpan(e ^ offset)) return std::nullopt;
+    }
+
+    // Parity checks of the subspace: bring the difference basis to
+    // reduced row echelon form; pivot columns P carry the data, free
+    // columns F become check qubits. For each free column f the check
+    // vector c_f has bit f plus, for every pivot p, the bit of f in p's
+    // RREF row -- and c_f is orthogonal to the whole subspace.
+    std::vector<uint64_t> rref = raw;
+    std::vector<int> pivot_cols;
+    {
+        size_t row = 0;
+        for (int col = 0; col < n && row < rref.size(); ++col) {
+            size_t pivot = row;
+            while (pivot < rref.size() && !((rref[pivot] >> col) & 1)) {
+                ++pivot;
+            }
+            if (pivot == rref.size()) continue;
+            std::swap(rref[row], rref[pivot]);
+            for (size_t r = 0; r < rref.size(); ++r) {
+                if (r != row && ((rref[r] >> col) & 1)) {
+                    rref[r] ^= rref[row];
+                }
+            }
+            pivot_cols.push_back(col);
+            ++row;
+        }
+        QA_ASSERT(int(pivot_cols.size()) == m, "RREF rank mismatch");
+    }
+    std::vector<bool> is_pivot(n, false);
+    for (int p : pivot_cols) is_pivot[p] = true;
+
+    // L = identity on pivot qubits; each check qubit f outputs its
+    // parity check c_f. Unit-triangular up to reordering => invertible,
+    // and synthesizeLinear emits one CX per non-f term of each check.
+    std::vector<uint64_t> rows(n, 0);
+    for (int j = 0; j < n; ++j) rows[j] = uint64_t(1) << j;
+    std::vector<int> check_qubits;
+    for (int f = 0; f < n; ++f) {
+        if (is_pivot[f]) continue;
+        uint64_t check = uint64_t(1) << f;
+        for (int i = 0; i < m; ++i) {
+            if ((rref[i] >> f) & 1) {
+                check |= uint64_t(1) << pivot_cols[i];
+            }
+        }
+        rows[f] = check;
+        check_qubits.push_back(f);
+    }
+    LinearFunction l_fn(n, std::move(rows));
+    QA_ASSERT(l_fn.isInvertible(), "check-based map must be invertible");
+
+    // Sanity: every set element maps to 0 on every check qubit.
+    for (uint64_t e : elements) {
+        const uint64_t img = l_fn.apply(e ^ offset);
+        for (int f : check_qubits) {
+            QA_ASSERT(!((img >> f) & 1), "check qubit not cleared");
+        }
+    }
+
+    AffineCompression out{std::move(l_fn), offset, m,
+                          std::move(check_qubits)};
+    return out;
+}
+
+uint64_t
+basisIndexToMask(uint64_t index, int n)
+{
+    uint64_t mask = 0;
+    for (int q = 0; q < n; ++q) {
+        if ((index >> (n - 1 - q)) & 1) mask |= uint64_t(1) << q;
+    }
+    return mask;
+}
+
+uint64_t
+maskToBasisIndex(uint64_t mask, int n)
+{
+    uint64_t index = 0;
+    for (int q = 0; q < n; ++q) {
+        if ((mask >> q) & 1) index |= uint64_t(1) << (n - 1 - q);
+    }
+    return index;
+}
+
+} // namespace qa

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * GF(2) linear-reversible synthesis: CNOT-only circuits for linear
+ * boolean bijections, plus the affine-subspace recognizer that gives the
+ * paper's cheap approximate-assertion circuits.
+ *
+ * When an approximate assertion's "correct" set is a set of computational
+ * basis states forming an affine subspace (e.g. {|000>, |111>} or
+ * {|000>, |011>, |100>, |111>} from Fig. 1), the basis-change U^-1 can be
+ * realized purely with X and CNOT gates: map the affine offset away with
+ * X, then apply a linear bijection sending the subspace's span onto the
+ * trailing qubits so the leading measured qubits read 0.
+ *
+ * Bit convention in this file: masks index qubits directly (bit j = qubit
+ * j), NOT statevector basis indices. Callers convert at the boundary.
+ */
+#ifndef QA_SYNTH_CNOT_SYNTH_HPP
+#define QA_SYNTH_CNOT_SYNTH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+
+/** Invertible linear map over GF(2)^n: output bit i = parity of
+ *  (inputs & rows[i]). */
+class LinearFunction
+{
+  public:
+    /** Construct from explicit rows; validates shape. */
+    LinearFunction(int n, std::vector<uint64_t> rows);
+
+    /** Identity map on n bits. */
+    static LinearFunction identity(int n);
+
+    int n() const { return n_; }
+    const std::vector<uint64_t>& rows() const { return rows_; }
+
+    /** Apply the map to a qubit-mask input. */
+    uint64_t apply(uint64_t x) const;
+
+    /** Rank over GF(2); the map is a bijection iff rank == n. */
+    int rank() const;
+
+    /** True when the map is invertible. */
+    bool isInvertible() const { return rank() == n_; }
+
+    /** Inverse map (requires invertibility). */
+    LinearFunction inverse() const;
+
+    /** Composition: this after other. */
+    LinearFunction compose(const LinearFunction& other) const;
+
+  private:
+    int n_;
+    std::vector<uint64_t> rows_;
+};
+
+/**
+ * Synthesize a CNOT-only circuit implementing the linear bijection on
+ * `f.n()` qubits (qubit j carries bit j). Gaussian elimination; O(n^2)
+ * CNOTs worst case.
+ */
+QuantumCircuit synthesizeLinear(const LinearFunction& f);
+
+/** Result of recognizing an affine-subspace basis-state set. */
+struct AffineCompression
+{
+    /** Linear bijection L with, for every v in the set, L(v ^ offset)
+     *  reading 0 on every check qubit. Built from the parity checks of
+     *  the subspace, so L is identity except that each check qubit
+     *  accumulates its parity -- one CX chain per check. */
+    LinearFunction map;
+
+    /** Affine offset of the set. */
+    uint64_t offset;
+
+    /** log2 of the set size. */
+    int m;
+
+    /** The n - m qubits that read |0> exactly on the correct set. */
+    std::vector<int> check_qubits;
+};
+
+/**
+ * If `elements` (qubit-masks, distinct) form an affine subspace of
+ * GF(2)^n, return a compression map; otherwise nullopt.
+ */
+std::optional<AffineCompression>
+findAffineCompression(const std::vector<uint64_t>& elements, int n);
+
+/** Convert a statevector basis index (qubit 0 = MSB) to a qubit-mask. */
+uint64_t basisIndexToMask(uint64_t index, int n);
+
+/** Convert a qubit-mask back to a statevector basis index. */
+uint64_t maskToBasisIndex(uint64_t mask, int n);
+
+} // namespace qa
+
+#endif // QA_SYNTH_CNOT_SYNTH_HPP

@@ -1,0 +1,114 @@
+#include "synth/factorize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Extract the (a,b) block of size d from a 2d x 2d matrix. */
+CMatrix
+block(const CMatrix& u, size_t a, size_t b, size_t d)
+{
+    CMatrix out(d, d);
+    for (size_t r = 0; r < d; ++r) {
+        for (size_t c = 0; c < d; ++c) {
+            out(r, c) = u(a * d + r, b * d + c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<std::vector<CMatrix>>
+tensorFactorize(const CMatrix& u)
+{
+    QA_REQUIRE(u.rows() == u.cols(), "tensorFactorize needs a square matrix");
+    const int n = qubitCountForDim(u.rows());
+    if (n == 1) return std::vector<CMatrix>{u};
+
+    const size_t d = u.rows() / 2;
+
+    // Locate the strongest block; if U = A (x) B then U_ab = A[a][b] B.
+    size_t best_a = 0, best_b = 0;
+    double best_norm = -1.0;
+    for (size_t a = 0; a < 2; ++a) {
+        for (size_t b = 0; b < 2; ++b) {
+            const double norm = block(u, a, b, d).frobeniusNorm();
+            if (norm > best_norm) {
+                best_norm = norm;
+                best_a = a;
+                best_b = b;
+            }
+        }
+    }
+    if (best_norm < 1e-9) return std::nullopt;
+
+    // Candidate B (phase-ambiguous): normalize to Frobenius norm sqrt(d).
+    CMatrix bmat = block(u, best_a, best_b, d) *
+                   Complex(std::sqrt(double(d)) / best_norm, 0.0);
+    if (!bmat.isUnitary(1e-7)) return std::nullopt;
+
+    // Recover A by projecting each block onto B.
+    CMatrix amat(2, 2);
+    for (size_t a = 0; a < 2; ++a) {
+        for (size_t b = 0; b < 2; ++b) {
+            amat(a, b) =
+                (bmat.dagger() * block(u, a, b, d)).trace() / double(d);
+        }
+    }
+    if (!amat.isUnitary(1e-7)) return std::nullopt;
+    if (!kron(amat, bmat).approxEquals(u, 1e-7)) return std::nullopt;
+
+    auto rest = tensorFactorize(bmat);
+    if (!rest) return std::nullopt;
+    std::vector<CMatrix> factors{amat};
+    factors.insert(factors.end(), rest->begin(), rest->end());
+    return factors;
+}
+
+std::optional<std::vector<CVector>>
+productStateFactorize(const CVector& psi)
+{
+    const int n = qubitCountForDim(psi.dim());
+    CVector v = psi.normalized();
+    if (n == 1) return std::vector<CVector>{v};
+
+    const size_t half = v.dim() / 2;
+    CVector r0(half), r1(half);
+    for (size_t i = 0; i < half; ++i) {
+        r0[i] = v[i];
+        r1[i] = v[half + i];
+    }
+
+    const double n0 = r0.norm();
+    const double n1 = r1.norm();
+    CVector chi(half);
+    Complex a, b;
+    if (n0 > 1e-9) {
+        chi = r0 * Complex(1.0 / n0, 0.0);
+        a = n0;
+        b = chi.inner(r1);
+        // Verify r1 is parallel to chi.
+        if (!(chi * b).approxEquals(r1, 1e-7)) return std::nullopt;
+    } else {
+        QA_ASSERT(n1 > 1e-9, "zero state in productStateFactorize");
+        chi = r1 * Complex(1.0 / n1, 0.0);
+        a = 0.0;
+        b = n1;
+    }
+
+    auto rest = productStateFactorize(chi);
+    if (!rest) return std::nullopt;
+    std::vector<CVector> factors{CVector{a, b}};
+    factors.insert(factors.end(), rest->begin(), rest->end());
+    return factors;
+}
+
+} // namespace qa

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tensor-product structure recognizers. These are the fast paths that
+ * reproduce the paper's hand-derived gate counts: a parity-check NDD
+ * unitary factors into Z/X factors (n CZ/CX gates), and separable states
+ * factor into per-qubit preparations.
+ */
+#ifndef QA_SYNTH_FACTORIZE_HPP
+#define QA_SYNTH_FACTORIZE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+
+/**
+ * Try to factor a 2^n unitary as a tensor product of n 2x2 unitaries
+ * (factors[0] acts on the most significant qubit). Phases are balanced so
+ * the product of the factors reproduces `u` exactly.
+ */
+std::optional<std::vector<CMatrix>> tensorFactorize(const CMatrix& u);
+
+/**
+ * Try to factor a 2^n state vector as a tensor product of n single-qubit
+ * states (factors[0] is the most significant qubit). Exact up to global
+ * phase.
+ */
+std::optional<std::vector<CVector>>
+productStateFactorize(const CVector& psi);
+
+} // namespace qa
+
+#endif // QA_SYNTH_FACTORIZE_HPP

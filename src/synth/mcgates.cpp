@@ -1,0 +1,203 @@
+#include "synth/mcgates.hpp"
+#include <array>
+
+#include <algorithm>
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+#include "synth/zyz.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/**
+ * MCX with k >= 3 controls and at least k-2 dirty ancillas: the classic
+ * double Toffoli ladder. Ancilla states are arbitrary and restored.
+ */
+void
+mcxDirtyLadder(QuantumCircuit& circuit, const std::vector<int>& controls,
+               int target, const std::vector<int>& dirty)
+{
+    const int k = int(controls.size());
+    QA_ASSERT(k >= 3 && int(dirty.size()) >= k - 2,
+              "ladder needs k-2 dirty ancillas");
+
+    // Descending ladder: target fed by (c_{k-1}, d_{k-3}), then each
+    // d_{i-1} fed by (c_i, d_{i-2}), down to d_1 fed by (c_2, d_0).
+    std::vector<std::array<int, 3>> desc;
+    desc.push_back({controls[k - 1], dirty[k - 3], target});
+    for (int i = k - 2; i >= 2; --i) {
+        desc.push_back({controls[i], dirty[i - 2], dirty[i - 1]});
+    }
+    const std::array<int, 3> bottom = {controls[0], controls[1], dirty[0]};
+
+    auto emit = [&](const std::array<int, 3>& t) {
+        circuit.ccx(t[0], t[1], t[2]);
+    };
+
+    // P = desc + bottom + reverse(desc); Q = P without its outer pair.
+    for (const auto& t : desc) emit(t);
+    emit(bottom);
+    for (auto it = desc.rbegin(); it != desc.rend(); ++it) emit(*it);
+    for (size_t i = 1; i < desc.size(); ++i) emit(desc[i]);
+    emit(bottom);
+    for (size_t i = desc.size(); i-- > 1;) emit(desc[i]);
+}
+
+void mcxImpl(QuantumCircuit& circuit, const std::vector<int>& controls,
+             int target, const std::vector<int>& free_qubits);
+
+/**
+ * MCX with one borrowed (dirty) qubit: split the controls in half; each
+ * half's MCX borrows the other half (plus target / the dirty qubit) as
+ * its own dirty ancillas. Four half-size MCX calls total.
+ */
+void
+mcxOneDirty(QuantumCircuit& circuit, const std::vector<int>& controls,
+            int target, int dirty)
+{
+    const int k = int(controls.size());
+    QA_ASSERT(k >= 3, "halving only applies for k >= 3");
+    const int h = (k + 1) / 2;
+    std::vector<int> g1(controls.begin(), controls.begin() + h);
+    std::vector<int> g2(controls.begin() + h, controls.end());
+
+    std::vector<int> free_for_g1 = g2;
+    free_for_g1.push_back(target);
+    std::vector<int> g2_plus(g2);
+    g2_plus.push_back(dirty);
+
+    for (int round = 0; round < 2; ++round) {
+        mcxImpl(circuit, g1, dirty, free_for_g1);
+        mcxImpl(circuit, g2_plus, target, g1);
+    }
+}
+
+/**
+ * Ancilla-free multi-controlled U via the controlled-sqrt recursion:
+ * C^k(U) = C(V)_{c_k,t} MCX(c_1..c_{k-1} -> c_k) C(V^+)_{c_k,t}
+ *          MCX(c_1..c_{k-1} -> c_k) C^{k-1}(V)_{c_1..c_{k-1},t}
+ * with V = sqrt(U). The MCX layers can borrow the target as dirty.
+ */
+void
+mcuImpl(QuantumCircuit& circuit, const std::vector<int>& controls,
+        int target, const CMatrix& u, const std::vector<int>& free_qubits)
+{
+    const int k = int(controls.size());
+    if (k == 0) {
+        emitSingleQubit(circuit, target, u);
+        return;
+    }
+    if (k == 1) {
+        emitControlledSingleQubit(circuit, controls[0], target, u);
+        return;
+    }
+    const CMatrix v = sqrtUnitary2x2(u);
+    const int ck = controls.back();
+    std::vector<int> rest(controls.begin(), controls.end() - 1);
+
+    std::vector<int> mcx_free = free_qubits;
+    mcx_free.push_back(target);
+
+    emitControlledSingleQubit(circuit, ck, target, v);
+    mcxImpl(circuit, rest, ck, mcx_free);
+    emitControlledSingleQubit(circuit, ck, target, v.dagger());
+    mcxImpl(circuit, rest, ck, mcx_free);
+    mcuImpl(circuit, rest, target, v, free_qubits);
+}
+
+void
+mcxImpl(QuantumCircuit& circuit, const std::vector<int>& controls,
+        int target, const std::vector<int>& free_qubits)
+{
+    const int k = int(controls.size());
+    if (k == 0) {
+        circuit.x(target);
+        return;
+    }
+    if (k == 1) {
+        circuit.cx(controls[0], target);
+        return;
+    }
+    if (k == 2) {
+        circuit.ccx(controls[0], controls[1], target);
+        return;
+    }
+    if (int(free_qubits.size()) >= k - 2) {
+        std::vector<int> dirty(free_qubits.begin(),
+                               free_qubits.begin() + (k - 2));
+        mcxDirtyLadder(circuit, controls, target, dirty);
+        return;
+    }
+    if (!free_qubits.empty()) {
+        mcxOneDirty(circuit, controls, target, free_qubits[0]);
+        return;
+    }
+    mcuImpl(circuit, controls, target, gates::x(), {});
+}
+
+/** Validate that controls, target, and free qubits are all distinct. */
+void
+checkDisjoint(const std::vector<int>& controls, int target,
+              const std::vector<int>& free_qubits)
+{
+    std::vector<int> all = controls;
+    all.push_back(target);
+    all.insert(all.end(), free_qubits.begin(), free_qubits.end());
+    std::sort(all.begin(), all.end());
+    QA_REQUIRE(std::adjacent_find(all.begin(), all.end()) == all.end(),
+               "controls, target, and free qubits must be distinct");
+}
+
+} // namespace
+
+void
+mcx(QuantumCircuit& circuit, const std::vector<int>& controls, int target,
+    const std::vector<int>& free_qubits)
+{
+    checkDisjoint(controls, target, free_qubits);
+    mcxImpl(circuit, controls, target, free_qubits);
+}
+
+void
+mcxPattern(QuantumCircuit& circuit, const std::vector<int>& controls,
+           uint64_t pattern, int target,
+           const std::vector<int>& free_qubits)
+{
+    for (size_t i = 0; i < controls.size(); ++i) {
+        if (!((pattern >> i) & 1)) circuit.x(controls[i]);
+    }
+    mcx(circuit, controls, target, free_qubits);
+    for (size_t i = 0; i < controls.size(); ++i) {
+        if (!((pattern >> i) & 1)) circuit.x(controls[i]);
+    }
+}
+
+void
+mcu(QuantumCircuit& circuit, const std::vector<int>& controls, int target,
+    const CMatrix& u, const std::vector<int>& free_qubits)
+{
+    QA_REQUIRE(u.rows() == 2 && u.cols() == 2 && u.isUnitary(1e-7),
+               "mcu needs a 2x2 unitary");
+    checkDisjoint(controls, target, free_qubits);
+    mcuImpl(circuit, controls, target, u, free_qubits);
+}
+
+void
+mcuPattern(QuantumCircuit& circuit, const std::vector<int>& controls,
+           uint64_t pattern, int target, const CMatrix& u,
+           const std::vector<int>& free_qubits)
+{
+    for (size_t i = 0; i < controls.size(); ++i) {
+        if (!((pattern >> i) & 1)) circuit.x(controls[i]);
+    }
+    mcu(circuit, controls, target, u, free_qubits);
+    for (size_t i = 0; i < controls.size(); ++i) {
+        if (!((pattern >> i) & 1)) circuit.x(controls[i]);
+    }
+}
+
+} // namespace qa

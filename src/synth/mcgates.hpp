@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Multi-controlled gate decompositions (Barenco et al. constructions):
+ *  - mcx: multi-controlled X, using dirty-ancilla ladders when spare
+ *    qubits are available (linear cost) and the ancilla-free recursive
+ *    controlled-sqrt construction otherwise;
+ *  - mcu: multi-controlled arbitrary single-qubit unitary, exact
+ *    including phases (required inside two-level synthesis);
+ *  - open-control ("fires on |0>") variants via X conjugation, the
+ *    building block of the paper's logical-OR assertion design.
+ */
+#ifndef QA_SYNTH_MCGATES_HPP
+#define QA_SYNTH_MCGATES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/**
+ * Append a multi-controlled X: flips `target` when every control is |1>.
+ *
+ * @param free_qubits Distinct qubits (not among controls or target) whose
+ *        state may be borrowed as dirty ancillas; they are restored.
+ */
+void mcx(QuantumCircuit& circuit, const std::vector<int>& controls,
+         int target, const std::vector<int>& free_qubits = {});
+
+/**
+ * Multi-controlled X firing on a per-control bit pattern: control i must
+ * read bit i of `pattern` (1 = closed, 0 = open control).
+ */
+void mcxPattern(QuantumCircuit& circuit, const std::vector<int>& controls,
+                uint64_t pattern, int target,
+                const std::vector<int>& free_qubits = {});
+
+/**
+ * Append a multi-controlled single-qubit unitary, exact including the
+ * relative phase (uses the recursive controlled-sqrt construction; the
+ * embedded MCX layers may borrow `free_qubits`).
+ */
+void mcu(QuantumCircuit& circuit, const std::vector<int>& controls,
+         int target, const CMatrix& u,
+         const std::vector<int>& free_qubits = {});
+
+/** Pattern-controlled variant of mcu (see mcxPattern). */
+void mcuPattern(QuantumCircuit& circuit, const std::vector<int>& controls,
+                uint64_t pattern, int target, const CMatrix& u,
+                const std::vector<int>& free_qubits = {});
+
+} // namespace qa
+
+#endif // QA_SYNTH_MCGATES_HPP

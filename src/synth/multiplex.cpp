@@ -1,0 +1,111 @@
+#include "synth/multiplex.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+constexpr double kAngleEps = 1e-11;
+
+bool
+allNear(const std::vector<double>& angles, double value)
+{
+    for (double a : angles) {
+        if (std::abs(a - value) > kAngleEps) return false;
+    }
+    return true;
+}
+
+void
+emitRotation(QuantumCircuit& circuit, RotationAxis axis, int target,
+             double angle)
+{
+    if (std::abs(angle) < kAngleEps) return;
+    if (axis == RotationAxis::kY) {
+        circuit.ry(target, angle);
+    } else {
+        circuit.rz(target, angle);
+    }
+}
+
+void
+muxImpl(QuantumCircuit& circuit, RotationAxis axis,
+        const std::vector<double>& angles, const std::vector<int>& controls,
+        int target)
+{
+    if (controls.empty()) {
+        emitRotation(circuit, axis, target, angles[0]);
+        return;
+    }
+    if (allNear(angles, angles[0])) {
+        // Same rotation for every control value: no controls needed.
+        emitRotation(circuit, axis, target, angles[0]);
+        return;
+    }
+    // Split on the first control c: R(a_w) for c=0, R(b_w) for c=1.
+    // With s = (a+b)/2 and d = (a-b)/2, R(s) CX R(d) CX applies R(s+d)=R(a)
+    // when c=0 and R(s-d)=R(b) when c=1 (CX conjugation negates the
+    // rotation angle for Y and Z axes).
+    const size_t half = angles.size() / 2;
+    std::vector<double> sum(half), diff(half);
+    for (size_t i = 0; i < half; ++i) {
+        sum[i] = (angles[i] + angles[i + half]) / 2.0;
+        diff[i] = (angles[i] - angles[i + half]) / 2.0;
+    }
+    const int c = controls[0];
+    const std::vector<int> rest(controls.begin() + 1, controls.end());
+    const bool diff_zero = allNear(diff, 0.0);
+
+    muxImpl(circuit, axis, sum, rest, target);
+    if (!diff_zero) {
+        circuit.cx(c, target);
+        muxImpl(circuit, axis, diff, rest, target);
+        circuit.cx(c, target);
+    }
+}
+
+} // namespace
+
+void
+muxRotation(QuantumCircuit& circuit, RotationAxis axis,
+            const std::vector<double>& angles,
+            const std::vector<int>& controls, int target)
+{
+    QA_REQUIRE(angles.size() == (size_t(1) << controls.size()),
+               "muxRotation needs 2^k angles");
+    muxImpl(circuit, axis, angles, controls, target);
+}
+
+void
+emitDiagonal(QuantumCircuit& circuit, const std::vector<double>& phases,
+             const std::vector<int>& qubits)
+{
+    QA_REQUIRE(phases.size() == (size_t(1) << qubits.size()),
+               "emitDiagonal needs 2^k phases");
+    if (qubits.empty()) return;
+    if (qubits.size() == 1) {
+        const double delta = phases[1] - phases[0];
+        if (std::abs(delta) > kAngleEps) circuit.p(qubits[0], delta);
+        return;
+    }
+    // Phase on the first qubit via a multiplexed Rz controlled by the
+    // rest; the common phase recurses onto the remaining qubits.
+    // Rz(lambda) contributes -lambda/2 on |0> and +lambda/2 on |1>.
+    const size_t half = phases.size() / 2;
+    std::vector<double> lambda(half), common(half);
+    for (size_t i = 0; i < half; ++i) {
+        lambda[i] = phases[i + half] - phases[i];
+        common[i] = (phases[i] + phases[i + half]) / 2.0;
+    }
+    const int first = qubits[0];
+    const std::vector<int> rest(qubits.begin() + 1, qubits.end());
+    muxRotation(circuit, RotationAxis::kZ, lambda, rest, first);
+    emitDiagonal(circuit, common, rest);
+}
+
+} // namespace qa

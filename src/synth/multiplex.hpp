@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Uniformly-controlled (multiplexed) rotations and exact diagonal-unitary
+ * synthesis. These are the O(2^n)-CNOT building blocks behind state
+ * preparation (Sec. VI-B's state-prep cost argument) and diagonal
+ * controlled-U emission for NDD assertions.
+ */
+#ifndef QA_SYNTH_MULTIPLEX_HPP
+#define QA_SYNTH_MULTIPLEX_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+
+/** Rotation axis for multiplexed rotations. */
+enum class RotationAxis
+{
+    kY,
+    kZ
+};
+
+/**
+ * Append a uniformly-controlled rotation: applies R(angles[w]) to
+ * `target` for every control assignment w (controls[0] is the most
+ * significant bit of w). angles.size() must be 2^controls.size().
+ *
+ * Uses the standard CX-conjugated angle-halving recursion; constant
+ * angle vectors short-circuit to a single rotation.
+ */
+void muxRotation(QuantumCircuit& circuit, RotationAxis axis,
+                 const std::vector<double>& angles,
+                 const std::vector<int>& controls, int target);
+
+/**
+ * Append gates realizing diag(e^{i phases[0]}, ..., e^{i phases[2^k-1]})
+ * on the listed qubits (qubits[0] = MSB of the index), exact up to one
+ * global phase.
+ */
+void emitDiagonal(QuantumCircuit& circuit,
+                  const std::vector<double>& phases,
+                  const std::vector<int>& qubits);
+
+} // namespace qa
+
+#endif // QA_SYNTH_MULTIPLEX_HPP

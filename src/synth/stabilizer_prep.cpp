@@ -1,0 +1,175 @@
+#include "synth/stabilizer_prep.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+#include "synth/cnot_synth.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+constexpr double kAmpEps = 1e-8;
+
+/** Nearest power-of-i exponent of a unit complex; -1 when off-grid. */
+int
+phaseQuarter(Complex value)
+{
+    if (std::abs(std::abs(value) - 1.0) > 1e-6) return -1;
+    const double angle = std::arg(value);
+    const double quarters = angle / (M_PI / 2.0);
+    const double rounded = std::round(quarters);
+    if (std::abs(quarters - rounded) > 1e-6) return -1;
+    return (int(rounded) % 4 + 4) % 4;
+}
+
+} // namespace
+
+std::optional<QuantumCircuit>
+stabilizerPrepFromVector(const CVector& psi)
+{
+    const int n = qubitCountForDim(psi.dim());
+    const CVector v = psi.normalized();
+
+    // 1. Uniform-magnitude support of power-of-two size.
+    std::vector<uint64_t> support;
+    double magnitude = -1.0;
+    for (uint64_t i = 0; i < v.dim(); ++i) {
+        const double m = std::abs(v[i]);
+        if (m < kAmpEps) continue;
+        if (magnitude < 0.0) {
+            magnitude = m;
+        } else if (std::abs(m - magnitude) > 1e-7) {
+            return std::nullopt;
+        }
+        support.push_back(i);
+    }
+    QA_ASSERT(!support.empty(), "empty state support");
+    const size_t t = support.size();
+    if ((t & (t - 1)) != 0) return std::nullopt;
+    int m = 0;
+    while ((size_t(1) << m) < t) ++m;
+
+    // 2. Affine structure in qubit-mask space with RREF pivots.
+    std::vector<uint64_t> masks;
+    for (uint64_t idx : support) {
+        masks.push_back(basisIndexToMask(idx, n));
+    }
+    uint64_t offset = masks[0];
+    std::vector<uint64_t> basis;
+    {
+        // Greedy XOR basis of the differences.
+        for (uint64_t mask : masks) {
+            uint64_t reduced = mask ^ offset;
+            for (uint64_t b : basis) {
+                reduced = std::min(reduced, reduced ^ b);
+            }
+            if (reduced != 0) basis.push_back(reduced);
+        }
+        if (int(basis.size()) != m) return std::nullopt;
+        // Reduce to RREF (each pivot appears in exactly one vector).
+        for (size_t i = 0; i < basis.size(); ++i) {
+            for (size_t j = 0; j < basis.size(); ++j) {
+                if (i == j) continue;
+                const uint64_t pivot =
+                    uint64_t(1) << (63 - __builtin_clzll(basis[i]));
+                if (basis[j] & pivot) basis[j] ^= basis[i];
+            }
+        }
+        // Membership check for the whole support.
+        for (uint64_t mask : masks) {
+            uint64_t reduced = mask ^ offset;
+            for (uint64_t b : basis) {
+                reduced = std::min(reduced, reduced ^ b);
+            }
+            if (reduced != 0) return std::nullopt;
+        }
+    }
+    std::vector<int> pivots;
+    for (uint64_t b : basis) {
+        pivots.push_back(63 - __builtin_clzll(b));
+    }
+    // Normalize the offset to read 0 on every pivot.
+    for (size_t i = 0; i < basis.size(); ++i) {
+        if ((offset >> pivots[i]) & 1) offset ^= basis[i];
+    }
+
+    // 3. Phase structure: f(c) = sum l_i c_i + 2 sum q_ij c_i c_j mod 4.
+    auto maskOf = [&](uint64_t coeffs) {
+        uint64_t mask = offset;
+        for (int i = 0; i < m; ++i) {
+            if ((coeffs >> i) & 1) mask ^= basis[i];
+        }
+        return mask;
+    };
+    const Complex base = v[maskToBasisIndex(offset, n)];
+    auto f = [&](uint64_t coeffs) {
+        const Complex amp = v[maskToBasisIndex(maskOf(coeffs), n)];
+        return phaseQuarter(amp / base);
+    };
+
+    std::vector<int> linear(m, 0);
+    for (int i = 0; i < m; ++i) {
+        linear[i] = f(uint64_t(1) << i);
+        if (linear[i] < 0) return std::nullopt;
+    }
+    std::vector<std::vector<int>> quad(m, std::vector<int>(m, 0));
+    for (int i = 0; i < m; ++i) {
+        for (int j = i + 1; j < m; ++j) {
+            const int fij = f((uint64_t(1) << i) | (uint64_t(1) << j));
+            if (fij < 0) return std::nullopt;
+            const int delta = ((fij - linear[i] - linear[j]) % 4 + 4) % 4;
+            if (delta % 2 != 0) return std::nullopt;
+            quad[i][j] = delta / 2;
+        }
+    }
+    // Verify the quadratic form on the full support.
+    for (uint64_t c = 0; c < (uint64_t(1) << m); ++c) {
+        int expected = 0;
+        for (int i = 0; i < m; ++i) {
+            if (!((c >> i) & 1)) continue;
+            expected += linear[i];
+            for (int j = i + 1; j < m; ++j) {
+                if ((c >> j) & 1) expected += 2 * quad[i][j];
+            }
+        }
+        const int got = f(c);
+        if (got < 0 || got != ((expected % 4 + 4) % 4)) {
+            return std::nullopt;
+        }
+    }
+
+    // 4. Emit the Clifford preparation.
+    QuantumCircuit prep(n);
+    for (int q = 0; q < n; ++q) {
+        if ((offset >> q) & 1) prep.x(q);
+    }
+    for (int i = 0; i < m; ++i) {
+        prep.h(pivots[i]);
+        for (int q = 0; q < n; ++q) {
+            if (q != pivots[i] && ((basis[i] >> q) & 1)) {
+                prep.cx(pivots[i], q);
+            }
+        }
+    }
+    for (int i = 0; i < m; ++i) {
+        switch (linear[i]) {
+          case 1: prep.s(pivots[i]); break;
+          case 2: prep.z(pivots[i]); break;
+          case 3: prep.sdg(pivots[i]); break;
+          default: break;
+        }
+    }
+    for (int i = 0; i < m; ++i) {
+        for (int j = i + 1; j < m; ++j) {
+            if (quad[i][j]) prep.cz(pivots[i], pivots[j]);
+        }
+    }
+    return prep;
+}
+
+} // namespace qa

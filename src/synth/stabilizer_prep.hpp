@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Stabilizer-state recognition and preparation. A stabilizer state's
+ * amplitudes are uniform over an affine GF(2) subspace with phases
+ * i^{l(c)} (-1)^{q(c)} for linear l and quadratic q; detecting that
+ * structure yields a Clifford preparation circuit (X offsets, H on the
+ * subspace pivots, CX fan-outs, S-family phases, CZ couplings) -- the
+ * cheapest possible prep for the Bell/GHZ/cluster/graph states the
+ * paper's assertions mostly target.
+ */
+#ifndef QA_SYNTH_STABILIZER_PREP_HPP
+#define QA_SYNTH_STABILIZER_PREP_HPP
+
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+
+/**
+ * If `psi` is a stabilizer state (up to global phase), return a Clifford
+ * circuit preparing it from |0...0>; otherwise nullopt.
+ */
+std::optional<QuantumCircuit> stabilizerPrepFromVector(const CVector& psi);
+
+} // namespace qa
+
+#endif // QA_SYNTH_STABILIZER_PREP_HPP

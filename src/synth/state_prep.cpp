@@ -1,0 +1,315 @@
+#include "synth/state_prep.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+#include "linalg/eigen.hpp"
+#include "synth/factorize.hpp"
+#include "synth/stabilizer_prep.hpp"
+#include "synth/zyz.hpp"
+#include "synth/multiplex.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+constexpr double kAmpEps = 1e-10;
+
+/** Append a preparation of single-qubit state (a, b) from |0>. */
+void
+emitQubitPrep(QuantumCircuit& circuit, int q, Complex a, Complex b)
+{
+    const double ma = std::abs(a), mb = std::abs(b);
+    if (mb < kAmpEps) return;                  // already |0> (up to phase)
+    if (ma < kAmpEps) {
+        circuit.x(q);                          // |1> up to phase
+        return;
+    }
+    const double theta = 2.0 * std::atan2(mb, ma);
+    const double phi = std::arg(b) - std::arg(a);
+    // u3(theta, phi, 0)|0> = (cos(theta/2), e^{i phi} sin(theta/2)).
+    circuit.u3(q, theta, phi, 0.0);
+}
+
+/** Preparation of a two-term superposition alpha|x> + beta|y>. */
+void
+emitTwoTermPrep(QuantumCircuit& circuit, const std::vector<int>& qubits,
+                uint64_t x, uint64_t y, Complex alpha, Complex beta)
+{
+    const int n = int(qubits.size());
+    // Differing local qubits; pick the first as the rotation pivot and
+    // arrange for x to hold 0 there.
+    std::vector<int> diff;
+    for (int q = 0; q < n; ++q) {
+        const uint64_t bit = uint64_t(1) << (n - 1 - q);
+        if ((x & bit) != (y & bit)) diff.push_back(q);
+    }
+    QA_ASSERT(!diff.empty(), "two-term states must differ");
+    const int pivot = diff[0];
+    const uint64_t pivot_bit = uint64_t(1) << (n - 1 - pivot);
+    if (x & pivot_bit) {
+        std::swap(x, y);
+        std::swap(alpha, beta);
+    }
+
+    // X gates reproduce x away from the pivot.
+    for (int q = 0; q < n; ++q) {
+        if (q == pivot) continue;
+        if (x & (uint64_t(1) << (n - 1 - q))) circuit.x(qubits[q]);
+    }
+    emitQubitPrep(circuit, qubits[pivot], alpha, beta);
+    // CX fan-out flips the remaining differing bits on the beta branch.
+    for (size_t i = 1; i < diff.size(); ++i) {
+        circuit.cx(qubits[pivot], qubits[diff[i]]);
+    }
+}
+
+/**
+ * General path: build the multiplexed-rotation disentangler D (which
+ * maps |psi> to |0...0>) on local indices and return it; the caller
+ * appends D^-1.
+ */
+QuantumCircuit
+buildDisentangler(const CVector& psi, int n)
+{
+    QuantumCircuit dis(n);
+    std::vector<Complex> amps = psi.data();
+
+    for (int k = n; k >= 1; --k) {
+        const size_t half = size_t(1) << (k - 1);
+        std::vector<double> lambda(half), theta(half);
+        std::vector<Complex> next(half);
+        for (size_t w = 0; w < half; ++w) {
+            const Complex a = amps[2 * w];
+            const Complex b = amps[2 * w + 1];
+            const double ma = std::abs(a), mb = std::abs(b);
+            double chi;
+            if (ma > kAmpEps && mb > kAmpEps) {
+                lambda[w] = std::arg(a) - std::arg(b);
+                chi = (std::arg(a) + std::arg(b)) / 2.0;
+            } else {
+                lambda[w] = 0.0;
+                chi = ma > mb ? std::arg(a) : std::arg(b);
+                if (ma < kAmpEps && mb < kAmpEps) chi = 0.0;
+            }
+            theta[w] = -2.0 * std::atan2(mb, ma);
+            const double r = std::sqrt(ma * ma + mb * mb);
+            next[w] = Complex(r * std::cos(chi), r * std::sin(chi));
+        }
+        std::vector<int> controls;
+        for (int q = 0; q < k - 1; ++q) controls.push_back(q);
+        muxRotation(dis, RotationAxis::kZ, lambda, controls, k - 1);
+        muxRotation(dis, RotationAxis::kY, theta, controls, k - 1);
+        amps = std::move(next);
+    }
+    return dis;
+}
+
+} // namespace
+
+std::optional<QuantumCircuit>
+buildProductPairUnitary(const CVector& psi0, const CVector& psi1)
+{
+    const int n = qubitCountForDim(psi0.dim());
+    if (psi1.dim() != psi0.dim()) return std::nullopt;
+    auto f0 = productStateFactorize(psi0);
+    auto f1 = productStateFactorize(psi1);
+    if (!f0 || !f1) return std::nullopt;
+
+    int k = -1;
+    for (int q = 0; q < n; ++q) {
+        if (std::abs((*f0)[q].inner((*f1)[q])) < 1e-9) {
+            k = q;
+            break;
+        }
+    }
+    if (k < 0) return std::nullopt;
+
+    auto prepMatrix = [](const CVector& v) {
+        CMatrix a(2, 2);
+        a(0, 0) = v[0];
+        a(1, 0) = v[1];
+        a(0, 1) = -std::conj(v[1]);
+        a(1, 1) = std::conj(v[0]);
+        return a;
+    };
+
+    QuantumCircuit u(n);
+    // The selector is index bit 0 = local qubit n-1; relocate it to k.
+    const int s = n - 1;
+    if (k != s) {
+        u.cx(s, k);
+        u.cx(k, s);
+    }
+    // Multiplexed preps: A0 unconditionally, then controlled A1 A0^-1
+    // (exact including phase) selects the second branch.
+    for (int q = 0; q < n; ++q) {
+        if (q == k) continue;
+        const CMatrix a0 = prepMatrix((*f0)[q]);
+        const CMatrix a1 = prepMatrix((*f1)[q]);
+        emitSingleQubit(u, q, a0);
+        const CMatrix delta = a1 * a0.dagger();
+        if (!delta.approxEquals(CMatrix::identity(2), 1e-11)) {
+            emitControlledSingleQubit(u, k, q, delta);
+        }
+    }
+    // The 2x2 whose columns are the orthogonal factors at k.
+    CMatrix vk(2, 2);
+    vk(0, 0) = (*f0)[k][0];
+    vk(1, 0) = (*f0)[k][1];
+    vk(0, 1) = (*f1)[k][0];
+    vk(1, 1) = (*f1)[k][1];
+    QA_ASSERT(vk.isUnitary(1e-8), "orthogonal factors must be unitary");
+    emitSingleQubit(u, k, vk);
+    return u;
+}
+
+namespace
+{
+
+/**
+ * Schmidt-rank-2 preparation: if some single-qubit cut decomposes psi as
+ * sqrt(l1) u1 (x) w1 + sqrt(l2) u2 (x) w2 with BOTH w_i product states,
+ * then psi = U (|0..0> (x) (sqrt(l1)|0> + sqrt(l2)|1>)) for the
+ * product-pair unitary U: one rotation plus O(n) CX.
+ */
+std::optional<QuantumCircuit>
+trySchmidtTwoProductPrep(const CVector& v, int n)
+{
+    if (n < 2) return std::nullopt;
+    const size_t dim = v.dim();
+    const size_t half = dim / 2;
+
+    for (int k = 0; k < n; ++k) {
+        const int shift = n - 1 - k;
+        auto at = [&](size_t a, size_t r) {
+            // Compose the full index from qubit k's bit and the rest.
+            const uint64_t low = r & ((uint64_t(1) << shift) - 1);
+            const uint64_t high = r >> shift;
+            return v[(high << (shift + 1)) | (a << shift) | low];
+        };
+        CMatrix rho(2, 2);
+        for (size_t a = 0; a < 2; ++a) {
+            for (size_t b = 0; b < 2; ++b) {
+                Complex sum = 0.0;
+                for (size_t r = 0; r < half; ++r) {
+                    sum += at(a, r) * std::conj(at(b, r));
+                }
+                rho(a, b) = sum;
+            }
+        }
+        const EigenResult eig = eigHermitian(rho);
+        if (eig.values[1] < 1e-10) continue; // product cut: other paths
+        CVector u1 = eig.vectors.column(0);
+        CVector u2 = eig.vectors.column(1);
+
+        auto branch = [&](const CVector& u, double lambda) {
+            CVector w(half);
+            for (size_t r = 0; r < half; ++r) {
+                w[r] = (std::conj(u[0]) * at(0, r) +
+                        std::conj(u[1]) * at(1, r)) /
+                       std::sqrt(lambda);
+            }
+            return w;
+        };
+        const CVector w1 = branch(u1, eig.values[0]);
+        const CVector w2 = branch(u2, eig.values[1]);
+        if (!productStateFactorize(w1) || !productStateFactorize(w2)) {
+            continue;
+        }
+
+        auto embed = [&](const CVector& u, const CVector& w) {
+            CVector full(dim);
+            for (size_t a = 0; a < 2; ++a) {
+                for (size_t r = 0; r < half; ++r) {
+                    const uint64_t low = r & ((uint64_t(1) << shift) - 1);
+                    const uint64_t high = r >> shift;
+                    full[(high << (shift + 1)) | (a << shift) | low] =
+                        u[a] * w[r];
+                }
+            }
+            return full;
+        };
+        auto pair_u = buildProductPairUnitary(embed(u1, w1),
+                                              embed(u2, w2));
+        if (!pair_u) continue;
+
+        QuantumCircuit prep(n);
+        const double theta = 2.0 * std::atan2(std::sqrt(eig.values[1]),
+                                              std::sqrt(eig.values[0]));
+        prep.ry(n - 1, theta);
+        std::vector<int> ident;
+        for (int q = 0; q < n; ++q) ident.push_back(q);
+        prep.compose(*pair_u, ident);
+        return prep;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+void
+prepareStateInto(QuantumCircuit& circuit, const CVector& target,
+                 const std::vector<int>& qubits)
+{
+    const int n = qubitCountForDim(target.dim());
+    QA_REQUIRE(int(qubits.size()) == n,
+               "qubit list does not match state size");
+    const CVector v = target.normalized();
+
+    // Collect the non-negligible amplitudes.
+    std::vector<uint64_t> support;
+    for (uint64_t i = 0; i < v.dim(); ++i) {
+        if (std::abs(v[i]) > kAmpEps) support.push_back(i);
+    }
+    QA_ASSERT(!support.empty(), "state has empty support");
+
+    if (support.size() == 1) {
+        // Computational basis state: X gates only.
+        for (int q = 0; q < n; ++q) {
+            if (support[0] & (uint64_t(1) << (n - 1 - q))) {
+                circuit.x(qubits[q]);
+            }
+        }
+        return;
+    }
+    if (support.size() == 2) {
+        emitTwoTermPrep(circuit, qubits, support[0], support[1],
+                        v[support[0]], v[support[1]]);
+        return;
+    }
+    if (auto factors = productStateFactorize(v)) {
+        for (int q = 0; q < n; ++q) {
+            emitQubitPrep(circuit, qubits[q], (*factors)[q][0],
+                          (*factors)[q][1]);
+        }
+        return;
+    }
+    if (auto stab = stabilizerPrepFromVector(v)) {
+        circuit.compose(*stab, qubits);
+        return;
+    }
+    if (auto schmidt = trySchmidtTwoProductPrep(v, n)) {
+        circuit.compose(*schmidt, qubits);
+        return;
+    }
+
+    const QuantumCircuit prep = buildDisentangler(v, n).inverse();
+    circuit.compose(prep, qubits);
+}
+
+QuantumCircuit
+prepareState(const CVector& target)
+{
+    const int n = qubitCountForDim(target.dim());
+    QuantumCircuit circuit(n);
+    std::vector<int> qubits;
+    for (int q = 0; q < n; ++q) qubits.push_back(q);
+    prepareStateInto(circuit, target, qubits);
+    return circuit;
+}
+
+} // namespace qa

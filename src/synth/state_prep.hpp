@@ -1,0 +1,54 @@
+/**
+ * @file
+ * State preparation: synthesize a circuit C with C|0...0> = |psi> (up to
+ * global phase).
+ *
+ * This is the paper's U for SWAP-based pure-state assertion (Sec. IV-B).
+ * Structure recognizers give the hand-derived costs of the paper's
+ * examples; the general path is the multiplexed-rotation disentangling
+ * construction with the O(2^n) CNOT scaling cited in Sec. VI-B:
+ *
+ *  1. computational basis states     -> X gates only
+ *  2. product (separable) states     -> one u3 per qubit
+ *  3. two-term superpositions a|x> + b|y> (Bell/GHZ family)
+ *                                    -> 1 rotation + CX chain (+ X)
+ *  4. general states                 -> multiplexed Ry/Rz disentangling
+ */
+#ifndef QA_SYNTH_STATE_PREP_HPP
+#define QA_SYNTH_STATE_PREP_HPP
+
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+
+/**
+ * Build a preparation circuit for `target` over exactly
+ * log2(target.dim()) qubits. The result contains only named basis-level
+ * gates (x, u3, p, ry, rz, cx).
+ */
+QuantumCircuit prepareState(const CVector& target);
+
+/**
+ * Append a preparation of `target` onto the listed qubits of an existing
+ * circuit (qubits[0] = most significant).
+ */
+void prepareStateInto(QuantumCircuit& circuit, const CVector& target,
+                      const std::vector<int>& qubits);
+
+/**
+ * Build a unitary over n local qubits mapping |0...0> -> psi0 and
+ * |0...01> -> psi1, when both are product states sharing an orthogonal
+ * single-qubit factor at some qubit k. Costs O(n) CX: the selector bit
+ * is relocated to k and drives one multiplexed single-qubit prep per
+ * qubit. Returns nullopt when the structure is absent.
+ */
+std::optional<QuantumCircuit>
+buildProductPairUnitary(const CVector& psi0, const CVector& psi1);
+
+} // namespace qa
+
+#endif // QA_SYNTH_STATE_PREP_HPP

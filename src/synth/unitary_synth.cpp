@@ -1,0 +1,389 @@
+#include "synth/unitary_synth.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+#include "synth/cnot_synth.hpp"
+#include "synth/factorize.hpp"
+#include "synth/mcgates.hpp"
+#include "synth/multiplex.hpp"
+#include "synth/state_prep.hpp"
+#include "synth/zyz.hpp"
+
+namespace qa
+{
+
+CMatrix
+circuitUnitary(const QuantumCircuit& circuit)
+{
+    const int n = circuit.numQubits();
+    const size_t dim = size_t(1) << n;
+    CMatrix u(dim, dim);
+    for (size_t col = 0; col < dim; ++col) {
+        Statevector state(CVector::basisState(dim, col));
+        for (const Instruction& instr : circuit.instructions()) {
+            QA_REQUIRE(instr.type == OpType::kGate ||
+                           instr.type == OpType::kBarrier,
+                       "circuitUnitary requires a measurement-free circuit");
+            if (instr.type == OpType::kGate) state.applyGate(instr);
+        }
+        u.setColumn(col, state.amplitudes());
+    }
+    return u;
+}
+
+namespace
+{
+
+/**
+ * If `u` is a permutation matrix realizing an affine GF(2) map
+ * x -> L(x) ^ offset (in qubit-mask space), return (L, offset).
+ */
+std::optional<std::pair<LinearFunction, uint64_t>>
+recognizeAffinePermutation(const CMatrix& u, int n)
+{
+    const size_t dim = u.rows();
+    std::vector<uint64_t> perm(dim);
+    for (size_t col = 0; col < dim; ++col) {
+        int hits = 0;
+        size_t row_hit = 0;
+        for (size_t row = 0; row < dim; ++row) {
+            const Complex x = u(row, col);
+            if (std::abs(x) < 1e-9) continue;
+            if (std::abs(x - Complex(1.0)) > 1e-9) return std::nullopt;
+            ++hits;
+            row_hit = row;
+        }
+        if (hits != 1) return std::nullopt;
+        perm[col] = row_hit;
+    }
+
+    // Work in qubit-mask space where linearity is over GF(2).
+    auto pi = [&](uint64_t mask) {
+        return basisIndexToMask(perm[maskToBasisIndex(mask, n)], n);
+    };
+    const uint64_t offset = pi(0);
+    // Column j of L is pi(e_j) ^ offset.
+    std::vector<uint64_t> cols(n);
+    for (int j = 0; j < n; ++j) {
+        cols[j] = pi(uint64_t(1) << j) ^ offset;
+    }
+    std::vector<uint64_t> rows(n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if ((cols[j] >> i) & 1) rows[i] |= uint64_t(1) << j;
+        }
+    }
+    LinearFunction lin(n, rows);
+    if (!lin.isInvertible()) return std::nullopt;
+    for (uint64_t mask = 0; mask < dim; ++mask) {
+        if ((lin.apply(mask) ^ offset) != pi(mask)) return std::nullopt;
+    }
+    return std::make_pair(lin, offset);
+}
+
+bool
+isDiagonal(const CMatrix& u, double eps = 1e-9)
+{
+    for (size_t r = 0; r < u.rows(); ++r) {
+        for (size_t c = 0; c < u.cols(); ++c) {
+            if (r != c && std::abs(u(r, c)) > eps) return false;
+        }
+    }
+    return true;
+}
+
+/** Two-level elimination record. */
+struct Givens
+{
+    size_t c;
+    size_t r;
+    CMatrix t;
+};
+
+} // namespace
+
+void
+emitTwoLevelInto(QuantumCircuit& circuit, const std::vector<int>& qubits,
+                 uint64_t i, uint64_t j, const CMatrix& w,
+                 const std::vector<int>& free_qubits)
+{
+    QA_REQUIRE(i != j, "two-level states must differ");
+    const int n = int(qubits.size());
+
+    // Local qubits where i and j differ; the last is the rotation target,
+    // the rest are walked by a Gray-code chain of pattern-controlled X.
+    std::vector<int> diffs;
+    for (int q = 0; q < n; ++q) {
+        const uint64_t bit = uint64_t(1) << (n - 1 - q);
+        if ((i & bit) != (j & bit)) diffs.push_back(q);
+    }
+    const int qt = diffs.back();
+    const uint64_t qt_bit = uint64_t(1) << (n - 1 - qt);
+
+    // Controls for a flip of local qubit dq at chain state `cur`.
+    auto chainStep = [&](uint64_t cur, int dq) {
+        std::vector<int> controls;
+        uint64_t pattern = 0;
+        int idx = 0;
+        for (int q = 0; q < n; ++q) {
+            if (q == dq) continue;
+            controls.push_back(qubits[q]);
+            if (cur & (uint64_t(1) << (n - 1 - q))) {
+                pattern |= uint64_t(1) << idx;
+            }
+            ++idx;
+        }
+        std::vector<int> free = free_qubits;
+        mcxPattern(circuit, controls, pattern, qubits[dq], free);
+    };
+
+    // Walk i toward j on all differing qubits except the target.
+    std::vector<std::pair<uint64_t, int>> steps;
+    uint64_t cur = i;
+    for (size_t d = 0; d + 1 < diffs.size(); ++d) {
+        steps.emplace_back(cur, diffs[d]);
+        chainStep(cur, diffs[d]);
+        cur ^= uint64_t(1) << (n - 1 - diffs[d]);
+    }
+
+    // Arrange the 2x2 so row/col 0 matches qt-bit = 0.
+    CMatrix m = w;
+    if (cur & qt_bit) {
+        CMatrix flipped(2, 2);
+        for (size_t a = 0; a < 2; ++a) {
+            for (size_t b = 0; b < 2; ++b) {
+                flipped(a, b) = w(1 - a, 1 - b);
+            }
+        }
+        m = flipped;
+    }
+
+    // Pattern-controlled single-qubit gate on the target.
+    {
+        std::vector<int> controls;
+        uint64_t pattern = 0;
+        int idx = 0;
+        for (int q = 0; q < n; ++q) {
+            if (q == qt) continue;
+            controls.push_back(qubits[q]);
+            if (cur & (uint64_t(1) << (n - 1 - q))) {
+                pattern |= uint64_t(1) << idx;
+            }
+            ++idx;
+        }
+        mcuPattern(circuit, controls, pattern, qubits[qt], m, free_qubits);
+    }
+
+    // Undo the chain.
+    for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+        chainStep(it->first, it->second);
+    }
+}
+
+void
+synthesizeUnitaryInto(QuantumCircuit& circuit, const CMatrix& u,
+                      const std::vector<int>& qubits,
+                      const std::vector<int>& free_qubits)
+{
+    const int n = qubitCountForDim(u.rows());
+    QA_REQUIRE(int(qubits.size()) == n,
+               "qubit list does not match unitary size");
+    QA_REQUIRE(u.isUnitary(1e-7), "matrix is not unitary");
+
+    if (u.equalsUpToPhase(CMatrix::identity(u.rows()), 1e-9)) return;
+
+    if (n == 1) {
+        emitSingleQubit(circuit, qubits[0], u);
+        return;
+    }
+
+    // Fast path: affine GF(2) permutation -> X/CNOT circuit.
+    if (auto affine = recognizeAffinePermutation(u, n)) {
+        const QuantumCircuit linear = synthesizeLinear(affine->first);
+        circuit.compose(linear, qubits);
+        for (int q = 0; q < n; ++q) {
+            if ((affine->second >> q) & 1) circuit.x(qubits[q]);
+        }
+        return;
+    }
+
+    // Fast path: tensor product of single-qubit unitaries.
+    if (auto factors = tensorFactorize(u)) {
+        for (int q = 0; q < n; ++q) {
+            emitSingleQubit(circuit, qubits[q], (*factors)[q]);
+        }
+        return;
+    }
+
+    // Fast path: diagonal unitary.
+    if (isDiagonal(u)) {
+        std::vector<double> phases(u.rows());
+        for (size_t i = 0; i < u.rows(); ++i) {
+            phases[i] = std::arg(u(i, i));
+        }
+        emitDiagonal(circuit, phases, qubits);
+        return;
+    }
+
+    // General path: two-level (Givens) elimination. T_k ... T_1 U = D,
+    // so U = T_1^+ ... T_k^+ D; the circuit emits D first and then the
+    // daggered eliminations in reverse order.
+    const size_t dim = u.rows();
+    CMatrix a = u;
+    std::vector<Givens> ops;
+    for (size_t c = 0; c + 1 < dim; ++c) {
+        for (size_t r = dim - 1; r > c; --r) {
+            const Complex y = a(r, c);
+            if (std::abs(y) < 1e-11) continue;
+            const Complex x = a(c, c);
+            const double nu =
+                std::sqrt(std::norm(x) + std::norm(y));
+            CMatrix t{{std::conj(x) / nu, std::conj(y) / nu},
+                      {y / nu, -x / nu}};
+            for (size_t col = 0; col < dim; ++col) {
+                const Complex ac = a(c, col);
+                const Complex ar = a(r, col);
+                a(c, col) = t(0, 0) * ac + t(0, 1) * ar;
+                a(r, col) = t(1, 0) * ac + t(1, 1) * ar;
+            }
+            ops.push_back(Givens{c, r, t});
+        }
+    }
+
+    std::vector<double> phases(dim);
+    for (size_t i = 0; i < dim; ++i) phases[i] = std::arg(a(i, i));
+    emitDiagonal(circuit, phases, qubits);
+
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        emitTwoLevelInto(circuit, qubits, it->c, it->r, it->t.dagger(),
+                         free_qubits);
+    }
+}
+
+void
+synthesizeIsometryInto(QuantumCircuit& circuit,
+                       const std::vector<CVector>& columns,
+                       const std::vector<int>& qubits,
+                       const std::vector<int>& free_qubits)
+{
+    QA_REQUIRE(!columns.empty(), "isometry needs at least one column");
+    const size_t dim = columns[0].dim();
+    const int n = qubitCountForDim(dim);
+    QA_REQUIRE(int(qubits.size()) == n,
+               "qubit list does not match column size");
+    const size_t t = columns.size();
+    QA_REQUIRE(t <= dim, "more columns than the space dimension");
+
+    // Single column: plain state preparation is near-optimal.
+    if (t == 1) {
+        prepareStateInto(circuit, columns[0], qubits);
+        return;
+    }
+
+    // Givens elimination restricted to the t constrained columns:
+    // T_k ... T_1 A = [diag(e^{i phi}); 0], so any unitary of the form
+    // U = T_1^+ ... T_k^+ D with D = diag(e^{i phi_i}, 1, ...) maps
+    // |i> -> columns[i]; emit D first, then the daggered eliminations.
+    CMatrix a(dim, t);
+    for (size_t c = 0; c < t; ++c) {
+        QA_REQUIRE(columns[c].dim() == dim, "ragged isometry columns");
+        for (size_t r = 0; r < dim; ++r) a(r, c) = columns[c][r];
+    }
+    std::vector<Givens> ops;
+    for (size_t c = 0; c < t; ++c) {
+        for (size_t r = dim - 1; r > c; --r) {
+            const Complex y = a(r, c);
+            if (std::abs(y) < 1e-11) continue;
+            const Complex x = a(c, c);
+            const double nu = std::sqrt(std::norm(x) + std::norm(y));
+            CMatrix tt{{std::conj(x) / nu, std::conj(y) / nu},
+                       {y / nu, -x / nu}};
+            for (size_t col = 0; col < t; ++col) {
+                const Complex ac = a(c, col);
+                const Complex ar = a(r, col);
+                a(c, col) = tt(0, 0) * ac + tt(0, 1) * ar;
+                a(r, col) = tt(1, 0) * ac + tt(1, 1) * ar;
+            }
+            ops.push_back(Givens{c, r, tt});
+        }
+    }
+    std::vector<double> phases(dim, 0.0);
+    bool any_phase = false;
+    for (size_t i = 0; i < t; ++i) {
+        phases[i] = std::arg(a(i, i));
+        if (std::abs(phases[i]) > 1e-11) any_phase = true;
+    }
+    if (any_phase) emitDiagonal(circuit, phases, qubits);
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        emitTwoLevelInto(circuit, qubits, it->c, it->r, it->t.dagger(),
+                         free_qubits);
+    }
+}
+
+QuantumCircuit
+synthesizeIsometry(const std::vector<CVector>& columns, int n)
+{
+    QuantumCircuit circuit(n);
+    std::vector<int> qubits;
+    for (int q = 0; q < n; ++q) qubits.push_back(q);
+    synthesizeIsometryInto(circuit, columns, qubits);
+    return circuit;
+}
+
+QuantumCircuit
+synthesizeUnitary(const CMatrix& u)
+{
+    const int n = qubitCountForDim(u.rows());
+    QuantumCircuit circuit(n);
+    std::vector<int> qubits;
+    for (int q = 0; q < n; ++q) qubits.push_back(q);
+    synthesizeUnitaryInto(circuit, u, qubits);
+    return circuit;
+}
+
+void
+emitControlledUnitary(QuantumCircuit& circuit, int control,
+                      const std::vector<int>& targets, const CMatrix& u,
+                      const std::vector<int>& free_qubits)
+{
+    const int n = qubitCountForDim(u.rows());
+    QA_REQUIRE(int(targets.size()) == n,
+               "target list does not match unitary size");
+
+    // Tensor structure: controlled factors compose exactly (each factor's
+    // controlled emission is phase-exact).
+    if (auto factors = tensorFactorize(u)) {
+        for (int q = 0; q < n; ++q) {
+            const CMatrix& f = (*factors)[q];
+            if (f.approxEquals(CMatrix::identity(2), 1e-11)) continue;
+            emitControlledSingleQubit(circuit, control, targets[q], f);
+        }
+        return;
+    }
+
+    // Diagonal U: controlled-diagonal is a diagonal over control+targets.
+    if (isDiagonal(u)) {
+        std::vector<double> phases(2 * u.rows(), 0.0);
+        for (size_t i = 0; i < u.rows(); ++i) {
+            phases[u.rows() + i] = std::arg(u(i, i));
+        }
+        std::vector<int> qubits{control};
+        qubits.insert(qubits.end(), targets.begin(), targets.end());
+        emitDiagonal(circuit, phases, qubits);
+        return;
+    }
+
+    // General: synthesize the full controlled matrix (identity outside
+    // the active block keeps two-level eliminations confined to it).
+    std::vector<int> qubits{control};
+    qubits.insert(qubits.end(), targets.begin(), targets.end());
+    synthesizeUnitaryInto(circuit, gates::controlled(u), qubits,
+                          free_qubits);
+}
+
+} // namespace qa

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * General unitary synthesis: decompose an arbitrary 2^n x 2^n unitary
+ * into named basis-level gates via two-level (Givens) elimination with
+ * Gray-code multi-controlled gates (Nielsen & Chuang Sec. 4.5), with
+ * structure recognizers for the cheap cases:
+ *
+ *  - tensor products of single-qubit unitaries -> per-qubit gates,
+ *  - diagonal unitaries                        -> multiplexed Rz network,
+ *  - GF(2) affine permutations                 -> X/CNOT-only circuits,
+ *
+ * plus controlled-unitary emission for the NDD assertion design.
+ */
+#ifndef QA_SYNTH_UNITARY_SYNTH_HPP
+#define QA_SYNTH_UNITARY_SYNTH_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/** Full 2^n unitary implemented by a measurement-free circuit. */
+CMatrix circuitUnitary(const QuantumCircuit& circuit);
+
+/**
+ * Append gates realizing `u` on the listed qubits (qubits[0] = MSB),
+ * exact up to one global phase. `free_qubits` may be borrowed as dirty
+ * ancillas by embedded multi-controlled gates.
+ */
+void synthesizeUnitaryInto(QuantumCircuit& circuit, const CMatrix& u,
+                           const std::vector<int>& qubits,
+                           const std::vector<int>& free_qubits = {});
+
+/** Convenience wrapper returning a fresh n-qubit circuit. */
+QuantumCircuit synthesizeUnitary(const CMatrix& u);
+
+/**
+ * Isometry synthesis: build a circuit whose unitary maps |i> onto
+ * columns[i] for i < t (the remaining columns are unconstrained, chosen
+ * by the construction). This is what assertion basis changes need --
+ * only the correct subspace's image is fixed -- and costs O(t/2^n) of a
+ * full unitary synthesis.
+ */
+void synthesizeIsometryInto(QuantumCircuit& circuit,
+                            const std::vector<CVector>& columns,
+                            const std::vector<int>& qubits,
+                            const std::vector<int>& free_qubits = {});
+
+/** Convenience wrapper returning a fresh n-qubit circuit. */
+QuantumCircuit synthesizeIsometry(const std::vector<CVector>& columns,
+                                  int n);
+
+/**
+ * Append gates realizing a two-level unitary: `w` acts on the amplitude
+ * pair (|i>, |j>) and everything else is untouched. Exact including
+ * phase.
+ */
+void emitTwoLevelInto(QuantumCircuit& circuit,
+                      const std::vector<int>& qubits, uint64_t i,
+                      uint64_t j, const CMatrix& w,
+                      const std::vector<int>& free_qubits = {});
+
+/**
+ * Append gates realizing controlled-`u` (one control qubit, `u` over
+ * `targets`), exact up to global phase. Dispatches on tensor-product and
+ * diagonal structure before falling back to synthesizing the full
+ * controlled matrix.
+ */
+void emitControlledUnitary(QuantumCircuit& circuit, int control,
+                           const std::vector<int>& targets,
+                           const CMatrix& u,
+                           const std::vector<int>& free_qubits = {});
+
+} // namespace qa
+
+#endif // QA_SYNTH_UNITARY_SYNTH_HPP

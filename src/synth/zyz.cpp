@@ -1,0 +1,154 @@
+#include "synth/zyz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+Complex
+expi(double phi)
+{
+    return Complex(std::cos(phi), std::sin(phi));
+}
+
+} // namespace
+
+ZyzAngles
+zyzDecompose(const CMatrix& u)
+{
+    QA_REQUIRE(u.rows() == 2 && u.cols() == 2 && u.isUnitary(1e-7),
+               "zyzDecompose needs a 2x2 unitary");
+    const Complex u00 = u(0, 0), u01 = u(0, 1);
+    const Complex u10 = u(1, 0), u11 = u(1, 1);
+
+    ZyzAngles a{};
+    const double m00 = std::abs(u00);
+    const double m10 = std::abs(u10);
+    a.gamma = 2.0 * std::atan2(m10, m00);
+
+    if (m10 < 1e-10) {
+        // Diagonal: U = e^{i alpha} diag(e^{-i beta/2}, e^{i beta/2}).
+        a.delta = 0.0;
+        a.beta = std::arg(u11) - std::arg(u00);
+        a.alpha = std::arg(u00) + a.beta / 2.0;
+    } else if (m00 < 1e-10) {
+        // Antidiagonal: gamma = pi.
+        a.delta = 0.0;
+        a.beta = std::arg(u10) - std::arg(-u01);
+        a.alpha = std::arg(u10) - a.beta / 2.0;
+    } else {
+        a.beta = std::arg(u10) - std::arg(u00);
+        a.delta = std::arg(u11) - std::arg(u10);
+        a.alpha = std::arg(u00) + (a.beta + a.delta) / 2.0;
+    }
+    return a;
+}
+
+CMatrix
+zyzCompose(const ZyzAngles& a)
+{
+    CMatrix m = gates::rz(a.beta) * gates::ry(a.gamma) * gates::rz(a.delta);
+    return m * expi(a.alpha);
+}
+
+void
+emitSingleQubit(QuantumCircuit& circuit, int q, const CMatrix& u)
+{
+    QA_REQUIRE(u.rows() == 2 && u.cols() == 2 && u.isUnitary(1e-7),
+               "emitSingleQubit needs a 2x2 unitary");
+    if (u.equalsUpToPhase(CMatrix::identity(2), 1e-9)) return;
+    const ZyzAngles a = zyzDecompose(u);
+    if (std::abs(a.gamma) < 1e-10) {
+        circuit.p(q, a.beta + a.delta);
+    } else {
+        // u3(theta, phi, lambda) = e^{i(phi+lambda)/2} Rz(phi) Ry(theta)
+        // Rz(lambda), so this realizes u up to global phase.
+        circuit.u3(q, a.gamma, a.beta, a.delta);
+    }
+}
+
+void
+emitControlledSingleQubit(QuantumCircuit& circuit, int c, int t,
+                          const CMatrix& u)
+{
+    QA_REQUIRE(u.rows() == 2 && u.cols() == 2 && u.isUnitary(1e-7),
+               "emitControlledSingleQubit needs a 2x2 unitary");
+    if (u.equalsUpToPhase(gates::x(), 1e-9)) {
+        // Controlled-X with a phase is CX plus a phase gate on control.
+        const double phase = std::arg(u(1, 0));
+        circuit.cx(c, t);
+        if (std::abs(phase) > 1e-10) circuit.p(c, phase);
+        return;
+    }
+    if (u.equalsUpToPhase(gates::z(), 1e-9)) {
+        const double phase = std::arg(u(0, 0));
+        circuit.cz(c, t);
+        if (std::abs(phase) > 1e-10) circuit.p(c, phase);
+        return;
+    }
+
+    const ZyzAngles a = zyzDecompose(u);
+    // ABC decomposition: with A = Rz(beta) Ry(gamma/2),
+    // B = Ry(-gamma/2) Rz(-(delta+beta)/2), C = Rz((delta-beta)/2):
+    // A B C = Rz(beta) Ry(gamma) Rz(delta) and A X B X C = I, so
+    // CU = P(alpha)_c . A_t . CX . B_t . CX . C_t.
+    auto emitRz = [&](double theta) {
+        if (std::abs(theta) > 1e-10) circuit.rz(t, theta);
+    };
+    auto emitRy = [&](double theta) {
+        if (std::abs(theta) > 1e-10) circuit.ry(t, theta);
+    };
+
+    emitRz((a.delta - a.beta) / 2.0);           // C
+    circuit.cx(c, t);
+    emitRz(-(a.delta + a.beta) / 2.0);          // B
+    emitRy(-a.gamma / 2.0);
+    circuit.cx(c, t);
+    emitRy(a.gamma / 2.0);                      // A
+    emitRz(a.beta);
+    if (std::abs(std::remainder(a.alpha, 2 * M_PI)) > 1e-10) {
+        circuit.p(c, a.alpha);
+    }
+}
+
+CMatrix
+sqrtUnitary2x2(const CMatrix& u)
+{
+    QA_REQUIRE(u.rows() == 2 && u.cols() == 2 && u.isUnitary(1e-7),
+               "sqrtUnitary2x2 needs a 2x2 unitary");
+    const Complex det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+    const double delta = std::arg(det) / 2.0;
+    const CMatrix v = u * expi(-delta);
+
+    double cos_theta = ((v(0, 0) + v(1, 1)) / 2.0).real();
+    cos_theta = std::clamp(cos_theta, -1.0, 1.0);
+    const double theta = std::acos(cos_theta);
+    const double sin_theta = std::sin(theta);
+
+    CMatrix w(2, 2);
+    if (std::abs(sin_theta) < 1e-10) {
+        if (cos_theta > 0.0) {
+            w = CMatrix::identity(2); // V = +I.
+        } else {
+            // V = -I: pick sqrt = -i Z (squares to -I).
+            w = CMatrix{{-kI, 0}, {0, kI}};
+        }
+    } else {
+        // V = cos(theta) I - i sin(theta) (n . sigma).
+        CMatrix n_sigma =
+            (v - CMatrix::identity(2) * Complex(cos_theta, 0.0)) *
+            (Complex(1.0, 0.0) / (-kI * sin_theta));
+        w = CMatrix::identity(2) * Complex(std::cos(theta / 2), 0.0) -
+            kI * Complex(std::sin(theta / 2), 0.0) * n_sigma;
+    }
+    return w * expi(delta / 2.0);
+}
+
+} // namespace qa

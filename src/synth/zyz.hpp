@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Single-qubit unitary decompositions: ZYZ Euler angles, u3 emission, and
+ * the ABC decomposition of a controlled single-qubit gate (Barenco et al.,
+ * "Elementary gates for quantum computation").
+ */
+#ifndef QA_SYNTH_ZYZ_HPP
+#define QA_SYNTH_ZYZ_HPP
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/** Euler decomposition U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta). */
+struct ZyzAngles
+{
+    double alpha;
+    double beta;
+    double gamma;
+    double delta;
+};
+
+/** Compute the ZYZ Euler angles of a 2x2 unitary. */
+ZyzAngles zyzDecompose(const CMatrix& u);
+
+/**
+ * Rebuild the matrix from its angles (testing aid).
+ */
+CMatrix zyzCompose(const ZyzAngles& angles);
+
+/**
+ * Append gates realizing the 2x2 unitary `u` on qubit `q`, up to global
+ * phase. Emits a single u3 (or nothing when u is a phase times identity).
+ */
+void emitSingleQubit(QuantumCircuit& circuit, int q, const CMatrix& u);
+
+/**
+ * Append gates realizing controlled-`u` (control c, target t) exactly,
+ * including the relative phase, via the ABC decomposition:
+ * CU = (phase on c) A CX B CX C with A B C = u up to phase and
+ * A X B X C = I. Costs at most 2 CX and a handful of 1q gates.
+ */
+void emitControlledSingleQubit(QuantumCircuit& circuit, int c, int t,
+                               const CMatrix& u);
+
+/** Principal square root of a 2x2 unitary (axis-angle halving). */
+CMatrix sqrtUnitary2x2(const CMatrix& u);
+
+} // namespace qa
+
+#endif // QA_SYNTH_ZYZ_HPP

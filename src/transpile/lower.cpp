@@ -1,0 +1,151 @@
+#include "transpile/lower.hpp"
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+#include "synth/unitary_synth.hpp"
+#include "synth/zyz.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Standard 6-CX Toffoli decomposition. */
+void
+lowerCcx(QuantumCircuit& out, int c0, int c1, int t)
+{
+    out.h(t);
+    out.cx(c1, t);
+    out.tdg(t);
+    out.cx(c0, t);
+    out.t(t);
+    out.cx(c1, t);
+    out.tdg(t);
+    out.cx(c0, t);
+    out.t(c1);
+    out.t(t);
+    out.h(t);
+    out.cx(c0, c1);
+    out.t(c0);
+    out.tdg(c1);
+    out.cx(c0, c1);
+}
+
+void
+lowerInstruction(QuantumCircuit& out, const Instruction& g)
+{
+    const auto& q = g.qubits;
+    if (g.arity() == 1) {
+        out.append(g);
+        return;
+    }
+    if (g.name == "cx") {
+        out.append(g);
+        return;
+    }
+    if (g.name == "cz") {
+        out.h(q[1]);
+        out.cx(q[0], q[1]);
+        out.h(q[1]);
+        return;
+    }
+    if (g.name == "cy") {
+        out.sdg(q[1]);
+        out.cx(q[0], q[1]);
+        out.s(q[1]);
+        return;
+    }
+    if (g.name == "swap") {
+        out.cx(q[0], q[1]);
+        out.cx(q[1], q[0]);
+        out.cx(q[0], q[1]);
+        return;
+    }
+    if (g.name == "crz") {
+        const double theta = g.params[0];
+        out.rz(q[1], theta / 2);
+        out.cx(q[0], q[1]);
+        out.rz(q[1], -theta / 2);
+        out.cx(q[0], q[1]);
+        return;
+    }
+    if (g.name == "cp") {
+        const double lambda = g.params[0];
+        out.p(q[0], lambda / 2);
+        out.p(q[1], lambda / 2);
+        out.cx(q[0], q[1]);
+        out.p(q[1], -lambda / 2);
+        out.cx(q[0], q[1]);
+        return;
+    }
+    if (g.name == "cu3" || g.name == "ch") {
+        // Extract the controlled block (lower-right quadrant) and emit
+        // its exact ABC decomposition.
+        CMatrix u(2, 2);
+        for (size_t r = 0; r < 2; ++r) {
+            for (size_t c = 0; c < 2; ++c) {
+                u(r, c) = g.matrix(2 + r, 2 + c);
+            }
+        }
+        emitControlledSingleQubit(out, q[0], q[1], u);
+        return;
+    }
+    if (g.name == "ccx") {
+        lowerCcx(out, q[0], q[1], q[2]);
+        return;
+    }
+    if (g.name == "ccrz") {
+        const double theta = g.params[0];
+        // Diagonal CCU: half-angle network; all factors commute.
+        out.crz(q[1], q[2], theta / 2);
+        out.cx(q[0], q[1]);
+        out.crz(q[1], q[2], -theta / 2);
+        out.cx(q[0], q[1]);
+        out.crz(q[0], q[2], theta / 2);
+        return;
+    }
+    // Opaque multi-qubit gate: synthesize its matrix.
+    QuantumCircuit synth(out.numQubits());
+    synthesizeUnitaryInto(synth, g.matrix, q);
+    for (const Instruction& instr : synth.instructions()) {
+        lowerInstruction(out, instr);
+    }
+}
+
+} // namespace
+
+QuantumCircuit
+lowerToBasis(const QuantumCircuit& circuit)
+{
+    QuantumCircuit out(circuit.numQubits(), circuit.numClbits());
+    // Iterate until fixpoint: synthesized sub-circuits can introduce
+    // cz/ccx layers of their own.
+    QuantumCircuit current = circuit;
+    for (int pass = 0; pass < 8 && !isBasisLevel(current); ++pass) {
+        QuantumCircuit next(circuit.numQubits(), circuit.numClbits());
+        for (const Instruction& instr : current.instructions()) {
+            if (instr.type != OpType::kGate) {
+                next.append(instr);
+            } else {
+                lowerInstruction(next, instr);
+            }
+        }
+        current = std::move(next);
+    }
+    QA_ASSERT(isBasisLevel(current), "lowering did not converge");
+    return current;
+}
+
+bool
+isBasisLevel(const QuantumCircuit& circuit)
+{
+    for (const Instruction& instr : circuit.instructions()) {
+        if (!instr.isGate()) continue;
+        if (instr.arity() == 1) continue;
+        if (instr.name != "cx") return false;
+    }
+    return true;
+}
+
+} // namespace qa

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Basis lowering: rewrite a circuit so its gate set is {named
+ * single-qubit gates} + CX, the cost basis of the paper's tables
+ * (#CX / #SG). Opaque multi-qubit unitaries are synthesized.
+ */
+#ifndef QA_TRANSPILE_LOWER_HPP
+#define QA_TRANSPILE_LOWER_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+
+/**
+ * Lower every instruction to single-qubit gates and CX.
+ * Measurements, resets, and barriers pass through unchanged.
+ */
+QuantumCircuit lowerToBasis(const QuantumCircuit& circuit);
+
+/** True if the circuit contains only 1q gates, CX, and non-gate ops. */
+bool isBasisLevel(const QuantumCircuit& circuit);
+
+} // namespace qa
+
+#endif // QA_TRANSPILE_LOWER_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Peephole circuit optimization (in the spirit of the authors' relaxed
+ * peephole optimization paper [31]):
+ *
+ *  - merge adjacent single-qubit gates (dropping phase-identities),
+ *  - cancel adjacent multi-qubit gate pairs whose product is identity,
+ *  - rewrite h-CZ-h sandwiches into CX (this is what turns the NDD
+ *    parity-check assertion into the bare CX-chain circuit of Fig. 14).
+ *
+ * Gate-count comparisons in the paper's tables are made after
+ * optimizeAndLower().
+ */
+#ifndef QA_TRANSPILE_PEEPHOLE_HPP
+#define QA_TRANSPILE_PEEPHOLE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+
+/** Run merge/cancel/rewrite passes to a fixpoint (bounded). */
+QuantumCircuit peepholeOptimize(const QuantumCircuit& circuit);
+
+/** peephole -> lower -> peephole: the standard costing pipeline. */
+QuantumCircuit optimizeAndLower(const QuantumCircuit& circuit);
+
+/** Cost of a circuit in the paper's metrics. */
+struct CircuitCost
+{
+    int cx = 0;       ///< CX gates after lowering + optimization.
+    int sg = 0;       ///< Single-qubit gates after lowering + optimization.
+    int ancilla = 0;  ///< Filled in by the assertion builders.
+    int measure = 0;  ///< Measurement count.
+};
+
+/** Compute #CX/#SG/#measure of the optimizeAndLower'd circuit. */
+CircuitCost circuitCost(const QuantumCircuit& circuit);
+
+} // namespace qa
+
+#endif // QA_TRANSPILE_PEEPHOLE_HPP

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the workload library: canonical states, QFT, QPE, the
+ * Deutsch-Jozsa oracles, and the Fourier-space controlled adder.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/adder.hpp"
+#include "algos/deutsch_jozsa.hpp"
+#include "algos/qft.hpp"
+#include "algos/qpe.hpp"
+#include "algos/states.hpp"
+#include "algos/teleport.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+#include "synth/unitary_synth.hpp"
+#include "test_util.hpp"
+
+namespace qa
+{
+namespace
+{
+
+using namespace algos;
+
+TEST(StatePrepsTest, BellStates)
+{
+    for (BellKind kind : {BellKind::kPhiPlus, BellKind::kPhiMinus,
+                          BellKind::kPsiPlus, BellKind::kPsiMinus}) {
+        EXPECT_TRUE(finalState(bellPrep(kind))
+                        .amplitudes()
+                        .equalsUpToPhase(bellVector(kind), 1e-10));
+    }
+    // Distinct kinds are orthogonal.
+    EXPECT_NEAR(fidelity(bellVector(BellKind::kPhiPlus),
+                         bellVector(BellKind::kPsiMinus)),
+                0.0, 1e-12);
+}
+
+TEST(StatePrepsTest, GhzFamilyAndBugs)
+{
+    for (int n : {2, 3, 4, 5}) {
+        EXPECT_TRUE(finalState(ghzPrep(n)).amplitudes().equalsUpToPhase(
+            ghzVector(n), 1e-10))
+            << n;
+    }
+    // Bug1: sign flip -- same probabilities, different state.
+    CVector bug1 = finalState(ghzPrep(3, 1)).amplitudes();
+    EXPECT_FALSE(bug1.equalsUpToPhase(ghzVector(3), 1e-6));
+    EXPECT_NEAR(std::norm(bug1[0]), 0.5, 1e-9);
+    EXPECT_NEAR(std::norm(bug1[7]), 0.5, 1e-9);
+
+    // Bug2: wrong entanglement -- support changes.
+    CVector bug2 = finalState(ghzPrep(3, 2)).amplitudes();
+    EXPECT_NEAR(std::norm(bug2[7]), 0.0, 1e-9);
+}
+
+TEST(StatePrepsTest, WAndCluster)
+{
+    EXPECT_NEAR(wVector(3).norm(), 1.0, 1e-12);
+    EXPECT_TRUE(finalState(wPrep(4)).amplitudes().equalsUpToPhase(
+        wVector(4), 1e-7));
+    CVector cluster = linearClusterVector(3);
+    // Cluster states have uniform magnitudes 1/sqrt(2^n).
+    for (size_t i = 0; i < cluster.dim(); ++i) {
+        EXPECT_NEAR(std::abs(cluster[i]), 1.0 / std::sqrt(8.0), 1e-10);
+    }
+}
+
+TEST(QftTest, MatchesDft)
+{
+    for (int n : {1, 2, 3}) {
+        const size_t dim = size_t(1) << n;
+        CMatrix dft(dim, dim);
+        for (size_t r = 0; r < dim; ++r) {
+            for (size_t c = 0; c < dim; ++c) {
+                const double angle = 2.0 * M_PI * double(r) * double(c) /
+                                     double(dim);
+                dft(r, c) = Complex(std::cos(angle), std::sin(angle)) /
+                            std::sqrt(double(dim));
+            }
+        }
+        EXPECT_TRUE(circuitUnitary(qft(n)).equalsUpToPhase(dft, 1e-9))
+            << "n = " << n;
+    }
+}
+
+TEST(QftTest, InverseUndoes)
+{
+    QuantumCircuit qc(3);
+    std::vector<int> qubits{0, 1, 2};
+    appendQft(qc, qubits);
+    appendIqft(qc, qubits);
+    EXPECT_TRUE(circuitUnitary(qc).equalsUpToPhase(CMatrix::identity(8),
+                                                   1e-9));
+}
+
+TEST(QpeTest, CleanRunDecodesPhase)
+{
+    // lambda = pi/4: eigenphase 1/8 -> counting register reads 2 (0010)
+    // on the |1> eigenstate branch and 0 on the |0> branch.
+    QpeProgram qpe(4, M_PI / 4);
+    CVector final = qpe.expectedStateAtSlot(qpe.numSlots());
+    // Support: |0000>|0> and |0010>|1>.
+    EXPECT_NEAR(std::norm(final[0]), 0.5, 1e-9);
+    EXPECT_NEAR(std::norm(final[2 * 2 + 1]), 0.5, 1e-9);
+}
+
+TEST(QpeTest, SlotStatesMatchPaperStructure)
+{
+    QpeProgram qpe(4, M_PI / 8);
+    // Slot 1: |+>^4 (x) |+>.
+    CVector v1 = qpe.expectedStateAtSlot(1);
+    for (size_t i = 0; i < 32; ++i) {
+        EXPECT_NEAR(std::abs(v1[i]), 1.0 / std::sqrt(32.0), 1e-9);
+    }
+    // Slot 5 has the (|++++>|0> + |theta4>|1>)/sqrt2 structure: all
+    // magnitudes still uniform, phases only on the |1> branch.
+    CVector v5 = qpe.expectedStateAtSlot(5);
+    for (size_t i = 0; i < 32; ++i) {
+        EXPECT_NEAR(std::abs(v5[i]), 1.0 / std::sqrt(32.0), 1e-9);
+        if (i % 2 == 0) {
+            EXPECT_NEAR(std::arg(v5[i]), std::arg(v5[0]), 1e-9);
+        }
+    }
+}
+
+TEST(QpeTest, BugsChangeSlotStates)
+{
+    QpeProgram clean(4, M_PI / 8);
+    for (QpeBug bug : {QpeBug::kFixedAngle, QpeBug::kMissingControl,
+                       QpeBug::kWrongParamOrder}) {
+        QpeProgram buggy(4, M_PI / 8, bug);
+        const CVector got = finalState(buggy.full()).amplitudes();
+        const CVector want = finalState(clean.full()).amplitudes();
+        EXPECT_FALSE(got.equalsUpToPhase(want, 1e-6));
+    }
+}
+
+TEST(QpeTest, FixedAngleBugMatchesCleanUpToSlot2)
+{
+    // Bug1 only diverges once 2^j != 1, i.e. from the second
+    // controlled power onward (paper Sec. IX-A: slots 1 and 2 still
+    // pass, slots 3+ fail).
+    QpeProgram clean(4, M_PI / 8);
+    QpeProgram buggy(4, M_PI / 8, QpeBug::kFixedAngle);
+    auto prefixState = [](const QpeProgram& qpe, int slots) {
+        QuantumCircuit qc(qpe.numQubits());
+        std::vector<int> ident;
+        for (int q = 0; q < qpe.numQubits(); ++q) ident.push_back(q);
+        for (int s = 0; s < slots; ++s) qc.compose(qpe.stage(s), ident);
+        return finalState(qc).amplitudes();
+    };
+    // Slot 2 (after the j = 0 power, angle 2^0 lambda): identical.
+    EXPECT_TRUE(prefixState(clean, 2).equalsUpToPhase(
+        prefixState(buggy, 2), 1e-10));
+    // Slot 3 (after the j = 1 power): the dropped index shows.
+    EXPECT_FALSE(prefixState(clean, 3).equalsUpToPhase(
+        prefixState(buggy, 3), 1e-6));
+}
+
+TEST(DeutschJozsaTest, JointStatesMatchCircuits)
+{
+    for (int n : {1, 2, 3}) {
+        EXPECT_TRUE(finalState(djFunctionEval(n, DjOracle::kConstantZero))
+                        .amplitudes()
+                        .equalsUpToPhase(
+                            djJointState(n, DjOracle::kConstantZero),
+                            1e-9));
+        EXPECT_TRUE(finalState(djFunctionEval(n, DjOracle::kConstantOne))
+                        .amplitudes()
+                        .equalsUpToPhase(
+                            djJointState(n, DjOracle::kConstantOne),
+                            1e-9));
+        for (uint64_t mask = 1; mask < (uint64_t(1) << n); ++mask) {
+            EXPECT_TRUE(
+                finalState(djFunctionEval(n, DjOracle::kBalancedMask, mask))
+                    .amplitudes()
+                    .equalsUpToPhase(
+                        djJointState(n, DjOracle::kBalancedMask, mask),
+                        1e-9))
+                << "mask " << mask;
+        }
+    }
+}
+
+TEST(DeutschJozsaTest, SetSizes)
+{
+    EXPECT_EQ(djConstantSet(2).size(), 2u);
+    EXPECT_EQ(djBalancedSet(2).size(), 6u); // Table IV rows 3-8
+    EXPECT_EQ(djBalancedSet(1).size(), 2u);
+}
+
+TEST(DeutschJozsaTest, BuggyOracleOutsideBothSets)
+{
+    // f = AND is neither constant nor balanced: its joint state is not
+    // in the span of either set... but retains overlap with the
+    // constant set (the paper's reason Fig. 17b shows errors < 100%).
+    const CVector buggy = djJointState(2, DjOracle::kBuggyAnd);
+    double const_overlap = 0.0;
+    for (const CVector& c : djConstantSet(2)) {
+        const_overlap += std::norm(c.inner(buggy));
+    }
+    EXPECT_GT(const_overlap, 0.1);
+    EXPECT_LT(const_overlap, 0.99);
+
+    // Balanced joint states ARE members of the balanced set span.
+    const CVector balanced =
+        djJointState(2, DjOracle::kBalancedMask, 0b01);
+    double found = 0.0;
+    for (const CVector& b : djBalancedSet(2)) {
+        found = std::max(found, std::norm(b.inner(balanced)));
+    }
+    EXPECT_NEAR(found, 1.0, 1e-9);
+}
+
+TEST(AdderTest, AddsForAllOperands)
+{
+    for (int width : {2, 3}) {
+        const uint64_t mod = uint64_t(1) << width;
+        for (uint64_t initial = 0; initial < mod; ++initial) {
+            for (uint64_t a = 0; a < mod; ++a) {
+                QuantumCircuit qc = adderProgram(width, initial, a, 0,
+                                                 false);
+                auto probs = finalState(qc).basisProbabilities(1e-6);
+                ASSERT_EQ(probs.size(), 1u)
+                    << width << " " << initial << " " << a;
+                EXPECT_EQ(probs.begin()->first, (initial + a) % mod);
+            }
+        }
+    }
+}
+
+TEST(AdderTest, ControlledVariants)
+{
+    // Controls off: identity; on: adds.
+    for (int nc : {1, 2}) {
+        QuantumCircuit off = adderProgram(3, 5, 2, nc, false);
+        auto p_off = finalState(off).basisProbabilities(1e-6);
+        ASSERT_EQ(p_off.size(), 1u);
+        EXPECT_EQ(p_off.begin()->first >> nc, 5u);
+
+        QuantumCircuit on = adderProgram(3, 5, 2, nc, true);
+        auto p_on = finalState(on).basisProbabilities(1e-6);
+        ASSERT_EQ(p_on.size(), 1u);
+        EXPECT_EQ(p_on.begin()->first >> nc, 7u);
+    }
+}
+
+TEST(AdderTest, BugChangesResult)
+{
+    QuantumCircuit good = adderProgram(3, 1, 5, 2, true, false);
+    QuantumCircuit bad = adderProgram(3, 1, 5, 2, true, true);
+    EXPECT_FALSE(finalState(bad).amplitudes().equalsUpToPhase(
+        finalState(good).amplitudes(), 1e-6));
+    // The buggy rotations only matter when both controls are on.
+    QuantumCircuit bad_off = adderProgram(3, 1, 5, 2, false, true);
+    QuantumCircuit good_off = adderProgram(3, 1, 5, 2, false, false);
+    EXPECT_TRUE(finalState(bad_off).amplitudes().equalsUpToPhase(
+        finalState(good_off).amplitudes(), 1e-9));
+}
+
+TEST(TeleportTest, DeliversPayloadExactly)
+{
+    Rng rng(91);
+    for (int trial = 0; trial < 5; ++trial) {
+        const CVector payload = randomState(1, rng);
+        const CVector final =
+            finalState(teleportProgram(payload)).amplitudes();
+        // Qubit 2 (LSB) carries the payload; qubits 0, 1 end in |+>|+>.
+        const CMatrix rho2 = partialTrace(densityFromPure(final), {2});
+        EXPECT_NEAR(purity(rho2), 1.0, 1e-9);
+        EXPECT_NEAR(fidelity(rho2, payload), 1.0, 1e-9);
+    }
+}
+
+TEST(TeleportTest, BugsBreakDelivery)
+{
+    CVector payload{Complex(0.6, 0.0), Complex(0.0, 0.8)};
+    for (TeleportBug bug : {TeleportBug::kMissingZCorrection,
+                            TeleportBug::kWrongBellPair}) {
+        const CVector final =
+            finalState(teleportProgram(payload, bug)).amplitudes();
+        const CMatrix rho2 = partialTrace(densityFromPure(final), {2});
+        EXPECT_LT(fidelity(rho2, payload), 0.99);
+    }
+}
+
+TEST(TeleportTest, MidProtocolBellAssertion)
+{
+    // Assert the resource pair right after stage 1; the wrong-pair bug
+    // trips it, the correction bug does not (it happens later).
+    const CVector payload{Complex(0.6, 0.0), Complex(0.0, 0.8)};
+    auto err = [&](TeleportBug bug) {
+        QuantumCircuit prefix(3);
+        std::vector<int> ident{0, 1, 2};
+        prefix.compose(teleportStage(payload, 0, bug), ident);
+        prefix.compose(teleportStage(payload, 1, bug), ident);
+        AssertedProgram prog(prefix);
+        prog.assertState({1, 2},
+                         StateSet::pure(bellVector(BellKind::kPhiPlus)),
+                         AssertionDesign::kNdd);
+        return runAssertedExact(prog).slot_error_prob[0];
+    };
+    EXPECT_NEAR(err(TeleportBug::kNone), 0.0, 1e-9);
+    EXPECT_NEAR(err(TeleportBug::kWrongBellPair), 1.0, 1e-9);
+    EXPECT_NEAR(err(TeleportBug::kMissingZCorrection), 0.0, 1e-9);
+}
+
+TEST(TeleportTest, FinalPayloadAssertion)
+{
+    // A precise single-qubit assertion on the delivered qubit catches
+    // both bugs.
+    const CVector payload{Complex(0.6, 0.0), Complex(0.0, 0.8)};
+    auto err = [&](TeleportBug bug) {
+        AssertedProgram prog(teleportProgram(payload, bug));
+        prog.assertState({2}, StateSet::pure(payload),
+                         AssertionDesign::kSwap);
+        return runAssertedExact(prog).slot_error_prob[0];
+    };
+    EXPECT_NEAR(err(TeleportBug::kNone), 0.0, 1e-9);
+    EXPECT_GT(err(TeleportBug::kMissingZCorrection), 0.05);
+    EXPECT_GT(err(TeleportBug::kWrongBellPair), 0.05);
+}
+
+} // namespace
+} // namespace qa

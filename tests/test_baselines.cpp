@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the baseline assertion schemes: statistical assertion
+ * (chi-square machinery + phase blindness), the ASPLOS'20 primitives,
+ * and the Proq projection baseline's coverage.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/states.hpp"
+#include "baselines/chi_square.hpp"
+#include "baselines/primitives.hpp"
+#include "baselines/stat_assertion.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+#include "synth/state_prep.hpp"
+#include "test_util.hpp"
+
+namespace qa
+{
+namespace
+{
+
+TEST(ChiSquareTest, GammaFunctionSanity)
+{
+    // Q(a, 0) = 1; Q(0.5, large) -> 0.
+    EXPECT_NEAR(regularizedGammaQ(0.5, 0.0), 1.0, 1e-12);
+    EXPECT_LT(regularizedGammaQ(0.5, 50.0), 1e-10);
+    // Chi-square with 1 dof: P(X >= 3.841) ~= 0.05.
+    EXPECT_NEAR(chiSquareSurvival(3.841, 1), 0.05, 0.001);
+    // 2 dof: survival is exp(-x/2).
+    EXPECT_NEAR(chiSquareSurvival(4.0, 2), std::exp(-2.0), 1e-9);
+}
+
+TEST(ChiSquareTest, GoodnessOfFit)
+{
+    // Perfect fit: tiny statistic, p ~ 1.
+    ChiSquareResult good = chiSquareTest({500, 500}, {0.5, 0.5});
+    EXPECT_LT(good.statistic, 1e-9);
+    EXPECT_GT(good.p_value, 0.99);
+
+    // Strong misfit rejects.
+    ChiSquareResult bad = chiSquareTest({900, 100}, {0.5, 0.5});
+    EXPECT_LT(bad.p_value, 1e-6);
+
+    // Mass in an impossible cell rejects.
+    ChiSquareResult impossible = chiSquareTest({100, 100}, {1.0, 0.0});
+    EXPECT_LT(impossible.p_value, 1e-6);
+}
+
+TEST(StatAssertionTest, AcceptsCorrectState)
+{
+    StatAssertionOptions options;
+    options.shots = 4096;
+    StatAssertionResult result = statAssertState(
+        algos::ghzPrep(3), {0, 1, 2}, algos::ghzVector(3), options);
+    EXPECT_FALSE(result.rejected);
+    // Only |000> and |111> observed.
+    EXPECT_EQ(result.observed[1], 0);
+    EXPECT_EQ(result.observed[6], 0);
+}
+
+TEST(StatAssertionTest, DetectsWrongEntanglement)
+{
+    // GHZ Bug2 changes which basis states appear: Stat catches it.
+    StatAssertionResult result = statAssertState(
+        algos::ghzPrep(3, /*bug=*/2), {0, 1, 2}, algos::ghzVector(3),
+        StatAssertionOptions{});
+    EXPECT_TRUE(result.rejected);
+}
+
+TEST(StatAssertionTest, BlindToPhaseBug)
+{
+    // GHZ Bug1 flips a sign: same computational-basis distribution, so
+    // the statistical assertion cannot reject (Table I row 1).
+    StatAssertionResult result = statAssertState(
+        algos::ghzPrep(3, /*bug=*/1), {0, 1, 2}, algos::ghzVector(3),
+        StatAssertionOptions{});
+    EXPECT_FALSE(result.rejected);
+}
+
+TEST(StatAssertionTest, SubsetOfQubits)
+{
+    // Assert only qubit 0 of a GHZ: expected marginal is uniform.
+    StatAssertionResult result = statAssert(
+        algos::ghzPrep(3), {0}, {0.5, 0.5}, StatAssertionOptions{});
+    EXPECT_FALSE(result.rejected);
+}
+
+TEST(PrimitivesTest, ClassicalAssertion)
+{
+    for (int expected : {0, 1}) {
+        for (int actual : {0, 1}) {
+            QuantumCircuit prep(1);
+            if (actual == 1) prep.x(0);
+            AssertedProgram prog(prep);
+            primitiveAssertClassical(prog, 0, expected);
+            const AssertionOutcomeExact outcome = runAssertedExact(prog);
+            EXPECT_NEAR(outcome.slot_error_prob[0],
+                        expected == actual ? 0.0 : 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(PrimitivesTest, ClassicalAssertionIsNonDestructive)
+{
+    QuantumCircuit prep(1);
+    prep.x(0);
+    AssertedProgram prog(prep);
+    primitiveAssertClassical(prog, 0, 1);
+    prog.measureProgram();
+    const AssertionOutcomeExact outcome = runAssertedExact(prog);
+    EXPECT_NEAR(outcome.program_dist.probability("1"), 1.0, 1e-9);
+}
+
+TEST(PrimitivesTest, SuperpositionAssertion)
+{
+    // |+> passes the plus assertion, |-> fails it, and vice versa.
+    for (bool plus_state : {true, false}) {
+        QuantumCircuit prep(1);
+        prep.h(0);
+        if (!plus_state) prep.z(0);
+        for (bool assert_plus : {true, false}) {
+            AssertedProgram prog(prep);
+            primitiveAssertSuperposition(prog, 0, assert_plus);
+            const AssertionOutcomeExact outcome = runAssertedExact(prog);
+            EXPECT_NEAR(outcome.slot_error_prob[0],
+                        plus_state == assert_plus ? 0.0 : 1.0, 1e-9)
+                << "state " << plus_state << " assert " << assert_plus;
+        }
+    }
+}
+
+TEST(PrimitivesTest, ParityAssertion)
+{
+    // Bell pair is in the even span; flipping one qubit moves it to odd.
+    AssertedProgram even_prog(algos::bellPrep(algos::BellKind::kPhiPlus));
+    primitiveAssertParity(even_prog, {0, 1}, true);
+    EXPECT_NEAR(runAssertedExact(even_prog).slot_error_prob[0], 0.0, 1e-9);
+
+    QuantumCircuit odd = algos::bellPrep(algos::BellKind::kPhiPlus);
+    odd.x(1);
+    AssertedProgram odd_prog(odd);
+    primitiveAssertParity(odd_prog, {0, 1}, true);
+    EXPECT_NEAR(runAssertedExact(odd_prog).slot_error_prob[0], 1.0, 1e-9);
+
+    AssertedProgram odd_ok(odd);
+    primitiveAssertParity(odd_ok, {0, 1}, false);
+    EXPECT_NEAR(runAssertedExact(odd_ok).slot_error_prob[0], 0.0, 1e-9);
+}
+
+TEST(PrimitivesTest, ParityCannotSeeCoefficients)
+{
+    // The parity primitive accepts ANY a|00> + b|11>, including the
+    // sign-flipped GHZ-type bug -- the limitation motivating precise
+    // assertion (Sec. III).
+    QuantumCircuit flipped(2);
+    flipped.h(0);
+    flipped.cx(0, 1);
+    flipped.z(0);
+    AssertedProgram prog(flipped);
+    primitiveAssertParity(prog, {0, 1}, true);
+    EXPECT_NEAR(runAssertedExact(prog).slot_error_prob[0], 0.0, 1e-9);
+}
+
+TEST(PrimitivesTest, ParityPreservesEntanglement)
+{
+    // A Bell pair sits in the even-parity span; the parity primitive
+    // must pass AND leave the entangled state intact for the follow-up
+    // precise assertion.
+    AssertedProgram prog(algos::bellPrep(algos::BellKind::kPhiPlus));
+    primitiveAssertParity(prog, {0, 1}, true);
+    prog.assertState({0, 1},
+                     StateSet::pure(algos::bellVector(
+                         algos::BellKind::kPhiPlus)),
+                     AssertionDesign::kSwap);
+    const AssertionOutcomeExact outcome = runAssertedExact(prog);
+    EXPECT_NEAR(outcome.slot_error_prob[0], 0.0, 1e-7);
+    EXPECT_NEAR(outcome.slot_error_prob[1], 0.0, 1e-7);
+}
+
+TEST(PrimitivesTest, ParityCannotExpressGhz)
+{
+    // The paper's motivating gap (Sec. II-B): a 3-qubit GHZ has mixed
+    // parity, so the even-parity primitive falsely fires half the time
+    // even on the CORRECT state.
+    AssertedProgram prog(algos::ghzPrep(3));
+    primitiveAssertParity(prog, {0, 1, 2}, true);
+    EXPECT_NEAR(runAssertedExact(prog).slot_error_prob[0], 0.5, 1e-9);
+}
+
+TEST(ProqTest, CatchesBothGhzBugs)
+{
+    // Table I: Proq detects Bug1 and Bug2.
+    for (int bug : {1, 2}) {
+        AssertedProgram prog(algos::ghzPrep(3, bug));
+        prog.assertState({0, 1, 2}, StateSet::pure(algos::ghzVector(3)),
+                         AssertionDesign::kProq);
+        EXPECT_GT(runAssertedExact(prog).slot_error_prob[0], 0.4)
+            << "bug " << bug;
+    }
+    AssertedProgram clean(algos::ghzPrep(3));
+    clean.assertState({0, 1, 2}, StateSet::pure(algos::ghzVector(3)),
+                      AssertionDesign::kProq);
+    EXPECT_NEAR(runAssertedExact(clean).slot_error_prob[0], 0.0, 1e-7);
+}
+
+TEST(ProqTest, NeedsNoAncilla)
+{
+    AssertedProgram prog(algos::ghzPrep(3));
+    prog.assertState({0, 1, 2}, StateSet::pure(algos::ghzVector(3)),
+                     AssertionDesign::kProq);
+    EXPECT_TRUE(prog.slots()[0].ancillas.empty());
+    EXPECT_EQ(prog.circuit().numQubits(), 3);
+}
+
+} // namespace
+} // namespace qa

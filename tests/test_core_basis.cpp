@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the assertion foundation: StateSet analysis, rank-regime
+ * classification, superset and extended-basis construction, and the
+ * shared basis-change builder.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/builders.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "core/state_set.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+#include "synth/unitary_synth.hpp"
+#include "test_util.hpp"
+
+namespace qa
+{
+namespace
+{
+
+CVector
+ghz(int n)
+{
+    CVector v(size_t(1) << n);
+    v[0] = v[v.dim() - 1] = 1.0 / std::sqrt(2.0);
+    return v;
+}
+
+TEST(StateSetTest, KindsAndValidation)
+{
+    StateSet pure = StateSet::pure(ghz(3));
+    EXPECT_EQ(pure.kind(), StateSetKind::kPure);
+    EXPECT_EQ(pure.numQubits(), 3);
+    EXPECT_THROW(pure.density(), UserError);
+
+    CMatrix not_density = CMatrix::identity(4); // trace 4
+    EXPECT_THROW(StateSet::mixed(not_density), UserError);
+
+    EXPECT_THROW(StateSet::approximate({}), UserError);
+    EXPECT_THROW(StateSet::approximate(
+                     {CVector::basisState(2, 0), CVector::basisState(4, 0)}),
+                 UserError);
+}
+
+TEST(StateSetTest, PureAnalysis)
+{
+    CorrectSubspace ss = analyzeStateSet(StateSet::pure(ghz(3)));
+    EXPECT_EQ(ss.rank(), 1u);
+    EXPECT_EQ(ss.n, 3);
+    EXPECT_FALSE(ss.all_basis_states);
+}
+
+TEST(StateSetTest, MixedAnalysisRank)
+{
+    // rho_23 of the GHZ example: rank 2, both eigenstates basis states.
+    CMatrix rho = partialTrace(densityFromPure(ghz(3)), {1, 2});
+    CorrectSubspace ss = analyzeStateSet(StateSet::mixed(rho));
+    EXPECT_EQ(ss.rank(), 2u);
+    EXPECT_TRUE(ss.all_basis_states);
+    EXPECT_EQ(ss.basis_indices.size(), 2u);
+    // |00> and |11> in the 2-qubit space.
+    EXPECT_EQ(ss.basis_indices[0], 0u);
+    EXPECT_EQ(ss.basis_indices[1], 3u);
+}
+
+TEST(StateSetTest, DegenerateEigenspaceRealignsToBasisStates)
+{
+    // Equal mixture of |000> and |111>: Jacobi may rotate inside the
+    // degenerate eigenspace; alignment must restore basis states.
+    CMatrix rho = densityFromMixture(
+        {CVector::basisState(8, 0), CVector::basisState(8, 7)});
+    CorrectSubspace ss = analyzeStateSet(StateSet::mixed(rho));
+    EXPECT_TRUE(ss.all_basis_states);
+    EXPECT_EQ(ss.basis_indices, (std::vector<uint64_t>{0, 7}));
+}
+
+TEST(StateSetTest, ApproximateUsesSpanNotProbabilities)
+{
+    // Non-orthogonal members: span has rank 2.
+    CVector plus{1.0 / std::sqrt(2), 1.0 / std::sqrt(2)};
+    CorrectSubspace ss = analyzeStateSet(
+        StateSet::approximate({CVector::basisState(2, 0), plus}));
+    EXPECT_EQ(ss.rank(), 2u);
+
+    // Duplicate members do not inflate the rank.
+    CorrectSubspace dup = analyzeStateSet(StateSet::approximate(
+        {CVector::basisState(2, 0), CVector::basisState(2, 0)}));
+    EXPECT_EQ(dup.rank(), 1u);
+}
+
+TEST(StateSetTest, ProjectorIsIdempotent)
+{
+    Rng rng(15);
+    CorrectSubspace ss = analyzeStateSet(
+        StateSet::mixed(randomDensity(3, 3, rng)));
+    CMatrix p = ss.projector();
+    test::expectMatrixNear(p * p, p, 1e-8);
+    test::expectComplexNear(p.trace(), Complex(double(ss.rank())), 1e-8);
+}
+
+TEST(RankRegimeTest, Classification)
+{
+    int m = -1;
+    EXPECT_EQ(classifyRank(1, 3, &m), RankRegime::kPower);
+    EXPECT_EQ(m, 0);
+    EXPECT_EQ(classifyRank(2, 3, &m), RankRegime::kPower);
+    EXPECT_EQ(m, 1);
+    EXPECT_EQ(classifyRank(3, 3, &m), RankRegime::kBetween);
+    EXPECT_EQ(m, 1);
+    EXPECT_EQ(classifyRank(4, 3, &m), RankRegime::kPower);
+    EXPECT_EQ(classifyRank(5, 3, &m), RankRegime::kLarge);
+    EXPECT_EQ(classifyRank(7, 3, &m), RankRegime::kLarge);
+    EXPECT_EQ(classifyRank(8, 3, &m), RankRegime::kFull);
+    EXPECT_THROW(classifyRank(0, 3, &m), UserError);
+    EXPECT_THROW(classifyRank(9, 3, &m), UserError);
+}
+
+TEST(SupersetTest, PaperExample)
+{
+    // Sec. IV-C case 2: rho = 0.5|000><000| + 0.25|001><001| +
+    // 0.25|010><010| (t = 3).
+    CMatrix rho = densityFromMixture(
+        {CVector::basisState(8, 0), CVector::basisState(8, 1),
+         CVector::basisState(8, 2)},
+        {0.5, 0.25, 0.25});
+    CorrectSubspace ss = analyzeStateSet(StateSet::mixed(rho));
+    ASSERT_EQ(ss.rank(), 3u);
+
+    auto [s1, s2] = buildSupersets(ss, 1);
+    EXPECT_EQ(s1.size(), 4u);
+    EXPECT_EQ(s2.size(), 4u);
+    // Each superset orthonormal and containing the correct basis.
+    for (const auto& s : {s1, s2}) {
+        for (size_t i = 0; i < s.size(); ++i) {
+            for (size_t j = i + 1; j < s.size(); ++j) {
+                test::expectComplexNear(s[i].inner(s[j]), Complex(0.0),
+                                        1e-9);
+            }
+        }
+    }
+    // The two extras are orthogonal to each other (disjoint supersets).
+    test::expectComplexNear(s1[3].inner(s2[3]), Complex(0.0), 1e-9);
+}
+
+TEST(ExtendedBasisTest, LargeRankEmbedding)
+{
+    // t = 3 on 2 qubits: kLarge. Extended basis has rank 4 over 3 qubits.
+    CMatrix rho = densityFromMixture(
+        {CVector::basisState(4, 0), CVector::basisState(4, 1),
+         CVector::basisState(4, 2)});
+    CorrectSubspace ss = analyzeStateSet(StateSet::mixed(rho));
+    ASSERT_EQ(classifyRank(ss.rank(), 2, nullptr), RankRegime::kLarge);
+
+    auto ext = buildExtendedBasis(ss);
+    ASSERT_EQ(ext.size(), 4u);
+    for (const CVector& v : ext) EXPECT_EQ(v.dim(), 8u);
+    // First t entries live in the |0> half, the rest in the |1> half.
+    for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = 4; j < 8; ++j) {
+            test::expectComplexNear(ext[i][j], Complex(0.0), 1e-12);
+        }
+    }
+    for (size_t j = 0; j < 4; ++j) {
+        test::expectComplexNear(ext[3][j], Complex(0.0), 1e-12);
+    }
+}
+
+TEST(BasisChangeTest, PureStateMapsToZero)
+{
+    Rng rng(8);
+    for (int n : {1, 2, 3}) {
+        CVector psi = randomState(n, rng);
+        BasisChange bc = buildBasisChange({psi}, n);
+        CVector mapped = circuitUnitary(bc.uinv) * psi;
+        EXPECT_NEAR(std::abs(mapped[0]), 1.0, 1e-7);
+        // u restores.
+        CVector restored = circuitUnitary(bc.u) *
+                           CVector::basisState(size_t(1) << n, 0);
+        EXPECT_TRUE(restored.equalsUpToPhase(psi, 1e-7));
+        EXPECT_EQ(bc.flag_qubits.size(), size_t(n));
+    }
+}
+
+TEST(BasisChangeTest, AffineSetClearsCheckQubits)
+{
+    std::vector<CVector> basis = {CVector::basisState(8, 0),
+                                  CVector::basisState(8, 7)};
+    BasisChange bc = buildBasisChange(basis, 3);
+    EXPECT_EQ(bc.flag_qubits.size(), 2u);
+    CMatrix uinv = circuitUnitary(bc.uinv);
+    for (const CVector& b : basis) {
+        CVector mapped = uinv * b;
+        // Every amplitude must sit on an index whose flag qubits are 0.
+        for (uint64_t i = 0; i < 8; ++i) {
+            if (std::abs(mapped[i]) < 1e-9) continue;
+            for (int f : bc.flag_qubits) {
+                EXPECT_EQ((i >> (2 - f)) & 1, 0u) << "index " << i;
+            }
+        }
+    }
+    // CNOT/X only.
+    EXPECT_EQ(bc.uinv.countSingleQubit() -
+                  bc.uinv.countGates("x"), 0);
+}
+
+TEST(BasisChangeTest, CorrectIndicesConsistent)
+{
+    // For any basis change, uinv maps the span of the basis onto the
+    // span of the correct indices.
+    Rng rng(21);
+    std::vector<CVector> basis;
+    basis.push_back(randomState(2, rng));
+    auto ortho = completeBasis(basis, 4);
+    basis.push_back(ortho[1]);
+    BasisChange bc = buildBasisChange(basis, 2);
+    ASSERT_EQ(bc.correct_indices.size(), 2u);
+    CMatrix uinv = circuitUnitary(bc.uinv);
+    for (const CVector& b : basis) {
+        CVector mapped = uinv * b;
+        double mass = 0.0;
+        for (uint64_t i : bc.correct_indices) {
+            mass += std::norm(mapped[i]);
+        }
+        EXPECT_NEAR(mass, 1.0, 1e-7);
+    }
+}
+
+TEST(BasisChangeTest, UAndUinvAreInverses)
+{
+    Rng rng(33);
+    std::vector<CVector> seed = {randomState(3, rng), randomState(3, rng)};
+    auto basis = orthonormalize(seed);
+    basis = completeBasis(basis, 8);
+    basis.resize(4); // rank-4 subspace
+    BasisChange bc = buildBasisChange(basis, 3);
+    QuantumCircuit both(3);
+    std::vector<int> ident{0, 1, 2};
+    both.compose(bc.uinv, ident);
+    both.compose(bc.u, ident);
+    EXPECT_TRUE(circuitUnitary(both).equalsUpToPhase(
+        CMatrix::identity(8), 1e-7));
+}
+
+} // namespace
+} // namespace qa

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Integration tests reproducing the paper's end-to-end debugging flows:
+ * QPE slot localization (Sec. IX-A), the noisy-device behaviour
+ * (Sec. IX-B shape), the Deutsch-Jozsa approximate assertion (Sec. X),
+ * and the controlled-adder recursion bug (Appendix D).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/adder.hpp"
+#include "algos/deutsch_jozsa.hpp"
+#include "algos/qft.hpp"
+#include "algos/qpe.hpp"
+#include "algos/states.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+namespace
+{
+
+using namespace algos;
+
+/**
+ * Exact error probability of a single precise assertion placed at one
+ * QPE slot (the paper inserts one assertion per debugging run; keeping
+ * the exact-distribution analysis per-slot also keeps the branch count
+ * small).
+ */
+double
+qpeSlotErrorProb(QpeBug bug, int slot, AssertionDesign design)
+{
+    QpeProgram qpe(4, M_PI / 8, bug);
+    QpeProgram clean(4, M_PI / 8);
+    std::vector<int> all{0, 1, 2, 3, 4};
+    QuantumCircuit prefix(qpe.numQubits());
+    std::vector<int> ident{0, 1, 2, 3, 4};
+    for (int s = 0; s < slot; ++s) prefix.compose(qpe.stage(s), ident);
+    AssertedProgram prog(prefix);
+    prog.assertState(all, StateSet::pure(clean.expectedStateAtSlot(slot)),
+                     design);
+    return runAssertedExact(prog).slot_error_prob[0];
+}
+
+TEST(QpeDebugTest, CleanProgramPassesAllSlots)
+{
+    for (int slot = 1; slot <= 6; ++slot) {
+        EXPECT_NEAR(qpeSlotErrorProb(QpeBug::kNone, slot,
+                                     AssertionDesign::kSwap),
+                    0.0, 1e-6)
+            << "slot " << slot;
+    }
+}
+
+TEST(QpeDebugTest, Bug1LocalizesToSlot3)
+{
+    // Sec. IX-A1: with the missing loop index, slots 1-2 pass and the
+    // later slots raise errors, pinpointing the bug between slots 2-3.
+    EXPECT_NEAR(qpeSlotErrorProb(QpeBug::kFixedAngle, 1,
+                                 AssertionDesign::kSwap), 0.0, 1e-6);
+    EXPECT_NEAR(qpeSlotErrorProb(QpeBug::kFixedAngle, 2,
+                                 AssertionDesign::kSwap), 0.0, 1e-6);
+    for (int slot = 3; slot <= 6; ++slot) {
+        EXPECT_GT(qpeSlotErrorProb(QpeBug::kFixedAngle, slot,
+                                   AssertionDesign::kSwap), 0.01)
+            << "slot " << slot;
+    }
+}
+
+TEST(QpeDebugTest, Bug2LocalizesToSlot2)
+{
+    // Sec. IX-A1: with cu3 -> u3, only slot 1 passes.
+    EXPECT_NEAR(qpeSlotErrorProb(QpeBug::kMissingControl, 1,
+                                 AssertionDesign::kSwap), 0.0, 1e-6);
+    for (int slot = 2; slot <= 5; ++slot) {
+        EXPECT_GT(qpeSlotErrorProb(QpeBug::kMissingControl, slot,
+                                   AssertionDesign::kSwap), 0.01)
+            << "slot " << slot;
+    }
+}
+
+TEST(QpeDebugTest, MultiSlotProgramReusesAncillas)
+{
+    // Inserting all six slots in one program must stay narrow thanks to
+    // ancilla pooling (5 program qubits + 5 recycled ancillas).
+    QpeProgram qpe(4, M_PI / 8);
+    std::vector<int> all{0, 1, 2, 3, 4};
+    AssertedProgram prog(qpe.stage(0));
+    prog.assertState(all, StateSet::pure(qpe.expectedStateAtSlot(1)),
+                     AssertionDesign::kSwap);
+    for (int s = 1; s < qpe.numStages(); ++s) {
+        prog.append(qpe.stage(s));
+        prog.assertState(all,
+                         StateSet::pure(qpe.expectedStateAtSlot(s + 1)),
+                         AssertionDesign::kSwap);
+    }
+    EXPECT_EQ(prog.circuit().numQubits(), 10);
+
+    // Sampled run: every slot passes on the clean program.
+    SimOptions options;
+    options.shots = 512;
+    options.seed = 31337;
+    const AssertionOutcome outcome = runAsserted(prog, options);
+    for (size_t s = 0; s < outcome.slot_error_rate.size(); ++s) {
+        EXPECT_NEAR(outcome.slot_error_rate[s], 0.0, 1e-9)
+            << "slot " << s + 1;
+    }
+}
+
+TEST(QpeDebugTest, MixedStateAssertionOnFourQubits)
+{
+    // Sec. IX-A2: the four counting qubits at slot 5 are in a rank-2
+    // mixed state; asserting it catches Bug1 but not Bug2.
+    QpeProgram clean(4, M_PI / 8);
+    const CVector v5 = clean.expectedStateAtSlot(5);
+    CMatrix rho1234 = partialTrace(densityFromPure(v5), {0, 1, 2, 3});
+
+    auto run = [&](QpeBug bug) {
+        QpeProgram qpe(4, M_PI / 8, bug);
+        QuantumCircuit prefix(qpe.numQubits());
+        std::vector<int> ident{0, 1, 2, 3, 4};
+        for (int s = 0; s < 5; ++s) prefix.compose(qpe.stage(s), ident);
+        AssertedProgram prog(prefix);
+        prog.assertState({0, 1, 2, 3}, StateSet::mixed(rho1234),
+                         AssertionDesign::kSwap);
+        return runAssertedExact(prog).slot_error_prob[0];
+    };
+
+    EXPECT_NEAR(run(QpeBug::kNone), 0.0, 1e-6);
+    EXPECT_GT(run(QpeBug::kFixedAngle), 0.01);
+    // Bug2 leaves the counting qubits in |++++>, a "correct" basis
+    // state of the mixture: the mixed assertion cannot see it.
+    EXPECT_NEAR(run(QpeBug::kMissingControl), 0.0, 1e-6);
+}
+
+TEST(QpeDebugTest, ApproximateAssertionCatchesBothBugs)
+{
+    // Sec. IX-A3: membership in {|++++>|0>, |theta4>|1>}.
+    QpeProgram clean(4, M_PI / 8);
+    const CVector v5 = clean.expectedStateAtSlot(5);
+    // Split the slot-5 state into its two branches.
+    CVector branch0(32), branch1(32);
+    for (size_t i = 0; i < 32; i += 2) {
+        branch0[i] = v5[i] * std::sqrt(2.0);
+        branch1[i + 1] = v5[i + 1] * std::sqrt(2.0);
+    }
+    const StateSet set = StateSet::approximate({branch0, branch1});
+
+    auto run = [&](QpeBug bug) {
+        QpeProgram qpe(4, M_PI / 8, bug);
+        QuantumCircuit prefix(qpe.numQubits());
+        std::vector<int> ident{0, 1, 2, 3, 4};
+        for (int s = 0; s < 5; ++s) prefix.compose(qpe.stage(s), ident);
+        AssertedProgram prog(prefix);
+        prog.assertState({0, 1, 2, 3, 4}, set, AssertionDesign::kSwap);
+        return runAssertedExact(prog).slot_error_prob[0];
+    };
+
+    EXPECT_NEAR(run(QpeBug::kNone), 0.0, 1e-6);
+    EXPECT_GT(run(QpeBug::kFixedAngle), 0.01);
+    EXPECT_GT(run(QpeBug::kMissingControl), 0.01);
+}
+
+TEST(NoisyDeviceTest, BugRaisesAssertionErrorRate)
+{
+    // Sec. IX-B shape: under device noise the assertion-error rate has
+    // a nonzero floor; injecting the bug raises it measurably. The
+    // paper's numbers on ibmq-melbourne: 36% clean vs 45% buggy.
+    const NoiseModel noise = NoiseModel::ibmqMelbourneLike();
+    auto errorRate = [&](bool bug) {
+        AssertedProgram prog(qpeRyProgram(4, M_PI / 8, bug));
+        prog.assertState({4}, StateSet::pure(qpeRyEigenstate()),
+                         AssertionDesign::kSwap);
+        SimOptions options;
+        options.shots = 8192;
+        options.seed = 777;
+        options.noise = &noise;
+        return runAsserted(prog, options).slot_error_rate[0];
+    };
+
+    const double clean_rate = errorRate(false);
+    const double buggy_rate = errorRate(true);
+    EXPECT_GT(clean_rate, 0.005); // noise floor exists
+    EXPECT_GT(buggy_rate, clean_rate + 0.02); // bug detectable
+
+    // The noiseless assertion on the clean program is exact.
+    AssertedProgram ideal(qpeRyProgram(4, M_PI / 8, false));
+    ideal.assertState({4}, StateSet::pure(qpeRyEigenstate()),
+                      AssertionDesign::kSwap);
+    EXPECT_NEAR(runAssertedExact(ideal).slot_error_prob[0], 0.0, 1e-7);
+    // And the paper's cost claim: 2 CX + 2 SG for this assertion.
+    EXPECT_EQ(ideal.slots()[0].cost.cx, 2);
+    EXPECT_EQ(ideal.slots()[0].cost.sg, 2);
+}
+
+TEST(NoisyDeviceTest, FilteringImprovesSuccessRate)
+{
+    // Post-selecting on assertion success must raise the success rate
+    // (the Sec. IX-B 19% -> 33%/36% effect).
+    const NoiseModel noise = NoiseModel::ibmqMelbourneLike();
+
+    // Ideal outcome distribution of the measured register.
+    AssertedProgram ideal(qpeRyProgram(4, M_PI / 8, false));
+    ideal.measureProgram();
+    const AssertionOutcomeExact ideal_out = runAssertedExact(ideal);
+    // Success set: the most likely ideal outcomes covering >= 80% mass.
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto& [bits, p] : ideal_out.program_dist.probs) {
+        ranked.emplace_back(p, bits);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::vector<std::string> success_set;
+    double covered = 0.0;
+    for (const auto& [p, bits] : ranked) {
+        if (covered >= 0.8) break;
+        success_set.push_back(bits);
+        covered += p;
+    }
+
+    // Filter on a full-state precise assertion at slot 6: with our
+    // independent per-qubit noise channels, only an assertion covering
+    // the counting register can veto the errors that break the answer
+    // (hardware noise is more correlated, which is how the paper's
+    // single-qubit assertion already helped there; see EXPERIMENTS.md).
+    const CVector slot6 =
+        finalState(qpeRyProgram(4, M_PI / 8, false)).amplitudes();
+    AssertedProgram prog(qpeRyProgram(4, M_PI / 8, false));
+    prog.assertState({0, 1, 2, 3, 4}, StateSet::pure(slot6),
+                     AssertionDesign::kSwap);
+    prog.measureProgram();
+    SimOptions options;
+    options.shots = 8192;
+    options.seed = 4242;
+    options.noise = &noise;
+    const AssertionOutcome noisy = runAsserted(prog, options);
+
+    auto successRate = [&](const Counts& counts) {
+        double total = 0.0;
+        for (const std::string& bits : success_set) {
+            total += counts.toDistribution().probability(bits);
+        }
+        return total;
+    };
+    const double raw = successRate(noisy.program_counts);
+    const double filtered = successRate(noisy.program_counts_passed);
+    EXPECT_GT(filtered, raw + 0.005);
+    EXPECT_LT(raw, 0.999);
+}
+
+TEST(DeutschJozsaDebugTest, ConstantSetMembership)
+{
+    // Sec. X: asserting the constant set accepts both constant oracles
+    // and rejects balanced / buggy ones (partially, per the overlap).
+    const StateSet constant_set = StateSet::approximate(djConstantSet(2));
+
+    auto errorProb = [&](DjOracle oracle, uint64_t mask = 0) {
+        AssertedProgram prog(djFunctionEval(2, oracle, mask));
+        prog.assertState({0, 1, 2}, constant_set, AssertionDesign::kSwap);
+        return runAssertedExact(prog).slot_error_prob[0];
+    };
+
+    EXPECT_NEAR(errorProb(DjOracle::kConstantZero), 0.0, 1e-7);
+    EXPECT_NEAR(errorProb(DjOracle::kConstantOne), 0.0, 1e-7);
+    // Balanced functions overlap the constant span at 1/2.
+    EXPECT_NEAR(errorProb(DjOracle::kBalancedMask, 0b01), 0.5, 1e-7);
+    // The buggy 3:1 oracle is neither: error rate strictly between.
+    const double buggy = errorProb(DjOracle::kBuggyAnd);
+    EXPECT_GT(buggy, 0.05);
+    EXPECT_LT(buggy, 0.95);
+}
+
+TEST(DeutschJozsaDebugTest, CombinedSetAcceptsBothClasses)
+{
+    std::vector<CVector> combined = djConstantSet(2);
+    const auto balanced = djBalancedSet(2);
+    combined.insert(combined.end(), balanced.begin(), balanced.end());
+    const StateSet set = StateSet::approximate(combined);
+
+    for (auto [oracle, mask] :
+         std::vector<std::pair<DjOracle, uint64_t>>{
+             {DjOracle::kConstantZero, 0},
+             {DjOracle::kBalancedMask, 0b10},
+             {DjOracle::kBalancedMask, 0b11}}) {
+        AssertedProgram prog(djFunctionEval(2, oracle, mask));
+        prog.assertState({0, 1, 2}, set, AssertionDesign::kSwap);
+        EXPECT_NEAR(runAssertedExact(prog).slot_error_prob[0], 0.0, 1e-6);
+    }
+}
+
+TEST(DeutschJozsaDebugTest, CombinedSetIsBloomFilterFalsePositive)
+{
+    // The combined constant+balanced span has rank 5 and, like an
+    // over-full Bloom filter, actually CONTAINS the buggy AND oracle's
+    // joint state: the membership check passes even though the function
+    // is neither constant nor balanced. Catching this bug requires the
+    // narrower constant-only (or balanced-only) set.
+    std::vector<CVector> combined = djConstantSet(2);
+    const auto balanced = djBalancedSet(2);
+    combined.insert(combined.end(), balanced.begin(), balanced.end());
+    const CorrectSubspace span =
+        analyzeStateSet(StateSet::approximate(combined));
+    EXPECT_EQ(span.rank(), 5u);
+
+    AssertedProgram buggy(djFunctionEval(2, DjOracle::kBuggyAnd));
+    buggy.assertState({0, 1, 2}, StateSet::approximate(combined),
+                      AssertionDesign::kSwap);
+    EXPECT_NEAR(runAssertedExact(buggy).slot_error_prob[0], 0.0, 1e-6);
+
+    AssertedProgram narrow(djFunctionEval(2, DjOracle::kBuggyAnd));
+    narrow.assertState({0, 1, 2},
+                       StateSet::approximate(djConstantSet(2)),
+                       AssertionDesign::kSwap);
+    EXPECT_GT(runAssertedExact(narrow).slot_error_prob[0], 0.01);
+}
+
+TEST(AdderDebugTest, PreciseAssertionCatchesRecursionBug)
+{
+    // Appendix D: assert the expected state after the adder (before the
+    // inverse QFT); the doubly-controlled buggy variant fails it.
+    const int width = 3;
+    auto buildPrefix = [&](bool buggy) {
+        QuantumCircuit qc(width + 2);
+        std::vector<int> data{0, 1, 2};
+        std::vector<int> controls{3, 4};
+        qc.x(0); // initial value 4
+        qc.x(3);
+        qc.x(4); // both controls on
+        appendQft(qc, data);
+        appendControlledAdder(qc, controls, data, 3, buggy);
+        return qc;
+    };
+
+    const CVector expected = finalState(buildPrefix(false)).amplitudes();
+    for (bool buggy : {false, true}) {
+        AssertedProgram prog(buildPrefix(buggy));
+        prog.assertState({0, 1, 2, 3, 4}, StateSet::pure(expected),
+                         AssertionDesign::kSwap);
+        const double err = runAssertedExact(prog).slot_error_prob[0];
+        if (buggy) {
+            EXPECT_GT(err, 0.01);
+        } else {
+            EXPECT_NEAR(err, 0.0, 1e-6);
+        }
+    }
+}
+
+TEST(AdderDebugTest, MixedAssertionAlsoDetects)
+{
+    // Appendix D's closing remark: the bug also shifts the reduced
+    // (mixed) state of the data qubits alone.
+    const int width = 3;
+    auto buildPrefix = [&](bool buggy) {
+        QuantumCircuit qc(width + 2);
+        std::vector<int> data{0, 1, 2};
+        std::vector<int> controls{3, 4};
+        qc.h(3);
+        qc.h(4); // superposed controls: data gets entangled
+        appendQft(qc, data);
+        appendControlledAdder(qc, controls, data, 5, buggy);
+        return qc;
+    };
+
+    const CMatrix rho_data = partialTrace(
+        densityFromPure(finalState(buildPrefix(false)).amplitudes()),
+        {0, 1, 2});
+    AssertedProgram good(buildPrefix(false));
+    good.assertState({0, 1, 2}, StateSet::mixed(rho_data),
+                     AssertionDesign::kNdd);
+    EXPECT_NEAR(runAssertedExact(good).slot_error_prob[0], 0.0, 1e-6);
+
+    AssertedProgram bad(buildPrefix(true));
+    bad.assertState({0, 1, 2}, StateSet::mixed(rho_data),
+                    AssertionDesign::kNdd);
+    EXPECT_GT(runAssertedExact(bad).slot_error_prob[0], 0.005);
+}
+
+} // namespace
+} // namespace qa

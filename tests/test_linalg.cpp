@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Unit tests for the linear-algebra substrate: vectors, matrices,
+ * eigendecomposition, Gram-Schmidt completion, and state utilities.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "linalg/states.hpp"
+#include "test_util.hpp"
+
+namespace qa
+{
+namespace
+{
+
+using test::expectMatrixNear;
+using test::expectVectorNear;
+
+TEST(CVectorTest, BasisStateAndNorm)
+{
+    CVector v = CVector::basisState(4, 2);
+    EXPECT_DOUBLE_EQ(v.norm(), 1.0);
+    EXPECT_EQ(v[2], Complex(1.0));
+    EXPECT_EQ(v[0], Complex(0.0));
+    EXPECT_THROW(CVector::basisState(4, 4), UserError);
+}
+
+TEST(CVectorTest, InnerProductConjugateLinearity)
+{
+    CVector a{Complex(0, 1), 1.0};
+    CVector b{1.0, Complex(0, 1)};
+    // <a|b> = conj(i)*1 + conj(1)*i = -i + i = 0.
+    test::expectComplexNear(a.inner(b), Complex(0, 0));
+    test::expectComplexNear(a.inner(a), Complex(2, 0));
+}
+
+TEST(CVectorTest, NormalizedRejectsZero)
+{
+    CVector zero(4);
+    EXPECT_THROW(zero.normalized(), UserError);
+    CVector v{3.0, 4.0};
+    EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(CVectorTest, TensorProductOrdering)
+{
+    CVector a{1.0, 2.0};
+    CVector b{3.0, 5.0};
+    CVector t = a.tensor(b);
+    ASSERT_EQ(t.dim(), 4u);
+    EXPECT_EQ(t[0], Complex(3.0));
+    EXPECT_EQ(t[1], Complex(5.0));
+    EXPECT_EQ(t[2], Complex(6.0));
+    EXPECT_EQ(t[3], Complex(10.0));
+}
+
+TEST(CVectorTest, EqualsUpToPhase)
+{
+    CVector a{1.0 / std::sqrt(2), 1.0 / std::sqrt(2)};
+    CVector b = a * Complex(std::cos(1.2), std::sin(1.2));
+    EXPECT_TRUE(a.equalsUpToPhase(b));
+    CVector c{1.0 / std::sqrt(2), -1.0 / std::sqrt(2)};
+    EXPECT_FALSE(a.equalsUpToPhase(c));
+}
+
+TEST(CVectorTest, ToStringRendersKets)
+{
+    CVector ghz(8);
+    ghz[0] = ghz[7] = 1.0 / std::sqrt(2.0);
+    const std::string s = ghz.toString();
+    EXPECT_NE(s.find("|000>"), std::string::npos);
+    EXPECT_NE(s.find("|111>"), std::string::npos);
+}
+
+TEST(CMatrixTest, IdentityAndMultiplication)
+{
+    CMatrix i2 = CMatrix::identity(2);
+    CMatrix x = gates::x();
+    expectMatrixNear(i2 * x, x);
+    expectMatrixNear(x * x, i2);
+}
+
+TEST(CMatrixTest, DaggerAndUnitarity)
+{
+    CMatrix h = gates::h();
+    EXPECT_TRUE(h.isUnitary());
+    EXPECT_TRUE(h.isHermitian());
+    CMatrix s = gates::s();
+    EXPECT_TRUE(s.isUnitary());
+    EXPECT_FALSE(s.isHermitian());
+    expectMatrixNear(s.dagger(), gates::sdg());
+}
+
+TEST(CMatrixTest, KroneckerStructure)
+{
+    CMatrix zz = kron(gates::z(), gates::z());
+    ASSERT_EQ(zz.rows(), 4u);
+    EXPECT_EQ(zz(0, 0), Complex(1.0));
+    EXPECT_EQ(zz(1, 1), Complex(-1.0));
+    EXPECT_EQ(zz(2, 2), Complex(-1.0));
+    EXPECT_EQ(zz(3, 3), Complex(1.0));
+}
+
+TEST(CMatrixTest, TraceAndOuter)
+{
+    CVector plus{1.0 / std::sqrt(2), 1.0 / std::sqrt(2)};
+    CMatrix p = CMatrix::outer(plus, plus);
+    test::expectComplexNear(p.trace(), Complex(1.0));
+    expectMatrixNear(p * p, p, 1e-12); // projector idempotence
+}
+
+TEST(CMatrixTest, EqualsUpToPhase)
+{
+    CMatrix h = gates::h();
+    CMatrix hp = h * Complex(std::cos(0.7), std::sin(0.7));
+    EXPECT_TRUE(h.equalsUpToPhase(hp));
+    EXPECT_FALSE(h.equalsUpToPhase(gates::x()));
+}
+
+TEST(CMatrixTest, MatrixVectorAgreesWithMatrixMatrix)
+{
+    Rng rng(11);
+    CMatrix u = randomUnitary(8, rng);
+    CVector v = randomState(3, rng);
+    CVector via_vec = u * v;
+    CMatrix vm(8, 1);
+    for (size_t i = 0; i < 8; ++i) vm(i, 0) = v[i];
+    CMatrix via_mat = u * vm;
+    for (size_t i = 0; i < 8; ++i) {
+        test::expectComplexNear(via_vec[i], via_mat(i, 0), 1e-10);
+    }
+}
+
+TEST(EigenTest, DiagonalMatrix)
+{
+    CMatrix d = CMatrix::diagonal({3.0, 1.0, 2.0});
+    EigenResult eig = eigHermitian(d);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, PauliX)
+{
+    EigenResult eig = eigHermitian(gates::x());
+    EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], -1.0, 1e-10);
+    // Eigenvector of +1 is |+>.
+    CVector v0 = eig.vectors.column(0);
+    EXPECT_NEAR(std::abs(v0[0]), 1.0 / std::sqrt(2), 1e-9);
+    EXPECT_NEAR(std::abs(v0[1]), 1.0 / std::sqrt(2), 1e-9);
+}
+
+TEST(EigenTest, ReconstructsRandomHermitian)
+{
+    Rng rng(5);
+    for (int n : {2, 4, 8, 16}) {
+        CMatrix a(n, n);
+        for (int r = 0; r < n; ++r) {
+            for (int c = r; c < n; ++c) {
+                Complex x(rng.normal(), r == c ? 0.0 : rng.normal());
+                a(r, c) = x;
+                a(c, r) = std::conj(x);
+            }
+        }
+        EigenResult eig = eigHermitian(a);
+        CMatrix recon =
+            eig.vectors *
+            CMatrix::diagonal(std::vector<Complex>(eig.values.begin(),
+                                                   eig.values.end())) *
+            eig.vectors.dagger();
+        expectMatrixNear(recon, a, 1e-8);
+        EXPECT_TRUE(eig.vectors.isUnitary(1e-8));
+    }
+}
+
+TEST(EigenTest, RankOfProjectors)
+{
+    Rng rng(17);
+    for (size_t rank : {1u, 2u, 3u}) {
+        CMatrix rho = randomDensity(2, rank, rng);
+        EXPECT_EQ(rankPsd(rho), rank);
+    }
+}
+
+TEST(EigenTest, RejectsNonHermitian)
+{
+    CMatrix a{{0, 1}, {0, 0}};
+    EXPECT_THROW(eigHermitian(a), UserError);
+}
+
+TEST(GramSchmidtTest, DropsDependentVectors)
+{
+    CVector a{1.0, 0.0};
+    CVector b{2.0, 0.0};
+    CVector c{1.0, 1.0};
+    auto ortho = orthonormalize({a, b, c});
+    ASSERT_EQ(ortho.size(), 2u);
+    test::expectComplexNear(ortho[0].inner(ortho[1]), Complex(0.0), 1e-10);
+}
+
+TEST(GramSchmidtTest, CompleteBasisKeepsSeedFirst)
+{
+    CVector ghz(8);
+    ghz[0] = ghz[7] = 1.0 / std::sqrt(2.0);
+    auto basis = completeBasis({ghz}, 8);
+    ASSERT_EQ(basis.size(), 8u);
+    EXPECT_TRUE(basis[0].equalsUpToPhase(ghz, 1e-10));
+    for (size_t i = 0; i < 8; ++i) {
+        for (size_t j = i + 1; j < 8; ++j) {
+            test::expectComplexNear(basis[i].inner(basis[j]),
+                                    Complex(0.0), 1e-9);
+        }
+    }
+}
+
+TEST(GramSchmidtTest, BasisToUnitaryMapsComputationalBasis)
+{
+    Rng rng(23);
+    auto basis = completeBasis({randomState(2, rng)}, 4);
+    CMatrix u = basisToUnitary(basis);
+    EXPECT_TRUE(u.isUnitary(1e-8));
+    for (size_t i = 0; i < 4; ++i) {
+        CVector image = u * CVector::basisState(4, i);
+        EXPECT_TRUE(image.approxEquals(basis[i], 1e-9));
+    }
+}
+
+TEST(StatesTest, PartialTraceGhz)
+{
+    // rho_23 of GHZ x |0>: the paper's Sec. II example.
+    CVector ghz2(4);
+    ghz2[0] = ghz2[3] = 1.0 / std::sqrt(2.0);
+    CVector full = ghz2.tensor(CVector::basisState(2, 0));
+    CMatrix rho = densityFromPure(full);
+
+    CMatrix rho12 = partialTrace(rho, {0, 1});
+    EXPECT_NEAR(purity(rho12), 1.0, 1e-10); // pure Bell pair
+
+    CMatrix rho23 = partialTrace(rho, {1, 2});
+    EXPECT_NEAR(purity(rho23), 0.5, 1e-10); // proper mixture
+    EXPECT_NEAR(rho23(0, 0).real(), 0.5, 1e-10); // |00><00|
+    EXPECT_NEAR(rho23(2, 2).real(), 0.5, 1e-10); // |10><10|
+}
+
+TEST(StatesTest, PartialTraceKeepOrderMatters)
+{
+    Rng rng(3);
+    CVector psi = randomState(3, rng);
+    CMatrix rho = densityFromPure(psi);
+    CMatrix keep01 = partialTrace(rho, {0, 1});
+    CMatrix keep10 = partialTrace(rho, {1, 0});
+    // Swapping the kept qubits permutes the matrix, traces agree.
+    test::expectComplexNear(keep01.trace(), keep10.trace(), 1e-10);
+    EXPECT_NEAR(keep01(0, 0).real(), keep10(0, 0).real(), 1e-10);
+}
+
+TEST(StatesTest, FidelityMeasures)
+{
+    CVector zero = CVector::basisState(2, 0);
+    CVector plus{1.0 / std::sqrt(2), 1.0 / std::sqrt(2)};
+    EXPECT_NEAR(fidelity(zero, zero), 1.0, 1e-12);
+    EXPECT_NEAR(fidelity(zero, plus), 0.5, 1e-12);
+
+    CMatrix maximally_mixed = CMatrix::identity(2) * Complex(0.5, 0.0);
+    EXPECT_NEAR(fidelity(maximally_mixed, zero), 0.5, 1e-12);
+}
+
+TEST(StatesTest, TraceDistance)
+{
+    CMatrix rho0 = densityFromPure(CVector::basisState(2, 0));
+    CMatrix rho1 = densityFromPure(CVector::basisState(2, 1));
+    EXPECT_NEAR(traceDistance(rho0, rho1), 1.0, 1e-10);
+    EXPECT_NEAR(traceDistance(rho0, rho0), 0.0, 1e-10);
+}
+
+TEST(StatesTest, RandomUnitaryIsUnitary)
+{
+    Rng rng(9);
+    for (size_t dim : {2u, 4u, 8u}) {
+        EXPECT_TRUE(randomUnitary(dim, rng).isUnitary(1e-8));
+    }
+}
+
+TEST(StatesTest, RandomDensityProperties)
+{
+    Rng rng(29);
+    CMatrix rho = randomDensity(3, 3, rng);
+    EXPECT_TRUE(rho.isDensityMatrix(1e-7));
+    EXPECT_EQ(rankPsd(rho), 3u);
+}
+
+TEST(StatesTest, MixtureValidation)
+{
+    CVector a = CVector::basisState(2, 0);
+    EXPECT_THROW(densityFromMixture({a}, {1.0, 2.0}), UserError);
+    EXPECT_THROW(densityFromMixture({a}, {-1.0}), UserError);
+    CMatrix rho = densityFromMixture({a, CVector::basisState(2, 1)});
+    EXPECT_NEAR(rho(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST(StatesTest, QubitCountValidation)
+{
+    EXPECT_EQ(qubitCountForDim(8), 3);
+    EXPECT_THROW(qubitCountForDim(6), UserError);
+    EXPECT_THROW(qubitCountForDim(0), UserError);
+}
+
+} // namespace
+} // namespace qa

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the Sec. VIII phase-kickback workloads: Bernstein-Vazirani
+ * (with assertion-based oracle debugging) and superdense coding (with
+ * mid-protocol Bell assertion).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/grover.hpp"
+#include "algos/oracles.hpp"
+#include "algos/states.hpp"
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+namespace
+{
+
+using namespace algos;
+
+TEST(BernsteinVaziraniTest, RecoversEveryMask)
+{
+    for (int n : {2, 3, 4}) {
+        for (uint64_t mask = 0; mask < (uint64_t(1) << n); ++mask) {
+            QuantumCircuit qc = bernsteinVazirani(n, mask);
+            const CVector state = finalState(qc).amplitudes();
+            // Input register must read `mask` deterministically; mask
+            // bit q corresponds to qubit q (MSB-first index).
+            uint64_t expected_index = 0;
+            for (int q = 0; q < n; ++q) {
+                if ((mask >> q) & 1) {
+                    expected_index |= uint64_t(1) << (n - q);
+                }
+            }
+            double weight = std::norm(state[expected_index]) +
+                            std::norm(state[expected_index | 1]);
+            EXPECT_NEAR(weight, 1.0, 1e-9)
+                << "n=" << n << " mask=" << mask;
+        }
+    }
+}
+
+TEST(BernsteinVaziraniTest, BuggyOracleChangesAnswer)
+{
+    const int n = 3;
+    const uint64_t mask = 0b101;
+    const QuantumCircuit good = bernsteinVazirani(n, mask);
+    const QuantumCircuit bad = bernsteinVazirani(n, mask, /*drop=*/2);
+    EXPECT_FALSE(finalState(bad).amplitudes().equalsUpToPhase(
+        finalState(good).amplitudes(), 1e-6));
+}
+
+TEST(BernsteinVaziraniTest, AssertionCatchesDroppedOracleBit)
+{
+    // Precise assertion of the expected pre-measurement state: the
+    // dropped-CX oracle bug flips one answer bit, which the assertion
+    // sees deterministically.
+    const int n = 3;
+    const uint64_t mask = 0b110;
+    const CVector expected = bernsteinVaziraniFinalState(n, mask);
+
+    AssertedProgram clean(bernsteinVazirani(n, mask));
+    clean.assertState({0, 1, 2, 3}, StateSet::pure(expected),
+                      AssertionDesign::kSwap);
+    EXPECT_NEAR(runAssertedExact(clean).slot_error_prob[0], 0.0, 1e-7);
+
+    AssertedProgram buggy(bernsteinVazirani(n, mask, /*drop=*/1));
+    buggy.assertState({0, 1, 2, 3}, StateSet::pure(expected),
+                      AssertionDesign::kSwap);
+    EXPECT_NEAR(runAssertedExact(buggy).slot_error_prob[0], 1.0, 1e-7);
+}
+
+TEST(BernsteinVaziraniTest, ApproximateAssertionOverAllMasks)
+{
+    // With no knowledge of the hidden mask, assert membership in the
+    // set of ALL valid BV outputs -- any genuine linear oracle passes,
+    // while the dropped-bit bug... also yields a valid (different)
+    // linear function, so it passes too: the Bloom-filter limitation.
+    const int n = 2;
+    std::vector<CVector> valid;
+    for (uint64_t mask = 0; mask < 4; ++mask) {
+        valid.push_back(bernsteinVaziraniFinalState(n, mask));
+    }
+    const StateSet set = StateSet::approximate(valid);
+
+    AssertedProgram prog(bernsteinVazirani(n, 0b11, /*drop=*/0));
+    prog.assertState({0, 1, 2}, set, AssertionDesign::kSwap);
+    EXPECT_NEAR(runAssertedExact(prog).slot_error_prob[0], 0.0, 1e-7);
+}
+
+TEST(SuperdenseTest, DeliversBothBits)
+{
+    for (int b1 : {0, 1}) {
+        for (int b0 : {0, 1}) {
+            const auto probs = finalState(superdenseProgram(b1, b0))
+                                   .basisProbabilities(1e-9);
+            ASSERT_EQ(probs.size(), 1u);
+            EXPECT_EQ(probs.begin()->first,
+                      uint64_t(b1) << 1 | uint64_t(b0));
+        }
+    }
+}
+
+TEST(SuperdenseTest, MidProtocolBellAssertion)
+{
+    // Assert the shared resource after stage 0, non-destructively, for
+    // every message: the protocol still delivers afterwards.
+    for (int b1 : {0, 1}) {
+        for (int b0 : {0, 1}) {
+            QuantumCircuit program(2);
+            std::vector<int> ident{0, 1};
+            program.compose(superdenseStage(0, b1, b0), ident);
+            AssertedProgram prog(program);
+            prog.assertState(
+                {0, 1},
+                StateSet::pure(bellVector(BellKind::kPhiPlus)),
+                AssertionDesign::kNdd);
+            prog.append(superdenseStage(1, b1, b0));
+            prog.append(superdenseStage(2, b1, b0));
+            prog.measureProgram();
+            const AssertionOutcomeExact out = runAssertedExact(prog);
+            EXPECT_NEAR(out.slot_error_prob[0], 0.0, 1e-9);
+            const std::string expected = {b1 ? '1' : '0',
+                                          b0 ? '1' : '0'};
+            EXPECT_NEAR(out.program_dist.probability(expected), 1.0,
+                        1e-9);
+        }
+    }
+}
+
+TEST(SuperdenseTest, EncodingStatesAreTheFourBellStates)
+{
+    // After encoding, the pair is in one of the four orthogonal Bell
+    // states -- the approximate "Bell set" assertion passes for every
+    // message but is rank 4 = 2^n and hence unassertable (the paper's
+    // t = 2^n corner case, hit in the wild!).
+    std::vector<CVector> bells = {
+        bellVector(BellKind::kPhiPlus), bellVector(BellKind::kPhiMinus),
+        bellVector(BellKind::kPsiPlus), bellVector(BellKind::kPsiMinus)};
+    AssertedProgram prog(superdenseProgram(1, 0));
+    EXPECT_THROW(prog.assertState({0, 1}, StateSet::approximate(bells),
+                                  AssertionDesign::kSwap),
+                 UserError);
+}
+
+TEST(GroverTest, MatchesClosedFormEveryIteration)
+{
+    for (int n : {2, 3, 4}) {
+        const uint64_t target = uint64_t(1) << (n - 1) | 1;
+        const int iters = groverOptimalIterations(n);
+        for (int k = 0; k <= iters; ++k) {
+            const CVector got =
+                finalState(groverProgram(n, target, k)).amplitudes();
+            const CVector want = groverExpectedState(n, target, k);
+            EXPECT_TRUE(got.equalsUpToPhase(want, 1e-7))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(GroverTest, OptimalIterationsAmplifyTarget)
+{
+    const int n = 4;
+    const uint64_t target = 11;
+    const CVector fin =
+        finalState(groverProgram(n, target, groverOptimalIterations(n)))
+            .amplitudes();
+    EXPECT_GT(std::norm(fin[target]), 0.9);
+}
+
+TEST(GroverTest, PerIterationAssertionLocalizesBugs)
+{
+    // Assert the closed-form state after each iteration; the
+    // wrong-mark bug diverges at iteration 1, the dropped diffusion
+    // phase also from iteration 1 but with a different signature.
+    const int n = 3;
+    const uint64_t target = 5;
+    auto slotError = [&](GroverBug bug, int iterations) {
+        AssertedProgram prog(groverProgram(n, target, iterations, bug));
+        std::vector<int> qubits{0, 1, 2};
+        prog.assertState(
+            qubits,
+            StateSet::pure(groverExpectedState(n, target, iterations)),
+            AssertionDesign::kSwap);
+        return runAssertedExact(prog).slot_error_prob[0];
+    };
+    for (int k = 0; k <= 2; ++k) {
+        EXPECT_NEAR(slotError(GroverBug::kNone, k), 0.0, 1e-7) << k;
+    }
+    EXPECT_NEAR(slotError(GroverBug::kWrongMark, 0), 0.0, 1e-7);
+    EXPECT_GT(slotError(GroverBug::kWrongMark, 1), 0.05);
+    EXPECT_NEAR(slotError(GroverBug::kMissingDiffusionPhase, 0), 0.0,
+                1e-7);
+    EXPECT_GT(slotError(GroverBug::kMissingDiffusionPhase, 1), 0.05);
+}
+
+TEST(GroverTest, ApproximateAssertionOnMarkedSubspace)
+{
+    // With limited knowledge ("the state stays inside the span of the
+    // uniform state and the target"), approximate assertion accepts
+    // every correct iteration count at once.
+    const int n = 3;
+    const uint64_t target = 6;
+    const StateSet set = StateSet::approximate(
+        {groverExpectedState(n, target, 0),
+         CVector::basisState(8, target)});
+    for (int k = 0; k <= 2; ++k) {
+        AssertedProgram prog(groverProgram(n, target, k));
+        prog.assertState({0, 1, 2}, set, AssertionDesign::kSwap);
+        EXPECT_NEAR(runAssertedExact(prog).slot_error_prob[0], 0.0, 1e-6)
+            << "k=" << k;
+    }
+    // The wrong-mark bug leaves the plane: caught.
+    AssertedProgram buggy(
+        groverProgram(n, target, 2, GroverBug::kWrongMark));
+    buggy.assertState({0, 1, 2}, set, AssertionDesign::kSwap);
+    EXPECT_GT(runAssertedExact(buggy).slot_error_prob[0], 0.01);
+}
+
+} // namespace
+} // namespace qa

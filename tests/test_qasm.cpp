@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 importer: round trips with the exporter,
+ * expression evaluation, multi-register flattening, and error paths.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+#include "synth/unitary_synth.hpp"
+#include "test_util.hpp"
+
+namespace qa
+{
+namespace
+{
+
+TEST(QasmTest, RoundTripThroughExporter)
+{
+    QuantumCircuit qc(3, 3);
+    qc.h(0);
+    qc.u3(1, 0.25, -0.5, 1.75);
+    qc.u2(2, 0.1, 0.2);
+    qc.cx(0, 1);
+    qc.cz(1, 2);
+    qc.swap(0, 2);
+    qc.crz(0, 2, 0.7);
+    qc.cp(1, 0, -0.3);
+    qc.ccx(0, 1, 2);
+    qc.rz(0, M_PI / 8);
+    qc.measure(2, 2);
+
+    QuantumCircuit parsed = parseQasm(qc.toQasm());
+    ASSERT_EQ(parsed.numQubits(), 3);
+    ASSERT_EQ(parsed.numClbits(), 3);
+    ASSERT_EQ(parsed.size(), qc.size());
+    for (size_t i = 0; i < qc.size(); ++i) {
+        EXPECT_EQ(parsed.instructions()[i].name,
+                  qc.instructions()[i].name);
+        EXPECT_EQ(parsed.instructions()[i].qubits,
+                  qc.instructions()[i].qubits);
+    }
+    // Semantic equality of the gate prefix.
+    QuantumCircuit a(3), b(3);
+    std::vector<int> ident{0, 1, 2};
+    for (const Instruction& instr : qc.instructions()) {
+        if (instr.isGate()) a.append(instr);
+    }
+    for (const Instruction& instr : parsed.instructions()) {
+        if (instr.isGate()) b.append(instr);
+    }
+    EXPECT_TRUE(circuitUnitary(a).equalsUpToPhase(circuitUnitary(b),
+                                                  1e-9));
+}
+
+TEST(QasmTest, ParameterExpressions)
+{
+    const char* src = R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[1];
+        rz(pi/2) q[0];
+        rz(-pi/4) q[0];
+        rz(2*pi/8 + 0.5) q[0];
+        rz((1 + 1) * pi) q[0];
+    )";
+    QuantumCircuit qc = parseQasm(src);
+    ASSERT_EQ(qc.size(), 4u);
+    EXPECT_NEAR(qc.instructions()[0].params[0], M_PI / 2, 1e-12);
+    EXPECT_NEAR(qc.instructions()[1].params[0], -M_PI / 4, 1e-12);
+    EXPECT_NEAR(qc.instructions()[2].params[0], M_PI / 4 + 0.5, 1e-12);
+    EXPECT_NEAR(qc.instructions()[3].params[0], 2 * M_PI, 1e-12);
+}
+
+TEST(QasmTest, MultipleRegistersFlatten)
+{
+    const char* src = R"(
+        OPENQASM 2.0;
+        qreg a[2];
+        qreg b[1];
+        creg m[2];
+        creg n[1];
+        x a[1];
+        x b[0];
+        measure b[0] -> n[0];
+    )";
+    QuantumCircuit qc = parseQasm(src);
+    EXPECT_EQ(qc.numQubits(), 3);
+    EXPECT_EQ(qc.numClbits(), 3);
+    EXPECT_EQ(qc.instructions()[0].qubits[0], 1); // a[1]
+    EXPECT_EQ(qc.instructions()[1].qubits[0], 2); // b[0] after a[0..1]
+    EXPECT_EQ(qc.instructions()[2].cbit, 2);      // n[0] after m[0..1]
+}
+
+TEST(QasmTest, CommentsAndWhitespace)
+{
+    const char* src =
+        "OPENQASM 2.0; // header\n"
+        "qreg q[2]; // two qubits\n"
+        "h q[0];\n"
+        "// a full-line comment\n"
+        "cx q[0], q[1];\n";
+    QuantumCircuit qc = parseQasm(src);
+    EXPECT_EQ(qc.size(), 2u);
+    // Semantics: a Bell pair.
+    CVector bell(4);
+    bell[0] = bell[3] = 1.0 / std::sqrt(2.0);
+    EXPECT_TRUE(finalState(qc).amplitudes().equalsUpToPhase(bell, 1e-10));
+}
+
+TEST(QasmTest, GateAliases)
+{
+    const char* src = R"(
+        OPENQASM 2.0;
+        qreg q[2];
+        u1(0.5) q[0];
+        u(0.1, 0.2, 0.3) q[0];
+        cu1(0.4) q[0], q[1];
+        CX q[0], q[1];
+    )";
+    QuantumCircuit qc = parseQasm(src);
+    EXPECT_EQ(qc.instructions()[0].name, "p");
+    EXPECT_EQ(qc.instructions()[1].name, "u3");
+    EXPECT_EQ(qc.instructions()[2].name, "cp");
+    EXPECT_EQ(qc.instructions()[3].name, "cx");
+}
+
+TEST(QasmTest, ErrorPaths)
+{
+    EXPECT_THROW(parseQasm("OPENQASM 2.0; creg c[1];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; frobnicate q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; h q[5];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; rx(blah) q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; cx q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; h q[0]"), UserError); // no ';'
+    EXPECT_THROW(parseQasm("qreg q[2]; measure q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; qreg q[2]; h q[0];"), UserError);
+}
+
+TEST(QasmTest, ParsedProgramIsAssertable)
+{
+    // End-to-end: import a GHZ program written in QASM, assert it.
+    const char* src = R"(
+        OPENQASM 2.0;
+        qreg q[3];
+        u2(0, pi) q[0];
+        cx q[0], q[1];
+        cx q[1], q[2];
+    )";
+    QuantumCircuit program = parseQasm(src);
+    CVector ghz(8);
+    ghz[0] = ghz[7] = 1.0 / std::sqrt(2.0);
+    EXPECT_TRUE(finalState(program).amplitudes().equalsUpToPhase(ghz,
+                                                                 1e-10));
+}
+
+} // namespace
+} // namespace qa

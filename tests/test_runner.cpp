@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the assertion runner: per-slot error attribution, pass-rate
+ * accounting, post-selection marginals, and the exact/noisy backends.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/states.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+#include "synth/state_prep.hpp"
+
+namespace qa
+{
+namespace
+{
+
+TEST(RunnerTest, SlotErrorAttribution)
+{
+    // Slot 0 asserts a wrong state (always fails); slot 1 would assert
+    // the corrected state (SWAP corrects) and must pass.
+    const CVector zero2 = CVector::basisState(4, 0);
+    const CVector one2 = CVector::basisState(4, 3);
+    AssertedProgram prog(prepareState(one2));
+    prog.assertState({0, 1}, StateSet::pure(zero2),
+                     AssertionDesign::kSwap);
+    prog.assertState({0, 1}, StateSet::pure(zero2),
+                     AssertionDesign::kSwap);
+    const AssertionOutcomeExact out = runAssertedExact(prog);
+    EXPECT_NEAR(out.slot_error_prob[0], 1.0, 1e-9);
+    EXPECT_NEAR(out.slot_error_prob[1], 0.0, 1e-9);
+    // Pass = ALL slots zero.
+    EXPECT_NEAR(out.pass_prob, 0.0, 1e-9);
+}
+
+TEST(RunnerTest, PassRateCombinesSlots)
+{
+    // Two independent coin-flip assertions: pass rate is the joint.
+    CVector half(2);
+    half[0] = half[1] = 1.0 / std::sqrt(2.0);
+    AssertedProgram prog(prepareState(half));
+    // Assert |0>: passes with p=1/2 and collapses/corrects to |0>...
+    // the SWAP design rebuilds |0>, so the second identical assertion
+    // passes; use NDD (projective) so the second slot is conditional.
+    prog.assertState({0}, StateSet::pure(CVector::basisState(2, 0)),
+                     AssertionDesign::kNdd);
+    prog.assertState({0}, StateSet::pure(CVector::basisState(2, 0)),
+                     AssertionDesign::kNdd);
+    const AssertionOutcomeExact out = runAssertedExact(prog);
+    EXPECT_NEAR(out.slot_error_prob[0], 0.5, 1e-9);
+    EXPECT_NEAR(out.slot_error_prob[1], 0.5, 1e-9); // same branch fails
+    EXPECT_NEAR(out.pass_prob, 0.5, 1e-9);          // correlated
+}
+
+TEST(RunnerTest, ProgramMarginalsIgnoreAssertionBits)
+{
+    AssertedProgram prog(algos::ghzPrep(3));
+    prog.assertState({0, 1, 2}, StateSet::pure(algos::ghzVector(3)),
+                     AssertionDesign::kSwap);
+    prog.measureProgram();
+    const AssertionOutcomeExact out = runAssertedExact(prog);
+    EXPECT_NEAR(out.program_dist.probability("000"), 0.5, 1e-9);
+    EXPECT_NEAR(out.program_dist.probability("111"), 0.5, 1e-9);
+    // Raw distribution strings cover assertion + program bits.
+    for (const auto& [bits, p] : out.raw.probs) {
+        EXPECT_EQ(bits.size(), size_t(prog.circuit().numClbits()));
+    }
+}
+
+TEST(RunnerTest, PostSelectionConditionsOnAllSlots)
+{
+    // Program (|00> + |11>)/sqrt2 with an assertion that only the |00>
+    // branch survives: post-selected counts contain |00> alone and the
+    // surviving mass is the branch probability.
+    AssertedProgram prog(algos::bellPrep(algos::BellKind::kPhiPlus));
+    prog.assertState({0, 1}, StateSet::pure(CVector::basisState(4, 0)),
+                     AssertionDesign::kNdd);
+    prog.measureProgram();
+
+    SimOptions options;
+    options.shots = 20000;
+    options.seed = 5;
+    const AssertionOutcome out = runAsserted(prog, options);
+    EXPECT_NEAR(out.pass_rate, 0.5, 0.02);
+    EXPECT_NEAR(double(out.program_counts_passed.shots) / options.shots,
+                0.5, 0.02);
+    EXPECT_EQ(out.program_counts_passed.map.count("11"), 0u);
+    EXPECT_GT(out.program_counts_passed.map.at("00"), 0);
+}
+
+TEST(RunnerTest, NoisyExactBackendMatchesSampled)
+{
+    const NoiseModel noise = NoiseModel::depolarizing(0.01, 0.03);
+    AssertedProgram prog(algos::bellPrep(algos::BellKind::kPhiPlus));
+    prog.assertState({0, 1},
+                     StateSet::pure(algos::bellVector(
+                         algos::BellKind::kPhiPlus)),
+                     AssertionDesign::kNdd);
+    prog.measureProgram();
+
+    const AssertionOutcomeExact exact = runAssertedExact(prog, &noise);
+    EXPECT_GT(exact.slot_error_prob[0], 0.001); // noise floor
+
+    SimOptions options;
+    options.shots = 40000;
+    options.seed = 7;
+    options.noise = &noise;
+    const AssertionOutcome sampled = runAsserted(prog, options);
+    EXPECT_NEAR(sampled.slot_error_rate[0], exact.slot_error_prob[0],
+                0.01);
+    EXPECT_NEAR(sampled.pass_rate, exact.pass_prob, 0.01);
+}
+
+TEST(RunnerTest, EmptySlotListIsTrivial)
+{
+    AssertedProgram prog(algos::bellPrep(algos::BellKind::kPhiPlus));
+    prog.measureProgram();
+    const AssertionOutcomeExact out = runAssertedExact(prog);
+    EXPECT_TRUE(out.slot_error_prob.empty());
+    EXPECT_NEAR(out.pass_prob, 1.0, 1e-12);
+    // Post-selected == unconditioned.
+    for (const auto& [bits, p] : out.program_dist.probs) {
+        EXPECT_NEAR(out.program_dist_passed.probability(bits), p, 1e-12);
+    }
+}
+
+} // namespace
+} // namespace qa

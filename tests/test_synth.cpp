@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Unit and property tests for the synthesis stack: ZYZ/ABC, GF(2)
+ * CNOT synthesis, affine compression, multiplexed rotations, diagonal
+ * synthesis, tensor factorization, state preparation, multi-controlled
+ * gates, and general two-level unitary synthesis.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/stdgates.hpp"
+#include "common/error.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+#include "synth/cnot_synth.hpp"
+#include "synth/factorize.hpp"
+#include "synth/mcgates.hpp"
+#include "synth/multiplex.hpp"
+#include "synth/state_prep.hpp"
+#include "synth/unitary_synth.hpp"
+#include "synth/zyz.hpp"
+#include "test_util.hpp"
+
+namespace qa
+{
+namespace
+{
+
+TEST(ZyzTest, RoundTripRandomUnitaries)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 20; ++trial) {
+        CMatrix u = randomUnitary(2, rng);
+        ZyzAngles a = zyzDecompose(u);
+        EXPECT_TRUE(zyzCompose(a).approxEquals(u, 1e-9)) << trial;
+    }
+}
+
+TEST(ZyzTest, KnownGates)
+{
+    ZyzAngles h = zyzDecompose(gates::h());
+    EXPECT_NEAR(h.gamma, M_PI / 2, 1e-9);
+    ZyzAngles z = zyzDecompose(gates::z());
+    EXPECT_NEAR(std::abs(z.gamma), 0.0, 1e-9);
+    ZyzAngles x = zyzDecompose(gates::x());
+    EXPECT_NEAR(x.gamma, M_PI, 1e-9);
+}
+
+TEST(ZyzTest, EmitSingleQubitRealizesMatrix)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        CMatrix u = randomUnitary(2, rng);
+        QuantumCircuit qc(1);
+        emitSingleQubit(qc, 0, u);
+        EXPECT_LE(qc.size(), 1u); // always a single gate (or none)
+        EXPECT_TRUE(circuitUnitary(qc).equalsUpToPhase(u, 1e-9));
+    }
+}
+
+TEST(ZyzTest, EmitSingleQubitSkipsIdentity)
+{
+    QuantumCircuit qc(1);
+    emitSingleQubit(qc, 0, CMatrix::identity(2) * kI);
+    EXPECT_EQ(qc.size(), 0u);
+}
+
+TEST(ZyzTest, ControlledSingleQubitExactIncludingPhase)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        CMatrix u = randomUnitary(2, rng);
+        QuantumCircuit qc(2);
+        emitControlledSingleQubit(qc, 0, 1, u);
+        test::expectMatrixNear(circuitUnitary(qc), gates::controlled(u),
+                               1e-8);
+        EXPECT_LE(qc.countCx() + qc.countGates("cz"), 2);
+    }
+}
+
+TEST(ZyzTest, ControlledPauliShortcuts)
+{
+    QuantumCircuit qc(2);
+    emitControlledSingleQubit(qc, 0, 1, gates::x());
+    EXPECT_EQ(qc.countCx(), 1);
+    QuantumCircuit qz(2);
+    emitControlledSingleQubit(qz, 0, 1, gates::z());
+    EXPECT_EQ(qz.countGates("cz"), 1);
+}
+
+TEST(ZyzTest, SqrtUnitarySquares)
+{
+    Rng rng(19);
+    for (int trial = 0; trial < 20; ++trial) {
+        CMatrix u = randomUnitary(2, rng);
+        CMatrix v = sqrtUnitary2x2(u);
+        EXPECT_TRUE((v * v).approxEquals(u, 1e-9)) << trial;
+        EXPECT_TRUE(v.isUnitary(1e-9));
+    }
+    // Edge cases: +/- identity.
+    CMatrix mi = CMatrix::identity(2) * Complex(-1.0, 0.0);
+    CMatrix v = sqrtUnitary2x2(mi);
+    EXPECT_TRUE((v * v).approxEquals(mi, 1e-9));
+}
+
+TEST(LinearFunctionTest, ApplyInverseCompose)
+{
+    // out0 = x0^x1, out1 = x1: CNOT(1 -> 0) in mask space.
+    LinearFunction f(2, {0b11, 0b10});
+    EXPECT_EQ(f.apply(0b01), 0b01u);
+    EXPECT_EQ(f.apply(0b10), 0b11u);
+    LinearFunction inv = f.inverse();
+    for (uint64_t x = 0; x < 4; ++x) {
+        EXPECT_EQ(inv.apply(f.apply(x)), x);
+    }
+    LinearFunction composed = f.compose(inv);
+    for (uint64_t x = 0; x < 4; ++x) {
+        EXPECT_EQ(composed.apply(x), x);
+    }
+}
+
+TEST(LinearFunctionTest, SingularDetection)
+{
+    LinearFunction singular(2, {0b11, 0b11});
+    EXPECT_FALSE(singular.isInvertible());
+    EXPECT_THROW(singular.inverse(), UserError);
+}
+
+TEST(CnotSynthTest, RandomInvertibleRoundTrip)
+{
+    Rng rng(31);
+    for (int n : {2, 3, 4, 5}) {
+        for (int trial = 0; trial < 5; ++trial) {
+            // Random invertible matrix via random row operations.
+            LinearFunction f = LinearFunction::identity(n);
+            std::vector<uint64_t> rows = f.rows();
+            for (int k = 0; k < 3 * n; ++k) {
+                int a = int(rng.index(n));
+                int b = int(rng.index(n));
+                if (a != b) rows[a] ^= rows[b];
+            }
+            LinearFunction g(n, rows);
+            QuantumCircuit qc = synthesizeLinear(g);
+            // Validate by simulating every basis state.
+            for (uint64_t mask = 0; mask < (uint64_t(1) << n); ++mask) {
+                Statevector sv(n);
+                for (int q = 0; q < n; ++q) {
+                    if ((mask >> q) & 1) sv.applyMatrix(gates::x(), {q});
+                }
+                for (const Instruction& instr : qc.instructions()) {
+                    sv.applyGate(instr);
+                }
+                const uint64_t out_index =
+                    sv.basisProbabilities().begin()->first;
+                EXPECT_EQ(basisIndexToMask(out_index, n), g.apply(mask));
+            }
+        }
+    }
+}
+
+TEST(CnotSynthTest, AffineCompressionRecognizesSubspaces)
+{
+    auto comp = findAffineCompression({0b000, 0b111}, 3);
+    ASSERT_TRUE(comp.has_value());
+    EXPECT_EQ(comp->m, 1);
+    EXPECT_EQ(comp->check_qubits.size(), 2u);
+    EXPECT_EQ(synthesizeLinear(comp->map).countCx(), 2);
+
+    auto comp4 = findAffineCompression({0b000, 0b110, 0b001, 0b111}, 3);
+    ASSERT_TRUE(comp4.has_value());
+    EXPECT_EQ(comp4->m, 2);
+    EXPECT_EQ(synthesizeLinear(comp4->map).countCx(), 1);
+}
+
+TEST(CnotSynthTest, AffineCompressionOffset)
+{
+    // {|01>, |10>}: affine with offset.
+    auto comp = findAffineCompression({0b01, 0b10}, 2);
+    ASSERT_TRUE(comp.has_value());
+    for (uint64_t e : {0b01u, 0b10u}) {
+        const uint64_t img = comp->map.apply(e ^ comp->offset);
+        for (int f : comp->check_qubits) {
+            EXPECT_EQ((img >> f) & 1, 0u);
+        }
+    }
+}
+
+TEST(CnotSynthTest, RejectsNonAffineSets)
+{
+    EXPECT_FALSE(findAffineCompression({0b00, 0b01, 0b10}, 2).has_value());
+    EXPECT_FALSE(
+        findAffineCompression({0b000, 0b001, 0b010, 0b111}, 3).has_value());
+}
+
+TEST(CnotSynthTest, MaskIndexConversions)
+{
+    // Qubit 0 is the MSB of the index but bit 0 of the mask.
+    EXPECT_EQ(basisIndexToMask(0b100, 3), 0b001u);
+    EXPECT_EQ(maskToBasisIndex(0b001, 3), 0b100u);
+    for (uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(maskToBasisIndex(basisIndexToMask(i, 4), 4), i);
+    }
+}
+
+TEST(MultiplexTest, RotationSelectsByControl)
+{
+    // angles[w]: w indexes controls MSB-first.
+    const std::vector<double> angles = {0.1, 0.7, -0.4, 2.0};
+    for (uint64_t w = 0; w < 4; ++w) {
+        QuantumCircuit qc(3);
+        if (w & 2) qc.x(0);
+        if (w & 1) qc.x(1);
+        muxRotation(qc, RotationAxis::kY, angles, {0, 1}, 2);
+        CVector out = finalState(qc).amplitudes();
+        QuantumCircuit expect(3);
+        if (w & 2) expect.x(0);
+        if (w & 1) expect.x(1);
+        expect.ry(2, angles[w]);
+        EXPECT_TRUE(out.approxEquals(finalState(expect).amplitudes(),
+                                     1e-10))
+            << "control value " << w;
+    }
+}
+
+TEST(MultiplexTest, ConstantAnglesShortCircuit)
+{
+    QuantumCircuit qc(3);
+    muxRotation(qc, RotationAxis::kZ, {0.5, 0.5, 0.5, 0.5}, {0, 1}, 2);
+    EXPECT_EQ(qc.countCx(), 0);
+    EXPECT_EQ(qc.countSingleQubit(), 1);
+}
+
+TEST(MultiplexTest, DiagonalSynthesisExact)
+{
+    Rng rng(43);
+    for (int n : {1, 2, 3, 4}) {
+        const size_t dim = size_t(1) << n;
+        std::vector<double> phases(dim);
+        std::vector<Complex> entries(dim);
+        for (size_t i = 0; i < dim; ++i) {
+            phases[i] = rng.uniform(-M_PI, M_PI);
+            entries[i] = Complex(std::cos(phases[i]),
+                                 std::sin(phases[i]));
+        }
+        QuantumCircuit qc(n);
+        std::vector<int> qubits;
+        for (int q = 0; q < n; ++q) qubits.push_back(q);
+        emitDiagonal(qc, phases, qubits);
+        EXPECT_TRUE(circuitUnitary(qc).equalsUpToPhase(
+            CMatrix::diagonal(entries), 1e-8))
+            << "n = " << n;
+    }
+}
+
+TEST(FactorizeTest, TensorProductsRecognized)
+{
+    CMatrix xzh = kron(kron(gates::x(), gates::z()), gates::h());
+    auto factors = tensorFactorize(xzh);
+    ASSERT_TRUE(factors.has_value());
+    ASSERT_EQ(factors->size(), 3u);
+    CMatrix recon = kron(kron((*factors)[0], (*factors)[1]),
+                         (*factors)[2]);
+    test::expectMatrixNear(recon, xzh, 1e-9);
+}
+
+TEST(FactorizeTest, EntanglingGateRejected)
+{
+    EXPECT_FALSE(tensorFactorize(gates::cx()).has_value());
+    EXPECT_FALSE(tensorFactorize(gates::swap()).has_value());
+}
+
+TEST(FactorizeTest, ProductStates)
+{
+    Rng rng(53);
+    CVector a = randomState(1, rng);
+    CVector b = randomState(1, rng);
+    CVector c = randomState(1, rng);
+    auto factors = productStateFactorize(a.tensor(b).tensor(c));
+    ASSERT_TRUE(factors.has_value());
+    EXPECT_TRUE((*factors)[0].equalsUpToPhase(a, 1e-8));
+    EXPECT_TRUE((*factors)[1].equalsUpToPhase(b, 1e-8));
+    EXPECT_TRUE((*factors)[2].equalsUpToPhase(c, 1e-8));
+
+    CVector bell(4);
+    bell[0] = bell[3] = 1.0 / std::sqrt(2.0);
+    EXPECT_FALSE(productStateFactorize(bell).has_value());
+}
+
+/** State preparation property test over qubit counts. */
+class StatePrepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(StatePrepTest, RandomStateRoundTrip)
+{
+    const int n = GetParam();
+    Rng rng(1000 + n);
+    for (int trial = 0; trial < 5; ++trial) {
+        CVector psi = randomState(n, rng);
+        QuantumCircuit qc = prepareState(psi);
+        EXPECT_TRUE(finalState(qc).amplitudes().equalsUpToPhase(psi, 1e-7))
+            << "n = " << n << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StatePrepTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(StatePrepCostTest, SpecialCases)
+{
+    // Basis state: X only.
+    QuantumCircuit basis = prepareState(CVector::basisState(8, 5));
+    EXPECT_EQ(basis.countCx(), 0);
+    EXPECT_EQ(basis.countGates("x"), 2);
+
+    // GHZ: 1 rotation + n-1 CX.
+    CVector ghz(16);
+    ghz[0] = ghz[15] = 1.0 / std::sqrt(2.0);
+    QuantumCircuit g = prepareState(ghz);
+    EXPECT_EQ(g.countCx(), 3);
+    EXPECT_EQ(g.countSingleQubit(), 1);
+
+    // Product state: one gate per qubit, no CX.
+    Rng rng(77);
+    CVector prod = randomState(1, rng)
+                       .tensor(randomState(1, rng))
+                       .tensor(randomState(1, rng));
+    QuantumCircuit p = prepareState(prod);
+    EXPECT_EQ(p.countCx(), 0);
+    EXPECT_LE(p.countSingleQubit(), 3);
+}
+
+TEST(StatePrepCostTest, GeneralScalingIsExponentialNotWorse)
+{
+    // The multiplexed-rotation path must stay within O(2^n) CX.
+    Rng rng(88);
+    for (int n : {3, 4, 5}) {
+        CVector psi = randomState(n, rng);
+        QuantumCircuit qc = prepareState(psi);
+        EXPECT_LE(qc.countCx(), 4 * (1 << n) + 8) << "n = " << n;
+    }
+}
+
+TEST(McGatesTest, McxAllControlCounts)
+{
+    for (int k = 1; k <= 5; ++k) {
+        QuantumCircuit qc(k + 1);
+        std::vector<int> controls;
+        for (int i = 0; i < k; ++i) controls.push_back(i);
+        mcx(qc, controls, k);
+        EXPECT_TRUE(circuitUnitary(qc).equalsUpToPhase(
+            gates::controlled(gates::x(), k), 1e-7))
+            << "k = " << k;
+    }
+}
+
+TEST(McGatesTest, McxWithDirtyAncillasRestoresThem)
+{
+    // Dirty ancillas in random states must be restored exactly.
+    Rng rng(61);
+    const int k = 4;
+    QuantumCircuit qc(k + 1 + (k - 2));
+    std::vector<int> controls{0, 1, 2, 3};
+    std::vector<int> dirty{5, 6};
+    mcx(qc, controls, 4, dirty);
+    CMatrix u = circuitUnitary(qc);
+    CMatrix expected = gates::controlled(gates::x(), k);
+    for (int i = 0; i < k - 2; ++i) {
+        expected = kron(expected, CMatrix::identity(2));
+    }
+    EXPECT_TRUE(u.equalsUpToPhase(expected, 1e-7));
+}
+
+TEST(McGatesTest, PatternControls)
+{
+    // Fire on pattern 0b01: control 0 closed, control 1 open.
+    QuantumCircuit qc(3);
+    mcxPattern(qc, {0, 1}, 0b01, 2);
+    Statevector sv(3);
+    sv.applyMatrix(gates::x(), {0}); // controls = (1, 0): matches
+    for (const Instruction& instr : qc.instructions()) sv.applyGate(instr);
+    EXPECT_NEAR(sv.probabilityOne(2), 1.0, 1e-10);
+
+    Statevector miss(3); // controls = (0, 0): no fire
+    for (const Instruction& instr : qc.instructions()) {
+        miss.applyGate(instr);
+    }
+    EXPECT_NEAR(miss.probabilityOne(2), 0.0, 1e-10);
+}
+
+TEST(McGatesTest, McuExactPhases)
+{
+    Rng rng(71);
+    for (int k = 1; k <= 4; ++k) {
+        CMatrix u = randomUnitary(2, rng);
+        QuantumCircuit qc(k + 1);
+        std::vector<int> controls;
+        for (int i = 0; i < k; ++i) controls.push_back(i);
+        mcu(qc, controls, k, u);
+        test::expectMatrixNear(circuitUnitary(qc),
+                               gates::controlled(u, k), 1e-7);
+    }
+}
+
+TEST(McGatesTest, RejectsOverlappingQubits)
+{
+    QuantumCircuit qc(3);
+    EXPECT_THROW(mcx(qc, {0, 1}, 1), UserError);
+    EXPECT_THROW(mcx(qc, {0, 1}, 2, {0}), UserError);
+}
+
+/** General unitary synthesis property test. */
+class UnitarySynthTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(UnitarySynthTest, RandomRoundTrip)
+{
+    const int n = GetParam();
+    Rng rng(2000 + n);
+    for (int trial = 0; trial < 3; ++trial) {
+        CMatrix u = randomUnitary(size_t(1) << n, rng);
+        QuantumCircuit qc = synthesizeUnitary(u);
+        EXPECT_TRUE(circuitUnitary(qc).equalsUpToPhase(u, 1e-6))
+            << "n = " << n << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnitarySynthTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(UnitarySynthTest, FastPathsProduceCheapCircuits)
+{
+    // Affine permutation: CNOT-only.
+    QuantumCircuit cx_ref(2);
+    cx_ref.cx(0, 1);
+    QuantumCircuit synth = synthesizeUnitary(circuitUnitary(cx_ref));
+    EXPECT_EQ(synth.countCx(), 1);
+    EXPECT_EQ(synth.countSingleQubit(), 0);
+
+    // Tensor product: no entangling gates at all.
+    QuantumCircuit tensor_synth =
+        synthesizeUnitary(kron(gates::h(), gates::t()));
+    EXPECT_EQ(tensor_synth.countCx(), 0);
+
+    // Diagonal: handled by the multiplexed-Rz network.
+    CMatrix zz = kron(gates::z(), gates::z());
+    QuantumCircuit diag_synth = synthesizeUnitary(zz);
+    EXPECT_TRUE(circuitUnitary(diag_synth).equalsUpToPhase(zz, 1e-9));
+    EXPECT_LE(diag_synth.countCx(), 2);
+}
+
+TEST(UnitarySynthTest, TwoLevelExact)
+{
+    Rng rng(97);
+    const int n = 3;
+    // Random two-level rotation between far-apart states.
+    CMatrix w = randomUnitary(2, rng);
+    QuantumCircuit qc(n);
+    emitTwoLevelInto(qc, {0, 1, 2}, 0b001, 0b110, w);
+    CMatrix got = circuitUnitary(qc);
+    CMatrix expected = CMatrix::identity(8);
+    expected(1, 1) = w(0, 0);
+    expected(1, 6) = w(0, 1);
+    expected(6, 1) = w(1, 0);
+    expected(6, 6) = w(1, 1);
+    test::expectMatrixNear(got, expected, 1e-7);
+}
+
+TEST(UnitarySynthTest, ControlledUnitaryDispatch)
+{
+    Rng rng(111);
+    // Tensor case.
+    CMatrix xx = kron(gates::x(), gates::x());
+    QuantumCircuit qt(3);
+    emitControlledUnitary(qt, 0, {1, 2}, xx);
+    EXPECT_EQ(qt.countCx(), 2);
+    EXPECT_TRUE(circuitUnitary(qt).equalsUpToPhase(
+        gates::controlled(xx), 1e-8));
+
+    // General case.
+    CMatrix u = randomUnitary(4, rng);
+    QuantumCircuit qg(3);
+    emitControlledUnitary(qg, 0, {1, 2}, u);
+    EXPECT_TRUE(circuitUnitary(qg).equalsUpToPhase(
+        gates::controlled(u), 1e-6));
+}
+
+TEST(UnitarySynthTest, CircuitUnitaryRejectsMeasurement)
+{
+    QuantumCircuit qc(1, 1);
+    qc.measure(0, 0);
+    EXPECT_THROW(circuitUnitary(qc), UserError);
+}
+
+} // namespace
+} // namespace qa

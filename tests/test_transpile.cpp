@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the transpiler: basis lowering and peephole optimization,
+ * including the CZ-H rewrite that produces the paper's Fig. 14 circuit.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/stdgates.hpp"
+#include "linalg/states.hpp"
+#include "sim/statevector.hpp"
+#include "synth/unitary_synth.hpp"
+#include "test_util.hpp"
+#include "transpile/lower.hpp"
+#include "transpile/peephole.hpp"
+
+namespace qa
+{
+namespace
+{
+
+TEST(LowerTest, NamedGatesToBasis)
+{
+    QuantumCircuit qc(3);
+    qc.cz(0, 1);
+    qc.swap(1, 2);
+    qc.ccx(0, 1, 2);
+    qc.crz(0, 2, 0.7);
+    qc.cp(1, 2, 0.4);
+    qc.cu3(0, 1, 0.5, 0.6, 0.7);
+    qc.ccrz(0, 1, 2, 0.9);
+    qc.cy(0, 2);
+    qc.ch(1, 0);
+
+    QuantumCircuit low = lowerToBasis(qc);
+    EXPECT_TRUE(isBasisLevel(low));
+    EXPECT_TRUE(circuitUnitary(low).equalsUpToPhase(circuitUnitary(qc),
+                                                    1e-7));
+}
+
+TEST(LowerTest, KnownCosts)
+{
+    QuantumCircuit sw(2);
+    sw.swap(0, 1);
+    EXPECT_EQ(lowerToBasis(sw).countCx(), 3);
+
+    QuantumCircuit tof(3);
+    tof.ccx(0, 1, 2);
+    EXPECT_EQ(lowerToBasis(tof).countCx(), 6);
+
+    QuantumCircuit crz(2);
+    crz.crz(0, 1, 0.3);
+    EXPECT_EQ(lowerToBasis(crz).countCx(), 2);
+}
+
+TEST(LowerTest, OpaqueUnitariesSynthesized)
+{
+    Rng rng(3);
+    QuantumCircuit qc(2);
+    qc.unitary(randomUnitary(4, rng), {0, 1});
+    QuantumCircuit low = lowerToBasis(qc);
+    EXPECT_TRUE(isBasisLevel(low));
+    EXPECT_TRUE(circuitUnitary(low).equalsUpToPhase(circuitUnitary(qc),
+                                                    1e-6));
+}
+
+TEST(LowerTest, MeasurementsPassThrough)
+{
+    QuantumCircuit qc(2, 2);
+    qc.cz(0, 1);
+    qc.measure(0, 0);
+    qc.reset(1);
+    QuantumCircuit low = lowerToBasis(qc);
+    EXPECT_EQ(low.countMeasure(), 1);
+    EXPECT_TRUE(isBasisLevel(low));
+}
+
+TEST(PeepholeTest, CancelsInversePairs)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.cx(0, 1);
+    qc.x(1);
+    qc.x(1);
+    QuantumCircuit opt = peepholeOptimize(qc);
+    EXPECT_EQ(opt.size(), 0u);
+}
+
+TEST(PeepholeTest, MergesAdjacentSingleQubitGates)
+{
+    QuantumCircuit qc(1);
+    qc.rz(0, 0.3);
+    qc.rz(0, 0.4);
+    qc.ry(0, 0.2);
+    QuantumCircuit opt = peepholeOptimize(qc);
+    EXPECT_EQ(opt.size(), 1u);
+    EXPECT_TRUE(circuitUnitary(opt).equalsUpToPhase(circuitUnitary(qc),
+                                                    1e-10));
+}
+
+TEST(PeepholeTest, DoesNotMergeAcrossBlockingOps)
+{
+    QuantumCircuit qc(2, 1);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.h(0); // separated by the CX: must not cancel with the first h
+    QuantumCircuit opt = peepholeOptimize(qc);
+    EXPECT_EQ(opt.size(), 3u);
+
+    QuantumCircuit qm(1, 1);
+    qm.h(0);
+    qm.measure(0, 0);
+    qm.h(0);
+    EXPECT_EQ(peepholeOptimize(qm).size(), 3u);
+}
+
+TEST(PeepholeTest, CzHRunRewrite)
+{
+    // The NDD parity check: H CZ CZ CZ H -> three CX onto the ancilla.
+    QuantumCircuit qc(4);
+    qc.h(0);
+    qc.cz(0, 1);
+    qc.cz(0, 2);
+    qc.cz(0, 3);
+    qc.h(0);
+    QuantumCircuit opt = peepholeOptimize(qc);
+    EXPECT_EQ(opt.countCx(), 3);
+    EXPECT_EQ(opt.countSingleQubit(), 0);
+    EXPECT_TRUE(circuitUnitary(opt).equalsUpToPhase(circuitUnitary(qc),
+                                                    1e-9));
+}
+
+TEST(PeepholeTest, CzHSingle)
+{
+    QuantumCircuit qc(2);
+    qc.h(1);
+    qc.cz(0, 1);
+    qc.h(1);
+    QuantumCircuit opt = peepholeOptimize(qc);
+    EXPECT_EQ(opt.countCx(), 1);
+    EXPECT_EQ(opt.countSingleQubit(), 0);
+}
+
+TEST(PeepholeTest, CzHRewriteRespectsInterveningOps)
+{
+    QuantumCircuit qc(2);
+    qc.h(1);
+    qc.cz(0, 1);
+    qc.x(1); // blocks the sandwich
+    qc.h(1);
+    QuantumCircuit opt = peepholeOptimize(qc);
+    EXPECT_EQ(opt.countGates("cz"), 1);
+    EXPECT_TRUE(circuitUnitary(opt).equalsUpToPhase(circuitUnitary(qc),
+                                                    1e-9));
+}
+
+TEST(PeepholeTest, RandomCircuitsPreserved)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        QuantumCircuit qc(3);
+        for (int g = 0; g < 15; ++g) {
+            const int kind = int(rng.index(6));
+            const int a = int(rng.index(3));
+            int b = int(rng.index(3));
+            if (b == a) b = (b + 1) % 3;
+            switch (kind) {
+              case 0: qc.h(a); break;
+              case 1: qc.t(a); break;
+              case 2:
+                qc.rz(a, rng.uniform(-1, 1));
+                break;
+              case 3: qc.cx(a, b); break;
+              case 4: qc.cz(a, b); break;
+              case 5: qc.swap(a, b); break;
+            }
+        }
+        QuantumCircuit opt = optimizeAndLower(qc);
+        EXPECT_TRUE(isBasisLevel(opt));
+        EXPECT_TRUE(circuitUnitary(opt).equalsUpToPhase(
+            circuitUnitary(qc), 1e-7))
+            << "trial " << trial;
+        EXPECT_LE(opt.size(), lowerToBasis(qc).size());
+    }
+}
+
+TEST(CircuitCostTest, ReportsLoweredMetrics)
+{
+    QuantumCircuit qc(3, 1);
+    qc.h(0);
+    qc.swap(0, 1); // 3 CX after lowering
+    qc.measure(2, 0);
+    CircuitCost cost = circuitCost(qc);
+    EXPECT_EQ(cost.cx, 3);
+    EXPECT_EQ(cost.sg, 1);
+    EXPECT_EQ(cost.measure, 1);
+}
+
+} // namespace
+} // namespace qa

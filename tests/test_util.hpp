@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the qassert test suite.
+ */
+#ifndef QA_TESTS_TEST_UTIL_HPP
+#define QA_TESTS_TEST_UTIL_HPP
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace qa
+{
+namespace test
+{
+
+/** EXPECT that two complex numbers agree within eps. */
+inline void
+expectComplexNear(Complex a, Complex b, double eps = 1e-9)
+{
+    EXPECT_NEAR(a.real(), b.real(), eps);
+    EXPECT_NEAR(a.imag(), b.imag(), eps);
+}
+
+/** EXPECT element-wise vector agreement. */
+inline void
+expectVectorNear(const CVector& a, const CVector& b, double eps = 1e-9)
+{
+    ASSERT_EQ(a.dim(), b.dim());
+    for (size_t i = 0; i < a.dim(); ++i) {
+        EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, eps)
+            << "index " << i << ": " << a.toString() << " vs "
+            << b.toString();
+    }
+}
+
+/** EXPECT matrix agreement. */
+inline void
+expectMatrixNear(const CMatrix& a, const CMatrix& b, double eps = 1e-9)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < a.cols(); ++c) {
+            EXPECT_NEAR(std::abs(a(r, c) - b(r, c)), 0.0, eps)
+                << "entry (" << r << ", " << c << ")";
+        }
+    }
+}
+
+} // namespace test
+} // namespace qa
+
+#endif // QA_TESTS_TEST_UTIL_HPP
