@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adder_debug.dir/bench_adder_debug.cpp.o"
+  "CMakeFiles/bench_adder_debug.dir/bench_adder_debug.cpp.o.d"
+  "bench_adder_debug"
+  "bench_adder_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adder_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

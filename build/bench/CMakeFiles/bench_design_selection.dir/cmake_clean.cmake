@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_selection.dir/bench_design_selection.cpp.o"
+  "CMakeFiles/bench_design_selection.dir/bench_design_selection.cpp.o.d"
+  "bench_design_selection"
+  "bench_design_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noisy_device.dir/bench_noisy_device.cpp.o"
+  "CMakeFiles/bench_noisy_device.dir/bench_noisy_device.cpp.o.d"
+  "bench_noisy_device"
+  "bench_noisy_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noisy_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

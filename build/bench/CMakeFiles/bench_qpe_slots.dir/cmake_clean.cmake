@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qpe_slots.dir/bench_qpe_slots.cpp.o"
+  "CMakeFiles/bench_qpe_slots.dir/bench_qpe_slots.cpp.o.d"
+  "bench_qpe_slots"
+  "bench_qpe_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qpe_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

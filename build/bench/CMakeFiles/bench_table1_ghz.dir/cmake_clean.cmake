@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ghz.dir/bench_table1_ghz.cpp.o"
+  "CMakeFiles/bench_table1_ghz.dir/bench_table1_ghz.cpp.o.d"
+  "bench_table1_ghz"
+  "bench_table1_ghz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ghz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

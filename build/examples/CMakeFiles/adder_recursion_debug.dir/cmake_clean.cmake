@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_recursion_debug.dir/adder_recursion_debug.cpp.o"
+  "CMakeFiles/adder_recursion_debug.dir/adder_recursion_debug.cpp.o.d"
+  "adder_recursion_debug"
+  "adder_recursion_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_recursion_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deutsch_jozsa_bloom.dir/deutsch_jozsa_bloom.cpp.o"
+  "CMakeFiles/deutsch_jozsa_bloom.dir/deutsch_jozsa_bloom.cpp.o.d"
+  "deutsch_jozsa_bloom"
+  "deutsch_jozsa_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deutsch_jozsa_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deutsch_jozsa_bloom.
+# This may be replaced when dependencies are built.

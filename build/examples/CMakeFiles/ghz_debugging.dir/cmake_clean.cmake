@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghz_debugging.dir/ghz_debugging.cpp.o"
+  "CMakeFiles/ghz_debugging.dir/ghz_debugging.cpp.o.d"
+  "ghz_debugging"
+  "ghz_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghz_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ghz_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_filtering.dir/noisy_filtering.cpp.o"
+  "CMakeFiles/noisy_filtering.dir/noisy_filtering.cpp.o.d"
+  "noisy_filtering"
+  "noisy_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

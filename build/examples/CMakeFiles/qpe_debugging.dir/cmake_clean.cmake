@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpe_debugging.dir/qpe_debugging.cpp.o"
+  "CMakeFiles/qpe_debugging.dir/qpe_debugging.cpp.o.d"
+  "qpe_debugging"
+  "qpe_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpe_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

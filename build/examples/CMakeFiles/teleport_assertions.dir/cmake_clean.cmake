@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_assertions.dir/teleport_assertions.cpp.o"
+  "CMakeFiles/teleport_assertions.dir/teleport_assertions.cpp.o.d"
+  "teleport_assertions"
+  "teleport_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/adder.cpp" "src/algos/CMakeFiles/qa_algos.dir/adder.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/adder.cpp.o.d"
+  "/root/repo/src/algos/deutsch_jozsa.cpp" "src/algos/CMakeFiles/qa_algos.dir/deutsch_jozsa.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/deutsch_jozsa.cpp.o.d"
+  "/root/repo/src/algos/grover.cpp" "src/algos/CMakeFiles/qa_algos.dir/grover.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/grover.cpp.o.d"
+  "/root/repo/src/algos/oracles.cpp" "src/algos/CMakeFiles/qa_algos.dir/oracles.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/oracles.cpp.o.d"
+  "/root/repo/src/algos/qft.cpp" "src/algos/CMakeFiles/qa_algos.dir/qft.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/qft.cpp.o.d"
+  "/root/repo/src/algos/qpe.cpp" "src/algos/CMakeFiles/qa_algos.dir/qpe.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/qpe.cpp.o.d"
+  "/root/repo/src/algos/states.cpp" "src/algos/CMakeFiles/qa_algos.dir/states.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/states.cpp.o.d"
+  "/root/repo/src/algos/teleport.cpp" "src/algos/CMakeFiles/qa_algos.dir/teleport.cpp.o" "gcc" "src/algos/CMakeFiles/qa_algos.dir/teleport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_algos.dir/adder.cpp.o"
+  "CMakeFiles/qa_algos.dir/adder.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/deutsch_jozsa.cpp.o"
+  "CMakeFiles/qa_algos.dir/deutsch_jozsa.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/grover.cpp.o"
+  "CMakeFiles/qa_algos.dir/grover.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/oracles.cpp.o"
+  "CMakeFiles/qa_algos.dir/oracles.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/qft.cpp.o"
+  "CMakeFiles/qa_algos.dir/qft.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/qpe.cpp.o"
+  "CMakeFiles/qa_algos.dir/qpe.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/states.cpp.o"
+  "CMakeFiles/qa_algos.dir/states.cpp.o.d"
+  "CMakeFiles/qa_algos.dir/teleport.cpp.o"
+  "CMakeFiles/qa_algos.dir/teleport.cpp.o.d"
+  "libqa_algos.a"
+  "libqa_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

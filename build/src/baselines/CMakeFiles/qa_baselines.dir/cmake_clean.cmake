@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_baselines.dir/chi_square.cpp.o"
+  "CMakeFiles/qa_baselines.dir/chi_square.cpp.o.d"
+  "CMakeFiles/qa_baselines.dir/primitives.cpp.o"
+  "CMakeFiles/qa_baselines.dir/primitives.cpp.o.d"
+  "CMakeFiles/qa_baselines.dir/stat_assertion.cpp.o"
+  "CMakeFiles/qa_baselines.dir/stat_assertion.cpp.o.d"
+  "libqa_baselines.a"
+  "libqa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

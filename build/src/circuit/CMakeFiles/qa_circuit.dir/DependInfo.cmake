@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/qa_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/qa_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/circuit/CMakeFiles/qa_circuit.dir/qasm.cpp.o" "gcc" "src/circuit/CMakeFiles/qa_circuit.dir/qasm.cpp.o.d"
+  "/root/repo/src/circuit/stdgates.cpp" "src/circuit/CMakeFiles/qa_circuit.dir/stdgates.cpp.o" "gcc" "src/circuit/CMakeFiles/qa_circuit.dir/stdgates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

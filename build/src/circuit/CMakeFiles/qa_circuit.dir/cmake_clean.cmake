@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/qa_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/qa_circuit.dir/qasm.cpp.o"
+  "CMakeFiles/qa_circuit.dir/qasm.cpp.o.d"
+  "CMakeFiles/qa_circuit.dir/stdgates.cpp.o"
+  "CMakeFiles/qa_circuit.dir/stdgates.cpp.o.d"
+  "libqa_circuit.a"
+  "libqa_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

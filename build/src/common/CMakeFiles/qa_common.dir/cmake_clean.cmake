@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_common.dir/format.cpp.o"
+  "CMakeFiles/qa_common.dir/format.cpp.o.d"
+  "libqa_common.a"
+  "libqa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_core.dir/asserted_program.cpp.o"
+  "CMakeFiles/qa_core.dir/asserted_program.cpp.o.d"
+  "CMakeFiles/qa_core.dir/builders.cpp.o"
+  "CMakeFiles/qa_core.dir/builders.cpp.o.d"
+  "CMakeFiles/qa_core.dir/debugger.cpp.o"
+  "CMakeFiles/qa_core.dir/debugger.cpp.o.d"
+  "CMakeFiles/qa_core.dir/runner.cpp.o"
+  "CMakeFiles/qa_core.dir/runner.cpp.o.d"
+  "CMakeFiles/qa_core.dir/state_set.cpp.o"
+  "CMakeFiles/qa_core.dir/state_set.cpp.o.d"
+  "libqa_core.a"
+  "libqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

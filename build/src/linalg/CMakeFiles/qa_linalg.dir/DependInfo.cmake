@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cpp" "src/linalg/CMakeFiles/qa_linalg.dir/eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/qa_linalg.dir/eigen.cpp.o.d"
+  "/root/repo/src/linalg/gram_schmidt.cpp" "src/linalg/CMakeFiles/qa_linalg.dir/gram_schmidt.cpp.o" "gcc" "src/linalg/CMakeFiles/qa_linalg.dir/gram_schmidt.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/qa_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/qa_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/states.cpp" "src/linalg/CMakeFiles/qa_linalg.dir/states.cpp.o" "gcc" "src/linalg/CMakeFiles/qa_linalg.dir/states.cpp.o.d"
+  "/root/repo/src/linalg/vector.cpp" "src/linalg/CMakeFiles/qa_linalg.dir/vector.cpp.o" "gcc" "src/linalg/CMakeFiles/qa_linalg.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

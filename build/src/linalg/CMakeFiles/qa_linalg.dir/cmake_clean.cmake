@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/qa_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/qa_linalg.dir/gram_schmidt.cpp.o"
+  "CMakeFiles/qa_linalg.dir/gram_schmidt.cpp.o.d"
+  "CMakeFiles/qa_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/qa_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/qa_linalg.dir/states.cpp.o"
+  "CMakeFiles/qa_linalg.dir/states.cpp.o.d"
+  "CMakeFiles/qa_linalg.dir/vector.cpp.o"
+  "CMakeFiles/qa_linalg.dir/vector.cpp.o.d"
+  "libqa_linalg.a"
+  "libqa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_sim.dir/density.cpp.o"
+  "CMakeFiles/qa_sim.dir/density.cpp.o.d"
+  "CMakeFiles/qa_sim.dir/kraus.cpp.o"
+  "CMakeFiles/qa_sim.dir/kraus.cpp.o.d"
+  "CMakeFiles/qa_sim.dir/noise.cpp.o"
+  "CMakeFiles/qa_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/qa_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qa_sim.dir/statevector.cpp.o.d"
+  "libqa_sim.a"
+  "libqa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

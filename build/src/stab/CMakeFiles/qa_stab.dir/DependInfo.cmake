@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stab/observables.cpp" "src/stab/CMakeFiles/qa_stab.dir/observables.cpp.o" "gcc" "src/stab/CMakeFiles/qa_stab.dir/observables.cpp.o.d"
+  "/root/repo/src/stab/pauli.cpp" "src/stab/CMakeFiles/qa_stab.dir/pauli.cpp.o" "gcc" "src/stab/CMakeFiles/qa_stab.dir/pauli.cpp.o.d"
+  "/root/repo/src/stab/tableau.cpp" "src/stab/CMakeFiles/qa_stab.dir/tableau.cpp.o" "gcc" "src/stab/CMakeFiles/qa_stab.dir/tableau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

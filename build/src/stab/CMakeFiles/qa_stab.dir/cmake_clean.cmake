@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_stab.dir/observables.cpp.o"
+  "CMakeFiles/qa_stab.dir/observables.cpp.o.d"
+  "CMakeFiles/qa_stab.dir/pauli.cpp.o"
+  "CMakeFiles/qa_stab.dir/pauli.cpp.o.d"
+  "CMakeFiles/qa_stab.dir/tableau.cpp.o"
+  "CMakeFiles/qa_stab.dir/tableau.cpp.o.d"
+  "libqa_stab.a"
+  "libqa_stab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

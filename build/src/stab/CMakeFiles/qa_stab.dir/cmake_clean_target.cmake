@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqa_stab.a"
+)

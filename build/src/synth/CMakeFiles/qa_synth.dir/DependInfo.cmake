@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cnot_synth.cpp" "src/synth/CMakeFiles/qa_synth.dir/cnot_synth.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/cnot_synth.cpp.o.d"
+  "/root/repo/src/synth/factorize.cpp" "src/synth/CMakeFiles/qa_synth.dir/factorize.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/factorize.cpp.o.d"
+  "/root/repo/src/synth/mcgates.cpp" "src/synth/CMakeFiles/qa_synth.dir/mcgates.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/mcgates.cpp.o.d"
+  "/root/repo/src/synth/multiplex.cpp" "src/synth/CMakeFiles/qa_synth.dir/multiplex.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/multiplex.cpp.o.d"
+  "/root/repo/src/synth/stabilizer_prep.cpp" "src/synth/CMakeFiles/qa_synth.dir/stabilizer_prep.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/stabilizer_prep.cpp.o.d"
+  "/root/repo/src/synth/state_prep.cpp" "src/synth/CMakeFiles/qa_synth.dir/state_prep.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/state_prep.cpp.o.d"
+  "/root/repo/src/synth/unitary_synth.cpp" "src/synth/CMakeFiles/qa_synth.dir/unitary_synth.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/unitary_synth.cpp.o.d"
+  "/root/repo/src/synth/zyz.cpp" "src/synth/CMakeFiles/qa_synth.dir/zyz.cpp.o" "gcc" "src/synth/CMakeFiles/qa_synth.dir/zyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_synth.dir/cnot_synth.cpp.o"
+  "CMakeFiles/qa_synth.dir/cnot_synth.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/factorize.cpp.o"
+  "CMakeFiles/qa_synth.dir/factorize.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/mcgates.cpp.o"
+  "CMakeFiles/qa_synth.dir/mcgates.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/multiplex.cpp.o"
+  "CMakeFiles/qa_synth.dir/multiplex.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/stabilizer_prep.cpp.o"
+  "CMakeFiles/qa_synth.dir/stabilizer_prep.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/state_prep.cpp.o"
+  "CMakeFiles/qa_synth.dir/state_prep.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/unitary_synth.cpp.o"
+  "CMakeFiles/qa_synth.dir/unitary_synth.cpp.o.d"
+  "CMakeFiles/qa_synth.dir/zyz.cpp.o"
+  "CMakeFiles/qa_synth.dir/zyz.cpp.o.d"
+  "libqa_synth.a"
+  "libqa_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/lower.cpp" "src/transpile/CMakeFiles/qa_transpile.dir/lower.cpp.o" "gcc" "src/transpile/CMakeFiles/qa_transpile.dir/lower.cpp.o.d"
+  "/root/repo/src/transpile/peephole.cpp" "src/transpile/CMakeFiles/qa_transpile.dir/peephole.cpp.o" "gcc" "src/transpile/CMakeFiles/qa_transpile.dir/peephole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/qa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_transpile.dir/lower.cpp.o"
+  "CMakeFiles/qa_transpile.dir/lower.cpp.o.d"
+  "CMakeFiles/qa_transpile.dir/peephole.cpp.o"
+  "CMakeFiles/qa_transpile.dir/peephole.cpp.o.d"
+  "libqa_transpile.a"
+  "libqa_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

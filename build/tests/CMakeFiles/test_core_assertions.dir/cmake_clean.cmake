@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_assertions.dir/test_core_assertions.cpp.o"
+  "CMakeFiles/test_core_assertions.dir/test_core_assertions.cpp.o.d"
+  "test_core_assertions"
+  "test_core_assertions.pdb"
+  "test_core_assertions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_basis.dir/test_core_basis.cpp.o"
+  "CMakeFiles/test_core_basis.dir/test_core_basis.cpp.o.d"
+  "test_core_basis"
+  "test_core_basis.pdb"
+  "test_core_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

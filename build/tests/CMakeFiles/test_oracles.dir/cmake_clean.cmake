@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracles.dir/test_oracles.cpp.o"
+  "CMakeFiles/test_oracles.dir/test_oracles.cpp.o.d"
+  "test_oracles"
+  "test_oracles.pdb"
+  "test_oracles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

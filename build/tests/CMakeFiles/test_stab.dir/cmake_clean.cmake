@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stab.dir/test_stab.cpp.o"
+  "CMakeFiles/test_stab.dir/test_stab.cpp.o.d"
+  "test_stab"
+  "test_stab.pdb"
+  "test_stab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_transpile[1]_include.cmake")
+include("/root/repo/build/tests/test_core_basis[1]_include.cmake")
+include("/root/repo/build/tests/test_core_assertions[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_algos[1]_include.cmake")
+include("/root/repo/build/tests/test_oracles[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_debugger[1]_include.cmake")
+include("/root/repo/build/tests/test_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_stab[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
