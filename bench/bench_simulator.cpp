@@ -68,6 +68,109 @@ BM_ShotSampling(benchmark::State& state)
 BENCHMARK(BM_ShotSampling)->Arg(128)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+/** n-qubit QFT with every qubit measured: the terminal fast-path case. */
+QuantumCircuit
+measuredQft(int n)
+{
+    QuantumCircuit qc(n, n);
+    std::vector<int> ident;
+    for (int q = 0; q < n; ++q) ident.push_back(q);
+    qc.compose(qa::algos::qft(n), ident);
+    qc.measureAll();
+    return qc;
+}
+
+/**
+ * Shot engine, noiseless terminal measurement (12-qubit QFT, 4096
+ * shots): the prefix is evolved once and the final distribution sampled
+ * per shot. Thread count is the benchmark argument.
+ */
+void
+BM_ShotEngineTerminal(benchmark::State& state)
+{
+    const QuantumCircuit qc = measuredQft(12);
+    SimOptions options;
+    options.shots = 4096;
+    options.seed = 7;
+    options.num_threads = int(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runShots(qc, options).shots);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * options.shots);
+}
+BENCHMARK(BM_ShotEngineTerminal)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Seed-equivalent reference on the same workload: full per-shot replay
+ * (options.naive), pinned to one iteration because a single run costs
+ * seconds. The BM_ShotEngineTerminal/1 ratio is the engine speedup.
+ */
+void
+BM_ShotEngineTerminalNaive(benchmark::State& state)
+{
+    const QuantumCircuit qc = measuredQft(12);
+    SimOptions options;
+    options.shots = 4096;
+    options.seed = 7;
+    options.num_threads = 1;
+    options.naive = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runShots(qc, options).shots);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * options.shots);
+}
+BENCHMARK(BM_ShotEngineTerminalNaive)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Shot engine with a mid-circuit measurement: the deterministic prefix
+ * (10 layers) is cached; only the short suffix replays per shot.
+ */
+void
+BM_ShotEngineMidCircuit(benchmark::State& state)
+{
+    QuantumCircuit qc(10, 10);
+    std::vector<int> ident{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    qc.compose(layeredCircuit(10, 10), ident);
+    qc.measure(0, 0);
+    qc.compose(layeredCircuit(10, 1), ident);
+    qc.measureAll();
+    SimOptions options;
+    options.shots = 256;
+    options.seed = 11;
+    options.num_threads = int(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runShots(qc, options).shots);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * options.shots);
+}
+BENCHMARK(BM_ShotEngineMidCircuit)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Shot engine under trajectory noise: the split lands on the first
+ * noisy gate, so per-shot replay dominates and the thread pool carries
+ * the scaling.
+ */
+void
+BM_ShotEngineNoisy(benchmark::State& state)
+{
+    const QuantumCircuit qc = measuredQft(8);
+    const NoiseModel noise = NoiseModel::ibmqMelbourneLike();
+    SimOptions options;
+    options.shots = 256;
+    options.seed = 13;
+    options.noise = &noise;
+    options.num_threads = int(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runShots(qc, options).shots);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * options.shots);
+}
+BENCHMARK(BM_ShotEngineNoisy)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ExactBranching(benchmark::State& state)
 {

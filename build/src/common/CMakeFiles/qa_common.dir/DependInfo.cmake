@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/format.cpp" "src/common/CMakeFiles/qa_common.dir/format.cpp.o" "gcc" "src/common/CMakeFiles/qa_common.dir/format.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/qa_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/qa_common.dir/parallel.cpp.o.d"
   )
 
 # Targets to which this target links.

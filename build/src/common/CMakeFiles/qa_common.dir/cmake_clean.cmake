@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/qa_common.dir/format.cpp.o"
   "CMakeFiles/qa_common.dir/format.cpp.o.d"
+  "CMakeFiles/qa_common.dir/parallel.cpp.o"
+  "CMakeFiles/qa_common.dir/parallel.cpp.o.d"
   "libqa_common.a"
   "libqa_common.pdb"
 )

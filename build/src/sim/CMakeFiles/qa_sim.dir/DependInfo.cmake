@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/density.cpp" "src/sim/CMakeFiles/qa_sim.dir/density.cpp.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/density.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/qa_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/engine.cpp.o.d"
   "/root/repo/src/sim/kraus.cpp" "src/sim/CMakeFiles/qa_sim.dir/kraus.cpp.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/kraus.cpp.o.d"
   "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/qa_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/noise.cpp.o.d"
   "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/qa_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/statevector.cpp.o.d"
@@ -17,8 +18,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/circuit/CMakeFiles/qa_circuit.dir/DependInfo.cmake"
-  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

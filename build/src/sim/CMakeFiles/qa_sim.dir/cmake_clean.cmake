@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/qa_sim.dir/density.cpp.o"
   "CMakeFiles/qa_sim.dir/density.cpp.o.d"
+  "CMakeFiles/qa_sim.dir/engine.cpp.o"
+  "CMakeFiles/qa_sim.dir/engine.cpp.o.d"
   "CMakeFiles/qa_sim.dir/kraus.cpp.o"
   "CMakeFiles/qa_sim.dir/kraus.cpp.o.d"
   "CMakeFiles/qa_sim.dir/noise.cpp.o"

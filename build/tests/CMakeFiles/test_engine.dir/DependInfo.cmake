@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/test_engine.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/test_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/qa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qa_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/qa_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stab/CMakeFiles/qa_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

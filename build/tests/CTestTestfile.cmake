@@ -9,6 +9,7 @@ include("/root/repo/build/tests/test_linalg[1]_include.cmake")
 include("/root/repo/build/tests/test_circuit[1]_include.cmake")
 include("/root/repo/build/tests/test_qasm[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
 include("/root/repo/build/tests/test_synth[1]_include.cmake")
 include("/root/repo/build/tests/test_transpile[1]_include.cmake")
 include("/root/repo/build/tests/test_core_basis[1]_include.cmake")

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification: the canonical build + full ctest sweep, then a
+# ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine
+# determinism tests — the only multi-threaded code paths — under TSAN.
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" != "--skip-tsan" ]]; then
+    cmake -B build-tsan -S . \
+        -DQA_ENABLE_TSAN=ON \
+        -DQASSERT_BUILD_BENCHES=OFF \
+        -DQASSERT_BUILD_EXAMPLES=OFF
+    cmake --build build-tsan -j --target test_engine
+    ./build-tsan/tests/test_engine \
+        --gtest_filter='EngineTest.*:ShotPlanTest.*'
+fi
+
+echo "tier-1 OK"

@@ -1,0 +1,43 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+
+namespace qa
+{
+
+namespace
+{
+
+/** 0 means "use the hardware default". */
+std::atomic<int> g_kernel_threads{0};
+
+thread_local int t_serial_depth = 0;
+
+} // namespace
+
+int
+kernelThreads()
+{
+    const int cap = g_kernel_threads.load(std::memory_order_relaxed);
+    if (cap > 0) return cap;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : int(hw);
+}
+
+void
+setKernelThreads(int n)
+{
+    g_kernel_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+bool
+inSerialKernelScope()
+{
+    return t_serial_depth > 0;
+}
+
+SerialKernelScope::SerialKernelScope() { ++t_serial_depth; }
+
+SerialKernelScope::~SerialKernelScope() { --t_serial_depth; }
+
+} // namespace qa

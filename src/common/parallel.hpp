@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal data-parallel loop support for the simulation kernels.
+ *
+ * Two knobs cooperate here:
+ *  - a process-wide cap on kernel threads (defaults to the hardware
+ *    concurrency), and
+ *  - a per-thread SerialKernelScope guard that the shot-engine workers
+ *    hold, so per-shot evolution never nests a second thread pool inside
+ *    the already-parallel shot loop.
+ */
+#ifndef QA_COMMON_PARALLEL_HPP
+#define QA_COMMON_PARALLEL_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace qa
+{
+
+/**
+ * Process-wide cap on threads used by data-parallel kernels.
+ * Defaults to std::thread::hardware_concurrency (at least 1).
+ */
+int kernelThreads();
+
+/** Override the kernel-thread cap; n <= 0 restores the hardware default. */
+void setKernelThreads(int n);
+
+/** True while the calling thread must keep kernels serial. */
+bool inSerialKernelScope();
+
+/**
+ * RAII guard forcing kernels serial on the current thread. Shot-engine
+ * workers hold one for their lifetime: the shot loop is the outer
+ * parallelism, so the gate kernels it calls must not spawn again.
+ */
+class SerialKernelScope
+{
+  public:
+    SerialKernelScope();
+    ~SerialKernelScope();
+    SerialKernelScope(const SerialKernelScope&) = delete;
+    SerialKernelScope& operator=(const SerialKernelScope&) = delete;
+};
+
+/**
+ * Split [0, n) into contiguous chunks and run body(begin, end) on up to
+ * kernelThreads() threads. Runs one inline call when the range is smaller
+ * than `grain`, the cap is 1, or the caller holds a SerialKernelScope.
+ * Chunks are disjoint; the body must only write state owned by its chunk.
+ */
+template <typename Body>
+void
+parallelFor(uint64_t n, uint64_t grain, const Body& body)
+{
+    if (n == 0) return;
+    int threads = inSerialKernelScope() ? 1 : kernelThreads();
+    if (grain > 0) {
+        threads = int(std::min<uint64_t>(uint64_t(std::max(threads, 1)),
+                                         std::max<uint64_t>(n / grain, 1)));
+    }
+    if (threads <= 1) {
+        body(uint64_t(0), n);
+        return;
+    }
+    const uint64_t chunk = (n + uint64_t(threads) - 1) / uint64_t(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(size_t(threads) - 1);
+    for (int t = 1; t < threads; ++t) {
+        const uint64_t begin = chunk * uint64_t(t);
+        const uint64_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        pool.emplace_back([&body, begin, end] { body(begin, end); });
+    }
+    body(uint64_t(0), std::min(n, chunk));
+    for (std::thread& th : pool) th.join();
+}
+
+} // namespace qa
+
+#endif // QA_COMMON_PARALLEL_HPP

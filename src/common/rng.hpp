@@ -17,6 +17,20 @@ namespace qa
 {
 
 /**
+ * splitmix64 finalizer: a strong 64-bit bit mixer. Used to derive
+ * decorrelated seeds for counter-based RNG sub-streams (nearby inputs
+ * map to statistically independent outputs).
+ */
+inline uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/**
  * Seedable random source wrapping a 64-bit Mersenne Twister.
  *
  * Thin value type: copyable, and copies evolve independently, which lets a
@@ -27,6 +41,19 @@ class Rng
   public:
     /** Construct with an explicit seed (no default: determinism by design). */
     explicit Rng(uint64_t seed) : engine_(seed) {}
+
+    /**
+     * Counter-based sub-stream: the source for stream `stream` of a run
+     * seeded with `seed`. A stream's state depends only on (seed, stream)
+     * — never on how many draws other streams consumed — so a parallel
+     * shot loop that gives shot i stream i is deterministic regardless of
+     * thread count or scheduling.
+     */
+    static Rng
+    forStream(uint64_t seed, uint64_t stream)
+    {
+        return Rng(splitmix64(seed + 0x9E3779B97F4A7C15ULL * stream));
+    }
 
     /** Uniform double in [0, 1). */
     double

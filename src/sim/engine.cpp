@@ -1,0 +1,267 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "sim/result.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** True if the noise model attaches a Kraus channel to this gate. */
+bool
+gateIsNoisy(const Instruction& instr, const NoiseModel& noise)
+{
+    const auto& channels =
+        instr.arity() == 1 ? noise.noise_1q : noise.noise_2q;
+    return !channels.empty();
+}
+
+/** Apply configured noise channels after a gate touching these qubits. */
+void
+applyGateNoise(Statevector& state, const Instruction& instr,
+               const NoiseModel& noise, Rng& rng)
+{
+    const auto& channels =
+        instr.arity() == 1 ? noise.noise_1q : noise.noise_2q;
+    for (int q : instr.qubits) {
+        for (const KrausChannel& channel : channels) {
+            state.applyKrausTrajectory(channel, q, rng);
+        }
+    }
+}
+
+/** Flip a recorded readout with the configured asymmetric error. */
+int
+applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng)
+{
+    if (outcome == 0 && noise.readout_p01 > 0.0 &&
+        rng.bernoulli(noise.readout_p01)) {
+        return 1;
+    }
+    if (outcome == 1 && noise.readout_p10 > 0.0 &&
+        rng.bernoulli(noise.readout_p10)) {
+        return 0;
+    }
+    return outcome;
+}
+
+/** Worker count for the shot loop: 0 means hardware concurrency. */
+int
+resolveThreads(int requested, int shots)
+{
+    int n = requested;
+    if (n <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw == 0 ? 1 : int(hw);
+    }
+    return std::max(1, std::min(n, shots));
+}
+
+/**
+ * Run `shots` shot bodies on `num_threads` workers and merge the
+ * per-worker histograms. `make_worker` builds one worker function
+ * (holding any reusable per-worker buffers); each call worker(shot,
+ * local) must depend only on the shot index, which makes the merged
+ * histogram independent of scheduling. Workers pull fixed-size chunks
+ * off an atomic cursor; histogram merging is order-insensitive.
+ */
+template <typename MakeWorker>
+void
+runShotLoop(int shots, int num_threads, Counts& counts,
+            const MakeWorker& make_worker)
+{
+    const int threads = resolveThreads(num_threads, shots);
+    if (threads <= 1) {
+        auto worker = make_worker();
+        for (int s = 0; s < shots; ++s) worker(s, counts);
+        return;
+    }
+
+    std::atomic<int> cursor{0};
+    const int chunk = std::max(1, shots / (threads * 8));
+    std::vector<Counts> locals;
+    locals.resize(size_t(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(size_t(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            // The shot loop is the outer parallelism: keep the gate
+            // kernels this worker calls serial.
+            SerialKernelScope serial;
+            auto worker = make_worker();
+            for (;;) {
+                const int begin = cursor.fetch_add(chunk);
+                if (begin >= shots) break;
+                const int end = std::min(shots, begin + chunk);
+                for (int s = begin; s < end; ++s) worker(s, locals[t]);
+            }
+        });
+    }
+    for (std::thread& th : pool) th.join();
+    for (const Counts& local : locals) {
+        for (const auto& [bits, n] : local.map) counts.map[bits] += n;
+    }
+}
+
+} // namespace
+
+ShotPlan
+analyzeShotPlan(const QuantumCircuit& circuit, const NoiseModel* noise)
+{
+    const bool enabled = noise != nullptr && noise->enabled();
+    ShotPlan plan;
+    plan.kraus_noise = enabled && (!noise->noise_1q.empty() ||
+                                   !noise->noise_2q.empty());
+    plan.readout_noise = enabled && (noise->readout_p01 > 0.0 ||
+                                     noise->readout_p10 > 0.0);
+
+    const auto& instrs = circuit.instructions();
+    plan.split = instrs.size();
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        const Instruction& instr = instrs[i];
+        const bool stochastic =
+            instr.type == OpType::kMeasure ||
+            instr.type == OpType::kReset ||
+            (instr.type == OpType::kGate && enabled &&
+             gateIsNoisy(instr, *noise));
+        if (stochastic) {
+            plan.split = i;
+            break;
+        }
+    }
+
+    plan.terminal_sampling = true;
+    for (size_t i = plan.split; i < instrs.size(); ++i) {
+        const Instruction& instr = instrs[i];
+        if (instr.type == OpType::kBarrier) continue;
+        if (instr.type != OpType::kMeasure) {
+            plan.terminal_sampling = false;
+            plan.terminal_measures.clear();
+            break;
+        }
+        plan.terminal_measures.emplace_back(instr.qubits[0], instr.cbit);
+    }
+    return plan;
+}
+
+SampleTable::SampleTable(const Statevector& state)
+{
+    const CVector& amps = state.amplitudes();
+    cumulative_.resize(amps.dim());
+    double acc = 0.0;
+    for (uint64_t i = 0; i < amps.dim(); ++i) {
+        acc += std::norm(amps[i]);
+        cumulative_[i] = acc;
+    }
+    QA_REQUIRE(acc > 1e-14, "sample table over a zero-mass state");
+}
+
+uint64_t
+SampleTable::sample(Rng& rng) const
+{
+    const double draw = rng.uniform() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), draw);
+    if (it == cumulative_.end()) return uint64_t(cumulative_.size()) - 1;
+    return uint64_t(it - cumulative_.begin());
+}
+
+Counts
+runShots(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    QA_REQUIRE(options.shots > 0, "need a positive shot count");
+    const NoiseModel* noise =
+        options.noise != nullptr && options.noise->enabled()
+            ? options.noise
+            : nullptr;
+
+    // The naive plan (split = 0, no fast path) replays every instruction
+    // per shot: the reference the cached plan must agree with exactly.
+    ShotPlan plan;
+    if (!options.naive) plan = analyzeShotPlan(circuit, noise);
+
+    const auto& instrs = circuit.instructions();
+
+    // Evolve the deterministic prefix once; every shot clones it. The
+    // prefix contains no stochastic instruction, so per-shot RNG draws
+    // are unaffected by where the split falls.
+    Statevector prefix(circuit.numQubits());
+    for (size_t i = 0; i < plan.split; ++i) {
+        if (instrs[i].type == OpType::kGate) prefix.applyGate(instrs[i]);
+    }
+
+    const std::string clbits0(size_t(std::max(circuit.numClbits(), 0)),
+                              '0');
+    const int n = circuit.numQubits();
+
+    Counts counts;
+    counts.shots = options.shots;
+
+    if (plan.terminal_sampling) {
+        const SampleTable table(prefix);
+        runShotLoop(options.shots, options.num_threads, counts, [&]() {
+            return [&](int shot, Counts& local) {
+                Rng rng = Rng::forStream(options.seed, uint64_t(shot));
+                const uint64_t index = table.sample(rng);
+                std::string clbits = clbits0;
+                for (const auto& [q, c] : plan.terminal_measures) {
+                    int outcome = int((index >> (n - 1 - q)) & 1);
+                    if (noise != nullptr) {
+                        outcome = applyReadoutError(outcome, *noise, rng);
+                    }
+                    clbits[c] = outcome ? '1' : '0';
+                }
+                ++local.map[clbits];
+            };
+        });
+        return counts;
+    }
+
+    runShotLoop(options.shots, options.num_threads, counts, [&]() {
+        // One reusable state buffer per worker; copy-assignment below
+        // reuses its allocation across shots.
+        return [&, state = Statevector(prefix)](int shot,
+                                                Counts& local) mutable {
+            Rng rng = Rng::forStream(options.seed, uint64_t(shot));
+            state = prefix;
+            std::string clbits = clbits0;
+            for (size_t i = plan.split; i < instrs.size(); ++i) {
+                const Instruction& instr = instrs[i];
+                switch (instr.type) {
+                  case OpType::kGate:
+                    state.applyGate(instr);
+                    if (noise != nullptr) {
+                        applyGateNoise(state, instr, *noise, rng);
+                    }
+                    break;
+                  case OpType::kMeasure: {
+                    int outcome = state.measure(instr.qubits[0], rng);
+                    if (noise != nullptr) {
+                        outcome = applyReadoutError(outcome, *noise, rng);
+                    }
+                    clbits[instr.cbit] = outcome ? '1' : '0';
+                    break;
+                  }
+                  case OpType::kReset:
+                    state.reset(instr.qubits[0], rng);
+                    break;
+                  case OpType::kBarrier:
+                    break;
+                }
+            }
+            ++local.map[clbits];
+        };
+    });
+    return counts;
+}
+
+} // namespace qa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shot-execution engine backing runShots.
+ *
+ * Three cooperating layers (see DESIGN.md, "Execution engine"):
+ *  1. circuit analysis + prefix caching: the instructions before the
+ *     first stochastic point (measurement, reset, or — with an active
+ *     noise model — the first gate a Kraus channel applies to) are
+ *     shot-invariant, so the prefix state is evolved once and cloned per
+ *     shot. When every remaining instruction is a terminal measurement
+ *     and no Kraus channel is active, per-shot evolution is skipped
+ *     entirely and the final distribution is sampled directly.
+ *  2. multi-threaded shot loop with counter-based per-shot RNG streams
+ *     (Rng::forStream), so a seeded run produces bit-identical Counts
+ *     for any thread count.
+ *  3. O(log d) sampling from a cumulative-weight table built once per
+ *     cached state.
+ */
+#ifndef QA_SIM_ENGINE_HPP
+#define QA_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/noise.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+
+/**
+ * Static execution plan for a shot run: where the deterministic prefix
+ * ends and whether the terminal-sampling fast path applies.
+ */
+struct ShotPlan
+{
+    /** Instructions [0, split) are shot-invariant and evolved once. */
+    size_t split = 0;
+
+    /**
+     * True when every instruction at/after `split` is a measurement or
+     * barrier and no Kraus channel is active: the run reduces to sampling
+     * the cached state's basis distribution, with readout error (if any)
+     * applied classically to the sampled bits.
+     */
+    bool terminal_sampling = false;
+
+    /** (qubit, clbit) pairs of the terminal measurements, in order. */
+    std::vector<std::pair<int, int>> terminal_measures;
+
+    /** True when gate-level Kraus channels are active. */
+    bool kraus_noise = false;
+
+    /** True when classical readout error is active. */
+    bool readout_noise = false;
+};
+
+/**
+ * Analyze a circuit against an (optional, possibly disabled) noise
+ * model. The prefix ends at the first measurement or reset, or at the
+ * first gate one of the model's Kraus channel lists applies to.
+ */
+ShotPlan analyzeShotPlan(const QuantumCircuit& circuit,
+                         const NoiseModel* noise);
+
+/**
+ * Cumulative-weight table over a state's basis probabilities: built once
+ * per cached state, each draw costs one uniform plus an O(log d)
+ * std::upper_bound instead of an O(d) prefix scan.
+ */
+class SampleTable
+{
+  public:
+    explicit SampleTable(const Statevector& state);
+
+    /** Sample a basis index from the underlying distribution. */
+    uint64_t sample(Rng& rng) const;
+
+  private:
+    std::vector<double> cumulative_;
+};
+
+} // namespace qa
+
+#endif // QA_SIM_ENGINE_HPP

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "common/parallel.hpp"
 #include "linalg/states.hpp"
 
 namespace qa
@@ -40,6 +41,14 @@ depositZeros(uint64_t packed, const std::vector<int>& sorted_pos)
     return out;
 }
 
+/**
+ * Minimum amplitude count before a gate kernel fans out across threads;
+ * below this the spawn cost dominates. Iterations that own an index with
+ * the target bit set are skipped, so chunk boundaries never split the
+ * amplitude pairs a single iteration updates.
+ */
+constexpr uint64_t kKernelGrain = uint64_t(1) << 15;
+
 } // namespace
 
 Statevector::Statevector(int num_qubits)
@@ -74,33 +83,39 @@ Statevector::applyMatrix(const CMatrix& m, const std::vector<int>& qubits)
         const uint64_t bit = uint64_t(1) << (num_qubits_ - 1 - qubits[0]);
         const Complex m00 = m(0, 0), m01 = m(0, 1);
         const Complex m10 = m(1, 0), m11 = m(1, 1);
-        for (uint64_t i = 0; i < amps_.dim(); ++i) {
-            if (i & bit) continue;
-            const Complex a0 = amps_[i];
-            const Complex a1 = amps_[i | bit];
-            amps_[i] = m00 * a0 + m01 * a1;
-            amps_[i | bit] = m10 * a0 + m11 * a1;
-        }
+        parallelFor(amps_.dim(), kKernelGrain,
+                    [&](uint64_t begin, uint64_t end) {
+            for (uint64_t i = begin; i < end; ++i) {
+                if (i & bit) continue;
+                const Complex a0 = amps_[i];
+                const Complex a1 = amps_[i | bit];
+                amps_[i] = m00 * a0 + m01 * a1;
+                amps_[i | bit] = m10 * a0 + m11 * a1;
+            }
+        });
         return;
     }
     if (k == 2) {
         const uint64_t hi = uint64_t(1) << (num_qubits_ - 1 - qubits[0]);
         const uint64_t lo = uint64_t(1) << (num_qubits_ - 1 - qubits[1]);
-        for (uint64_t i = 0; i < amps_.dim(); ++i) {
-            if (i & (hi | lo)) continue;
-            const uint64_t i0 = i, i1 = i | lo, i2 = i | hi,
-                           i3 = i | hi | lo;
-            const Complex a0 = amps_[i0], a1 = amps_[i1],
-                          a2 = amps_[i2], a3 = amps_[i3];
-            amps_[i0] = m(0, 0) * a0 + m(0, 1) * a1 + m(0, 2) * a2 +
-                        m(0, 3) * a3;
-            amps_[i1] = m(1, 0) * a0 + m(1, 1) * a1 + m(1, 2) * a2 +
-                        m(1, 3) * a3;
-            amps_[i2] = m(2, 0) * a0 + m(2, 1) * a1 + m(2, 2) * a2 +
-                        m(2, 3) * a3;
-            amps_[i3] = m(3, 0) * a0 + m(3, 1) * a1 + m(3, 2) * a2 +
-                        m(3, 3) * a3;
-        }
+        parallelFor(amps_.dim(), kKernelGrain,
+                    [&](uint64_t begin, uint64_t end) {
+            for (uint64_t i = begin; i < end; ++i) {
+                if (i & (hi | lo)) continue;
+                const uint64_t i0 = i, i1 = i | lo, i2 = i | hi,
+                               i3 = i | hi | lo;
+                const Complex a0 = amps_[i0], a1 = amps_[i1],
+                              a2 = amps_[i2], a3 = amps_[i3];
+                amps_[i0] = m(0, 0) * a0 + m(0, 1) * a1 + m(0, 2) * a2 +
+                            m(0, 3) * a3;
+                amps_[i1] = m(1, 0) * a0 + m(1, 1) * a1 + m(1, 2) * a2 +
+                            m(1, 3) * a3;
+                amps_[i2] = m(2, 0) * a0 + m(2, 1) * a1 + m(2, 2) * a2 +
+                            m(2, 3) * a3;
+                amps_[i3] = m(3, 0) * a0 + m(3, 1) * a1 + m(3, 2) * a2 +
+                            m(3, 3) * a3;
+            }
+        });
         return;
     }
 
@@ -110,28 +125,33 @@ Statevector::applyMatrix(const CMatrix& m, const std::vector<int>& qubits)
 
     const size_t subdim = size_t(1) << k;
     const uint64_t rest_count = uint64_t(1) << (num_qubits_ - int(k));
-    std::vector<Complex> gathered(subdim);
-    std::vector<uint64_t> indices(subdim);
 
-    for (uint64_t r = 0; r < rest_count; ++r) {
-        const uint64_t base = depositZeros(r, sorted_pos);
-        for (size_t msub = 0; msub < subdim; ++msub) {
-            uint64_t idx = base;
-            for (size_t j = 0; j < k; ++j) {
-                uint64_t bit = (msub >> (k - 1 - j)) & 1;
-                idx |= bit << pos[j];
+    // Each value of r owns a disjoint 2^k-amplitude block, so the outer
+    // loop parallelizes with per-chunk gather buffers.
+    parallelFor(rest_count, std::max<uint64_t>(kKernelGrain >> k, 1),
+                [&](uint64_t begin, uint64_t end) {
+        std::vector<Complex> gathered(subdim);
+        std::vector<uint64_t> indices(subdim);
+        for (uint64_t r = begin; r < end; ++r) {
+            const uint64_t base = depositZeros(r, sorted_pos);
+            for (size_t msub = 0; msub < subdim; ++msub) {
+                uint64_t idx = base;
+                for (size_t j = 0; j < k; ++j) {
+                    uint64_t bit = (msub >> (k - 1 - j)) & 1;
+                    idx |= bit << pos[j];
+                }
+                indices[msub] = idx;
+                gathered[msub] = amps_[idx];
             }
-            indices[msub] = idx;
-            gathered[msub] = amps_[idx];
-        }
-        for (size_t row = 0; row < subdim; ++row) {
-            Complex sum = 0.0;
-            for (size_t col = 0; col < subdim; ++col) {
-                sum += m(row, col) * gathered[col];
+            for (size_t row = 0; row < subdim; ++row) {
+                Complex sum = 0.0;
+                for (size_t col = 0; col < subdim; ++col) {
+                    sum += m(row, col) * gathered[col];
+                }
+                amps_[indices[row]] = sum;
             }
-            amps_[indices[row]] = sum;
         }
-    }
+    });
 }
 
 void
@@ -197,11 +217,17 @@ Statevector::applyKrausTrajectory(const KrausChannel& channel, int q,
     const CMatrix rho_q = reducedDensity(q);
     std::vector<double> probs;
     probs.reserve(channel.ops().size());
+    double total = 0.0;
     for (const CMatrix& k : channel.ops()) {
         probs.push_back(std::max(0.0, (k.dagger() * k * rho_q)
                                           .trace()
                                           .real()));
+        total += probs.back();
     }
+    QA_REQUIRE(total > 1e-14,
+               "every Kraus branch of channel '" + channel.name() +
+                   "' has ~zero probability (state numerically "
+                   "degenerate); cannot sample a trajectory");
     const size_t choice = rng.discrete(probs);
     applyMatrix(channel.ops()[choice], {q});
     const double norm = amps_.norm();
@@ -226,15 +252,24 @@ Statevector::reducedDensity(int q) const
     return rho;
 }
 
-std::map<uint64_t, double>
+std::vector<std::pair<uint64_t, double>>
 Statevector::basisProbabilities(double eps) const
 {
-    std::map<uint64_t, double> out;
+    // Appending in index order yields a sorted vector directly; callers
+    // that iterate in order pay no red-black-tree overhead.
+    std::vector<std::pair<uint64_t, double>> out;
     for (uint64_t i = 0; i < amps_.dim(); ++i) {
         const double p = std::norm(amps_[i]);
-        if (p > eps) out[i] = p;
+        if (p > eps) out.emplace_back(i, p);
     }
     return out;
+}
+
+std::map<uint64_t, double>
+Statevector::basisProbabilitiesMap(double eps) const
+{
+    const auto sorted = basisProbabilities(eps);
+    return std::map<uint64_t, double>(sorted.begin(), sorted.end());
 }
 
 uint64_t
@@ -249,80 +284,7 @@ Statevector::sampleBasis(Rng& rng) const
     return amps_.dim() - 1;
 }
 
-namespace
-{
-
-/** Apply configured noise channels after a gate touching these qubits. */
-void
-applyGateNoise(Statevector& state, const Instruction& instr,
-               const NoiseModel& noise, Rng& rng)
-{
-    const auto& channels =
-        instr.arity() == 1 ? noise.noise_1q : noise.noise_2q;
-    for (int q : instr.qubits) {
-        for (const KrausChannel& channel : channels) {
-            state.applyKrausTrajectory(channel, q, rng);
-        }
-    }
-}
-
-/** Flip a recorded readout with the configured asymmetric error. */
-int
-applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng)
-{
-    if (outcome == 0 && noise.readout_p01 > 0.0 &&
-        rng.bernoulli(noise.readout_p01)) {
-        return 1;
-    }
-    if (outcome == 1 && noise.readout_p10 > 0.0 &&
-        rng.bernoulli(noise.readout_p10)) {
-        return 0;
-    }
-    return outcome;
-}
-
-} // namespace
-
-Counts
-runShots(const QuantumCircuit& circuit, const SimOptions& options)
-{
-    QA_REQUIRE(options.shots > 0, "need a positive shot count");
-    Counts counts;
-    counts.shots = options.shots;
-    Rng rng(options.seed);
-    const bool noisy = options.noise != nullptr && options.noise->enabled();
-
-    for (int shot = 0; shot < options.shots; ++shot) {
-        Statevector state(circuit.numQubits());
-        std::string clbits(size_t(std::max(circuit.numClbits(), 0)), '0');
-        for (const Instruction& instr : circuit.instructions()) {
-            switch (instr.type) {
-              case OpType::kGate:
-                state.applyGate(instr);
-                if (noisy) {
-                    applyGateNoise(state, instr, *options.noise, rng);
-                }
-                break;
-              case OpType::kMeasure: {
-                int outcome = state.measure(instr.qubits[0], rng);
-                if (noisy) {
-                    outcome = applyReadoutError(outcome, *options.noise,
-                                                rng);
-                }
-                clbits[instr.cbit] = outcome ? '1' : '0';
-                break;
-              }
-              case OpType::kReset:
-                state.reset(instr.qubits[0], rng);
-                break;
-              case OpType::kBarrier:
-                break;
-            }
-        }
-        ++counts.map[clbits];
-    }
-    return counts;
-}
+// runShots is implemented by the shot-execution engine (sim/engine.cpp).
 
 Distribution
 exactDistribution(const QuantumCircuit& circuit)

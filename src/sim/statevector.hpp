@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -67,8 +68,16 @@ class Statevector
     /** Reduced 2x2 density matrix of qubit q. */
     CMatrix reducedDensity(int q) const;
 
-    /** Probabilities of all basis outcomes with mass above eps. */
-    std::map<uint64_t, double> basisProbabilities(double eps = 1e-12) const;
+    /**
+     * Probabilities of all basis outcomes with mass above eps, sorted by
+     * ascending basis index.
+     */
+    std::vector<std::pair<uint64_t, double>>
+    basisProbabilities(double eps = 1e-12) const;
+
+    /** basisProbabilities as a map, for callers needing keyed lookup. */
+    std::map<uint64_t, double>
+    basisProbabilitiesMap(double eps = 1e-12) const;
 
     /** Sample a full computational-basis outcome without collapsing. */
     uint64_t sampleBasis(Rng& rng) const;
@@ -84,11 +93,28 @@ struct SimOptions
     int shots = 1024;
     uint64_t seed = 12345;
     const NoiseModel* noise = nullptr;
+
+    /**
+     * Worker threads for the shot loop: 0 picks hardware_concurrency,
+     * 1 runs the loop inline. Seeded runs produce bit-identical Counts
+     * for any value (per-shot counter-based RNG streams).
+     */
+    int num_threads = 0;
+
+    /**
+     * Skip circuit analysis and replay every instruction each shot (the
+     * pre-engine reference path; kept for tests and benchmarks).
+     */
+    bool naive = false;
 };
 
 /**
  * Run the circuit `shots` times, sampling measurements (and trajectory
  * noise when a model is given), and histogram the classical bits.
+ * Implemented by the shot-execution engine (sim/engine.hpp): the
+ * deterministic circuit prefix is evolved once and cloned per shot, and
+ * noiseless terminal-measurement circuits are sampled directly from the
+ * final distribution without any per-shot evolution.
  */
 Counts runShots(const QuantumCircuit& circuit, const SimOptions& options);
 
