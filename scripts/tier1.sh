@@ -2,24 +2,52 @@
 #
 # Tier-1 verification: the canonical build + full ctest sweep, then a
 # ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine
-# determinism tests — the only multi-threaded code paths — under TSAN.
+# and policy-runner determinism tests — the multi-threaded code paths —
+# under TSAN, and an ASan+UBSan build (QA_ENABLE_ASAN=ON) that runs the
+# fault-injection and recovery-policy tests, whose error paths exercise
+# exception propagation out of worker pools.
 #
-# Usage: scripts/tier1.sh [--skip-tsan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+skip_tsan=0
+skip_asan=0
+for arg in "$@"; do
+    case "$arg" in
+      --skip-tsan) skip_tsan=1 ;;
+      --skip-asan) skip_asan=1 ;;
+      *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
 
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-if [[ "${1:-}" != "--skip-tsan" ]]; then
+if [[ "$skip_tsan" -ne 1 ]]; then
     cmake -B build-tsan -S . \
         -DQA_ENABLE_TSAN=ON \
         -DQASSERT_BUILD_BENCHES=OFF \
         -DQASSERT_BUILD_EXAMPLES=OFF
-    cmake --build build-tsan -j --target test_engine
+    cmake --build build-tsan -j --target test_engine --target test_policy
     ./build-tsan/tests/test_engine \
-        --gtest_filter='EngineTest.*:ShotPlanTest.*'
+        --gtest_filter='EngineTest.*:ShotPlanTest.*:ShotPoolTest.*'
+    ./build-tsan/tests/test_policy \
+        --gtest_filter='PolicyTest.*'
+fi
+
+if [[ "$skip_asan" -ne 1 ]]; then
+    cmake -B build-asan -S . \
+        -DQA_ENABLE_ASAN=ON \
+        -DQASSERT_BUILD_BENCHES=OFF \
+        -DQASSERT_BUILD_EXAMPLES=OFF
+    cmake --build build-asan -j \
+        --target test_inject --target test_policy --target test_engine
+    ./build-asan/tests/test_inject
+    ./build-asan/tests/test_policy
+    ./build-asan/tests/test_engine \
+        --gtest_filter='ShotPoolTest.*:EngineTest.Deadline*'
 fi
 
 echo "tier-1 OK"

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -14,19 +15,64 @@ namespace qa
 namespace
 {
 
+/** Source position of a statement, rendered as "line L, col C". */
+struct Loc
+{
+    int line = 0;
+    int col = 0;
+
+    std::string
+    str() const
+    {
+        std::ostringstream oss;
+        oss << "line " << line << ", col " << col;
+        return oss.str();
+    }
+};
+
+/**
+ * Parse a non-negative integer token. Rejects empty, non-digit, and
+ * overflowing tokens with a positioned kQasmSyntax diagnostic instead of
+ * letting std::stoi throw (or worse, silently accept trailing junk like
+ * "3x" and corrupt indices downstream).
+ */
+int
+parseIndexToken(const std::string& token, const Loc& loc,
+                const std::string& what)
+{
+    QA_REQUIRE_CODE(!token.empty(), ErrorCode::kQasmSyntax,
+                    loc.str() + ": missing " + what);
+    long value = 0;
+    for (char c : token) {
+        QA_REQUIRE_CODE(std::isdigit(static_cast<unsigned char>(c)),
+                        ErrorCode::kQasmSyntax,
+                        loc.str() + ": malformed " + what + " '" + token +
+                            "'");
+        value = value * 10 + (c - '0');
+        QA_REQUIRE_CODE(value <= 1000000, ErrorCode::kQasmSyntax,
+                        loc.str() + ": " + what + " '" + token +
+                            "' is out of range");
+    }
+    return int(value);
+}
+
 /** Recursive-descent evaluator for gate-parameter expressions. */
 class ExprParser
 {
   public:
-    explicit ExprParser(const std::string& text) : text_(text) {}
+    ExprParser(const std::string& text, const Loc& loc)
+        : text_(text), loc_(loc)
+    {}
 
     double
     parse()
     {
         const double value = parseSum();
         skipSpace();
-        QA_REQUIRE(pos_ == text_.size(),
-                   "trailing characters in expression: '" + text_ + "'");
+        QA_REQUIRE_CODE(pos_ == text_.size(), ErrorCode::kQasmSyntax,
+                        loc_.str() +
+                            ": trailing characters in expression: '" +
+                            text_ + "'");
         return value;
     }
 
@@ -57,7 +103,9 @@ class ExprParser
                 value *= parseUnary();
             } else if (consume('/')) {
                 const double rhs = parseUnary();
-                QA_REQUIRE(rhs != 0.0, "division by zero in expression");
+                QA_REQUIRE_CODE(rhs != 0.0, ErrorCode::kQasmSyntax,
+                                loc_.str() +
+                                    ": division by zero in expression");
                 value /= rhs;
             } else {
                 return value;
@@ -81,7 +129,8 @@ class ExprParser
         if (consume('(')) {
             const double value = parseSum();
             skipSpace();
-            QA_REQUIRE(consume(')'), "missing ')' in expression");
+            QA_REQUIRE_CODE(consume(')'), ErrorCode::kQasmSyntax,
+                            loc_.str() + ": missing ')' in expression");
             return value;
         }
         if (pos_ < text_.size() &&
@@ -91,14 +140,22 @@ class ExprParser
                    std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
                 name.push_back(text_[pos_++]);
             }
-            QA_REQUIRE(name == "pi", "unknown identifier '" + name +
-                                         "' in expression");
+            QA_REQUIRE_CODE(name == "pi", ErrorCode::kQasmSyntax,
+                            loc_.str() + ": unknown identifier '" + name +
+                                "' in expression");
             return M_PI;
         }
         size_t digits = 0;
-        const double value =
-            std::stod(text_.substr(pos_), &digits);
-        QA_REQUIRE(digits > 0, "expected number in expression");
+        double value = 0.0;
+        try {
+            value = std::stod(text_.substr(pos_), &digits);
+        } catch (const std::exception&) {
+            QA_FAIL_CODE(ErrorCode::kQasmSyntax,
+                         loc_.str() + ": expected number in expression '" +
+                             text_ + "' at offset " + std::to_string(pos_));
+        }
+        QA_REQUIRE_CODE(digits > 0, ErrorCode::kQasmSyntax,
+                        loc_.str() + ": expected number in expression");
         pos_ += digits;
         return value;
     }
@@ -124,6 +181,7 @@ class ExprParser
     }
 
     const std::string& text_;
+    Loc loc_;
     size_t pos_ = 0;
 };
 
@@ -134,50 +192,59 @@ struct Register
     int size = 0;
 };
 
-/** One parsed statement, split into head / args. */
+/** One parsed statement with its source position. */
 struct Statement
 {
     std::string text;
-    int line = 0;
+    Loc loc;
 };
 
-/** Strip // comments and split on ';'. */
+/** Strip // comments and split on ';', tracking line/column. */
 std::vector<Statement>
 tokenizeStatements(const std::string& source)
 {
     std::vector<Statement> statements;
     std::string current;
-    int line = 1;
-    int statement_line = 1;
-    for (size_t i = 0; i < source.size(); ++i) {
+    int line = 1, col = 1;
+    Loc statement_loc{1, 1};
+    for (size_t i = 0; i < source.size(); ++i, ++col) {
         if (source[i] == '/' && i + 1 < source.size() &&
             source[i + 1] == '/') {
             while (i < source.size() && source[i] != '\n') ++i;
             ++line;
+            col = 0;
             continue;
         }
         if (source[i] == '\n') {
             ++line;
-            current.push_back(' ');
+            col = 0;
+            if (current.empty()) {
+                // Next statement starts on the new line at the earliest.
+                statement_loc = {line, 1};
+            } else {
+                current.push_back(' ');
+            }
             continue;
         }
         if (source[i] == ';') {
-            statements.push_back({current, statement_line});
+            statements.push_back({current, statement_loc});
             current.clear();
-            statement_line = line;
+            statement_loc = {line, col + 1};
             continue;
         }
         if (current.empty() &&
             std::isspace(static_cast<unsigned char>(source[i]))) {
-            statement_line = line;
+            statement_loc = {line, col + 1};
             continue;
         }
         current.push_back(source[i]);
     }
     // Trailing non-statement text must be whitespace.
     for (char c : current) {
-        QA_REQUIRE(std::isspace(static_cast<unsigned char>(c)),
-                   "unterminated statement at end of input");
+        QA_REQUIRE_CODE(std::isspace(static_cast<unsigned char>(c)),
+                        ErrorCode::kQasmSyntax,
+                        statement_loc.str() +
+                            ": unterminated statement at end of input");
     }
     return statements;
 }
@@ -224,55 +291,72 @@ parseQasm(const std::string& source)
     // First pass: collect register declarations to size the circuit.
     std::map<std::string, Register> qregs, cregs;
     int total_qubits = 0, total_clbits = 0;
-    auto parseDecl = [](const std::string& body, std::string* name,
-                        int* size) {
+    auto parseDecl = [](const std::string& body, const Loc& loc,
+                        std::string* name, int* size) {
         // body: "name[size]".
         const size_t lb = body.find('[');
         const size_t rb = body.find(']');
-        QA_REQUIRE(lb != std::string::npos && rb != std::string::npos &&
-                       rb > lb,
-                   "malformed register declaration: " + body);
+        QA_REQUIRE_CODE(lb != std::string::npos &&
+                            rb != std::string::npos && rb > lb,
+                        ErrorCode::kQasmSyntax,
+                        loc.str() + ": malformed register declaration: " +
+                            body);
         *name = trim(body.substr(0, lb));
-        *size = std::stoi(body.substr(lb + 1, rb - lb - 1));
-        QA_REQUIRE(*size > 0, "register size must be positive");
+        QA_REQUIRE_CODE(!name->empty(), ErrorCode::kQasmSyntax,
+                        loc.str() + ": register declaration needs a name");
+        *size = parseIndexToken(trim(body.substr(lb + 1, rb - lb - 1)),
+                                loc, "register size");
+        QA_REQUIRE_CODE(*size > 0, ErrorCode::kQasmSyntax,
+                        loc.str() + ": register size must be positive");
     };
     for (const Statement& st : statements) {
         const std::string text = trim(st.text);
         if (text.rfind("qreg", 0) == 0) {
             std::string name;
             int size = 0;
-            parseDecl(trim(text.substr(4)), &name, &size);
-            QA_REQUIRE(!qregs.count(name), "duplicate qreg " + name);
+            parseDecl(trim(text.substr(4)), st.loc, &name, &size);
+            QA_REQUIRE_CODE(!qregs.count(name), ErrorCode::kQasmSyntax,
+                            st.loc.str() + ": duplicate qreg " + name);
             qregs[name] = {total_qubits, size};
             total_qubits += size;
         } else if (text.rfind("creg", 0) == 0) {
             std::string name;
             int size = 0;
-            parseDecl(trim(text.substr(4)), &name, &size);
-            QA_REQUIRE(!cregs.count(name), "duplicate creg " + name);
+            parseDecl(trim(text.substr(4)), st.loc, &name, &size);
+            QA_REQUIRE_CODE(!cregs.count(name), ErrorCode::kQasmSyntax,
+                            st.loc.str() + ": duplicate creg " + name);
             cregs[name] = {total_clbits, size};
             total_clbits += size;
         }
     }
-    QA_REQUIRE(total_qubits > 0, "QASM program declares no qubits");
+    QA_REQUIRE_CODE(total_qubits > 0, ErrorCode::kQasmSyntax,
+                    "QASM program declares no qubits");
     QuantumCircuit circuit(total_qubits, total_clbits);
 
     auto resolve = [](const std::map<std::string, Register>& regs,
-                      const std::string& operand, int line) {
+                      const std::string& operand, const Loc& loc,
+                      const char* reg_kind) {
         const size_t lb = operand.find('[');
         const size_t rb = operand.find(']');
-        QA_REQUIRE(lb != std::string::npos && rb != std::string::npos,
-                   "line " + std::to_string(line) +
-                       ": register-wide operands are not supported: " +
-                       operand);
+        QA_REQUIRE_CODE(lb != std::string::npos && rb != std::string::npos &&
+                            rb > lb && rb == operand.size() - 1,
+                        ErrorCode::kQasmSyntax,
+                        loc.str() +
+                            ": register-wide or malformed operand '" +
+                            operand + "' (expected name[index])");
         const std::string name = trim(operand.substr(0, lb));
-        const int index = std::stoi(operand.substr(lb + 1, rb - lb - 1));
+        const int index = parseIndexToken(
+            trim(operand.substr(lb + 1, rb - lb - 1)), loc,
+            std::string(reg_kind) + " index");
         auto it = regs.find(name);
-        QA_REQUIRE(it != regs.end(), "line " + std::to_string(line) +
-                                         ": unknown register " + name);
-        QA_REQUIRE(index >= 0 && index < it->second.size,
-                   "line " + std::to_string(line) +
-                       ": index out of range for " + name);
+        QA_REQUIRE_CODE(it != regs.end(), ErrorCode::kQasmSyntax,
+                        loc.str() + ": unknown " + reg_kind + " register " +
+                            name);
+        QA_REQUIRE_CODE(
+            index >= 0 && index < it->second.size, ErrorCode::kQasmSyntax,
+            loc.str() + ": index " + std::to_string(index) +
+                " out of range for " + name + "[" +
+                std::to_string(it->second.size) + "]");
         return it->second.base + index;
     };
 
@@ -290,18 +374,19 @@ parseQasm(const std::string& source)
         }
         if (text.rfind("measure", 0) == 0) {
             const size_t arrow = text.find("->");
-            QA_REQUIRE(arrow != std::string::npos,
-                       "line " + std::to_string(st.line) +
-                           ": measure needs '->'");
+            QA_REQUIRE_CODE(arrow != std::string::npos,
+                            ErrorCode::kQasmSyntax,
+                            st.loc.str() + ": measure needs '->'");
             const int q = resolve(qregs, trim(text.substr(7, arrow - 7)),
-                                  st.line);
-            const int c =
-                resolve(cregs, trim(text.substr(arrow + 2)), st.line);
+                                  st.loc, "qubit");
+            const int c = resolve(cregs, trim(text.substr(arrow + 2)),
+                                  st.loc, "clbit");
             circuit.measure(q, c);
             continue;
         }
         if (text.rfind("reset", 0) == 0) {
-            circuit.reset(resolve(qregs, trim(text.substr(5)), st.line));
+            circuit.reset(
+                resolve(qregs, trim(text.substr(5)), st.loc, "qubit"));
             continue;
         }
 
@@ -313,6 +398,9 @@ parseQasm(const std::string& source)
             ++head_end;
         }
         const std::string name = text.substr(0, head_end);
+        QA_REQUIRE_CODE(!name.empty(), ErrorCode::kQasmSyntax,
+                        st.loc.str() + ": expected a gate name, found '" +
+                            text + "'");
         std::string rest = trim(text.substr(head_end));
 
         std::vector<double> params;
@@ -329,29 +417,35 @@ parseQasm(const std::string& source)
                     }
                 }
             }
-            QA_REQUIRE(close > 0, "line " + std::to_string(st.line) +
-                                      ": unbalanced parameter list");
+            QA_REQUIRE_CODE(close > 0, ErrorCode::kQasmSyntax,
+                            st.loc.str() + ": unbalanced parameter list");
             for (const std::string& expr :
                  splitCommas(rest.substr(1, close - 1))) {
-                params.push_back(ExprParser(expr).parse());
+                params.push_back(ExprParser(expr, st.loc).parse());
             }
             rest = trim(rest.substr(close + 1));
         }
         std::vector<int> qubits;
         for (const std::string& operand : splitCommas(rest)) {
-            qubits.push_back(resolve(qregs, operand, st.line));
+            qubits.push_back(resolve(qregs, operand, st.loc, "qubit"));
         }
+        std::set<int> distinct(qubits.begin(), qubits.end());
+        QA_REQUIRE_CODE(distinct.size() == qubits.size(),
+                        ErrorCode::kQasmSyntax,
+                        st.loc.str() + ": " + name +
+                            " names the same qubit twice");
 
         auto needQubits = [&](size_t n) {
-            QA_REQUIRE(qubits.size() == n,
-                       "line " + std::to_string(st.line) + ": " + name +
-                           " expects " + std::to_string(n) + " qubits");
+            QA_REQUIRE_CODE(qubits.size() == n, ErrorCode::kQasmSyntax,
+                            st.loc.str() + ": " + name + " expects " +
+                                std::to_string(n) + " qubits, got " +
+                                std::to_string(qubits.size()));
         };
         auto needParams = [&](size_t n) {
-            QA_REQUIRE(params.size() == n,
-                       "line " + std::to_string(st.line) + ": " + name +
-                           " expects " + std::to_string(n) +
-                           " parameters");
+            QA_REQUIRE_CODE(params.size() == n, ErrorCode::kQasmSyntax,
+                            st.loc.str() + ": " + name + " expects " +
+                                std::to_string(n) + " parameters, got " +
+                                std::to_string(params.size()));
         };
 
         if (name == "id") { needQubits(1); circuit.id(qubits[0]); }
@@ -420,8 +514,9 @@ parseQasm(const std::string& source)
             needQubits(3);
             circuit.ccx(qubits[0], qubits[1], qubits[2]);
         } else {
-            QA_FAIL("line " + std::to_string(st.line) +
-                    ": unsupported gate '" + name + "'");
+            QA_FAIL_CODE(ErrorCode::kQasmSyntax,
+                         st.loc.str() + ": unsupported gate '" + name +
+                             "'");
         }
     }
     return circuit;

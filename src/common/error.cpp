@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+namespace qa
+{
+
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kGeneric:           return "generic";
+      case ErrorCode::kBadFaultSite:      return "bad_fault_site";
+      case ErrorCode::kUnsupportedFault:  return "unsupported_fault";
+      case ErrorCode::kInvalidNoiseModel: return "invalid_noise_model";
+      case ErrorCode::kPolicyUnsupported: return "policy_unsupported";
+      case ErrorCode::kPolicyExhausted:   return "policy_exhausted";
+      case ErrorCode::kQasmSyntax:        return "qasm_syntax";
+      case ErrorCode::kDeadlineExpired:   return "deadline_expired";
+      case ErrorCode::kWorkerFailure:     return "worker_failure";
+    }
+    return "unknown";
+}
+
+} // namespace qa

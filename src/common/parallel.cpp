@@ -40,4 +40,20 @@ SerialKernelScope::SerialKernelScope() { ++t_serial_depth; }
 
 SerialKernelScope::~SerialKernelScope() { --t_serial_depth; }
 
+void
+FirstException::capture() noexcept
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_) {
+        first_ = std::current_exception();
+        armed_.store(true, std::memory_order_release);
+    }
+}
+
+void
+FirstException::rethrow() const
+{
+    if (first_) std::rethrow_exception(first_);
+}
+
 } // namespace qa

@@ -8,12 +8,20 @@
  *  - a per-thread SerialKernelScope guard that the shot-engine workers
  *    hold, so per-shot evolution never nests a second thread pool inside
  *    the already-parallel shot loop.
+ *
+ * All loops are exception-safe: an exception thrown inside a worker is
+ * captured, every thread is joined, and the first exception (in capture
+ * order) is rethrown on the calling thread instead of escaping a
+ * std::thread body and terminating the process.
  */
 #ifndef QA_COMMON_PARALLEL_HPP
 #define QA_COMMON_PARALLEL_HPP
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -47,10 +55,36 @@ class SerialKernelScope
 };
 
 /**
+ * First-exception latch for worker pools: every worker funnels its
+ * exception through capture(), the pool owner joins and calls rethrow().
+ * armed() lets cooperative workers stop pulling work early once a
+ * sibling has failed.
+ */
+class FirstException
+{
+  public:
+    /** Store std::current_exception() if no exception is held yet. */
+    void capture() noexcept;
+
+    /** True once any worker captured an exception. */
+    bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+    /** Rethrow the stored exception; no-op when none was captured. */
+    void rethrow() const;
+
+  private:
+    std::mutex mutex_;
+    std::exception_ptr first_;
+    std::atomic<bool> armed_{false};
+};
+
+/**
  * Split [0, n) into contiguous chunks and run body(begin, end) on up to
  * kernelThreads() threads. Runs one inline call when the range is smaller
  * than `grain`, the cap is 1, or the caller holds a SerialKernelScope.
  * Chunks are disjoint; the body must only write state owned by its chunk.
+ * If any chunk throws, all threads are joined and the first exception is
+ * rethrown on the calling thread.
  */
 template <typename Body>
 void
@@ -67,16 +101,28 @@ parallelFor(uint64_t n, uint64_t grain, const Body& body)
         return;
     }
     const uint64_t chunk = (n + uint64_t(threads) - 1) / uint64_t(threads);
+    FirstException failure;
     std::vector<std::thread> pool;
     pool.reserve(size_t(threads) - 1);
     for (int t = 1; t < threads; ++t) {
         const uint64_t begin = chunk * uint64_t(t);
         const uint64_t end = std::min(n, begin + chunk);
         if (begin >= end) break;
-        pool.emplace_back([&body, begin, end] { body(begin, end); });
+        pool.emplace_back([&body, &failure, begin, end] {
+            try {
+                body(begin, end);
+            } catch (...) {
+                failure.capture();
+            }
+        });
     }
-    body(uint64_t(0), std::min(n, chunk));
+    try {
+        body(uint64_t(0), std::min(n, chunk));
+    } catch (...) {
+        failure.capture();
+    }
     for (std::thread& th : pool) th.join();
+    failure.rethrow();
 }
 
 } // namespace qa

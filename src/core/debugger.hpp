@@ -6,6 +6,10 @@
  * implementation, exactly like Fig. 16's precalculated V1..V6. The
  * debugger evaluates the slots (linearly or by bisection) and reports
  * the stage range that must contain the first bug.
+ *
+ * Localization quality is validated campaign-style: checkLocalization
+ * (src/inject/campaign.hpp) injects every (stage x location x kind)
+ * fault and checks the reported suspect stage against the injected one.
  */
 #ifndef QA_CORE_DEBUGGER_HPP
 #define QA_CORE_DEBUGGER_HPP

@@ -1,7 +1,10 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "sim/density.hpp"
+#include "sim/engine.hpp"
 
 namespace qa
 {
@@ -17,6 +20,16 @@ allZero(const std::string& bits, const std::vector<int>& clbits)
         if (bits[c] != '0') return false;
     }
     return true;
+}
+
+/** Restrict a raw bitstring to the program clbits, in order. */
+std::string
+programBits(const std::string& bits, const std::vector<int>& prog_bits)
+{
+    std::string reduced;
+    reduced.reserve(prog_bits.size());
+    for (int c : prog_bits) reduced.push_back(bits[c]);
+    return reduced;
 }
 
 } // namespace
@@ -42,9 +55,7 @@ runAsserted(const AssertedProgram& program, const SimOptions& options)
     Counts passed;
     for (const auto& [bits, n] : outcome.raw.map) {
         if (!allZero(bits, assertion_bits)) continue;
-        std::string reduced;
-        for (int c : prog_bits) reduced.push_back(bits[c]);
-        passed.map[reduced] += n;
+        passed.map[programBits(bits, prog_bits)] += n;
         passed.shots += n;
     }
     outcome.program_counts_passed = std::move(passed);
@@ -74,12 +85,179 @@ runAssertedExact(const AssertedProgram& program, const NoiseModel* noise)
     Distribution passed;
     for (const auto& [bits, p] : outcome.raw.probs) {
         if (!allZero(bits, assertion_bits)) continue;
-        std::string reduced;
-        for (int c : prog_bits) reduced.push_back(bits[c]);
-        passed.probs[reduced] += p;
+        passed.probs[programBits(bits, prog_bits)] += p;
     }
     outcome.program_dist_passed = std::move(passed);
     return outcome;
+}
+
+const char*
+policyName(AssertionPolicy policy)
+{
+    switch (policy) {
+      case AssertionPolicy::kAbort:   return "abort";
+      case AssertionPolicy::kDiscard: return "discard";
+      case AssertionPolicy::kRetry:   return "retry";
+      case AssertionPolicy::kRepair:  return "repair";
+    }
+    return "unknown";
+}
+
+PolicyOutcome
+runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
+                  const PolicyOptions& popts)
+{
+    QA_REQUIRE(options.shots > 0, "need a positive shot count");
+    QA_REQUIRE(popts.max_attempts >= 1, "max_attempts must be >= 1");
+    if (popts.policy == AssertionPolicy::kRepair) {
+        for (const AssertedProgram::Slot& slot : program.slots()) {
+            QA_REQUIRE_CODE(
+                slot.design == AssertionDesign::kSwap,
+                ErrorCode::kPolicyUnsupported,
+                std::string("repair policy requires SWAP-based slots "
+                            "(which restore the asserted state); found ") +
+                    designName(slot.design));
+        }
+    }
+
+    const auto& slots = program.slots();
+    const NoiseModel* noise =
+        options.noise != nullptr && options.noise->enabled()
+            ? options.noise
+            : nullptr;
+    const ShotExecutor executor(program.circuit(), noise, options.naive);
+
+    PolicyOutcome out;
+    out.policy = popts.policy;
+    out.shots_requested = options.shots;
+    out.slot_error_rate.assign(slots.size(), 0.0);
+
+    std::vector<long> slot_errors(slots.size(), 0);
+    long passed = 0;
+
+    if (popts.policy == AssertionPolicy::kAbort) {
+        // Fail-fast is inherently ordered: run shots serially in shot
+        // order and stop at the first flagged one, so the abort point is
+        // deterministic.
+        const ShotDeadline deadline(options.deadline_ms);
+        Statevector scratch = executor.makeScratch();
+        for (int s = 0; s < options.shots; ++s) {
+            if (deadline.active() && (s & 63) == 0 && deadline.expired()) {
+                out.truncated = true;
+                break;
+            }
+            Rng rng = Rng::forStream(options.seed, uint64_t(s));
+            const std::string bits = executor.runOne(rng, scratch);
+            ++out.shots_completed;
+            bool any = false;
+            for (size_t i = 0; i < slots.size(); ++i) {
+                if (!allZero(bits, slots[i].clbits)) {
+                    ++slot_errors[i];
+                    any = true;
+                }
+            }
+            if (any) {
+                out.aborted = true;
+                out.abort_shot = s;
+                break;
+            }
+            ++passed;
+            ++out.raw.map[bits];
+            ++out.shots_accepted;
+        }
+    } else {
+        // Pooled policies: each shot (including its retry attempts) is a
+        // self-contained body depending only on the shot index, so the
+        // merged result is thread-count independent.
+        const int attempts = popts.policy == AssertionPolicy::kRetry
+                                 ? popts.max_attempts
+                                 : 1;
+        struct Local
+        {
+            Counts raw;
+            std::vector<long> slot_errors;
+            long passed = 0;
+            long accepted = 0;
+            long retries = 0;
+            long exhausted = 0;
+            long repaired = 0;
+        };
+        std::vector<Local> locals;
+        const ShotLoopStatus status = runShotPool(
+            options.shots, options.num_threads, options.deadline_ms,
+            locals, [&]() {
+                return [&, scratch = executor.makeScratch()](
+                           int shot, Local& local) mutable {
+                    if (local.slot_errors.empty()) {
+                        local.slot_errors.assign(slots.size(), 0);
+                    }
+                    std::string bits;
+                    bool any = false;
+                    for (int a = 0; a < attempts; ++a) {
+                        Rng rng = Rng::forStream(
+                            options.seed,
+                            uint64_t(shot) * uint64_t(attempts) +
+                                uint64_t(a));
+                        bits = executor.runOne(rng, scratch);
+                        any = false;
+                        for (size_t i = 0; i < slots.size(); ++i) {
+                            const bool flagged =
+                                !allZero(bits, slots[i].clbits);
+                            if (a == 0 && flagged) ++local.slot_errors[i];
+                            any |= flagged;
+                        }
+                        if (a == 0 && !any) ++local.passed;
+                        if (!any) break;
+                        if (a + 1 < attempts) ++local.retries;
+                    }
+                    if (popts.policy == AssertionPolicy::kRepair) {
+                        // SWAP slots re-prepared the asserted state, so
+                        // the program output is usable either way.
+                        ++local.accepted;
+                        ++local.raw.map[bits];
+                        if (any) ++local.repaired;
+                    } else if (!any) {
+                        ++local.accepted;
+                        ++local.raw.map[bits];
+                    } else if (popts.policy == AssertionPolicy::kRetry) {
+                        ++local.exhausted;
+                    }
+                };
+            });
+        out.shots_completed = status.completed;
+        out.truncated = status.truncated;
+        for (const Local& local : locals) {
+            for (const auto& [bits, n] : local.raw.map) {
+                out.raw.map[bits] += n;
+            }
+            for (size_t i = 0; i < local.slot_errors.size(); ++i) {
+                slot_errors[i] += local.slot_errors[i];
+            }
+            passed += local.passed;
+            out.shots_accepted += int(local.accepted);
+            out.retries += int(local.retries);
+            out.exhausted += int(local.exhausted);
+            out.repaired += int(local.repaired);
+        }
+    }
+
+    out.raw.shots = out.shots_accepted;
+    if (out.shots_completed > 0) {
+        for (size_t i = 0; i < slots.size(); ++i) {
+            out.slot_error_rate[i] =
+                double(slot_errors[i]) / double(out.shots_completed);
+        }
+        out.pass_rate = double(passed) / double(out.shots_completed);
+    }
+
+    const std::vector<int>& prog_bits = program.programClbits();
+    for (const auto& [bits, n] : out.raw.map) {
+        out.program_counts.map[programBits(bits, prog_bits)] += n;
+    }
+    out.program_counts.shots = out.shots_accepted;
+    out.program_counts.truncated = out.truncated;
+    out.raw.truncated = out.truncated;
+    return out;
 }
 
 } // namespace qa

@@ -56,6 +56,104 @@ struct AssertionOutcomeExact
 AssertionOutcomeExact runAssertedExact(const AssertedProgram& program,
                                        const NoiseModel* noise = nullptr);
 
+/**
+ * Reaction to a failing assertion slot during a shot run. The paper's
+ * evaluation only post-selects (Sec. IX-B error filtering); a hardened
+ * runner needs the full range from fail-fast to self-repair.
+ */
+enum class AssertionPolicy
+{
+    /** Stop the run at the first shot with a flagged slot. */
+    kAbort,
+
+    /** Post-select: drop flagged shots from the program output (the
+     *  paper's Sec. IX-B filtering; the default). */
+    kDiscard,
+
+    /** Re-execute a flagged shot with fresh per-attempt randomness up
+     *  to a bounded attempt count; discard if every attempt flags. */
+    kRetry,
+
+    /** Keep flagged shots: valid when every slot uses the SWAP-based
+     *  design, which re-prepares the asserted state on the tested
+     *  qubits regardless of the measured outcome (Sec. IV), so the
+     *  program continued from a repaired state. */
+    kRepair
+};
+
+/** Human-readable policy name. */
+const char* policyName(AssertionPolicy policy);
+
+/** Recovery-policy configuration for runAssertedPolicy. */
+struct PolicyOptions
+{
+    AssertionPolicy policy = AssertionPolicy::kDiscard;
+
+    /** Total attempts per shot under kRetry (>= 1). */
+    int max_attempts = 3;
+};
+
+/**
+ * Shot-level report of a policy run. Detector statistics
+ * (slot_error_rate, pass_rate) are always measured on the first attempt
+ * of each completed shot; the policy only decides which shots reach the
+ * accepted program output.
+ */
+struct PolicyOutcome
+{
+    AssertionPolicy policy = AssertionPolicy::kDiscard;
+
+    /** Accepted shots' program-clbit histogram. */
+    Counts program_counts;
+
+    /** Accepted shots' full raw histogram (every classical bit). */
+    Counts raw;
+
+    /** First-attempt fraction of completed shots flagging each slot. */
+    std::vector<double> slot_error_rate;
+
+    /** First-attempt fraction of completed shots with no flagged slot. */
+    double pass_rate = 1.0;
+
+    int shots_requested = 0;
+
+    /** Shots whose first attempt executed (deadline may truncate). */
+    int shots_completed = 0;
+
+    /** Shots contributing to program_counts / raw. */
+    int shots_accepted = 0;
+
+    /** Extra attempts consumed under kRetry. */
+    int retries = 0;
+
+    /** kRetry shots discarded after max_attempts flagged attempts. */
+    int exhausted = 0;
+
+    /** kRepair shots kept despite at least one flagged slot. */
+    int repaired = 0;
+
+    /** True when kAbort stopped the run early. */
+    bool aborted = false;
+
+    /** First failing shot index under kAbort (-1 otherwise). */
+    int abort_shot = -1;
+
+    /** True when the deadline cancelled the run before all shots ran. */
+    bool truncated = false;
+};
+
+/**
+ * Run the program's circuit shot by shot, reacting to flagged assertion
+ * slots per `policy`. Seeded runs are bit-identical for any thread
+ * count (per-shot/per-attempt counter-based RNG streams) unless
+ * truncated by options.deadline_ms. kRepair requires every slot to use
+ * the SWAP-based design and throws UserError
+ * (ErrorCode::kPolicyUnsupported) otherwise.
+ */
+PolicyOutcome runAssertedPolicy(const AssertedProgram& program,
+                                const SimOptions& options,
+                                const PolicyOptions& policy);
+
 } // namespace qa
 
 #endif // QA_CORE_RUNNER_HPP

@@ -1,0 +1,148 @@
+#include "inject/fault.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kPauliX:        return "X";
+      case FaultKind::kPauliY:        return "Y";
+      case FaultKind::kPauliZ:        return "Z";
+      case FaultKind::kBitFlip:       return "bit_flip";
+      case FaultKind::kPhaseFlip:     return "phase_flip";
+      case FaultKind::kGateDrop:      return "drop";
+      case FaultKind::kGateDuplicate: return "dup";
+    }
+    return "unknown";
+}
+
+bool
+faultTargetsQubit(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kPauliX:
+      case FaultKind::kPauliY:
+      case FaultKind::kPauliZ:
+      case FaultKind::kBitFlip:
+      case FaultKind::kPhaseFlip:
+        return true;
+      case FaultKind::kGateDrop:
+      case FaultKind::kGateDuplicate:
+        return false;
+    }
+    return false;
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::ostringstream oss;
+    oss << faultKindName(kind) << '@' << instr_index;
+    if (faultTargetsQubit(kind)) oss << "/q" << qubit;
+    if (stage >= 0) oss << "[stage " << stage << ']';
+    return oss.str();
+}
+
+QuantumCircuit
+injectFault(const QuantumCircuit& circuit, const FaultSpec& fault)
+{
+    const auto& instrs = circuit.instructions();
+    QA_REQUIRE_CODE(fault.instr_index < instrs.size(),
+                    ErrorCode::kBadFaultSite,
+                    "fault site " + std::to_string(fault.instr_index) +
+                        " is past the end of the circuit");
+    QA_REQUIRE_CODE(instrs[fault.instr_index].isGate(),
+                    ErrorCode::kBadFaultSite,
+                    "fault site " + std::to_string(fault.instr_index) +
+                        " does not address a gate instruction");
+    if (faultTargetsQubit(fault.kind)) {
+        QA_REQUIRE_CODE(
+            fault.qubit >= 0 && fault.qubit < circuit.numQubits(),
+            ErrorCode::kUnsupportedFault,
+            "fault " + fault.describe() + " targets an invalid qubit");
+    }
+
+    QuantumCircuit faulted(circuit.numQubits(), circuit.numClbits());
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (i == fault.instr_index && fault.kind == FaultKind::kGateDrop) {
+            continue;
+        }
+        faulted.append(instrs[i]);
+        if (i != fault.instr_index) continue;
+        switch (fault.kind) {
+          case FaultKind::kPauliX:
+            faulted.x(fault.qubit);
+            break;
+          case FaultKind::kPauliY:
+            faulted.y(fault.qubit);
+            break;
+          case FaultKind::kPauliZ:
+            faulted.z(fault.qubit);
+            break;
+          case FaultKind::kBitFlip:
+            faulted.rx(fault.qubit, fault.angle);
+            break;
+          case FaultKind::kPhaseFlip:
+            faulted.rz(fault.qubit, fault.angle);
+            break;
+          case FaultKind::kGateDuplicate:
+            faulted.append(instrs[i]);
+            break;
+          case FaultKind::kGateDrop:
+            break;
+        }
+    }
+    return faulted;
+}
+
+std::vector<FaultSpec>
+enumerateFaultSites(const QuantumCircuit& circuit,
+                    const std::vector<FaultKind>& kinds)
+{
+    std::vector<FaultSpec> faults;
+    const auto& instrs = circuit.instructions();
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (!instrs[i].isGate()) continue;
+        for (FaultKind kind : kinds) {
+            if (faultTargetsQubit(kind)) {
+                for (int q : instrs[i].qubits) {
+                    FaultSpec fault;
+                    fault.kind = kind;
+                    fault.instr_index = i;
+                    fault.qubit = q;
+                    faults.push_back(fault);
+                }
+            } else {
+                FaultSpec fault;
+                fault.kind = kind;
+                fault.instr_index = i;
+                faults.push_back(fault);
+            }
+        }
+    }
+    return faults;
+}
+
+std::vector<FaultSpec>
+enumerateStageFaultSites(const std::vector<QuantumCircuit>& stages,
+                         const std::vector<FaultKind>& kinds)
+{
+    std::vector<FaultSpec> faults;
+    for (size_t s = 0; s < stages.size(); ++s) {
+        std::vector<FaultSpec> stage_faults =
+            enumerateFaultSites(stages[s], kinds);
+        for (FaultSpec& fault : stage_faults) {
+            fault.stage = int(s);
+            faults.push_back(fault);
+        }
+    }
+    return faults;
+}
+
+} // namespace qa

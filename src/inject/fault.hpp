@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic gate-level fault model for the injection campaigns that
+ * validate the paper's detection-coverage claims (Sec. IX evaluates
+ * every assertion design by injecting errors and measuring how often the
+ * assertions catch them; Proq [Li et al., ASPLOS 2020] and quAssert
+ * [Witharana et al., 2023] evaluate the same way).
+ *
+ * A fault is a pure circuit transform — no hidden randomness — so a
+ * campaign sweep is reproducible instruction by instruction:
+ *  - Pauli faults insert X/Y/Z on one qubit after the addressed gate
+ *    (the standard discrete error model);
+ *  - bit/phase-flip faults insert a parameterized rx/rz rotation,
+ *    modelling coherent over/under-rotation; angle = pi reproduces the
+ *    exact X/Z flip;
+ *  - gate-drop removes the addressed gate, gate-duplicate applies it
+ *    twice (the two classic control-fault models).
+ */
+#ifndef QA_INJECT_FAULT_HPP
+#define QA_INJECT_FAULT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qa
+{
+
+/** Fault family injected at one circuit location. */
+enum class FaultKind
+{
+    kPauliX,        ///< Insert X on `qubit` after the addressed gate.
+    kPauliY,        ///< Insert Y on `qubit` after the addressed gate.
+    kPauliZ,        ///< Insert Z on `qubit` after the addressed gate.
+    kBitFlip,       ///< Insert rx(angle): partial/coherent bit flip.
+    kPhaseFlip,     ///< Insert rz(angle): partial/coherent phase flip.
+    kGateDrop,      ///< Remove the addressed gate.
+    kGateDuplicate  ///< Apply the addressed gate twice.
+};
+
+/** Stable human-readable fault-kind name. */
+const char* faultKindName(FaultKind kind);
+
+/** True for kinds that act on a specific qubit (Pauli and flip faults). */
+bool faultTargetsQubit(FaultKind kind);
+
+/** One addressable fault: (kind, gate instruction, optional qubit). */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::kPauliX;
+
+    /** Index of the addressed gate instruction in the target circuit
+     *  (stage-relative when `stage` >= 0). */
+    size_t instr_index = 0;
+
+    /** Target qubit for Pauli/flip faults; ignored otherwise. */
+    int qubit = -1;
+
+    /** Rotation angle for kBitFlip/kPhaseFlip (pi = exact flip). */
+    double angle = 3.14159265358979323846;
+
+    /** Stage tag for stage-addressed campaigns (-1 = whole circuit). */
+    int stage = -1;
+
+    /** Compact description, e.g. "X@12/q3" or "drop@7[stage 2]". */
+    std::string describe() const;
+};
+
+/**
+ * Build a copy of `circuit` with `fault` injected. Throws UserError with
+ * ErrorCode::kBadFaultSite when the addressed instruction is not a gate
+ * (or out of range), and ErrorCode::kUnsupportedFault when a
+ * qubit-targeting fault names an invalid qubit.
+ */
+QuantumCircuit injectFault(const QuantumCircuit& circuit,
+                           const FaultSpec& fault);
+
+/**
+ * Enumerate every applicable (location x kind) fault in the circuit:
+ * qubit-targeting kinds yield one fault per (gate, touched qubit) pair,
+ * structural kinds one per gate. The order is deterministic (instruction
+ * index, then kind order, then qubit order).
+ */
+std::vector<FaultSpec> enumerateFaultSites(
+    const QuantumCircuit& circuit, const std::vector<FaultKind>& kinds);
+
+/**
+ * Stage-addressed enumeration for debugger-style campaigns: faults of
+ * stage s carry `stage = s` and a stage-relative instruction index.
+ */
+std::vector<FaultSpec> enumerateStageFaultSites(
+    const std::vector<QuantumCircuit>& stages,
+    const std::vector<FaultKind>& kinds);
+
+} // namespace qa
+
+#endif // QA_INJECT_FAULT_HPP

@@ -191,6 +191,7 @@ applyGateNoiseExact(DensityState& state, const Instruction& instr,
 Distribution
 exactDistributionDM(const QuantumCircuit& circuit, const NoiseModel* noise)
 {
+    if (noise != nullptr && noise->enabled()) noise->validate();
     struct Branch
     {
         DensityState state;

@@ -1,13 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <string>
-#include <thread>
 
 #include "common/error.hpp"
-#include "common/parallel.hpp"
 #include "sim/result.hpp"
 
 namespace qa
@@ -54,9 +50,10 @@ applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng)
     return outcome;
 }
 
-/** Worker count for the shot loop: 0 means hardware concurrency. */
+} // namespace
+
 int
-resolveThreads(int requested, int shots)
+resolveShotThreads(int requested, int shots)
 {
     int n = requested;
     if (n <= 0) {
@@ -65,54 +62,6 @@ resolveThreads(int requested, int shots)
     }
     return std::max(1, std::min(n, shots));
 }
-
-/**
- * Run `shots` shot bodies on `num_threads` workers and merge the
- * per-worker histograms. `make_worker` builds one worker function
- * (holding any reusable per-worker buffers); each call worker(shot,
- * local) must depend only on the shot index, which makes the merged
- * histogram independent of scheduling. Workers pull fixed-size chunks
- * off an atomic cursor; histogram merging is order-insensitive.
- */
-template <typename MakeWorker>
-void
-runShotLoop(int shots, int num_threads, Counts& counts,
-            const MakeWorker& make_worker)
-{
-    const int threads = resolveThreads(num_threads, shots);
-    if (threads <= 1) {
-        auto worker = make_worker();
-        for (int s = 0; s < shots; ++s) worker(s, counts);
-        return;
-    }
-
-    std::atomic<int> cursor{0};
-    const int chunk = std::max(1, shots / (threads * 8));
-    std::vector<Counts> locals;
-    locals.resize(size_t(threads));
-    std::vector<std::thread> pool;
-    pool.reserve(size_t(threads));
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] {
-            // The shot loop is the outer parallelism: keep the gate
-            // kernels this worker calls serial.
-            SerialKernelScope serial;
-            auto worker = make_worker();
-            for (;;) {
-                const int begin = cursor.fetch_add(chunk);
-                if (begin >= shots) break;
-                const int end = std::min(shots, begin + chunk);
-                for (int s = begin; s < end; ++s) worker(s, locals[t]);
-            }
-        });
-    }
-    for (std::thread& th : pool) th.join();
-    for (const Counts& local : locals) {
-        for (const auto& [bits, n] : local.map) counts.map[bits] += n;
-    }
-}
-
-} // namespace
 
 ShotPlan
 analyzeShotPlan(const QuantumCircuit& circuit, const NoiseModel* noise)
@@ -175,92 +124,103 @@ SampleTable::sample(Rng& rng) const
     return uint64_t(it - cumulative_.begin());
 }
 
-Counts
-runShots(const QuantumCircuit& circuit, const SimOptions& options)
+ShotExecutor::ShotExecutor(const QuantumCircuit& circuit,
+                           const NoiseModel* noise, bool naive)
+    : circuit_(circuit),
+      noise_(noise != nullptr && noise->enabled() ? noise : nullptr),
+      prefix_(circuit.numQubits()),
+      clbits0_(size_t(std::max(circuit.numClbits(), 0)), '0')
 {
-    QA_REQUIRE(options.shots > 0, "need a positive shot count");
-    const NoiseModel* noise =
-        options.noise != nullptr && options.noise->enabled()
-            ? options.noise
-            : nullptr;
+    if (noise_ != nullptr) noise_->validate();
 
     // The naive plan (split = 0, no fast path) replays every instruction
     // per shot: the reference the cached plan must agree with exactly.
-    ShotPlan plan;
-    if (!options.naive) plan = analyzeShotPlan(circuit, noise);
-
-    const auto& instrs = circuit.instructions();
+    if (!naive) plan_ = analyzeShotPlan(circuit_, noise_);
 
     // Evolve the deterministic prefix once; every shot clones it. The
     // prefix contains no stochastic instruction, so per-shot RNG draws
     // are unaffected by where the split falls.
-    Statevector prefix(circuit.numQubits());
-    for (size_t i = 0; i < plan.split; ++i) {
-        if (instrs[i].type == OpType::kGate) prefix.applyGate(instrs[i]);
+    const auto& instrs = circuit_.instructions();
+    for (size_t i = 0; i < plan_.split; ++i) {
+        if (instrs[i].type == OpType::kGate) prefix_.applyGate(instrs[i]);
+    }
+    if (plan_.terminal_sampling) {
+        table_ = std::make_unique<SampleTable>(prefix_);
+    }
+}
+
+std::string
+ShotExecutor::runOne(Rng& rng, Statevector& scratch) const
+{
+    const int n = circuit_.numQubits();
+    std::string clbits = clbits0_;
+
+    if (plan_.terminal_sampling) {
+        const uint64_t index = table_->sample(rng);
+        for (const auto& [q, c] : plan_.terminal_measures) {
+            int outcome = int((index >> (n - 1 - q)) & 1);
+            if (noise_ != nullptr) {
+                outcome = applyReadoutError(outcome, *noise_, rng);
+            }
+            clbits[size_t(c)] = outcome ? '1' : '0';
+        }
+        return clbits;
     }
 
-    const std::string clbits0(size_t(std::max(circuit.numClbits(), 0)),
-                              '0');
-    const int n = circuit.numQubits();
+    const auto& instrs = circuit_.instructions();
+    scratch = prefix_;
+    for (size_t i = plan_.split; i < instrs.size(); ++i) {
+        const Instruction& instr = instrs[i];
+        switch (instr.type) {
+          case OpType::kGate:
+            scratch.applyGate(instr);
+            if (noise_ != nullptr) {
+                applyGateNoise(scratch, instr, *noise_, rng);
+            }
+            break;
+          case OpType::kMeasure: {
+            int outcome = scratch.measure(instr.qubits[0], rng);
+            if (noise_ != nullptr) {
+                outcome = applyReadoutError(outcome, *noise_, rng);
+            }
+            clbits[size_t(instr.cbit)] = outcome ? '1' : '0';
+            break;
+          }
+          case OpType::kReset:
+            scratch.reset(instr.qubits[0], rng);
+            break;
+          case OpType::kBarrier:
+            break;
+        }
+    }
+    return clbits;
+}
 
-    Counts counts;
-    counts.shots = options.shots;
+Counts
+runShots(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    QA_REQUIRE(options.shots > 0, "need a positive shot count");
+    const ShotExecutor executor(circuit, options.noise, options.naive);
 
-    if (plan.terminal_sampling) {
-        const SampleTable table(prefix);
-        runShotLoop(options.shots, options.num_threads, counts, [&]() {
-            return [&](int shot, Counts& local) {
+    std::vector<Counts> locals;
+    const ShotLoopStatus status = runShotPool(
+        options.shots, options.num_threads, options.deadline_ms, locals,
+        [&]() {
+            // One reusable state buffer per worker; copy-assignment in
+            // runOne reuses its allocation across shots.
+            return [&, scratch = executor.makeScratch()](
+                       int shot, Counts& local) mutable {
                 Rng rng = Rng::forStream(options.seed, uint64_t(shot));
-                const uint64_t index = table.sample(rng);
-                std::string clbits = clbits0;
-                for (const auto& [q, c] : plan.terminal_measures) {
-                    int outcome = int((index >> (n - 1 - q)) & 1);
-                    if (noise != nullptr) {
-                        outcome = applyReadoutError(outcome, *noise, rng);
-                    }
-                    clbits[c] = outcome ? '1' : '0';
-                }
-                ++local.map[clbits];
+                ++local.map[executor.runOne(rng, scratch)];
             };
         });
-        return counts;
-    }
 
-    runShotLoop(options.shots, options.num_threads, counts, [&]() {
-        // One reusable state buffer per worker; copy-assignment below
-        // reuses its allocation across shots.
-        return [&, state = Statevector(prefix)](int shot,
-                                                Counts& local) mutable {
-            Rng rng = Rng::forStream(options.seed, uint64_t(shot));
-            state = prefix;
-            std::string clbits = clbits0;
-            for (size_t i = plan.split; i < instrs.size(); ++i) {
-                const Instruction& instr = instrs[i];
-                switch (instr.type) {
-                  case OpType::kGate:
-                    state.applyGate(instr);
-                    if (noise != nullptr) {
-                        applyGateNoise(state, instr, *noise, rng);
-                    }
-                    break;
-                  case OpType::kMeasure: {
-                    int outcome = state.measure(instr.qubits[0], rng);
-                    if (noise != nullptr) {
-                        outcome = applyReadoutError(outcome, *noise, rng);
-                    }
-                    clbits[instr.cbit] = outcome ? '1' : '0';
-                    break;
-                  }
-                  case OpType::kReset:
-                    state.reset(instr.qubits[0], rng);
-                    break;
-                  case OpType::kBarrier:
-                    break;
-                }
-            }
-            ++local.map[clbits];
-        };
-    });
+    Counts counts;
+    counts.shots = status.completed;
+    counts.truncated = status.truncated;
+    for (const Counts& local : locals) {
+        for (const auto& [bits, n] : local.map) counts.map[bits] += n;
+    }
     return counts;
 }
 

@@ -1,8 +1,10 @@
 /**
  * @file
- * Shot-execution engine backing runShots.
+ * Shot-execution engine backing runShots and every shot-level driver
+ * built on top of it (the assertion-policy runner, the fault-injection
+ * campaign).
  *
- * Three cooperating layers (see DESIGN.md, "Execution engine"):
+ * Four cooperating layers (see DESIGN.md, "Execution engine"):
  *  1. circuit analysis + prefix caching: the instructions before the
  *     first stochastic point (measurement, reset, or — with an active
  *     noise model — the first gate a Kraus channel applies to) are
@@ -10,20 +12,30 @@
  *     shot. When every remaining instruction is a terminal measurement
  *     and no Kraus channel is active, per-shot evolution is skipped
  *     entirely and the final distribution is sampled directly.
- *  2. multi-threaded shot loop with counter-based per-shot RNG streams
- *     (Rng::forStream), so a seeded run produces bit-identical Counts
- *     for any thread count.
- *  3. O(log d) sampling from a cumulative-weight table built once per
+ *  2. ShotExecutor: one shot = one call, parameterized only by an RNG
+ *     stream, so any driver (plain histogramming, bounded retry,
+ *     fault-injection sweeps) can replay shots deterministically.
+ *  3. runShotPool: the multi-threaded shot loop with counter-based
+ *     per-shot RNG streams (Rng::forStream), first-worker-exception
+ *     propagation, and deadline-based cancellation that returns partial
+ *     results flagged `truncated` instead of running unbounded.
+ *  4. O(log d) sampling from a cumulative-weight table built once per
  *     cached state.
  */
 #ifndef QA_SIM_ENGINE_HPP
 #define QA_SIM_ENGINE_HPP
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "sim/noise.hpp"
 #include "sim/statevector.hpp"
@@ -82,6 +94,179 @@ class SampleTable
   private:
     std::vector<double> cumulative_;
 };
+
+/**
+ * Reusable single-shot executor: circuit analysis and prefix evolution
+ * happen once at construction, then each runOne() call executes exactly
+ * one shot whose stochastic draws come from the caller's Rng. The
+ * executor holds references to the circuit and noise model; both must
+ * outlive it. An active noise model is validated at construction
+ * (NoiseModel::validate).
+ */
+class ShotExecutor
+{
+  public:
+    /**
+     * @param circuit Circuit to execute (kept by reference).
+     * @param noise Optional noise model; ignored when null or disabled.
+     * @param naive Skip circuit analysis and replay every instruction
+     *        per shot (the pre-engine reference path).
+     */
+    ShotExecutor(const QuantumCircuit& circuit, const NoiseModel* noise,
+                 bool naive = false);
+
+    const ShotPlan& plan() const { return plan_; }
+
+    /** The cached deterministic-prefix state. */
+    const Statevector& prefix() const { return prefix_; }
+
+    /**
+     * Scratch state buffer for runOne: one per worker, reused across
+     * shots so copy-assignment recycles its allocation.
+     */
+    Statevector makeScratch() const { return prefix_; }
+
+    /**
+     * Execute one shot, drawing from `rng`, and return the classical
+     * bitstring. Deterministic given the Rng state; thread-safe for
+     * concurrent calls with distinct `scratch` buffers.
+     */
+    std::string runOne(Rng& rng, Statevector& scratch) const;
+
+  private:
+    const QuantumCircuit& circuit_;
+    const NoiseModel* noise_;
+    ShotPlan plan_;
+    Statevector prefix_;
+    std::unique_ptr<SampleTable> table_;
+    std::string clbits0_;
+};
+
+/** Worker count for a shot loop: <= 0 means hardware concurrency. */
+int resolveShotThreads(int requested, int shots);
+
+/** Wall-clock budget for a shot loop; inactive when ms <= 0. */
+class ShotDeadline
+{
+  public:
+    explicit ShotDeadline(double ms)
+        : active_(ms > 0.0),
+          expiry_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          ms > 0.0 ? ms : 0.0)))
+    {}
+
+    bool active() const { return active_; }
+
+    bool
+    expired() const
+    {
+        return active_ && std::chrono::steady_clock::now() >= expiry_;
+    }
+
+  private:
+    bool active_;
+    std::chrono::steady_clock::time_point expiry_;
+};
+
+/** Outcome of one pooled shot loop. */
+struct ShotLoopStatus
+{
+    /** Shots actually executed (== requested unless truncated). */
+    int completed = 0;
+
+    /** True when the deadline cancelled the loop before all shots ran. */
+    bool truncated = false;
+};
+
+/**
+ * Run `shots` shot bodies on up to `num_threads` workers, accumulating
+ * into per-worker `locals` (resized to the worker count; merging is the
+ * caller's job and must be order-insensitive or merged in index order).
+ *
+ * `make_worker` builds one worker function per pool thread (holding any
+ * reusable per-worker buffers); each call worker(shot, local) must
+ * depend only on the shot index, which makes the merged result
+ * independent of scheduling. Workers pull fixed-size chunks off an
+ * atomic cursor.
+ *
+ * Robustness contract:
+ *  - an exception thrown by any worker stops the pool, joins every
+ *    thread, and is rethrown on the calling thread;
+ *  - when `deadline_ms` > 0 and the budget expires mid-run, workers
+ *    stop cooperatively and the status reports the completed count with
+ *    `truncated` set — partial results, never leaked threads.
+ */
+template <typename Local, typename MakeWorker>
+ShotLoopStatus
+runShotPool(int shots, int num_threads, double deadline_ms,
+            std::vector<Local>& locals, const MakeWorker& make_worker)
+{
+    const ShotDeadline deadline(deadline_ms);
+    const int threads = resolveShotThreads(num_threads, shots);
+    ShotLoopStatus status;
+
+    if (threads <= 1) {
+        locals.clear();
+        locals.resize(1);
+        auto worker = make_worker();
+        for (int s = 0; s < shots; ++s) {
+            if (deadline.active() && (s & 63) == 0 && deadline.expired()) {
+                break;
+            }
+            worker(s, locals[0]);
+            ++status.completed;
+        }
+        status.truncated = status.completed < shots;
+        return status;
+    }
+
+    locals.clear();
+    locals.resize(size_t(threads));
+    std::atomic<int> cursor{0};
+    std::atomic<int> completed{0};
+    const int chunk = std::max(1, shots / (threads * 8));
+    FirstException failure;
+    std::vector<std::thread> pool;
+    pool.reserve(size_t(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            // The shot loop is the outer parallelism: keep the gate
+            // kernels this worker calls serial.
+            SerialKernelScope serial;
+            int done = 0;
+            try {
+                auto worker = make_worker();
+                bool expired = false;
+                while (!expired && !failure.armed()) {
+                    if (deadline.expired()) break;
+                    const int begin = cursor.fetch_add(chunk);
+                    if (begin >= shots) break;
+                    const int end = std::min(shots, begin + chunk);
+                    for (int s = begin; s < end; ++s) {
+                        worker(s, locals[size_t(t)]);
+                        ++done;
+                        if (deadline.active() && (done & 63) == 0 &&
+                            deadline.expired()) {
+                            expired = true;
+                            break;
+                        }
+                    }
+                }
+            } catch (...) {
+                failure.capture();
+            }
+            completed.fetch_add(done, std::memory_order_relaxed);
+        });
+    }
+    for (std::thread& th : pool) th.join();
+    failure.rethrow();
+    status.completed = completed.load(std::memory_order_relaxed);
+    status.truncated = status.completed < shots;
+    return status;
+}
 
 } // namespace qa
 

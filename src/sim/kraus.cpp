@@ -12,14 +12,35 @@ KrausChannel::KrausChannel(std::string name, std::vector<CMatrix> ops)
     : name_(std::move(name)), ops_(std::move(ops))
 {
     QA_REQUIRE(!ops_.empty(), "Kraus channel needs at least one operator");
-    CMatrix sum(2, 2);
     for (const CMatrix& k : ops_) {
         QA_REQUIRE(k.rows() == 2 && k.cols() == 2,
                    "only single-qubit Kraus operators are supported");
-        sum += k.dagger() * k;
     }
-    QA_REQUIRE(sum.approxEquals(CMatrix::identity(2), 1e-8),
+    QA_REQUIRE(isTracePreserving(),
                "Kraus operators are not trace preserving");
+}
+
+KrausChannel
+KrausChannel::raw(std::string name, std::vector<CMatrix> ops)
+{
+    KrausChannel channel;
+    channel.name_ = std::move(name);
+    channel.ops_ = std::move(ops);
+    QA_REQUIRE(!channel.ops_.empty(),
+               "Kraus channel needs at least one operator");
+    for (const CMatrix& k : channel.ops_) {
+        QA_REQUIRE(k.rows() == 2 && k.cols() == 2,
+                   "only single-qubit Kraus operators are supported");
+    }
+    return channel;
+}
+
+bool
+KrausChannel::isTracePreserving(double tol) const
+{
+    CMatrix sum(2, 2);
+    for (const CMatrix& k : ops_) sum += k.dagger() * k;
+    return sum.approxEquals(CMatrix::identity(2), tol);
 }
 
 KrausChannel

@@ -22,8 +22,19 @@ class KrausChannel
   public:
     KrausChannel(std::string name, std::vector<CMatrix> ops);
 
+    /**
+     * Build a channel without the trace-preservation check, for
+     * operators loaded from external calibration data that are only
+     * validated at use time (NoiseModel::validate). Shape (2x2,
+     * non-empty) is still enforced.
+     */
+    static KrausChannel raw(std::string name, std::vector<CMatrix> ops);
+
     const std::string& name() const { return name_; }
     const std::vector<CMatrix>& ops() const { return ops_; }
+
+    /** True when sum_k K_k^dagger K_k == I within `tol`. */
+    bool isTracePreserving(double tol = 1e-8) const;
 
     /** Depolarizing channel with error probability p. */
     static KrausChannel depolarizing(double p);
@@ -41,6 +52,8 @@ class KrausChannel
     static KrausChannel phaseFlip(double p);
 
   private:
+    KrausChannel() = default;
+
     std::string name_;
     std::vector<CMatrix> ops_;
 };

@@ -1,7 +1,32 @@
 #include "sim/noise.hpp"
 
+#include "common/error.hpp"
+
 namespace qa
 {
+
+void
+NoiseModel::validate() const
+{
+    QA_REQUIRE_CODE(readout_p01 >= 0.0 && readout_p01 <= 1.0,
+                    ErrorCode::kInvalidNoiseModel,
+                    "readout_p01 must lie in [0, 1]");
+    QA_REQUIRE_CODE(readout_p10 >= 0.0 && readout_p10 <= 1.0,
+                    ErrorCode::kInvalidNoiseModel,
+                    "readout_p10 must lie in [0, 1]");
+    for (const KrausChannel& channel : noise_1q) {
+        QA_REQUIRE_CODE(channel.isTracePreserving(),
+                        ErrorCode::kInvalidNoiseModel,
+                        "1q channel '" + channel.name() +
+                            "' is not trace preserving");
+    }
+    for (const KrausChannel& channel : noise_2q) {
+        QA_REQUIRE_CODE(channel.isTracePreserving(),
+                        ErrorCode::kInvalidNoiseModel,
+                        "2q channel '" + channel.name() +
+                            "' is not trace preserving");
+    }
+}
 
 NoiseModel
 NoiseModel::ibmqMelbourneLike()

@@ -44,6 +44,16 @@ struct NoiseModel
     }
 
     /**
+     * Validate-on-use check run by the execution engine before the
+     * first shot: readout probabilities must lie in [0, 1] and every
+     * Kraus channel must be trace preserving. Throws UserError
+     * (ErrorCode::kInvalidNoiseModel) naming the offending field or
+     * channel. Catches models assembled from external calibration data
+     * (KrausChannel::raw) or mutated after construction.
+     */
+    void validate() const;
+
+    /**
      * Calibration-style model with magnitudes typical of the 15-qubit
      * IBM Melbourne generation: ~0.1% 1q depolarizing, ~3% 2q
      * depolarizing, ~1.5%/3.5% asymmetric readout error, light amplitude

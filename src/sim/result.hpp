@@ -60,6 +60,13 @@ struct Counts
     std::map<std::string, int> map;
     int shots = 0;
 
+    /**
+     * True when a deadline cancelled the producing run early: `shots`
+     * then holds the number of shots actually completed, and the
+     * histogram is a valid (smaller) sample rather than garbage.
+     */
+    bool truncated = false;
+
     /** Fraction of shots where `pred(bitstring)` holds. */
     double
     fraction(const std::function<bool(const std::string&)>& pred) const

@@ -106,6 +106,15 @@ struct SimOptions
      * pre-engine reference path; kept for tests and benchmarks).
      */
     bool naive = false;
+
+    /**
+     * Wall-clock budget in milliseconds; <= 0 runs unbounded. When the
+     * budget expires mid-run the engine stops cooperatively, joins every
+     * worker, and returns the shots completed so far with
+     * Counts::truncated set. Truncated runs are not bit-reproducible
+     * (which shots finish depends on timing); completed runs are.
+     */
+    double deadline_ms = 0.0;
 };
 
 /**

@@ -3,12 +3,15 @@
  * Tests for the common substrate: error macros, deterministic RNG, and
  * the formatting/table utilities the benches rely on.
  */
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "linalg/types.hpp"
 
@@ -120,6 +123,86 @@ TEST(TextTableTest, ValidatesArity)
     TextTable table({"a", "b"});
     EXPECT_THROW(table.addRow({"only one"}), UserError);
     EXPECT_THROW(TextTable({}), UserError);
+}
+
+TEST(ErrorTest, ErrorCodesCarryStableNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::kGeneric), "generic");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kQasmSyntax), "qasm_syntax");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kInvalidNoiseModel),
+                 "invalid_noise_model");
+    try {
+        QA_FAIL_CODE(ErrorCode::kBadFaultSite, "site 3 is not a gate");
+    } catch (const UserError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kBadFaultSite);
+        EXPECT_NE(std::string(e.what()).find("site 3"),
+                  std::string::npos);
+        return;
+    }
+    FAIL() << "QA_FAIL_CODE did not throw";
+}
+
+TEST(ParallelTest, WorkerExceptionPropagatesToCaller)
+{
+    // Regression: an exception thrown inside a parallelFor body used to
+    // escape a pool thread and terminate the process. It must reach the
+    // caller exactly once, with every thread joined.
+    std::atomic<long> sum{0};
+    EXPECT_THROW(
+        parallelFor(10000, 1,
+                    [&](uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                            if (i == 8191) {
+                                throw std::runtime_error("worker died");
+                            }
+                            sum.fetch_add(1,
+                                          std::memory_order_relaxed);
+                        }
+                    }),
+        std::runtime_error);
+    // The pool must stay usable afterwards.
+    std::atomic<long> count{0};
+    parallelFor(1000, 1, [&](uint64_t begin, uint64_t end) {
+        count.fetch_add(long(end - begin), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelTest, InlineChunkExceptionAlsoPropagates)
+{
+    // The calling thread runs chunk 0 inline; its exception goes through
+    // the same latch as pool-thread failures.
+    EXPECT_THROW(parallelFor(8, 1,
+                             [&](uint64_t begin, uint64_t) {
+                                 if (begin == 0) {
+                                     throw UserError("inline failure");
+                                 }
+                             }),
+                 UserError);
+}
+
+TEST(ParallelTest, FirstExceptionKeepsOnlyTheFirst)
+{
+    FirstException latch;
+    EXPECT_FALSE(latch.armed());
+    latch.rethrow(); // no-op when empty
+    try {
+        throw std::runtime_error("first");
+    } catch (...) {
+        latch.capture();
+    }
+    try {
+        throw std::runtime_error("second");
+    } catch (...) {
+        latch.capture();
+    }
+    EXPECT_TRUE(latch.armed());
+    try {
+        latch.rethrow();
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
 }
 
 } // namespace

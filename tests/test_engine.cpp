@@ -6,6 +6,8 @@
  * execution, the O(log d) sample table, and the sorted
  * basisProbabilities container.
  */
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "circuit/stdgates.hpp"
@@ -280,6 +282,107 @@ TEST(StatevectorApiTest, BasisProbabilitiesSortedAndMapAgree)
     for (const auto& [index, p] : sorted) {
         EXPECT_DOUBLE_EQ(map.at(index), p);
     }
+}
+
+TEST(ShotPoolTest, WorkerExceptionIsRethrownWithThreadsJoined)
+{
+    // A shot body that fails mid-run: the pool must join every worker
+    // and rethrow the first exception on the calling thread instead of
+    // calling std::terminate from a detached stack.
+    std::vector<long> locals;
+    EXPECT_THROW(
+        runShotPool(
+            100000, 4, 0.0, locals,
+            [&]() {
+                return [](int shot, long& local) {
+                    if (shot == 54321) {
+                        throw std::runtime_error("shot body failed");
+                    }
+                    ++local;
+                };
+            }),
+        std::runtime_error);
+
+    // The serial path funnels failures the same way.
+    std::vector<long> serial_locals;
+    EXPECT_THROW(runShotPool(100, 1, 0.0, serial_locals,
+                             [&]() {
+                                 return [](int shot, long&) {
+                                     if (shot == 50) {
+                                         throw UserError("serial body");
+                                     }
+                                 };
+                             }),
+                 UserError);
+}
+
+TEST(ShotPoolTest, CompletedRunsReportFullShotCount)
+{
+    std::vector<long> locals;
+    const ShotLoopStatus status = runShotPool(
+        1000, 3, 0.0, locals,
+        [&]() { return [](int, long& local) { ++local; }; });
+    EXPECT_EQ(status.completed, 1000);
+    EXPECT_FALSE(status.truncated);
+    long total = 0;
+    for (long local : locals) total += local;
+    EXPECT_EQ(total, 1000);
+}
+
+TEST(ShotPoolTest, ExpiredDeadlineTruncatesCooperatively)
+{
+    // Deadline already expired at entry: workers stop at their first
+    // check and the status reports what (little) completed.
+    std::vector<long> locals;
+    const ShotLoopStatus status = runShotPool(
+        1000000, 4, 1e-9, locals,
+        [&]() { return [](int, long& local) { ++local; }; });
+    EXPECT_TRUE(status.truncated);
+    EXPECT_LT(status.completed, 1000000);
+    long total = 0;
+    for (long local : locals) total += local;
+    EXPECT_EQ(total, status.completed);
+}
+
+TEST(EngineTest, DeadlineTruncationReturnsPartialCounts)
+{
+    // runShots with an immediately-expiring deadline: a valid partial
+    // histogram flagged truncated, not an exception or a hang.
+    QuantumCircuit qc(8, 8);
+    std::vector<int> ident{0, 1, 2, 3, 4, 5, 6, 7};
+    qc.compose(layered(8, 3, 5), ident);
+    qc.measureAll();
+    SimOptions options;
+    options.shots = 500000;
+    options.seed = 21;
+    options.num_threads = 2;
+    options.deadline_ms = 1e-6;
+    const Counts counts = runShots(qc, options);
+    EXPECT_TRUE(counts.truncated);
+    EXPECT_LT(counts.shots, options.shots);
+    int total = 0;
+    for (const auto& [bits, n] : counts.map) total += n;
+    EXPECT_EQ(total, counts.shots);
+
+    // Unbounded runs stay un-truncated.
+    options.shots = 64;
+    options.deadline_ms = 0.0;
+    const Counts full = runShots(qc, options);
+    EXPECT_FALSE(full.truncated);
+    EXPECT_EQ(full.shots, 64);
+}
+
+TEST(EngineTest, ShotExecutorReplaysOneShotDeterministically)
+{
+    QuantumCircuit qc = kitchenSink(4);
+    const ShotExecutor executor(qc, nullptr);
+    Statevector scratch = executor.makeScratch();
+    Rng a = Rng::forStream(9, 3);
+    const std::string first = executor.runOne(a, scratch);
+    Rng b = Rng::forStream(9, 3);
+    const std::string replay = executor.runOne(b, scratch);
+    EXPECT_EQ(first, replay);
+    EXPECT_EQ(first.size(), size_t(qc.numClbits()));
 }
 
 TEST(RngTest, StreamsDependOnlyOnSeedAndIndex)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "algos/states.hpp"
+#include "common/error.hpp"
 #include "core/runner.hpp"
 #include "linalg/states.hpp"
 #include "sim/density.hpp"
@@ -156,6 +157,85 @@ TEST(NoiseModelTest, ExactNoisyBranchingConservesProbability)
     double total = 0.0;
     for (const auto& [bits, p] : out.raw.probs) total += p;
     EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+/** The validation diagnostic for a model, empty when it passes. */
+std::string
+validationDiagnostic(const NoiseModel& noise)
+{
+    try {
+        noise.validate();
+    } catch (const UserError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInvalidNoiseModel) << e.what();
+        return e.what();
+    }
+    return "";
+}
+
+TEST(NoiseValidationTest, BuiltinModelsValidate)
+{
+    EXPECT_EQ(validationDiagnostic(NoiseModel{}), "");
+    EXPECT_EQ(validationDiagnostic(NoiseModel::ibmqMelbourneLike()), "");
+    EXPECT_EQ(validationDiagnostic(NoiseModel::depolarizing(0.01, 0.03)),
+              "");
+}
+
+TEST(NoiseValidationTest, ReadoutProbabilitiesMustBeProbabilities)
+{
+    NoiseModel noise;
+    noise.readout_p01 = 1.2;
+    std::string msg = validationDiagnostic(noise);
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("readout_p01"), std::string::npos) << msg;
+
+    noise = NoiseModel{};
+    noise.readout_p10 = -0.1;
+    msg = validationDiagnostic(noise);
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("readout_p10"), std::string::npos) << msg;
+}
+
+TEST(NoiseValidationTest, NonTracePreservingChannelIsNamed)
+{
+    // KrausChannel::raw skips the constructor's TP check, standing in
+    // for a channel assembled from bad calibration data.
+    CMatrix half = CMatrix::identity(2);
+    half(0, 0) = 0.5;
+    half(1, 1) = 0.5;
+    const KrausChannel bad =
+        KrausChannel::raw("bad_calibration", {half});
+    EXPECT_FALSE(bad.isTracePreserving());
+
+    NoiseModel noise;
+    noise.noise_1q.push_back(bad);
+    std::string msg = validationDiagnostic(noise);
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("bad_calibration"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1q"), std::string::npos) << msg;
+
+    NoiseModel noise2q;
+    noise2q.noise_2q.push_back(bad);
+    msg = validationDiagnostic(noise2q);
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("2q"), std::string::npos) << msg;
+}
+
+TEST(NoiseValidationTest, EngineValidatesOnUse)
+{
+    // The shot engine and the exact backend both refuse to run with an
+    // invalid model, so bad calibration fails fast instead of skewing
+    // results.
+    NoiseModel noise = NoiseModel::depolarizing(0.01, 0.03);
+    noise.readout_p01 = 2.0;
+
+    QuantumCircuit qc(1, 1);
+    qc.h(0);
+    qc.measure(0, 0);
+    SimOptions options;
+    options.shots = 10;
+    options.noise = &noise;
+    EXPECT_THROW(runShots(qc, options), UserError);
+    EXPECT_THROW(exactDistributionDM(qc, &noise), UserError);
 }
 
 } // namespace

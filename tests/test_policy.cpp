@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the assertion recovery policies (abort / discard / retry /
+ * repair), their determinism across thread counts, and deadline-based
+ * truncation of policy runs.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/states.hpp"
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "linalg/states.hpp"
+#include "synth/state_prep.hpp"
+
+namespace qa
+{
+namespace
+{
+
+using namespace algos;
+
+/** |1> program asserting |0> with SWAP: every shot flags, and the slot
+ *  re-prepares |0> on the program qubit. */
+AssertedProgram
+alwaysFailingSwapProgram()
+{
+    AssertedProgram prog(prepareState(CVector::basisState(2, 1)));
+    prog.assertState({0}, StateSet::pure(CVector::basisState(2, 0)),
+                     AssertionDesign::kSwap);
+    prog.measureProgram();
+    return prog;
+}
+
+/** |+> program asserting |0> with NDD: each attempt flags w.p. 1/2. */
+AssertedProgram
+coinFlipNddProgram()
+{
+    QuantumCircuit qc(1);
+    qc.h(0);
+    AssertedProgram prog(qc);
+    prog.assertState({0}, StateSet::pure(CVector::basisState(2, 0)),
+                     AssertionDesign::kNdd);
+    prog.measureProgram();
+    return prog;
+}
+
+TEST(PolicyTest, PolicyNamesAreStable)
+{
+    EXPECT_STREQ(policyName(AssertionPolicy::kAbort), "abort");
+    EXPECT_STREQ(policyName(AssertionPolicy::kDiscard), "discard");
+    EXPECT_STREQ(policyName(AssertionPolicy::kRetry), "retry");
+    EXPECT_STREQ(policyName(AssertionPolicy::kRepair), "repair");
+}
+
+TEST(PolicyTest, DiscardMatchesPostSelection)
+{
+    // kDiscard uses the same per-shot RNG streams as the plain runner,
+    // so its accepted histogram equals the post-selected histogram.
+    const AssertedProgram prog = coinFlipNddProgram();
+    SimOptions options;
+    options.shots = 400;
+    options.seed = 99;
+
+    const AssertionOutcome plain = runAsserted(prog, options);
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kDiscard;
+    const PolicyOutcome out = runAssertedPolicy(prog, options, popts);
+
+    EXPECT_EQ(out.program_counts.map, plain.program_counts_passed.map);
+    EXPECT_EQ(out.shots_completed, options.shots);
+    EXPECT_EQ(out.shots_accepted, plain.program_counts_passed.shots);
+    EXPECT_EQ(out.retries, 0);
+    EXPECT_EQ(out.repaired, 0);
+    EXPECT_FALSE(out.truncated);
+    ASSERT_EQ(out.slot_error_rate.size(), 1u);
+    EXPECT_NEAR(out.slot_error_rate[0], plain.slot_error_rate[0], 1e-12);
+}
+
+TEST(PolicyTest, RetryIsBoundedAndAcceptsEventualPasses)
+{
+    const AssertedProgram prog = coinFlipNddProgram();
+    SimOptions options;
+    options.shots = 2000;
+    options.seed = 4242;
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kRetry;
+    popts.max_attempts = 3;
+    const PolicyOutcome out = runAssertedPolicy(prog, options, popts);
+
+    EXPECT_EQ(out.shots_completed, options.shots);
+    EXPECT_EQ(out.shots_accepted + out.exhausted, options.shots);
+    // First attempts flag w.p. 1/2; exhaustion needs three flags in a
+    // row: mean 1/8 of shots, generous 5-sigma band.
+    EXPECT_NEAR(out.slot_error_rate[0], 0.5, 0.06);
+    EXPECT_NEAR(double(out.exhausted) / options.shots, 0.125, 0.04);
+    EXPECT_GT(out.retries, 0);
+    // Every retry follows a flagged attempt that wasn't the last.
+    EXPECT_LE(out.retries, 2 * options.shots);
+    // Accepted shots passed the |0> assertion, so the program qubit
+    // (collapsed by the NDD slot) always reads 0.
+    EXPECT_EQ(int(out.program_counts.map.at("0")), out.shots_accepted);
+    EXPECT_EQ(out.program_counts.shots, out.shots_accepted);
+}
+
+TEST(PolicyTest, RepairKeepsFlaggedShotsWithRestoredState)
+{
+    const AssertedProgram prog = alwaysFailingSwapProgram();
+    SimOptions options;
+    options.shots = 300;
+    options.seed = 7;
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kRepair;
+    const PolicyOutcome out = runAssertedPolicy(prog, options, popts);
+
+    EXPECT_EQ(out.shots_completed, options.shots);
+    EXPECT_EQ(out.shots_accepted, options.shots);
+    EXPECT_EQ(out.repaired, options.shots);
+    EXPECT_NEAR(out.slot_error_rate[0], 1.0, 1e-12);
+    EXPECT_NEAR(out.pass_rate, 0.0, 1e-12);
+    // The SWAP slot re-prepared |0> on the program qubit, so the kept
+    // (repaired) shots all read 0 despite every slot flagging.
+    EXPECT_EQ(int(out.program_counts.map.at("0")), options.shots);
+}
+
+TEST(PolicyTest, RepairRequiresSwapDesign)
+{
+    QuantumCircuit qc(1);
+    qc.h(0);
+    AssertedProgram prog(qc);
+    prog.assertState({0}, StateSet::pure(CVector::basisState(2, 0)),
+                     AssertionDesign::kNdd);
+    prog.measureProgram();
+    SimOptions options;
+    options.shots = 10;
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kRepair;
+    try {
+        runAssertedPolicy(prog, options, popts);
+        FAIL() << "expected kPolicyUnsupported";
+    } catch (const UserError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kPolicyUnsupported);
+        EXPECT_NE(std::string(e.what()).find("repair"),
+                  std::string::npos);
+    }
+}
+
+TEST(PolicyTest, AbortStopsAtFirstFlaggedShot)
+{
+    const AssertedProgram prog = alwaysFailingSwapProgram();
+    SimOptions options;
+    options.shots = 500;
+    options.seed = 5;
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kAbort;
+    const PolicyOutcome out = runAssertedPolicy(prog, options, popts);
+
+    EXPECT_TRUE(out.aborted);
+    EXPECT_EQ(out.abort_shot, 0);
+    EXPECT_EQ(out.shots_completed, 1);
+    EXPECT_EQ(out.shots_accepted, 0);
+    EXPECT_EQ(out.program_counts.shots, 0);
+}
+
+TEST(PolicyTest, AbortCompletesCleanRuns)
+{
+    // GHZ asserting its own state with SWAP never flags: the abort
+    // policy runs to completion and keeps every shot.
+    AssertedProgram prog(ghzPrep(3));
+    prog.assertState({0, 1, 2}, StateSet::pure(ghzVector(3)),
+                     AssertionDesign::kSwap);
+    prog.measureProgram();
+    SimOptions options;
+    options.shots = 100;
+    options.seed = 11;
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kAbort;
+    const PolicyOutcome out = runAssertedPolicy(prog, options, popts);
+
+    EXPECT_FALSE(out.aborted);
+    EXPECT_EQ(out.abort_shot, -1);
+    EXPECT_EQ(out.shots_completed, options.shots);
+    EXPECT_EQ(out.shots_accepted, options.shots);
+    EXPECT_NEAR(out.pass_rate, 1.0, 1e-12);
+}
+
+TEST(PolicyTest, PolicyRunsAreThreadCountInvariant)
+{
+    const AssertedProgram prog = coinFlipNddProgram();
+    SimOptions options;
+    options.shots = 1000;
+    options.seed = 1234;
+
+    for (AssertionPolicy policy :
+         {AssertionPolicy::kDiscard, AssertionPolicy::kRetry}) {
+        PolicyOptions popts;
+        popts.policy = policy;
+        popts.max_attempts = 3;
+
+        options.num_threads = 1;
+        const PolicyOutcome serial =
+            runAssertedPolicy(prog, options, popts);
+        options.num_threads = 4;
+        const PolicyOutcome four = runAssertedPolicy(prog, options, popts);
+        options.num_threads = 0;
+        const PolicyOutcome hw = runAssertedPolicy(prog, options, popts);
+
+        for (const PolicyOutcome* other : {&four, &hw}) {
+            EXPECT_EQ(serial.raw.map, other->raw.map);
+            EXPECT_EQ(serial.program_counts.map,
+                      other->program_counts.map);
+            EXPECT_EQ(serial.slot_error_rate, other->slot_error_rate);
+            EXPECT_EQ(serial.shots_accepted, other->shots_accepted);
+            EXPECT_EQ(serial.retries, other->retries);
+            EXPECT_EQ(serial.exhausted, other->exhausted);
+            EXPECT_EQ(serial.pass_rate, other->pass_rate);
+        }
+    }
+}
+
+TEST(PolicyTest, ExpiredDeadlineTruncatesWithoutAborting)
+{
+    // A deadline that expires immediately: the run returns partial (here
+    // empty-to-partial) counts flagged truncated, with all workers
+    // joined, instead of throwing or running every shot.
+    AssertedProgram prog(ghzPrep(8));
+    prog.assertState({0, 1, 2, 3, 4, 5, 6, 7},
+                     StateSet::pure(ghzVector(8)),
+                     AssertionDesign::kSwap);
+    prog.measureProgram();
+    SimOptions options;
+    options.shots = 200000;
+    options.seed = 3;
+    options.num_threads = 2;
+    options.deadline_ms = 1e-6;
+    PolicyOptions popts;
+    popts.policy = AssertionPolicy::kDiscard;
+    const PolicyOutcome out = runAssertedPolicy(prog, options, popts);
+
+    EXPECT_TRUE(out.truncated);
+    EXPECT_LT(out.shots_completed, options.shots);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_EQ(out.program_counts.shots, out.shots_accepted);
+    EXPECT_TRUE(out.program_counts.truncated);
+    // The histogram is a valid sample of whatever completed.
+    int total = 0;
+    for (const auto& [bits, n] : out.program_counts.map) total += n;
+    EXPECT_EQ(total, out.shots_accepted);
+}
+
+TEST(PolicyTest, InvalidPolicyOptionsAreRejected)
+{
+    const AssertedProgram prog = coinFlipNddProgram();
+    SimOptions options;
+    options.shots = 0;
+    EXPECT_THROW(runAssertedPolicy(prog, options, PolicyOptions{}),
+                 UserError);
+    options.shots = 10;
+    PolicyOptions popts;
+    popts.max_attempts = 0;
+    EXPECT_THROW(runAssertedPolicy(prog, options, popts), UserError);
+}
+
+} // namespace
+} // namespace qa

@@ -141,6 +141,87 @@ TEST(QasmTest, ErrorPaths)
     EXPECT_THROW(parseQasm("qreg q[2]; qreg q[2]; h q[0];"), UserError);
 }
 
+/** Parse and return the diagnostic the parser raises (empty = none). */
+std::string
+parseDiagnostic(const std::string& src)
+{
+    try {
+        parseQasm(src);
+    } catch (const UserError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kQasmSyntax) << e.what();
+        return e.what();
+    }
+    return "";
+}
+
+TEST(QasmTest, OutOfRangeIndexNamesLineAndColumn)
+{
+    const std::string msg =
+        parseDiagnostic("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("index 5 out of range"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("q[2]"), std::string::npos) << msg;
+}
+
+TEST(QasmTest, MalformedIndexIsRejectedNotParsedAsPrefix)
+{
+    // std::stoi would silently accept "1x" as 1; the checked parser
+    // must reject the whole token with a position.
+    const std::string msg = parseDiagnostic("qreg q[2];\nh q[1x];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'1x'"), std::string::npos) << msg;
+}
+
+TEST(QasmTest, OverflowingRegisterSizeIsDiagnosed)
+{
+    // Would throw raw std::out_of_range from std::stoi before.
+    const std::string msg =
+        parseDiagnostic("qreg q[99999999999999999999];\nh q[0];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(QasmTest, MalformedRegisterSizeIsDiagnosed)
+{
+    const std::string msg = parseDiagnostic("qreg q[two];\nh q[0];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("register size"), std::string::npos) << msg;
+}
+
+TEST(QasmTest, DuplicateQubitOperandsAreRejected)
+{
+    const std::string msg = parseDiagnostic("qreg q[2];\ncx q[0], q[0];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("same qubit twice"), std::string::npos) << msg;
+    EXPECT_THROW(parseQasm("qreg q[3]; ccx q[0], q[1], q[1];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2]; swap q[1], q[1];"), UserError);
+}
+
+TEST(QasmTest, MalformedGateArgumentsAreDiagnosed)
+{
+    const std::string msg =
+        parseDiagnostic("qreg q[1];\n\nrx(0.3 + ) q[0];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_THROW(parseQasm("qreg q[1]; rx(0.1 q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[1]; rx(1/0) q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[1]; rx(0.1, 0.2) q[0];"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[1]; u3(0.1) q[0];"), UserError);
+}
+
+TEST(QasmTest, ColumnPointsAtStatementStart)
+{
+    // Two statements on one line: the second one's column is past the
+    // first, so the diagnostic distinguishes them.
+    const std::string msg =
+        parseDiagnostic("qreg q[2]; h q[0]; h q[7];\n");
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("line 1, col 20"), std::string::npos) << msg;
+}
+
 TEST(QasmTest, ParsedProgramIsAssertable)
 {
     // End-to-end: import a GHZ program written in QASM, assert it.
