@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Service-layer benchmark: job throughput of the Scheduler worker pool
+ * (jobs/sec vs worker count), the cross-job ResultCache's effect on a
+ * repeated-submission workload, and admission-control overhead.
+ *
+ * Each benchmark double-checks the service's core guarantee while it
+ * measures: per-job payloads must be bit-identical to a direct
+ * executeJob of the same spec, cached or not, at any worker count.
+ */
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+
+namespace
+{
+
+using namespace qa;
+using namespace qa::serve;
+
+/** A mid-size stochastic job; distinct per `variant`. */
+JobSpec
+workloadSpec(uint64_t variant, bool use_cache)
+{
+    JobSpec spec;
+    const int n = 5;
+    QuantumCircuit qc(n, n);
+    for (int q = 0; q < n; ++q) qc.h(q);
+    for (int q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+    qc.rz(int(variant % uint64_t(n)), 0.1 * double(variant + 1));
+    for (int q = 0; q < n; ++q) qc.measure(q, q);
+    spec.circuit = qc;
+    spec.assert_clbits = {{0}};
+    spec.shots = 512;
+    spec.seed = 1000 + variant;
+    spec.use_cache = use_cache;
+    return spec;
+}
+
+bool
+sameCounts(const Counts& a, const Counts& b)
+{
+    return a.map == b.map && a.shots == b.shots &&
+           a.truncated == b.truncated;
+}
+
+[[noreturn]] void
+dieMismatch(const char* what)
+{
+    std::fprintf(stderr,
+                 "bench_service_throughput: %s diverged from the "
+                 "uncached executeJob reference\n",
+                 what);
+    std::abort();
+}
+
+/**
+ * Jobs/sec over a pool of `state.range(0)` workers, cache off: pure
+ * scheduling + execution scaling. The per-iteration batch is fixed, so
+ * items_per_second comparisons across worker counts are direct.
+ */
+void
+BM_SchedulerThroughput(benchmark::State& state)
+{
+    const int workers = int(state.range(0));
+    constexpr int kBatch = 32;
+
+    std::vector<JobSpec> specs;
+    std::vector<JobResult> reference;
+    for (int j = 0; j < kBatch; ++j) {
+        specs.push_back(workloadSpec(uint64_t(j), false));
+        reference.push_back(executeJob(specs.back()));
+    }
+
+    for (auto _ : state) {
+        SchedulerOptions options;
+        options.workers = workers;
+        options.cache_capacity = 0;
+        Scheduler scheduler(options);
+        std::vector<std::future<JobResult>> futures;
+        futures.reserve(specs.size());
+        for (const JobSpec& spec : specs) {
+            futures.push_back(scheduler.submit(spec));
+        }
+        for (size_t j = 0; j < futures.size(); ++j) {
+            const JobResult result = futures[j].get();
+            if (!sameCounts(result.counts, reference[j].counts)) {
+                dieMismatch("worker-pool result");
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+/**
+ * The acceptance workload: repeated submissions of a small spec pool.
+ * Reports the measured hit rate and verifies every payload — hit or
+ * miss — against the uncached reference.
+ */
+void
+BM_RepeatedSubmissionCacheHitRate(benchmark::State& state)
+{
+    const int workers = int(state.range(0));
+    constexpr int kDistinct = 8;
+    constexpr int kRepeats = 8; // kDistinct * kRepeats jobs per round
+
+    std::vector<JobSpec> specs;
+    std::vector<JobResult> reference;
+    for (int j = 0; j < kDistinct; ++j) {
+        specs.push_back(workloadSpec(uint64_t(j), true));
+        reference.push_back(executeJob(specs[size_t(j)]));
+    }
+
+    uint64_t hits = 0;
+    uint64_t lookups = 0;
+    for (auto _ : state) {
+        SchedulerOptions options;
+        options.workers = workers;
+        options.cache_capacity = 64;
+        Scheduler scheduler(options);
+        std::vector<std::future<JobResult>> futures;
+        for (int r = 0; r < kRepeats; ++r) {
+            for (const JobSpec& spec : specs) {
+                futures.push_back(scheduler.submit(spec));
+            }
+        }
+        for (size_t j = 0; j < futures.size(); ++j) {
+            const JobResult result = futures[j].get();
+            if (!sameCounts(result.counts,
+                            reference[j % kDistinct].counts)) {
+                dieMismatch("cached result");
+            }
+        }
+        const CacheStats stats = scheduler.cacheStats();
+        hits += stats.hits;
+        lookups += stats.hits + stats.misses;
+    }
+    state.SetItemsProcessed(state.iterations() * kDistinct * kRepeats);
+    state.counters["hit_rate"] =
+        lookups == 0 ? 0.0 : double(hits) / double(lookups);
+}
+
+/** Admission-control cost alone: submit against a parked pool. */
+void
+BM_AdmissionControl(benchmark::State& state)
+{
+    SchedulerOptions options;
+    options.workers = 1;
+    options.queue_capacity = 1u << 20;
+    options.start_paused = true;
+    Scheduler scheduler(options);
+    const JobSpec spec = workloadSpec(0, false);
+
+    std::vector<std::future<JobResult>> futures;
+    for (auto _ : state) {
+        futures.push_back(scheduler.submit(spec));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["queue_depth"] =
+        double(scheduler.metrics().queue_depth);
+    scheduler.stop(); // cancels the parked jobs; futures resolve
+    for (auto& f : futures) f.get();
+}
+
+} // namespace
+
+BENCHMARK(BM_SchedulerThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_RepeatedSubmissionCacheHitRate)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_AdmissionControl);
+
+BENCHMARK_MAIN();

@@ -1,40 +1,52 @@
 #!/usr/bin/env bash
 #
 # Tier-1 verification: the canonical build + full ctest sweep, then a
-# ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine
-# and policy-runner determinism tests — the multi-threaded code paths —
-# under TSAN, and an ASan+UBSan build (QA_ENABLE_ASAN=ON) that runs the
-# fault-injection and recovery-policy tests, whose error paths exercise
-# exception propagation out of worker pools.
+# ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine,
+# policy-runner, and service-scheduler determinism tests — the
+# multi-threaded code paths — under TSAN, and an ASan+UBSan build
+# (QA_ENABLE_ASAN=ON) that runs the fault-injection, recovery-policy,
+# and service tests, whose error paths exercise exception propagation
+# out of worker pools and scheduler callbacks.
 #
-# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
+#
+# --skip-release drops the canonical build + ctest sweep, leaving only
+# the requested sanitizer halves (CI runs each half as its own job and
+# covers the release sweep separately).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
 skip_asan=0
+skip_release=0
 for arg in "$@"; do
     case "$arg" in
       --skip-tsan) skip_tsan=1 ;;
       --skip-asan) skip_asan=1 ;;
+      --skip-release) skip_release=1 ;;
       *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
 
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+if [[ "$skip_release" -ne 1 ]]; then
+    cmake -B build -S .
+    cmake --build build -j
+    (cd build && ctest --output-on-failure -j)
+fi
 
 if [[ "$skip_tsan" -ne 1 ]]; then
     cmake -B build-tsan -S . \
         -DQA_ENABLE_TSAN=ON \
         -DQASSERT_BUILD_BENCHES=OFF \
         -DQASSERT_BUILD_EXAMPLES=OFF
-    cmake --build build-tsan -j --target test_engine --target test_policy
+    cmake --build build-tsan -j --target test_engine --target test_policy \
+        --target test_serve
     ./build-tsan/tests/test_engine \
         --gtest_filter='EngineTest.*:ShotPlanTest.*:ShotPoolTest.*'
     ./build-tsan/tests/test_policy \
         --gtest_filter='PolicyTest.*'
+    ./build-tsan/tests/test_serve \
+        --gtest_filter='SchedulerTest.*:CacheTest.*'
 fi
 
 if [[ "$skip_asan" -ne 1 ]]; then
@@ -43,11 +55,13 @@ if [[ "$skip_asan" -ne 1 ]]; then
         -DQASSERT_BUILD_BENCHES=OFF \
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-asan -j \
-        --target test_inject --target test_policy --target test_engine
+        --target test_inject --target test_policy --target test_engine \
+        --target test_serve
     ./build-asan/tests/test_inject
     ./build-asan/tests/test_policy
     ./build-asan/tests/test_engine \
         --gtest_filter='ShotPoolTest.*:EngineTest.Deadline*'
+    ./build-asan/tests/test_serve
 fi
 
 echo "tier-1 OK"

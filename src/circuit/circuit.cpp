@@ -384,10 +384,12 @@ QuantumCircuit::depth() const
 std::string
 QuantumCircuit::toQasm() const
 {
+    // "ccrz" is a qassert extension (the adder programs emit it); our
+    // importer accepts it back, other toolchains need a gate definition.
     static const std::set<std::string> known = {
         "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
         "rx", "ry", "rz", "p", "u2", "u3", "cx", "cy", "cz", "ch",
-        "swap", "crz", "cp", "cu3", "ccx"};
+        "swap", "crz", "cp", "cu3", "ccx", "ccrz"};
 
     std::ostringstream oss;
     oss << "OPENQASM 2.0;\n"

@@ -1,0 +1,39 @@
+#include "circuit/hash.hpp"
+
+namespace qa
+{
+
+void
+absorbCircuit(HashStream& stream, const QuantumCircuit& circuit)
+{
+    stream.i64(circuit.numQubits());
+    stream.i64(circuit.numClbits());
+    stream.u64(circuit.size());
+    for (const Instruction& instr : circuit.instructions()) {
+        stream.i64(int64_t(instr.type));
+        stream.str(instr.name);
+        stream.u64(instr.qubits.size());
+        for (int q : instr.qubits) stream.i64(q);
+        stream.i64(instr.cbit);
+        stream.u64(instr.params.size());
+        for (double p : instr.params) stream.f64(p);
+        stream.u64(instr.matrix.rows());
+        stream.u64(instr.matrix.cols());
+        for (size_t r = 0; r < instr.matrix.rows(); ++r) {
+            for (size_t c = 0; c < instr.matrix.cols(); ++c) {
+                stream.f64(instr.matrix(r, c).real());
+                stream.f64(instr.matrix(r, c).imag());
+            }
+        }
+    }
+}
+
+Hash128
+circuitHash(const QuantumCircuit& circuit)
+{
+    HashStream stream(0x63697263ULL); // domain tag: "circ"
+    absorbCircuit(stream, circuit);
+    return stream.digest();
+}
+
+} // namespace qa

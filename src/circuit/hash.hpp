@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Canonical structural fingerprint of a QuantumCircuit.
+ *
+ * Two circuits built through any path (builder calls, parseQasm, compose)
+ * hash equal exactly when they have the same register sizes and the same
+ * instruction sequence (type, name, operand qubits, classical bit,
+ * parameters, and gate matrix). The matrix is included so opaque
+ * "unitary" instructions — whose name and empty parameter list carry no
+ * information — are distinguished by content.
+ *
+ * The serve layer keys its cross-job result cache on this fingerprint;
+ * see common/hash.hpp for the collision-resistance rationale.
+ */
+#ifndef QA_CIRCUIT_HASH_HPP
+#define QA_CIRCUIT_HASH_HPP
+
+#include "circuit/circuit.hpp"
+#include "common/hash.hpp"
+
+namespace qa
+{
+
+/** Absorb the full structure of `circuit` into `stream`. */
+void absorbCircuit(HashStream& stream, const QuantumCircuit& circuit);
+
+/** Standalone structural fingerprint of a circuit. */
+Hash128 circuitHash(const QuantumCircuit& circuit);
+
+} // namespace qa
+
+#endif // QA_CIRCUIT_HASH_HPP

@@ -513,6 +513,11 @@ parseQasm(const std::string& source)
         } else if (name == "ccx") {
             needQubits(3);
             circuit.ccx(qubits[0], qubits[1], qubits[2]);
+        } else if (name == "ccrz") {
+            // qassert extension emitted by toQasm (see circuit.cpp).
+            needQubits(3);
+            needParams(1);
+            circuit.ccrz(qubits[0], qubits[1], qubits[2], params[0]);
         } else {
             QA_FAIL_CODE(ErrorCode::kQasmSyntax,
                          st.loc.str() + ": unsupported gate '" + name +

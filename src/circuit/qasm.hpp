@@ -7,8 +7,9 @@
  * Supported: OPENQASM header, include (ignored), one or more qreg/creg
  * declarations (flattened in declaration order), the standard gate set
  * (id x y z h s sdg t tdg sx rx ry rz p u1 u2 u3 cx cy cz ch swap crz
- * cp cu1 cu3 ccx), barrier, reset, and measure. Parameter expressions
- * support numbers, pi, + - * / and parentheses.
+ * cp cu1 cu3 ccx) plus the qassert extension ccrz, barrier, reset, and
+ * measure. Parameter expressions support numbers, pi, + - * / and
+ * parentheses.
  */
 #ifndef QA_CIRCUIT_QASM_HPP
 #define QA_CIRCUIT_QASM_HPP

@@ -16,6 +16,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kQasmSyntax:        return "qasm_syntax";
       case ErrorCode::kDeadlineExpired:   return "deadline_expired";
       case ErrorCode::kWorkerFailure:     return "worker_failure";
+      case ErrorCode::kQueueFull:         return "queue_full";
+      case ErrorCode::kServiceStopped:    return "service_stopped";
+      case ErrorCode::kBadRequest:        return "bad_request";
     }
     return "unknown";
 }

@@ -37,7 +37,10 @@ enum class ErrorCode
     kPolicyExhausted,   ///< Bounded retries used up without a pass.
     kQasmSyntax,        ///< Malformed QASM input.
     kDeadlineExpired,   ///< Deadline elapsed before any work completed.
-    kWorkerFailure      ///< A parallel worker failed; first cause chained.
+    kWorkerFailure,     ///< A parallel worker failed; first cause chained.
+    kQueueFull,         ///< Service admission queue at capacity.
+    kServiceStopped,    ///< Submission to a stopped/stopping service.
+    kBadRequest         ///< Malformed service request (wire protocol).
 };
 
 /** Stable human-readable name of an error code. */

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Order-sensitive structural hashing for cache keys.
+ *
+ * The serve layer keys its cross-job result cache on a canonical hash of
+ * (circuit, noise model, execution options). Collisions silently return
+ * the wrong cached Counts, so the key is 128 bits: two independent
+ * splitmix64-based accumulators whose joint collision probability is
+ * negligible at any realistic cache size. Hashing is structural and
+ * deterministic across runs and platforms with IEEE-754 doubles — no
+ * pointers, no iteration-order dependence, no address-seeded state.
+ */
+#ifndef QA_COMMON_HASH_HPP
+#define QA_COMMON_HASH_HPP
+
+#include <bit>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace qa
+{
+
+/** 128-bit structural fingerprint (value type, usable as a map key). */
+struct Hash128
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool
+    operator==(const Hash128& rhs) const
+    {
+        return hi == rhs.hi && lo == rhs.lo;
+    }
+
+    bool operator!=(const Hash128& rhs) const { return !(*this == rhs); }
+
+    /** Render as 32 hex digits (for logs and wire responses). */
+    std::string
+    str() const
+    {
+        std::ostringstream oss;
+        oss << std::hex << std::setfill('0') << std::setw(16) << hi
+            << std::setw(16) << lo;
+        return oss.str();
+    }
+};
+
+/** std::unordered_map hasher for Hash128 keys. */
+struct Hash128Hasher
+{
+    size_t
+    operator()(const Hash128& h) const
+    {
+        // hi already has full avalanche; fold in lo cheaply.
+        return size_t(h.hi ^ (h.lo * 0x9E3779B97F4A7C15ULL));
+    }
+};
+
+/**
+ * Incremental structural hasher. Absorb the fields of a structure in a
+ * fixed documented order; equal structures yield equal digests, and the
+ * two lanes are decorrelated so a collision in one is independent of the
+ * other.
+ */
+class HashStream
+{
+  public:
+    explicit HashStream(uint64_t seed = 0)
+        : a_(splitmix64(seed ^ 0x7061737331ULL)),
+          b_(splitmix64(seed ^ 0x7061737332ULL))
+    {}
+
+    HashStream&
+    u64(uint64_t v)
+    {
+        a_ = splitmix64(a_ ^ v);
+        b_ = splitmix64(b_ + 0x9E3779B97F4A7C15ULL + v);
+        return *this;
+    }
+
+    HashStream& i64(int64_t v) { return u64(uint64_t(v)); }
+
+    /** Hash a double by bit pattern; -0.0 is canonicalized to +0.0. */
+    HashStream&
+    f64(double v)
+    {
+        if (v == 0.0) v = 0.0; // collapse -0.0 and +0.0
+        return u64(std::bit_cast<uint64_t>(v));
+    }
+
+    /** Length-prefixed so "ab","c" and "a","bc" differ. */
+    HashStream&
+    str(const std::string& s)
+    {
+        u64(s.size());
+        uint64_t word = 0;
+        int packed = 0;
+        for (char c : s) {
+            word = (word << 8) | uint64_t(uint8_t(c));
+            if (++packed == 8) {
+                u64(word);
+                word = 0;
+                packed = 0;
+            }
+        }
+        if (packed > 0) u64(word);
+        return *this;
+    }
+
+    Hash128
+    digest() const
+    {
+        return {splitmix64(a_), splitmix64(b_)};
+    }
+
+  private:
+    uint64_t a_;
+    uint64_t b_;
+};
+
+} // namespace qa
+
+#endif // QA_COMMON_HASH_HPP

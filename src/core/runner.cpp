@@ -174,10 +174,9 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
                                  : 1;
         struct Local
         {
-            Counts raw;
+            Counts raw; ///< raw.shots counts this worker's accepted shots.
             std::vector<long> slot_errors;
             long passed = 0;
-            long accepted = 0;
             long retries = 0;
             long exhausted = 0;
             long repaired = 0;
@@ -213,12 +212,12 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
                     if (popts.policy == AssertionPolicy::kRepair) {
                         // SWAP slots re-prepared the asserted state, so
                         // the program output is usable either way.
-                        ++local.accepted;
                         ++local.raw.map[bits];
+                        ++local.raw.shots;
                         if (any) ++local.repaired;
                     } else if (!any) {
-                        ++local.accepted;
                         ++local.raw.map[bits];
+                        ++local.raw.shots;
                     } else if (popts.policy == AssertionPolicy::kRetry) {
                         ++local.exhausted;
                     }
@@ -227,18 +226,16 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         out.shots_completed = status.completed;
         out.truncated = status.truncated;
         for (const Local& local : locals) {
-            for (const auto& [bits, n] : local.raw.map) {
-                out.raw.map[bits] += n;
-            }
+            mergeCounts(out.raw, local.raw);
             for (size_t i = 0; i < local.slot_errors.size(); ++i) {
                 slot_errors[i] += local.slot_errors[i];
             }
             passed += local.passed;
-            out.shots_accepted += int(local.accepted);
             out.retries += int(local.retries);
             out.exhausted += int(local.exhausted);
             out.repaired += int(local.repaired);
         }
+        out.shots_accepted = out.raw.shots;
     }
 
     out.raw.shots = out.shots_accepted;

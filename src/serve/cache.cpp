@@ -1,0 +1,71 @@
+#include "serve/cache.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+std::optional<JobResult>
+ResultCache::get(const Hash128& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+bool
+ResultCache::put(const Hash128& key, const JobResult& result)
+{
+    if (capacity_ == 0) return false;
+    if (result.status != JobStatus::kOk || result.truncated) return false;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Deterministic execution means a re-computed value is
+        // identical; refreshing recency is the only real effect.
+        it->second->second = result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.emplace_front(key, result);
+    index_[key] = lru_.begin();
+    ++insertions_;
+    return true;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.insertions = insertions_;
+    stats.evictions = evictions_;
+    stats.entries = lru_.size();
+    stats.capacity = capacity_;
+    return stats;
+}
+
+} // namespace serve
+} // namespace qa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cross-job result cache: an LRU map from canonical job keys
+ * (serve/job.hpp jobKey) to completed JobResults.
+ *
+ * Repeat submissions of closely related circuits are the assertion
+ * workload's common case (Proq-style projection sweeps, parameter scans,
+ * CI reruns): a hit short-circuits the whole shot loop and returns the
+ * stored result bit-identically. Only clean results are admitted —
+ * failures and deadline-truncated runs never enter the cache — so a hit
+ * is always equivalent to re-executing the spec.
+ *
+ * Thread safety: all methods are safe for concurrent calls from the
+ * scheduler's workers (one mutex; operations are O(1) amortized).
+ */
+#ifndef QA_SERVE_CACHE_HPP
+#define QA_SERVE_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "serve/job.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+/** Hit/miss/eviction counters of a ResultCache, snapshot at one instant. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+
+    /** Hits over lookups; 0 when nothing was looked up yet. */
+    double
+    hitRate() const
+    {
+        const uint64_t lookups = hits + misses;
+        return lookups == 0 ? 0.0 : double(hits) / double(lookups);
+    }
+};
+
+/** Capacity-bounded LRU cache keyed by 128-bit job fingerprints. */
+class ResultCache
+{
+  public:
+    /** `capacity` == 0 disables the cache (every lookup misses). */
+    explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Look up a key, refreshing its recency on a hit. Counts a hit or
+     * miss either way.
+     */
+    std::optional<JobResult> get(const Hash128& key);
+
+    /**
+     * Insert (or refresh) an entry, evicting the least recently used
+     * one when at capacity. Truncated or non-ok results are rejected
+     * (see file comment); returns whether the entry was stored.
+     */
+    bool put(const Hash128& key, const JobResult& result);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    CacheStats stats() const;
+
+  private:
+    using Entry = std::pair<Hash128, JobResult>;
+
+    size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recently used
+    std::unordered_map<Hash128, std::list<Entry>::iterator, Hash128Hasher>
+        index_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t insertions_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace serve
+} // namespace qa
+
+#endif // QA_SERVE_CACHE_HPP

@@ -1,0 +1,176 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+
+#include "circuit/hash.hpp"
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+namespace
+{
+
+/** True when every classical bit of every slot reads '0' in `bits`. */
+bool
+allSlotsPass(const std::string& bits,
+             const std::vector<std::vector<int>>& slots)
+{
+    for (const std::vector<int>& slot : slots) {
+        for (int c : slot) {
+            if (bits[size_t(c)] != '0') return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+const char*
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::kOk:        return "ok";
+      case JobStatus::kFailed:    return "failed";
+      case JobStatus::kCancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+Hash128
+jobKey(const JobSpec& spec)
+{
+    HashStream stream(0x6a6f62ULL); // domain tag: "job"
+    if (spec.program != nullptr) {
+        stream.u64(1); // program-path jobs never collide with plain ones
+        absorbCircuit(stream, spec.program->circuit());
+        const auto& slots = spec.program->slots();
+        stream.u64(slots.size());
+        for (const AssertedProgram::Slot& slot : slots) {
+            stream.i64(int64_t(slot.design));
+            stream.u64(slot.qubits.size());
+            for (int q : slot.qubits) stream.i64(q);
+            stream.u64(slot.clbits.size());
+            for (int c : slot.clbits) stream.i64(c);
+        }
+        const auto& prog_clbits = spec.program->programClbits();
+        stream.u64(prog_clbits.size());
+        for (int c : prog_clbits) stream.i64(c);
+        stream.i64(int64_t(spec.policy));
+        stream.i64(spec.max_attempts);
+    } else {
+        stream.u64(0);
+        absorbCircuit(stream, spec.circuit);
+        stream.u64(spec.assert_clbits.size());
+        for (const std::vector<int>& slot : spec.assert_clbits) {
+            stream.u64(slot.size());
+            for (int c : slot) stream.i64(c);
+        }
+        // The plain path only executes under kDiscard (anything else
+        // fails, and failures are never cached), so the policy carries
+        // no information here.
+    }
+    const Hash128 noise = spec.noise.fingerprint();
+    stream.u64(noise.hi);
+    stream.u64(noise.lo);
+    stream.i64(spec.shots);
+    stream.u64(spec.seed);
+    return stream.digest();
+}
+
+JobResult
+executeJob(const JobSpec& spec)
+{
+    SimOptions options;
+    options.shots = spec.shots;
+    options.seed = spec.seed;
+    options.noise = spec.noise.enabled() ? &spec.noise : nullptr;
+    options.num_threads = spec.num_threads;
+    options.deadline_ms = spec.deadline_ms;
+
+    JobResult result;
+    result.tag = spec.tag;
+
+    if (spec.program != nullptr) {
+        PolicyOptions popts;
+        popts.policy = spec.policy;
+        popts.max_attempts = spec.max_attempts;
+        const PolicyOutcome outcome =
+            runAssertedPolicy(*spec.program, options, popts);
+        result.counts = outcome.raw;
+        result.program_counts = outcome.program_counts;
+        result.slot_error_rate = outcome.slot_error_rate;
+        result.pass_rate = outcome.pass_rate;
+        result.truncated = outcome.truncated;
+        return result;
+    }
+
+    const auto& slots = spec.assert_clbits;
+    if (!slots.empty()) {
+        QA_REQUIRE_CODE(spec.policy == AssertionPolicy::kDiscard,
+                        ErrorCode::kPolicyUnsupported,
+                        std::string("plain-circuit jobs only support the "
+                                    "discard policy, got ") +
+                            policyName(spec.policy) +
+                            " (submit an AssertedProgram for the rest)");
+        for (const std::vector<int>& slot : slots) {
+            QA_REQUIRE_CODE(!slot.empty(), ErrorCode::kBadRequest,
+                            "assertion slot lists no classical bits");
+            for (int c : slot) {
+                QA_REQUIRE_CODE(
+                    c >= 0 && c < spec.circuit.numClbits(),
+                    ErrorCode::kBadRequest,
+                    "assertion clbit " + std::to_string(c) +
+                        " out of range for " +
+                        std::to_string(spec.circuit.numClbits()) +
+                        " classical bits");
+            }
+        }
+    }
+
+    const Counts raw = runShots(spec.circuit, options);
+    result.counts = raw;
+    result.truncated = raw.truncated;
+
+    if (slots.empty()) {
+        result.program_counts = raw;
+        return result;
+    }
+
+    result.slot_error_rate.reserve(slots.size());
+    for (const std::vector<int>& slot : slots) {
+        result.slot_error_rate.push_back(1.0 - raw.fractionAllZero(slot));
+    }
+    result.pass_rate =
+        raw.fraction([&](const std::string& bits) {
+            return allSlotsPass(bits, slots);
+        });
+
+    // Program bits = every classical bit not owned by a slot, ascending.
+    std::vector<bool> is_assert(size_t(spec.circuit.numClbits()), false);
+    for (const std::vector<int>& slot : slots) {
+        for (int c : slot) is_assert[size_t(c)] = true;
+    }
+    std::vector<int> program_bits;
+    for (int c = 0; c < spec.circuit.numClbits(); ++c) {
+        if (!is_assert[size_t(c)]) program_bits.push_back(c);
+    }
+
+    Counts& accepted = result.program_counts;
+    for (const auto& [bits, n] : raw.map) {
+        if (!allSlotsPass(bits, slots)) continue;
+        std::string reduced;
+        reduced.reserve(program_bits.size());
+        for (int c : program_bits) reduced.push_back(bits[size_t(c)]);
+        accepted.map[reduced] += n;
+        accepted.shots += n;
+    }
+    accepted.truncated = raw.truncated;
+    return result;
+}
+
+} // namespace serve
+} // namespace qa

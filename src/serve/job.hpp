@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Assertion-service job model: what a caller submits (JobSpec), what
+ * comes back (JobResult), the canonical cache key over a spec, and the
+ * pure execution function the scheduler workers dispatch.
+ *
+ * Determinism contract: executeJob is a pure function of the spec —
+ * every stochastic draw comes from counter-based per-shot RNG streams
+ * seeded by `spec.seed` (sim/engine.hpp) — so a job's result is
+ * bit-identical regardless of which worker runs it, how many workers
+ * the scheduler has, or the order jobs arrive in. The only exception is
+ * a deadline truncation (which shots finish depends on wall-clock
+ * timing); truncated results are therefore never cached.
+ */
+#ifndef QA_SERVE_JOB_HPP
+#define QA_SERVE_JOB_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "core/asserted_program.hpp"
+#include "core/runner.hpp"
+#include "sim/noise.hpp"
+#include "sim/result.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+/**
+ * One unit of service work: a circuit (or a full AssertedProgram), the
+ * assertion slots to post-select on, a recovery policy, and the
+ * execution knobs (shots, seed, deadline, priority).
+ */
+struct JobSpec
+{
+    /**
+     * Circuit to execute (assertion fragments already inserted). Ignored
+     * when `program` is set.
+     */
+    QuantumCircuit circuit{1};
+
+    /**
+     * Policy-aware path for in-process callers: when set, the job runs
+     * runAssertedPolicy over the program (full abort/discard/retry/
+     * repair support) instead of plain shot sampling. Shared so queued
+     * copies of a job stay cheap.
+     */
+    std::shared_ptr<const AssertedProgram> program;
+
+    /**
+     * Assertion slots for the plain-circuit path: each inner vector
+     * lists the classical bits of one slot (|0...0> = pass). The result
+     * reports per-slot error rates and a histogram post-selected on
+     * every slot passing. Only AssertionPolicy::kDiscard semantics are
+     * available on this path; use `program` for the rest.
+     */
+    std::vector<std::vector<int>> assert_clbits;
+
+    /** Recovery policy (program path; plain path must use kDiscard). */
+    AssertionPolicy policy = AssertionPolicy::kDiscard;
+
+    /** Attempt budget per shot under AssertionPolicy::kRetry. */
+    int max_attempts = 3;
+
+    /** Gate/readout noise; applied when enabled(). */
+    NoiseModel noise;
+
+    int shots = 1024;
+    uint64_t seed = 12345;
+
+    /**
+     * Threads for the job's own shot loop. The default of 1 keeps the
+     * scheduler's worker pool as the only parallelism; raise it for
+     * huge single jobs on an otherwise idle service.
+     */
+    int num_threads = 1;
+
+    /** Per-job wall-clock budget (PR 2 cooperative cancellation). */
+    double deadline_ms = 0.0;
+
+    /** Higher runs first; FIFO within a priority level. */
+    int priority = 0;
+
+    /** Opt out of the cross-job result cache for this job. */
+    bool use_cache = true;
+
+    /** Caller-chosen label echoed in the result; not part of the key. */
+    std::string tag;
+};
+
+/** Terminal state of a job. */
+enum class JobStatus
+{
+    kOk,       ///< Executed (possibly truncated by its deadline).
+    kFailed,   ///< Execution threw; see error_code/error_message.
+    kCancelled ///< Scheduler stopped before the job ran.
+};
+
+/** Stable wire name of a job status. */
+const char* jobStatusName(JobStatus status);
+
+/** What the service hands back for one job. */
+struct JobResult
+{
+    JobStatus status = JobStatus::kOk;
+
+    /** Raw histogram over every classical bit (accepted shots). */
+    Counts counts;
+
+    /**
+     * Program-output histogram: post-selected on all slots passing and
+     * restricted to the non-assertion classical bits (plain path), or
+     * the policy runner's accepted program counts (program path).
+     * Equals `counts` when the job has no assertion slots.
+     */
+    Counts program_counts;
+
+    /** Fraction of completed shots flagging each slot. */
+    std::vector<double> slot_error_rate;
+
+    /** Fraction of completed shots with no flagged slot. */
+    double pass_rate = 1.0;
+
+    /** True when the per-job deadline truncated the run. */
+    bool truncated = false;
+
+    /** True when the result came from the cross-job cache. */
+    bool cache_hit = false;
+
+    /** Failure classification when status == kFailed/kCancelled. */
+    ErrorCode error_code = ErrorCode::kGeneric;
+    std::string error_message;
+
+    /** Milliseconds spent queued before a worker picked the job up. */
+    double queue_ms = 0.0;
+
+    /** Milliseconds spent executing (0 on a cache hit). */
+    double exec_ms = 0.0;
+
+    /** Echo of JobSpec::tag. */
+    std::string tag;
+};
+
+/**
+ * Canonical cache key: covers everything the result depends on (circuit
+ * or program structure, slots, policy, noise fingerprint, shots, seed)
+ * and nothing it doesn't (num_threads — results are bit-identical for
+ * any thread count — deadline, priority, tag). Cross-thread-count and
+ * cross-deadline submissions therefore share cache entries safely.
+ */
+Hash128 jobKey(const JobSpec& spec);
+
+/**
+ * Execute one job synchronously on the calling thread (the scheduler
+ * workers' dispatch target, also usable directly as the uncached
+ * reference). Throws UserError on invalid specs (bad noise model,
+ * unsupported policy/slot combination, non-positive shots).
+ */
+JobResult executeJob(const JobSpec& spec);
+
+} // namespace serve
+} // namespace qa
+
+#endif // QA_SERVE_JOB_HPP

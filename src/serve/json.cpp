@@ -1,0 +1,459 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+} // namespace
+
+/** Single-pass recursive-descent parser over the document string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue(0);
+        skipSpace();
+        require(pos_ == text_.size(), "trailing characters after value");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& msg) const
+    {
+        QA_FAIL_CODE(ErrorCode::kBadRequest,
+                     "JSON: " + msg + " at offset " +
+                         std::to_string(pos_));
+    }
+
+    void
+    require(bool cond, const std::string& msg) const
+    {
+        if (!cond) fail(msg);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        require(pos_ < text_.size(), "unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        require(pos_ < text_.size() && text_[pos_] == c,
+                std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char* literal)
+    {
+        size_t n = 0;
+        while (literal[n] != '\0') ++n;
+        if (text_.compare(pos_, n, literal) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        require(depth < kMaxDepth, "nesting too deep");
+        skipSpace();
+        const char c = peek();
+        if (c == '{') return parseObject(depth);
+        if (c == '[') return parseArray(depth);
+        if (c == '"') {
+            JsonValue v;
+            v.kind_ = JsonValue::Kind::kString;
+            v.string_ = parseString();
+            return v;
+        }
+        if (consumeLiteral("true")) {
+            JsonValue v;
+            v.kind_ = JsonValue::Kind::kBool;
+            v.bool_ = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            JsonValue v;
+            v.kind_ = JsonValue::Kind::kBool;
+            v.bool_ = false;
+            return v;
+        }
+        if (consumeLiteral("null")) return JsonValue();
+        if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kObject;
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipSpace();
+            require(peek() == '"', "object key must be a string");
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            // Duplicate keys are ambiguous (last-wins vs first-wins
+            // differs between readers); a strict wire protocol rejects
+            // them instead of guessing the sender's intent.
+            require(v.object_.count(key) == 0,
+                    "duplicate object key '" + key + "'");
+            v.object_[std::move(key)] = parseValue(depth + 1);
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kArray;
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array_.push_back(parseValue(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        // Walk the JSON number grammar by hand first: strtod alone
+        // accepts forms JSON forbids (leading zeros, "1.", ".5", hex,
+        // inf/nan) and a strict wire protocol must reject them.
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        require(pos_ < text_.size() && isDigit(text_[pos_]),
+                "malformed number");
+        if (text_[pos_] == '0') {
+            ++pos_;
+            require(pos_ >= text_.size() || !isDigit(text_[pos_]),
+                    "leading zeros are not allowed");
+        } else {
+            while (pos_ < text_.size() && isDigit(text_[pos_])) ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            require(pos_ < text_.size() && isDigit(text_[pos_]),
+                    "digit required after decimal point");
+            while (pos_ < text_.size() && isDigit(text_[pos_])) ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            require(pos_ < text_.size() && isDigit(text_[pos_]),
+                    "digit required in exponent");
+            while (pos_ < text_.size() && isDigit(text_[pos_])) ++pos_;
+        }
+
+        const char* begin = text_.c_str() + start;
+        char* end = nullptr;
+        const double value = std::strtod(begin, &end);
+        require(end == text_.c_str() + pos_, "malformed number");
+        require(std::isfinite(value), "number out of range");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kNumber;
+        v.number_ = value;
+        return v;
+    }
+
+    static bool
+    isDigit(char c)
+    {
+        return c >= '0' && c <= '9';
+    }
+
+    /** Append a code point as UTF-8. */
+    void
+    appendUtf8(std::string& out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(char(cp));
+        } else if (cp < 0x800) {
+            out.push_back(char(0xC0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(char(0xE0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    uint32_t
+    parseHex4()
+    {
+        require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9') value |= uint32_t(c - '0');
+            else if (c >= 'a' && c <= 'f') value |= uint32_t(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') value |= uint32_t(c - 'A' + 10);
+            else fail("invalid \\u escape digit");
+        }
+        return value;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            require(pos_ < text_.size(), "unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (uint8_t(c) < 0x20) fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            require(pos_ < text_.size(), "truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                const uint32_t cp = parseHex4();
+                require(cp < 0xD800 || cp > 0xDFFF,
+                        "surrogate pairs are not supported");
+                appendUtf8(out, cp);
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string& text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+namespace
+{
+
+[[noreturn]] void
+wrongKind(const char* wanted)
+{
+    QA_FAIL_CODE(ErrorCode::kBadRequest,
+                 std::string("JSON: expected ") + wanted);
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool()) wrongKind("a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber()) wrongKind("a number");
+    return number_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    const double v = asNumber();
+    const double rounded = std::nearbyint(v);
+    QA_REQUIRE_CODE(rounded == v && std::abs(v) <= 9.007199254740992e15,
+                    ErrorCode::kBadRequest,
+                    "JSON: expected an integer");
+    return int64_t(rounded);
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (!isString()) wrongKind("a string");
+    return string_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::asArray() const
+{
+    if (!isArray()) wrongKind("an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue>&
+JsonValue::asObject() const
+{
+    if (!isObject()) wrongKind("an object");
+    return object_;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (!isObject()) return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string& key, double fallback) const
+{
+    const JsonValue* v = find(key);
+    return v == nullptr || v->isNull() ? fallback : v->asNumber();
+}
+
+int64_t
+JsonValue::intOr(const std::string& key, int64_t fallback) const
+{
+    const JsonValue* v = find(key);
+    return v == nullptr || v->isNull() ? fallback : v->asInt();
+}
+
+bool
+JsonValue::boolOr(const std::string& key, bool fallback) const
+{
+    const JsonValue* v = find(key);
+    return v == nullptr || v->isNull() ? fallback : v->asBool();
+}
+
+std::string
+JsonValue::stringOr(const std::string& key,
+                    const std::string& fallback) const
+{
+    const JsonValue* v = find(key);
+    return v == nullptr || v->isNull() ? fallback : v->asString();
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double value)
+{
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = value;
+    return v;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (v == std::nearbyint(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace serve
+} // namespace qa

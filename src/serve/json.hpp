@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser for the
+ * qassertd wire protocol (newline-delimited JSON). Implemented from
+ * scratch like the rest of the stack — the parser covers the full JSON
+ * grammar (objects, arrays, strings with escapes incl. \uXXXX basic
+ * plane, numbers, booleans, null) with a nesting-depth bound, and every
+ * syntax error throws UserError(ErrorCode::kBadRequest) with an offset.
+ *
+ * Not a streaming parser, not zero-copy, no comments/trailing commas:
+ * requests are single lines of a few kilobytes and simplicity wins.
+ */
+#ifndef QA_SERVE_JSON_HPP
+#define QA_SERVE_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qa
+{
+namespace serve
+{
+
+/** One parsed JSON value (a tagged union over the standard kinds). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+
+    /** Parse a complete document; trailing garbage is an error. */
+    static JsonValue parse(const std::string& text);
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    /** Checked accessors; wrong-kind access throws kBadRequest. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber, additionally requiring an exact integer value. */
+    int64_t asInt() const;
+    const std::string& asString() const;
+    const std::vector<JsonValue>& asArray() const;
+    const std::map<std::string, JsonValue>& asObject() const;
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** @name Defaulted object-member readers for optional fields. */
+    ///@{
+    double numberOr(const std::string& key, double fallback) const;
+    int64_t intOr(const std::string& key, int64_t fallback) const;
+    bool boolOr(const std::string& key, bool fallback) const;
+    std::string stringOr(const std::string& key,
+                         const std::string& fallback) const;
+    ///@}
+
+    /** @name Construction helpers (used by tests). */
+    ///@{
+    static JsonValue makeString(std::string s);
+    static JsonValue makeNumber(double v);
+    ///@}
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+
+    friend class JsonParser;
+};
+
+/** Escape a string for embedding in a JSON document (no quotes added). */
+std::string jsonEscape(const std::string& s);
+
+/**
+ * Render a double the way the wire wants it: integers without a
+ * fraction, everything else with enough digits to round-trip.
+ */
+std::string jsonNumber(double v);
+
+} // namespace serve
+} // namespace qa
+
+#endif // QA_SERVE_JSON_HPP

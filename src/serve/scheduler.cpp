@@ -1,0 +1,247 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "sim/engine.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+namespace
+{
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      paused_(options.start_paused)
+{
+    QA_REQUIRE(options_.queue_capacity > 0,
+               "scheduler needs a positive queue capacity");
+    int workers = options_.workers;
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw == 0 ? 1 : int(hw);
+    }
+    pool_.reserve(size_t(workers));
+    for (int w = 0; w < workers; ++w) {
+        pool_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void
+Scheduler::submit(JobSpec spec, JobCallback done)
+{
+    QA_REQUIRE(done != nullptr, "submit needs a completion callback");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) {
+            metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+            QA_FAIL_CODE(ErrorCode::kServiceStopped,
+                         "scheduler is stopped; job rejected");
+        }
+        if (queue_.size() >= options_.queue_capacity) {
+            metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+            QA_FAIL_CODE(ErrorCode::kQueueFull,
+                         "admission queue full (capacity " +
+                             std::to_string(options_.queue_capacity) +
+                             "); retry later or raise queue_capacity");
+        }
+        Job job;
+        job.priority = spec.priority;
+        job.spec = std::move(spec);
+        job.seq = next_seq_++;
+        job.enqueued = std::chrono::steady_clock::now();
+        job.done = std::move(done);
+        queue_.push_back(std::move(job));
+        std::push_heap(queue_.begin(), queue_.end(), JobOrder{});
+        metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+    work_cv_.notify_one();
+}
+
+std::future<JobResult>
+Scheduler::submit(JobSpec spec)
+{
+    auto promise = std::make_shared<std::promise<JobResult>>();
+    std::future<JobResult> future = promise->get_future();
+    submit(std::move(spec), [promise](JobResult result) {
+        promise->set_value(std::move(result));
+    });
+    return future;
+}
+
+void
+Scheduler::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    work_cv_.notify_all();
+}
+
+void
+Scheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    QA_REQUIRE(!paused_, "drain on a paused scheduler would never finish");
+    idle_cv_.wait(lock, [this] {
+        return (queue_.empty() && in_flight_ == 0) || stopped_;
+    });
+}
+
+void
+Scheduler::stop()
+{
+    std::vector<Job> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) return;
+        stopped_ = true;
+        orphans.swap(queue_);
+    }
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+    for (std::thread& worker : pool_) worker.join();
+    pool_.clear();
+
+    for (Job& job : orphans) {
+        JobResult result;
+        result.status = JobStatus::kCancelled;
+        result.error_code = ErrorCode::kServiceStopped;
+        result.error_message = "scheduler stopped before the job ran";
+        result.tag = job.spec.tag;
+        result.queue_ms = elapsedMs(job.enqueued);
+        metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        try {
+            job.done(std::move(result));
+        } catch (...) {
+            // A cancellation callback that throws has nowhere to report;
+            // never let it tear down stop().
+        }
+    }
+}
+
+MetricsSnapshot
+Scheduler::metrics() const
+{
+    MetricsSnapshot snap = metrics_.snapshot();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snap.queue_depth = queue_.size();
+        snap.in_flight = in_flight_;
+    }
+    const CacheStats cache = cache_.stats();
+    snap.cache_hits = cache.hits;
+    snap.cache_misses = cache.misses;
+    snap.cache_entries = cache.entries;
+    return snap;
+}
+
+void
+Scheduler::workerLoop()
+{
+    // The job pool is the outer parallelism: gate kernels invoked by a
+    // job running with num_threads == 1 must stay serial on this thread
+    // (jobs that opt into their own shot pool spawn fresh threads, which
+    // do not inherit the scope).
+    SerialKernelScope serial;
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return stopped_ || (!paused_ && !queue_.empty());
+            });
+            if (stopped_) return;
+            std::pop_heap(queue_.begin(), queue_.end(), JobOrder{});
+            job = std::move(queue_.back());
+            queue_.pop_back();
+            ++in_flight_;
+        }
+        runJob(std::move(job));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void
+Scheduler::runJob(Job job)
+{
+    const double queue_ms = elapsedMs(job.enqueued);
+    metrics_.queue_wait.record(queue_ms);
+
+    const bool cacheable =
+        job.spec.use_cache && options_.cache_capacity > 0;
+    const Hash128 key = cacheable ? jobKey(job.spec) : Hash128{};
+
+    JobResult result;
+    bool from_cache = false;
+    if (cacheable) {
+        if (std::optional<JobResult> hit = cache_.get(key)) {
+            result = std::move(*hit);
+            from_cache = true;
+        }
+    }
+
+    if (!from_cache) {
+        const auto exec_start = std::chrono::steady_clock::now();
+        try {
+            result = executeJob(job.spec);
+        } catch (const UserError& err) {
+            result = JobResult{};
+            result.status = JobStatus::kFailed;
+            result.error_code = err.code();
+            result.error_message = err.what();
+        } catch (const std::exception& err) {
+            result = JobResult{};
+            result.status = JobStatus::kFailed;
+            result.error_code = ErrorCode::kGeneric;
+            result.error_message = err.what();
+        }
+        result.exec_ms = elapsedMs(exec_start);
+        metrics_.execute.record(result.exec_ms);
+        if (cacheable) cache_.put(key, result);
+    } else {
+        result.exec_ms = 0.0;
+    }
+
+    result.cache_hit = from_cache;
+    result.queue_ms = queue_ms;
+    result.tag = job.spec.tag;
+    if (result.status == JobStatus::kOk) {
+        metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    try {
+        job.done(std::move(result));
+    } catch (...) {
+        // The job itself completed; a throwing callback must not kill
+        // the worker (std::thread would terminate the process).
+    }
+}
+
+} // namespace serve
+} // namespace qa

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Multi-tenant assertion-job scheduler: the in-process service front
+ * door (qassertd is a thin NDJSON loop over it).
+ *
+ * Shape: submit() performs admission control on a bounded priority
+ * queue — a full queue rejects with a typed UserError
+ * (ErrorCode::kQueueFull) instead of blocking the caller — and a fixed
+ * worker pool drains the queue, consulting the cross-job ResultCache
+ * before dispatching cache misses onto the shot-execution engine
+ * (executeJob -> runShots / runAssertedPolicy -> ShotExecutor +
+ * runShotPool).
+ *
+ * Determinism: a job's result is a pure function of its JobSpec (see
+ * serve/job.hpp), so per-job results are bit-identical for any worker
+ * count, arrival order, or cache state. Scheduling only affects
+ * latency, never payloads.
+ *
+ * Lifecycle: workers start immediately (or parked when
+ * SchedulerOptions::start_paused, until resume()). stop() — also run by
+ * the destructor — rejects new work, fulfills still-queued jobs with
+ * JobStatus::kCancelled, finishes in-flight jobs, and joins every
+ * worker; no detached threads, ever.
+ */
+#ifndef QA_SERVE_SCHEDULER_HPP
+#define QA_SERVE_SCHEDULER_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+/** Scheduler sizing and behaviour knobs. */
+struct SchedulerOptions
+{
+    /** Worker threads; <= 0 picks hardware concurrency. */
+    int workers = 0;
+
+    /** Max jobs waiting in the queue before admission rejects. */
+    size_t queue_capacity = 1024;
+
+    /** ResultCache entries; 0 disables cross-job caching. */
+    size_t cache_capacity = 512;
+
+    /**
+     * Park the workers until resume(): admission runs but nothing
+     * dispatches. Lets tests and batch loaders stage a queue
+     * deterministically before execution starts.
+     */
+    bool start_paused = false;
+};
+
+/** Completion callback; invoked exactly once per admitted job. */
+using JobCallback = std::function<void(JobResult)>;
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions options = {});
+
+    /** stop()s and joins the pool. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /**
+     * Admit a job and resolve the returned future when it completes
+     * (any JobStatus). Throws UserError immediately on backpressure
+     * (ErrorCode::kQueueFull) or after stop()
+     * (ErrorCode::kServiceStopped); rejected jobs consume no queue slot.
+     */
+    std::future<JobResult> submit(JobSpec spec);
+
+    /**
+     * Callback flavour (qassertd's path): `done` runs on the worker
+     * that finished the job — keep it short and never submit from it.
+     */
+    void submit(JobSpec spec, JobCallback done);
+
+    /** Unpark the workers of a start_paused scheduler. Idempotent. */
+    void resume();
+
+    /**
+     * Block until every admitted job has completed. The scheduler must
+     * not be paused (a parked pool would never drain).
+     */
+    void drain();
+
+    /**
+     * Reject new submissions, cancel still-queued jobs
+     * (JobStatus::kCancelled, ErrorCode::kServiceStopped), finish
+     * in-flight ones, and join all workers. Idempotent.
+     */
+    void stop();
+
+    /** Resolved worker-pool size. */
+    int workers() const { return int(pool_.size()); }
+
+    /** Counters + queue depth + cache stats, one consistent snapshot. */
+    MetricsSnapshot metrics() const;
+
+    /** Cache counters alone (benches assert on hit rates). */
+    CacheStats cacheStats() const { return cache_.stats(); }
+
+  private:
+    struct Job
+    {
+        JobSpec spec;
+        uint64_t seq = 0;
+        int priority = 0;
+        std::chrono::steady_clock::time_point enqueued;
+        JobCallback done;
+    };
+
+    /** Max-heap order: highest priority first, FIFO within a level. */
+    struct JobOrder
+    {
+        bool
+        operator()(const Job& a, const Job& b) const
+        {
+            if (a.priority != b.priority) return a.priority < b.priority;
+            return a.seq > b.seq; // lower seq = older = higher priority
+        }
+    };
+
+    void workerLoop();
+    void runJob(Job job);
+
+    SchedulerOptions options_;
+    ResultCache cache_;
+    ServiceMetrics metrics_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_; // queue/pause/stop changes
+    std::condition_variable idle_cv_; // completion changes
+    std::vector<Job> queue_;          // heap ordered by JobOrder
+    uint64_t next_seq_ = 0;
+    size_t in_flight_ = 0;
+    bool paused_ = false;
+    bool stopped_ = false;
+
+    std::vector<std::thread> pool_;
+};
+
+} // namespace serve
+} // namespace qa
+
+#endif // QA_SERVE_SCHEDULER_HPP

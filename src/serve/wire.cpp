@@ -1,0 +1,215 @@
+#include "serve/wire.hpp"
+
+#include <sstream>
+
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+namespace
+{
+
+NoiseModel
+decodeNoise(const JsonValue& noise)
+{
+    if (noise.isNull()) return NoiseModel{};
+    std::string kind;
+    if (noise.isString()) {
+        kind = noise.asString();
+    } else if (noise.isObject()) {
+        kind = noise.stringOr("kind", "");
+    } else {
+        QA_FAIL_CODE(ErrorCode::kBadRequest,
+                     "noise must be a string or an object");
+    }
+    if (kind.empty() || kind == "none") return NoiseModel{};
+    if (kind == "melbourne" || kind == "ibmq_melbourne") {
+        return NoiseModel::ibmqMelbourneLike();
+    }
+    if (kind == "depolarizing") {
+        QA_REQUIRE_CODE(noise.isObject(), ErrorCode::kBadRequest,
+                        "depolarizing noise needs p1/p2 fields");
+        const double p1 = noise.numberOr("p1", 0.0);
+        const double p2 = noise.numberOr("p2", 0.0);
+        return NoiseModel::depolarizing(p1, p2);
+    }
+    QA_FAIL_CODE(ErrorCode::kBadRequest,
+                 "unknown noise kind '" + kind +
+                     "' (expected none|melbourne|depolarizing)");
+}
+
+std::vector<std::vector<int>>
+decodeSlots(const JsonValue& slots)
+{
+    std::vector<std::vector<int>> out;
+    for (const JsonValue& slot : slots.asArray()) {
+        std::vector<int> clbits;
+        for (const JsonValue& bit : slot.asArray()) {
+            clbits.push_back(int(bit.asInt()));
+        }
+        out.push_back(std::move(clbits));
+    }
+    return out;
+}
+
+void
+encodeCounts(std::ostringstream& oss, const Counts& counts)
+{
+    oss << "{";
+    bool first = true;
+    for (const auto& [bits, n] : counts.map) {
+        if (!first) oss << ",";
+        first = false;
+        oss << "\"" << jsonEscape(bits) << "\":" << n;
+    }
+    oss << "}";
+}
+
+void
+encodeHistogram(std::ostringstream& oss, const char* name,
+                const LatencyHistogramSnapshot& hist)
+{
+    oss << "\"" << name << "\":{\"total\":" << hist.total
+        << ",\"mean_ms\":" << jsonNumber(hist.meanMs())
+        << ",\"max_ms\":" << jsonNumber(hist.max_ms) << ",\"buckets\":[";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+        if (i) oss << ",";
+        oss << hist.counts[i];
+    }
+    oss << "]}";
+}
+
+} // namespace
+
+std::string
+requestId(const JsonValue& request)
+{
+    const JsonValue* id = request.find("id");
+    if (id == nullptr) return "";
+    if (id->isString()) return id->asString();
+    if (id->isNumber()) return jsonNumber(id->asNumber());
+    return "";
+}
+
+WireRequest
+buildRequest(const JsonValue& request)
+{
+    QA_REQUIRE_CODE(request.isObject(), ErrorCode::kBadRequest,
+                    "request must be a JSON object");
+    WireRequest out;
+    out.id = requestId(request);
+
+    const std::string op = request.stringOr("op", "run");
+    if (op == "metrics") {
+        out.op = RequestOp::kMetrics;
+        return out;
+    }
+    if (op == "shutdown") {
+        out.op = RequestOp::kShutdown;
+        return out;
+    }
+    QA_REQUIRE_CODE(op == "run", ErrorCode::kBadRequest,
+                    "unknown op '" + op +
+                        "' (expected run|metrics|shutdown)");
+
+    const JsonValue* qasm = request.find("qasm");
+    QA_REQUIRE_CODE(qasm != nullptr && qasm->isString(),
+                    ErrorCode::kBadRequest,
+                    "run request needs a string 'qasm' field");
+    out.spec.circuit = parseQasm(qasm->asString());
+    out.spec.shots = int(request.intOr("shots", out.spec.shots));
+    QA_REQUIRE_CODE(out.spec.shots > 0, ErrorCode::kBadRequest,
+                    "shots must be positive");
+    out.spec.seed = uint64_t(request.intOr("seed", int64_t(out.spec.seed)));
+    out.spec.deadline_ms = request.numberOr("deadline_ms", 0.0);
+    out.spec.priority = int(request.intOr("priority", 0));
+    out.spec.num_threads = int(request.intOr("threads", 1));
+    out.spec.use_cache = request.boolOr("cache", true);
+    out.spec.tag = out.id;
+    if (const JsonValue* slots = request.find("assert_clbits")) {
+        out.spec.assert_clbits = decodeSlots(*slots);
+    }
+    if (const JsonValue* noise = request.find("noise")) {
+        out.spec.noise = decodeNoise(*noise);
+    }
+    return out;
+}
+
+WireRequest
+parseRequest(const std::string& line)
+{
+    return buildRequest(JsonValue::parse(line));
+}
+
+std::string
+encodeResult(const std::string& id, const JobResult& result)
+{
+    if (result.status != JobStatus::kOk) {
+        return encodeError(id.empty() ? result.tag : id, result.error_code,
+                           result.error_message);
+    }
+    std::ostringstream oss;
+    oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
+        << ",\"cache_hit\":" << (result.cache_hit ? "true" : "false")
+        << ",\"shots\":" << result.counts.shots
+        << ",\"truncated\":" << (result.truncated ? "true" : "false")
+        << ",\"pass_rate\":" << jsonNumber(result.pass_rate);
+    oss << ",\"slot_error_rate\":[";
+    for (size_t i = 0; i < result.slot_error_rate.size(); ++i) {
+        if (i) oss << ",";
+        oss << jsonNumber(result.slot_error_rate[i]);
+    }
+    oss << "]";
+    oss << ",\"counts\":";
+    encodeCounts(oss, result.counts);
+    if (!result.slot_error_rate.empty()) {
+        oss << ",\"program_counts\":";
+        encodeCounts(oss, result.program_counts);
+        oss << ",\"accepted_shots\":" << result.program_counts.shots;
+    }
+    oss << ",\"queue_ms\":" << jsonNumber(result.queue_ms)
+        << ",\"exec_ms\":" << jsonNumber(result.exec_ms) << "}";
+    return oss.str();
+}
+
+std::string
+encodeError(const std::string& id, ErrorCode code,
+            const std::string& message)
+{
+    std::ostringstream oss;
+    oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"error\""
+        << ",\"code\":\"" << errorCodeName(code) << "\""
+        << ",\"message\":\"" << jsonEscape(message) << "\"}";
+    return oss.str();
+}
+
+std::string
+encodeMetrics(const MetricsSnapshot& snapshot)
+{
+    std::ostringstream oss;
+    oss << "{\"status\":\"ok\",\"metrics\":{"
+        << "\"accepted\":" << snapshot.accepted
+        << ",\"rejected\":" << snapshot.rejected
+        << ",\"completed\":" << snapshot.completed
+        << ",\"failed\":" << snapshot.failed
+        << ",\"cancelled\":" << snapshot.cancelled
+        << ",\"queue_depth\":" << snapshot.queue_depth
+        << ",\"in_flight\":" << snapshot.in_flight
+        << ",\"cache_hits\":" << snapshot.cache_hits
+        << ",\"cache_misses\":" << snapshot.cache_misses
+        << ",\"cache_entries\":" << snapshot.cache_entries
+        << ",\"cache_hit_rate\":" << jsonNumber(snapshot.cacheHitRate())
+        << ",";
+    encodeHistogram(oss, "queue_wait_ms", snapshot.queue_wait);
+    oss << ",";
+    encodeHistogram(oss, "execute_ms", snapshot.execute);
+    oss << "}}";
+    return oss.str();
+}
+
+} // namespace serve
+} // namespace qa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * qassertd wire protocol: newline-delimited JSON requests/responses.
+ *
+ * Request (one JSON object per line):
+ *   {"op": "run",                     // default; also "metrics","shutdown"
+ *    "id": "job-1",                   // echoed back; optional
+ *    "qasm": "OPENQASM 2.0; ...",     // circuit, toQasm-compatible subset
+ *    "shots": 1024, "seed": 7,        // optional, defaults as JobSpec
+ *    "deadline_ms": 0, "priority": 0,
+ *    "threads": 1, "cache": true,
+ *    "assert_clbits": [[0],[1,2]],    // assertion slots (|0..0> = pass)
+ *    "noise": {"kind": "melbourne"}}  // or "none" (default) or
+ *                                     // {"kind":"depolarizing",
+ *                                     //  "p1":1e-3,"p2":1e-2}
+ *
+ * Response (one line per request, tagged with the request id):
+ *   {"id":"job-1","status":"ok","cache_hit":false,"shots":1024,
+ *    "truncated":false,"pass_rate":0.98,"slot_error_rate":[0.02],
+ *    "counts":{"00":519,...},"program_counts":{"0":519,...},
+ *    "queue_ms":0.1,"exec_ms":3.2}
+ *   {"id":"job-2","status":"error","code":"queue_full","message":"..."}
+ *
+ * Responses are emitted in completion order (the id is the correlation
+ * key), which is what lets a single connection keep the whole worker
+ * pool busy.
+ */
+#ifndef QA_SERVE_WIRE_HPP
+#define QA_SERVE_WIRE_HPP
+
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+#include "serve/metrics.hpp"
+
+namespace qa
+{
+namespace serve
+{
+
+/** Request kinds qassertd understands. */
+enum class RequestOp
+{
+    kRun,     ///< Submit a job.
+    kMetrics, ///< Return a ServiceMetrics snapshot.
+    kShutdown ///< Drain and exit.
+};
+
+/** One decoded request line. */
+struct WireRequest
+{
+    RequestOp op = RequestOp::kRun;
+    std::string id;
+    JobSpec spec; // populated for kRun
+};
+
+/**
+ * Best-effort id extraction from an already-parsed request object, so
+ * error responses stay correlated even when the rest of the request is
+ * malformed. Returns "" when absent.
+ */
+std::string requestId(const JsonValue& request);
+
+/**
+ * Decode a parsed request object. Throws UserError with
+ * ErrorCode::kBadRequest (protocol errors) or kQasmSyntax (bad circuit
+ * text) — the caller turns those into error responses.
+ */
+WireRequest buildRequest(const JsonValue& request);
+
+/** Parse + decode one NDJSON line (convenience used by tests). */
+WireRequest parseRequest(const std::string& line);
+
+/** Encode a completed job as one response line (no trailing newline). */
+std::string encodeResult(const std::string& id, const JobResult& result);
+
+/** Encode a failure as one response line (no trailing newline). */
+std::string encodeError(const std::string& id, ErrorCode code,
+                        const std::string& message);
+
+/** Encode a metrics snapshot as one response line. */
+std::string encodeMetrics(const MetricsSnapshot& snapshot);
+
+} // namespace serve
+} // namespace qa
+
+#endif // QA_SERVE_WIRE_HPP

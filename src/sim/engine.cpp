@@ -212,15 +212,15 @@ runShots(const QuantumCircuit& circuit, const SimOptions& options)
                        int shot, Counts& local) mutable {
                 Rng rng = Rng::forStream(options.seed, uint64_t(shot));
                 ++local.map[executor.runOne(rng, scratch)];
+                ++local.shots;
             };
         });
 
     Counts counts;
-    counts.shots = status.completed;
     counts.truncated = status.truncated;
-    for (const Counts& local : locals) {
-        for (const auto& [bits, n] : local.map) counts.map[bits] += n;
-    }
+    for (const Counts& local : locals) mergeCounts(counts, local);
+    QA_REQUIRE(counts.shots == status.completed,
+               "shot pool lost track of completed shots");
     return counts;
 }
 

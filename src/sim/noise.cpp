@@ -28,6 +28,33 @@ NoiseModel::validate() const
     }
 }
 
+Hash128
+NoiseModel::fingerprint() const
+{
+    HashStream stream(0x6e6f697365ULL); // domain tag: "noise"
+    const auto absorbChannels =
+        [&stream](const std::vector<KrausChannel>& channels) {
+            stream.u64(channels.size());
+            for (const KrausChannel& channel : channels) {
+                const auto& ops = channel.ops();
+                stream.u64(ops.size());
+                for (const CMatrix& op : ops) {
+                    for (size_t r = 0; r < op.rows(); ++r) {
+                        for (size_t c = 0; c < op.cols(); ++c) {
+                            stream.f64(op(r, c).real());
+                            stream.f64(op(r, c).imag());
+                        }
+                    }
+                }
+            }
+        };
+    absorbChannels(noise_1q);
+    absorbChannels(noise_2q);
+    stream.f64(readout_p01);
+    stream.f64(readout_p10);
+    return stream.digest();
+}
+
 NoiseModel
 NoiseModel::ibmqMelbourneLike()
 {

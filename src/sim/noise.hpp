@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/hash.hpp"
 #include "sim/kraus.hpp"
 
 namespace qa
@@ -52,6 +53,14 @@ struct NoiseModel
      * (KrausChannel::raw) or mutated after construction.
      */
     void validate() const;
+
+    /**
+     * Structural fingerprint over every Kraus operator and the readout
+     * probabilities: models hash equal exactly when they apply the same
+     * channels. Keys the serve layer's cross-job result cache alongside
+     * the circuit hash (circuit/hash.hpp).
+     */
+    Hash128 fingerprint() const;
 
     /**
      * Calibration-style model with magnitudes typical of the 15-qubit

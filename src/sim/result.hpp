@@ -103,12 +103,28 @@ struct Counts
     }
 };
 
+/**
+ * Merge `src` into `dst`: entry counts and shot totals add, and the
+ * `truncated` flag ORs — a merge of histograms where any contributor
+ * was cut short is itself a cut-short sample. This is the one merge
+ * used by every shot pool; keeping it here stops per-call-site merge
+ * loops from silently dropping the flag or the shot total.
+ */
+inline void
+mergeCounts(Counts& dst, const Counts& src)
+{
+    for (const auto& [bits, n] : src.map) dst.map[bits] += n;
+    dst.shots += src.shots;
+    dst.truncated = dst.truncated || src.truncated;
+}
+
 /** Restrict a counts histogram to the listed classical bits (in order). */
 inline Counts
 marginalCounts(const Counts& counts, const std::vector<int>& clbits)
 {
     Counts out;
     out.shots = counts.shots;
+    out.truncated = counts.truncated;
     for (const auto& [bits, n] : counts.map) {
         std::string reduced;
         reduced.reserve(clbits.size());

@@ -7,6 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include "algos/adder.hpp"
+#include "algos/deutsch_jozsa.hpp"
+#include "algos/grover.hpp"
+#include "algos/oracles.hpp"
+#include "algos/qft.hpp"
+#include "algos/qpe.hpp"
+#include "algos/states.hpp"
+#include "algos/teleport.hpp"
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
 #include "linalg/states.hpp"
@@ -220,6 +228,92 @@ TEST(QasmTest, ColumnPointsAtStatementStart)
         parseDiagnostic("qreg q[2]; h q[0]; h q[7];\n");
     ASSERT_FALSE(msg.empty());
     EXPECT_NE(msg.find("line 1, col 20"), std::string::npos) << msg;
+}
+
+/**
+ * Require parseQasm(c.toQasm()) to reproduce `c` structurally:
+ * same registers, same instruction sequence, bit-exact parameters
+ * (the exporter prints 17 significant digits precisely so doubles
+ * survive the text round trip).
+ */
+void
+expectQasmRoundTrip(const QuantumCircuit& c, const std::string& label)
+{
+    SCOPED_TRACE(label);
+    const QuantumCircuit parsed = parseQasm(c.toQasm());
+    ASSERT_EQ(parsed.numQubits(), c.numQubits());
+    ASSERT_EQ(parsed.numClbits(), c.numClbits());
+    ASSERT_EQ(parsed.size(), c.size());
+    for (size_t i = 0; i < c.size(); ++i) {
+        const Instruction& want = c.instructions()[i];
+        const Instruction& got = parsed.instructions()[i];
+        SCOPED_TRACE("instruction " + std::to_string(i) + ": " +
+                     want.name);
+        ASSERT_EQ(int(got.type), int(want.type));
+        EXPECT_EQ(got.name, want.name);
+        EXPECT_EQ(got.qubits, want.qubits);
+        EXPECT_EQ(got.cbit, want.cbit);
+        ASSERT_EQ(got.params.size(), want.params.size());
+        for (size_t p = 0; p < want.params.size(); ++p) {
+            EXPECT_DOUBLE_EQ(got.params[p], want.params[p]);
+        }
+    }
+}
+
+TEST(QasmTest, EveryAlgoCircuitRoundTrips)
+{
+    // Property: the exporter/importer pair is lossless for every
+    // program the algos library can emit — including the ccrz the
+    // controlled adders use, which a prior exporter whitelist missed.
+    using namespace algos;
+    expectQasmRoundTrip(bellPrep(BellKind::kPhiPlus), "bell phi+");
+    expectQasmRoundTrip(bellPrep(BellKind::kPhiMinus), "bell phi-");
+    expectQasmRoundTrip(bellPrep(BellKind::kPsiPlus), "bell psi+");
+    expectQasmRoundTrip(bellPrep(BellKind::kPsiMinus), "bell psi-");
+    expectQasmRoundTrip(ghzPrep(4), "ghz 4");
+    expectQasmRoundTrip(ghzPrep(3, 1), "ghz 3 (buggy)");
+    expectQasmRoundTrip(wPrep(4), "w 4");
+    expectQasmRoundTrip(linearClusterPrep(4), "cluster 4");
+    expectQasmRoundTrip(qft(4), "qft 4");
+    expectQasmRoundTrip(qft(3, false), "qft 3, no swaps");
+    expectQasmRoundTrip(iqft(4), "iqft 4");
+    expectQasmRoundTrip(adderProgram(3, 2, 3, 0, false), "adder");
+    expectQasmRoundTrip(adderProgram(3, 2, 3, 1, true), "c-adder");
+    expectQasmRoundTrip(adderProgram(3, 2, 3, 2, true),
+                        "cc-adder (ccrz)");
+    expectQasmRoundTrip(adderProgram(3, 2, 3, 2, true, true),
+                        "cc-adder (buggy)");
+    expectQasmRoundTrip(djFunctionEval(3, DjOracle::kConstantZero),
+                        "dj constant-0");
+    expectQasmRoundTrip(djFunctionEval(3, DjOracle::kConstantOne),
+                        "dj constant-1");
+    expectQasmRoundTrip(djFunctionEval(3, DjOracle::kBalancedMask, 5),
+                        "dj balanced");
+    expectQasmRoundTrip(djFunctionEval(3, DjOracle::kBuggyAnd),
+                        "dj buggy-and");
+    expectQasmRoundTrip(groverProgram(3, 5, groverOptimalIterations(3)),
+                        "grover 3");
+    expectQasmRoundTrip(
+        groverProgram(3, 5, 1, GroverBug::kMissingDiffusionPhase),
+        "grover 3 (buggy)");
+    expectQasmRoundTrip(bernsteinVazirani(4, 0b1011), "bv 4");
+    expectQasmRoundTrip(bernsteinVazirani(4, 0b1011, 1), "bv 4 (buggy)");
+    for (int b1 = 0; b1 < 2; ++b1) {
+        for (int b0 = 0; b0 < 2; ++b0) {
+            expectQasmRoundTrip(superdenseProgram(b1, b0),
+                                "superdense " + std::to_string(b1) +
+                                    std::to_string(b0));
+        }
+    }
+    CVector payload(2);
+    payload[0] = 0.6;
+    payload[1] = Complex(0.0, 0.8);
+    expectQasmRoundTrip(teleportProgram(payload), "teleport");
+    expectQasmRoundTrip(
+        teleportProgram(payload, TeleportBug::kWrongBellPair),
+        "teleport (buggy)");
+    expectQasmRoundTrip(qpeRyProgram(3, 0.7), "qpe-ry 3");
+    expectQasmRoundTrip(qpeRyProgram(3, 0.7, true), "qpe-ry 3 (buggy)");
 }
 
 TEST(QasmTest, ParsedProgramIsAssertable)

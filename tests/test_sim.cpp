@@ -307,6 +307,64 @@ TEST(ResultTest, MarginalAndPredicates)
     EXPECT_NEAR(dmarg.probability("1"), 0.25, 1e-12);
 }
 
+TEST(ResultTest, MergeCountsSumsEntriesAndShots)
+{
+    Counts a;
+    a.shots = 3;
+    a.map["00"] = 2;
+    a.map["01"] = 1;
+    Counts b;
+    b.shots = 4;
+    b.map["01"] = 3;
+    b.map["11"] = 1;
+
+    mergeCounts(a, b);
+    EXPECT_EQ(a.shots, 7);
+    EXPECT_EQ(a.map.at("00"), 2);
+    EXPECT_EQ(a.map.at("01"), 4);
+    EXPECT_EQ(a.map.at("11"), 1);
+    EXPECT_FALSE(a.truncated);
+
+    // Merging an empty source is a no-op.
+    mergeCounts(a, Counts{});
+    EXPECT_EQ(a.shots, 7);
+    EXPECT_EQ(a.map.size(), 3u);
+}
+
+TEST(ResultTest, MergeCountsOrsTruncatedFlag)
+{
+    Counts full;
+    full.shots = 5;
+    full.map["0"] = 5;
+    Counts cut;
+    cut.shots = 2;
+    cut.map["1"] = 2;
+    cut.truncated = true;
+
+    // Either merge order leaves the result marked truncated.
+    Counts lhs = full;
+    mergeCounts(lhs, cut);
+    EXPECT_TRUE(lhs.truncated);
+    EXPECT_EQ(lhs.shots, 7);
+
+    Counts rhs = cut;
+    mergeCounts(rhs, full);
+    EXPECT_TRUE(rhs.truncated);
+    EXPECT_EQ(rhs.shots, 7);
+}
+
+TEST(ResultTest, MarginalCountsPropagatesTruncated)
+{
+    Counts counts;
+    counts.shots = 4;
+    counts.truncated = true;
+    counts.map["01"] = 4;
+    const Counts marg = marginalCounts(counts, {1});
+    EXPECT_TRUE(marg.truncated);
+    EXPECT_EQ(marg.shots, 4);
+    EXPECT_EQ(marg.map.at("1"), 4);
+}
+
 TEST(NoiseTest, PresetsEnabled)
 {
     EXPECT_FALSE(NoiseModel{}.enabled());

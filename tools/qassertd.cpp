@@ -1,0 +1,142 @@
+/**
+ * @file
+ * qassertd: the assertion service front-end. Speaks newline-delimited
+ * JSON over stdin/stdout (protocol: serve/wire.hpp) and drives the
+ * in-process Scheduler — batching, priorities, the cross-job result
+ * cache, and per-job deadlines all come from there.
+ *
+ * Usage:
+ *   qassertd [--workers N] [--queue N] [--cache N]
+ *
+ * Behaviour:
+ *  - every input line is one request; every response is one line
+ *    tagged with the request's id, emitted in completion order;
+ *  - admission rejections ({"code":"queue_full"}) are immediate — the
+ *    reader never blocks on a full queue, callers are expected to
+ *    retry with backoff;
+ *  - EOF or {"op":"shutdown"} drains in-flight work and exits 0.
+ *
+ * Diagnostics (startup banner, shutdown summary) go to stderr so stdout
+ * stays a pure response stream.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/wire.hpp"
+
+namespace
+{
+
+using namespace qa;
+using namespace qa::serve;
+
+/** Serializes response lines from concurrent worker callbacks. */
+class ResponseWriter
+{
+  public:
+    void
+    writeLine(const std::string& line)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::cout << line << "\n";
+        std::cout.flush();
+    }
+
+  private:
+    std::mutex mutex_;
+};
+
+int
+parsePositiveArg(const std::string& flag, const char* value)
+{
+    if (value == nullptr) {
+        std::cerr << "qassertd: " << flag << " needs a value\n";
+        std::exit(2);
+    }
+    const int parsed = std::atoi(value);
+    if (parsed <= 0) {
+        std::cerr << "qassertd: " << flag << " must be positive, got '"
+                  << value << "'\n";
+        std::exit(2);
+    }
+    return parsed;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SchedulerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--workers") {
+            options.workers = parsePositiveArg(arg, value);
+            ++i;
+        } else if (arg == "--queue") {
+            options.queue_capacity =
+                size_t(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--cache") {
+            if (value == nullptr) {
+                std::cerr << "qassertd: --cache needs a value\n";
+                return 2;
+            }
+            options.cache_capacity = size_t(std::atoi(value)); // 0 = off
+            ++i;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cerr << "usage: qassertd [--workers N] [--queue N] "
+                         "[--cache N]\n"
+                         "NDJSON requests on stdin, one response line "
+                         "per request on stdout (see DESIGN.md Sec. 9)\n";
+            return 0;
+        } else {
+            std::cerr << "qassertd: unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    Scheduler scheduler(options);
+    ResponseWriter out;
+    std::cerr << "qassertd: ready (" << scheduler.workers()
+              << " workers)\n";
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+        JsonValue parsed;
+        try {
+            parsed = JsonValue::parse(line);
+        } catch (const UserError& err) {
+            out.writeLine(encodeError("", err.code(), err.what()));
+            continue;
+        }
+        const std::string id = requestId(parsed);
+
+        try {
+            WireRequest request = buildRequest(parsed);
+            if (request.op == RequestOp::kMetrics) {
+                out.writeLine(encodeMetrics(scheduler.metrics()));
+                continue;
+            }
+            if (request.op == RequestOp::kShutdown) break;
+            scheduler.submit(
+                std::move(request.spec), [id, &out](JobResult result) {
+                    out.writeLine(encodeResult(id, result));
+                });
+        } catch (const UserError& err) {
+            out.writeLine(encodeError(id, err.code(), err.what()));
+        }
+    }
+
+    scheduler.drain();
+    const MetricsSnapshot metrics = scheduler.metrics();
+    std::cerr << metrics.str();
+    return 0;
+}
