@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+#
+# Kill-and-replay smoke test for qassertd's crash-safe journal.
+#
+# Two runs of the same three-job workload:
+#   1. a clean journaled run (shutdown request, graceful drain), whose
+#      journal is replayed twice — the two replay outputs must be
+#      byte-identical;
+#   2. a run that is SIGKILLed after the responses appear, whose journal
+#      then gets a deliberately torn final record appended (simulating a
+#      crash mid-append) before replay.
+#
+# The replay of the killed+torn journal must be byte-identical to the
+# replay of the clean journal: same requests, same seqs, same payloads —
+# proof that neither the kill nor the torn tail loses or perturbs any
+# acknowledged job. Replay itself re-verifies every completion record's
+# payload hash and exits non-zero on any mismatch.
+#
+# Usage: scripts/chaos_smoke.sh [path/to/qassertd]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QASSERTD="${1:-build/tools/qassertd}"
+if [[ ! -x "$QASSERTD" ]]; then
+    echo "chaos_smoke: qassertd not found at $QASSERTD" >&2
+    exit 2
+fi
+
+workdir="$(mktemp -d)"
+writer_pid=""
+# The writer may already be gone at exit; never let the cleanup itself
+# fail (set -e applies inside traps too).
+trap 'kill "$writer_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+qasm='OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n'
+requests=(
+  "{\"id\":\"job-a\",\"qasm\":\"$qasm\",\"shots\":256,\"seed\":11,\"assert_clbits\":[[0]]}"
+  "{\"id\":\"job-b\",\"qasm\":\"$qasm\",\"shots\":256,\"seed\":12}"
+  "{\"id\":\"job-c\",\"qasm\":\"$qasm\",\"shots\":512,\"seed\":13,\"assert_clbits\":[[1]]}"
+)
+
+# --- 1. clean journaled run, replayed twice -------------------------
+printf '%s\n' "${requests[@]}" '{"op":"shutdown"}' \
+    | "$QASSERTD" --workers 2 --journal "$workdir/clean.ndjson" \
+    > "$workdir/clean.out" 2> "$workdir/clean.err"
+
+"$QASSERTD" --replay "$workdir/clean.ndjson" \
+    > "$workdir/replay1.out" 2> /dev/null
+"$QASSERTD" --replay "$workdir/clean.ndjson" \
+    > "$workdir/replay2.out" 2> /dev/null
+diff "$workdir/replay1.out" "$workdir/replay2.out" \
+    || { echo "chaos_smoke: replay is not deterministic" >&2; exit 1; }
+
+# --- 2. SIGKILL mid-session, then tear the journal tail -------------
+# The writer subshell keeps stdin open (no EOF) so qassertd is idle but
+# alive when the SIGKILL lands — the un-drained path.
+( printf '%s\n' "${requests[@]}"; sleep 30 ) \
+    | "$QASSERTD" --workers 2 --journal "$workdir/killed.ndjson" \
+    > "$workdir/killed.out" 2> "$workdir/killed.err" &
+daemon_pid=$!
+writer_pid=$(jobs -p | head -n1)
+
+for _ in $(seq 1 100); do
+    [[ $(wc -l < "$workdir/killed.out") -ge ${#requests[@]} ]] && break
+    sleep 0.1
+done
+if [[ $(wc -l < "$workdir/killed.out") -lt ${#requests[@]} ]]; then
+    echo "chaos_smoke: daemon never answered all requests" >&2
+    exit 1
+fi
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
+# Crash mid-append: a torn final record the scanner must drop.
+printf '{"e":"accept","seq":99,"req":{"tr' >> "$workdir/killed.ndjson"
+
+"$QASSERTD" --replay "$workdir/killed.ndjson" \
+    > "$workdir/killed_replay.out" 2> "$workdir/killed_replay.err"
+grep -q "torn final record" "$workdir/killed_replay.err" \
+    || { echo "chaos_smoke: torn tail was not reported" >&2; exit 1; }
+
+# The killed journal replays to the exact bytes of the clean replay.
+diff "$workdir/replay1.out" "$workdir/killed_replay.out" \
+    || { echo "chaos_smoke: killed-run replay diverged" >&2; exit 1; }
+
+echo "chaos_smoke OK: replay bit-identical across clean run, SIGKILL, and torn tail"

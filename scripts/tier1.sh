@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 #
-# Tier-1 verification: the canonical build + full ctest sweep, then a
+# Tier-1 verification: the canonical build + full ctest sweep (plus the
+# qassertd kill-and-replay chaos smoke, scripts/chaos_smoke.sh), then a
 # ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine,
-# policy-runner, and service-scheduler determinism tests — the
-# multi-threaded code paths — under TSAN, and an ASan+UBSan build
-# (QA_ENABLE_ASAN=ON) that runs the fault-injection, recovery-policy,
-# and service tests, whose error paths exercise exception propagation
-# out of worker pools and scheduler callbacks.
+# policy-runner, service-scheduler, and resilience-chaos tests — the
+# multi-threaded code paths, including watchdog reclaim/respawn and
+# zombie joins — under TSAN, and an ASan+UBSan build (QA_ENABLE_ASAN=ON)
+# that runs the fault-injection, recovery-policy, service, and
+# resilience tests, whose error paths exercise exception propagation
+# out of worker pools, scheduler callbacks, and the adversarial wire
+# corpus.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
 #
@@ -32,6 +35,7 @@ if [[ "$skip_release" -ne 1 ]]; then
     cmake -B build -S .
     cmake --build build -j
     (cd build && ctest --output-on-failure -j)
+    scripts/chaos_smoke.sh build/tools/qassertd
 fi
 
 if [[ "$skip_tsan" -ne 1 ]]; then
@@ -40,13 +44,14 @@ if [[ "$skip_tsan" -ne 1 ]]; then
         -DQASSERT_BUILD_BENCHES=OFF \
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target test_engine --target test_policy \
-        --target test_serve
+        --target test_serve --target test_resilience
     ./build-tsan/tests/test_engine \
         --gtest_filter='EngineTest.*:ShotPlanTest.*:ShotPoolTest.*'
     ./build-tsan/tests/test_policy \
         --gtest_filter='PolicyTest.*'
     ./build-tsan/tests/test_serve \
         --gtest_filter='SchedulerTest.*:CacheTest.*'
+    ./build-tsan/tests/test_resilience
 fi
 
 if [[ "$skip_asan" -ne 1 ]]; then
@@ -56,12 +61,13 @@ if [[ "$skip_asan" -ne 1 ]]; then
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-asan -j \
         --target test_inject --target test_policy --target test_engine \
-        --target test_serve
+        --target test_serve --target test_resilience
     ./build-asan/tests/test_inject
     ./build-asan/tests/test_policy
     ./build-asan/tests/test_engine \
         --gtest_filter='ShotPoolTest.*:EngineTest.Deadline*'
     ./build-asan/tests/test_serve
+    ./build-asan/tests/test_resilience
 fi
 
 echo "tier-1 OK"

@@ -1,0 +1,28 @@
+#include "common/clock.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+class RealSteadyClock : public Clock
+{
+  public:
+    TimePoint
+    now() const override
+    {
+        return std::chrono::steady_clock::now();
+    }
+};
+
+} // namespace
+
+Clock&
+steadyClock()
+{
+    static RealSteadyClock clock;
+    return clock;
+}
+
+} // namespace qa

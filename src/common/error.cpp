@@ -19,6 +19,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kQueueFull:         return "queue_full";
       case ErrorCode::kServiceStopped:    return "service_stopped";
       case ErrorCode::kBadRequest:        return "bad_request";
+      case ErrorCode::kWorkerLost:        return "worker_lost";
+      case ErrorCode::kShedding:          return "shedding";
+      case ErrorCode::kJournalCorrupt:    return "journal_corrupt";
     }
     return "unknown";
 }

@@ -40,7 +40,10 @@ enum class ErrorCode
     kWorkerFailure,     ///< A parallel worker failed; first cause chained.
     kQueueFull,         ///< Service admission queue at capacity.
     kServiceStopped,    ///< Submission to a stopped/stopping service.
-    kBadRequest         ///< Malformed service request (wire protocol).
+    kBadRequest,        ///< Malformed service request (wire protocol).
+    kWorkerLost,        ///< Scheduler worker wedged/died while executing.
+    kShedding,          ///< Circuit breaker open; load shed at admission.
+    kJournalCorrupt     ///< Journal record damaged beyond the torn tail.
 };
 
 /** Stable human-readable name of an error code. */

@@ -79,6 +79,40 @@ class FirstException
 };
 
 /**
+ * RAII joiner for worker pools: guarantees every thread in the owned
+ * vector is joined before the scope unwinds, whichever path exits it.
+ * Without this, an exception between spawning and the explicit join —
+ * most plausibly std::system_error from a failed thread creation —
+ * destroys a vector of joinable threads (std::terminate) while the
+ * workers still reference stack state that is being unwound. Declare
+ * the joiner immediately after the pool and *after* any state the
+ * workers capture, so destruction joins the threads while that state
+ * is still alive.
+ */
+class ThreadJoiner
+{
+  public:
+    explicit ThreadJoiner(std::vector<std::thread>& pool) : pool_(pool) {}
+
+    ~ThreadJoiner() { joinAll(); }
+
+    ThreadJoiner(const ThreadJoiner&) = delete;
+    ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+
+    /** Join every joinable thread now; idempotent. */
+    void
+    joinAll()
+    {
+        for (std::thread& th : pool_) {
+            if (th.joinable()) th.join();
+        }
+    }
+
+  private:
+    std::vector<std::thread>& pool_;
+};
+
+/**
  * Split [0, n) into contiguous chunks and run body(begin, end) on up to
  * kernelThreads() threads. Runs one inline call when the range is smaller
  * than `grain`, the cap is 1, or the caller holds a SerialKernelScope.
@@ -103,25 +137,29 @@ parallelFor(uint64_t n, uint64_t grain, const Body& body)
     const uint64_t chunk = (n + uint64_t(threads) - 1) / uint64_t(threads);
     FirstException failure;
     std::vector<std::thread> pool;
-    pool.reserve(size_t(threads) - 1);
-    for (int t = 1; t < threads; ++t) {
-        const uint64_t begin = chunk * uint64_t(t);
-        const uint64_t end = std::min(n, begin + chunk);
-        if (begin >= end) break;
-        pool.emplace_back([&body, &failure, begin, end] {
-            try {
-                body(begin, end);
-            } catch (...) {
-                failure.capture();
-            }
-        });
-    }
+    ThreadJoiner joiner(pool);
     try {
+        pool.reserve(size_t(threads) - 1);
+        for (int t = 1; t < threads; ++t) {
+            const uint64_t begin = chunk * uint64_t(t);
+            const uint64_t end = std::min(n, begin + chunk);
+            if (begin >= end) break;
+            pool.emplace_back([&body, &failure, begin, end] {
+                try {
+                    body(begin, end);
+                } catch (...) {
+                    failure.capture();
+                }
+            });
+        }
         body(uint64_t(0), std::min(n, chunk));
     } catch (...) {
+        // Spawn failure or inline-chunk exception: record it, then let
+        // the joiner wait for the workers already running before the
+        // stack state they reference unwinds.
         failure.capture();
     }
-    for (std::thread& th : pool) th.join();
+    joiner.joinAll();
     failure.rethrow();
 }
 

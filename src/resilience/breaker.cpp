@@ -1,0 +1,161 @@
+#include "resilience/breaker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace resilience
+{
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options, Clock* clock)
+    : options_(options), clock_(resolveClock(clock))
+{
+    if (options_.enabled) {
+        QA_REQUIRE(options_.window > 0,
+                   "circuit breaker needs a positive outcome window");
+        QA_REQUIRE(options_.failure_threshold > 0.0,
+                   "circuit breaker needs a positive failure threshold");
+        outcomes_.assign(options_.window, 0);
+    }
+}
+
+bool
+CircuitBreaker::tryAdmit()
+{
+    if (!options_.enabled) return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen: {
+        const double open_ms = clock_.elapsedMs(opened_at_);
+        if (open_ms < options_.open_cooldown_ms) {
+            ++shed_;
+            return false;
+        }
+        state_ = State::kHalfOpen;
+        probes_issued_ = 0;
+        [[fallthrough]];
+      }
+      case State::kHalfOpen:
+        if (probes_issued_ < options_.half_open_probes) {
+            ++probes_issued_;
+            return true;
+        }
+        ++shed_;
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    if (!options_.enabled) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen) {
+        // The probe came back healthy: close and forget the bad window.
+        state_ = State::kClosed;
+        std::fill(outcomes_.begin(), outcomes_.end(), uint8_t(0));
+        outcome_head_ = outcome_count_ = window_failures_ = 0;
+        return;
+    }
+    if (outcome_count_ == outcomes_.size()) {
+        window_failures_ -= outcomes_[outcome_head_];
+    } else {
+        ++outcome_count_;
+    }
+    outcomes_[outcome_head_] = 0;
+    outcome_head_ = (outcome_head_ + 1) % outcomes_.size();
+}
+
+void
+CircuitBreaker::recordFailure()
+{
+    if (!options_.enabled) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen) {
+        // Probe failed: back to open, cooldown restarts.
+        state_ = State::kOpen;
+        opened_at_ = clock_.now();
+        ++opens_;
+        return;
+    }
+    if (outcome_count_ == outcomes_.size()) {
+        window_failures_ -= outcomes_[outcome_head_];
+    } else {
+        ++outcome_count_;
+    }
+    outcomes_[outcome_head_] = 1;
+    ++window_failures_;
+    outcome_head_ = (outcome_head_ + 1) % outcomes_.size();
+    if (state_ == State::kClosed &&
+        outcome_count_ >= options_.min_samples &&
+        failureRateLocked() >= options_.failure_threshold) {
+        tripLocked();
+    }
+}
+
+void
+CircuitBreaker::observeQueueWait(double queue_ms)
+{
+    if (!options_.enabled) return;
+    if (options_.queue_latency_threshold_ms <= 0.0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kClosed &&
+        queue_ms > options_.queue_latency_threshold_ms) {
+        tripLocked();
+    }
+}
+
+CircuitBreaker::State
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+CircuitBreaker::Stats
+CircuitBreaker::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats stats;
+    stats.state = state_;
+    stats.shed = shed_;
+    stats.opens = opens_;
+    stats.window_samples = outcome_count_;
+    stats.window_failures = window_failures_;
+    return stats;
+}
+
+void
+CircuitBreaker::tripLocked()
+{
+    state_ = State::kOpen;
+    opened_at_ = clock_.now();
+    ++opens_;
+}
+
+double
+CircuitBreaker::failureRateLocked() const
+{
+    return outcome_count_ == 0
+               ? 0.0
+               : double(window_failures_) / double(outcome_count_);
+}
+
+const char*
+breakerStateName(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::kClosed:   return "closed";
+      case CircuitBreaker::State::kOpen:     return "open";
+      case CircuitBreaker::State::kHalfOpen: return "half_open";
+    }
+    return "unknown";
+}
+
+} // namespace resilience
+} // namespace qa

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Circuit breaker for service admission: sheds load with a typed
+ * rejection (ErrorCode::kShedding) when the service is demonstrably
+ * unhealthy, instead of queueing work that will fail or time out.
+ *
+ * Classic three-state machine:
+ *  - **closed**: all admissions pass; outcomes feed a sliding window.
+ *    The breaker trips when the window's failure rate crosses the
+ *    threshold (with a minimum sample count, so one early failure
+ *    cannot trip an idle service) or when a dispatched job waited
+ *    longer in the queue than the latency threshold.
+ *  - **open**: admissions are shed until the cooldown elapses.
+ *  - **half-open**: a bounded number of probe jobs are admitted; a
+ *    probe success closes the breaker (window reset), a probe failure
+ *    re-opens it and restarts the cooldown.
+ *
+ * Time is read through the Clock abstraction so the cooldown path is
+ * unit-testable with a ManualClock, no real sleeps.
+ */
+#ifndef QA_RESILIENCE_BREAKER_HPP
+#define QA_RESILIENCE_BREAKER_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace qa
+{
+namespace resilience
+{
+
+/** Breaker thresholds; `enabled = false` makes every call a no-op. */
+struct BreakerOptions
+{
+    bool enabled = false;
+
+    /** Sliding window of recent job outcomes. */
+    size_t window = 64;
+
+    /** Outcomes required before the failure rate can trip. */
+    size_t min_samples = 16;
+
+    /** Trip when window failure rate reaches this fraction. */
+    double failure_threshold = 0.5;
+
+    /** Trip when a dispatched job queued longer than this; <= 0 off. */
+    double queue_latency_threshold_ms = 0.0;
+
+    /** Time the breaker stays open before probing. */
+    double open_cooldown_ms = 1000.0;
+
+    /** Probe admissions allowed per half-open episode. */
+    int half_open_probes = 1;
+};
+
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        kClosed,
+        kOpen,
+        kHalfOpen
+    };
+
+    /** `clock` == nullptr uses the real steady clock. */
+    explicit CircuitBreaker(BreakerOptions options = {},
+                            Clock* clock = nullptr);
+
+    /**
+     * Admission check. False means shed this submission (respond
+     * kShedding); the shed counter is bumped. Open -> half-open
+     * transition happens here once the cooldown has elapsed.
+     */
+    bool tryAdmit();
+
+    /** Feed a completed job's outcome into the window. */
+    void recordSuccess();
+    void recordFailure();
+
+    /** Feed the queue wait of a job at dispatch (latency trip input). */
+    void observeQueueWait(double queue_ms);
+
+    State state() const;
+
+    /** Monotonic counters, one consistent snapshot. */
+    struct Stats
+    {
+        State state = State::kClosed;
+        uint64_t shed = 0;  ///< Admissions refused.
+        uint64_t opens = 0; ///< Times the breaker tripped open.
+        size_t window_samples = 0;
+        size_t window_failures = 0;
+    };
+    Stats stats() const;
+
+  private:
+    void tripLocked();
+    double failureRateLocked() const;
+
+    BreakerOptions options_;
+    Clock& clock_;
+
+    mutable std::mutex mutex_;
+    State state_ = State::kClosed;
+    Clock::TimePoint opened_at_{};
+    int probes_issued_ = 0;
+    std::vector<uint8_t> outcomes_; // ring buffer: 1 = failure
+    size_t outcome_head_ = 0;
+    size_t outcome_count_ = 0;
+    size_t window_failures_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t opens_ = 0;
+};
+
+/** Stable wire/log name of a breaker state. */
+const char* breakerStateName(CircuitBreaker::State state);
+
+} // namespace resilience
+} // namespace qa
+
+#endif // QA_RESILIENCE_BREAKER_HPP

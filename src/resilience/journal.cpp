@@ -1,0 +1,245 @@
+#include "resilience/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace resilience
+{
+
+Journal::Journal(std::string path, JournalOptions options)
+    : path_(std::move(path)), options_(options)
+{
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    QA_REQUIRE_CODE(fd_ >= 0, ErrorCode::kBadRequest,
+                    "cannot open journal '" + path_ +
+                        "': " + std::strerror(errno));
+}
+
+Journal::~Journal()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::fsync(fd_);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Journal::appendAccept(uint64_t seq, const std::string& request_json)
+{
+    std::ostringstream oss;
+    oss << "{\"e\":\"accept\",\"seq\":" << seq << ",\"req\":" << request_json
+        << "}\n";
+    appendLine(oss.str());
+}
+
+void
+Journal::appendComplete(uint64_t seq, const std::string& status,
+                        const std::string& payload_hash)
+{
+    std::ostringstream oss;
+    oss << "{\"e\":\"complete\",\"seq\":" << seq << ",\"status\":\""
+        << status << "\",\"hash\":\"" << payload_hash << "\"}\n";
+    appendLine(oss.str());
+}
+
+void
+Journal::sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0) return;
+    ::fsync(fd_);
+    ++syncs_;
+    unsynced_ = 0;
+}
+
+uint64_t
+Journal::recordsWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+uint64_t
+Journal::syncsIssued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return syncs_;
+}
+
+void
+Journal::appendLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    QA_ASSERT(fd_ >= 0, "journal used after close");
+    // One write(2) per record: O_APPEND makes concurrent appends whole,
+    // and a SIGKILL can only ever lose the record being written, never
+    // corrupt an earlier one.
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            QA_FAIL_CODE(ErrorCode::kJournalCorrupt,
+                         "journal write to '" + path_ +
+                             "' failed: " + std::strerror(errno));
+        }
+        off += size_t(n);
+    }
+    ++records_;
+    ++unsynced_;
+    if (options_.sync_every > 0 && unsynced_ >= options_.sync_every) {
+        ::fsync(fd_);
+        ++syncs_;
+        unsynced_ = 0;
+    }
+}
+
+std::vector<JournalEntry>
+JournalScan::pending() const
+{
+    std::vector<JournalEntry> out;
+    for (const JournalEntry& entry : accepted) {
+        if (completed.find(entry.seq) == completed.end()) {
+            out.push_back(entry);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Consume `prefix` from text at *pos; false on mismatch. */
+bool
+eat(const std::string& text, size_t* pos, const char* prefix)
+{
+    const size_t len = std::strlen(prefix);
+    if (text.compare(*pos, len, prefix) != 0) return false;
+    *pos += len;
+    return true;
+}
+
+/** Parse a decimal uint64 at *pos; false when no digits. */
+bool
+eatU64(const std::string& text, size_t* pos, uint64_t* value)
+{
+    size_t p = *pos;
+    uint64_t v = 0;
+    bool any = false;
+    while (p < text.size() && text[p] >= '0' && text[p] <= '9') {
+        v = v * 10 + uint64_t(text[p] - '0');
+        ++p;
+        any = true;
+    }
+    if (!any) return false;
+    *pos = p;
+    *value = v;
+    return true;
+}
+
+/** Parse the characters of a simple quoted string (no escapes). */
+bool
+eatQuoted(const std::string& text, size_t* pos, std::string* out)
+{
+    size_t p = *pos;
+    if (p >= text.size() || text[p] != '"') return false;
+    ++p;
+    const size_t end = text.find('"', p);
+    if (end == std::string::npos) return false;
+    *out = text.substr(p, end - p);
+    *pos = end + 1;
+    return true;
+}
+
+/**
+ * Parse one journal line against the writer's exact grammar. Returns
+ * false on any deviation (the caller decides torn-tail vs corrupt).
+ */
+bool
+parseJournalLine(const std::string& line, JournalScan* scan)
+{
+    size_t pos = 0;
+    if (eat(line, &pos, "{\"e\":\"accept\",\"seq\":")) {
+        JournalEntry entry;
+        if (!eatU64(line, &pos, &entry.seq)) return false;
+        if (!eat(line, &pos, ",\"req\":")) return false;
+        if (pos >= line.size() || line.back() != '}') return false;
+        // The request object is embedded verbatim; the record's own
+        // closing brace is the final character.
+        entry.request = line.substr(pos, line.size() - pos - 1);
+        if (entry.request.empty() || entry.request.front() != '{' ||
+            entry.request.back() != '}') {
+            return false;
+        }
+        scan->accepted.push_back(std::move(entry));
+        return true;
+    }
+    if (eat(line, &pos, "{\"e\":\"complete\",\"seq\":")) {
+        uint64_t seq = 0;
+        JournalScan::Completion completion;
+        if (!eatU64(line, &pos, &seq)) return false;
+        if (!eat(line, &pos, ",\"status\":")) return false;
+        if (!eatQuoted(line, &pos, &completion.status)) return false;
+        if (!eat(line, &pos, ",\"hash\":")) return false;
+        if (!eatQuoted(line, &pos, &completion.hash)) return false;
+        if (!eat(line, &pos, "}")) return false;
+        if (pos != line.size()) return false;
+        scan->completed[seq] = std::move(completion);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+JournalScan
+scanJournal(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    QA_REQUIRE_CODE(in.is_open(), ErrorCode::kBadRequest,
+                    "cannot open journal '" + path + "' for replay");
+
+    JournalScan scan;
+    std::string line;
+    std::string damaged;
+    size_t damaged_at = 0;
+    while (std::getline(in, line)) {
+        ++scan.lines;
+        if (line.empty()) continue;
+        if (!damaged.empty()) {
+            // A damaged record followed by more records is real
+            // corruption, not a crash tail.
+            QA_FAIL_CODE(ErrorCode::kJournalCorrupt,
+                         "journal '" + path + "' line " +
+                             std::to_string(damaged_at) +
+                             " is damaged but not the final record");
+        }
+        if (!parseJournalLine(line, &scan)) {
+            damaged = line;
+            damaged_at = scan.lines;
+        }
+    }
+    // A file not ending in '\n' leaves its partial text in the last
+    // getline result, which lands in `damaged` above.
+    if (!damaged.empty()) {
+        scan.torn_tail = true;
+        scan.torn_text = damaged;
+    }
+    return scan;
+}
+
+} // namespace resilience
+} // namespace qa

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Crash-safe NDJSON journal for the assertion service.
+ *
+ * Write-ahead discipline: an accepted request is appended (and flushed
+ * to the OS) *before* it is admitted to the scheduler, and a completion
+ * record — carrying a 128-bit hash of the deterministic result payload
+ * — is appended when the job resolves. After a crash, the set
+ * {accepted} - {completed} is exactly the work that must be re-executed,
+ * and because job execution is a pure function of the spec, replaying
+ * those requests reproduces bit-identical payloads; completed records'
+ * hashes double as an end-to-end determinism check.
+ *
+ * Durability model: every record is written with a single write(2) to an
+ * O_APPEND fd, so records survive SIGKILL as soon as the call returns
+ * (page cache; process death cannot lose them). fsync is batched —
+ * every `sync_every` records plus one at close/drain — which is the
+ * power-loss bound. Batching is safe because replay is idempotent: a
+ * lost completion record only causes a deterministic re-execution.
+ *
+ * Torn tails: a crash can leave a partial final line. The scanner drops
+ * exactly one damaged trailing line (reported, not fatal); damage
+ * anywhere else throws ErrorCode::kJournalCorrupt.
+ *
+ * Record grammar (one JSON object per line, fixed field order so the
+ * scanner can parse without a full JSON dependency):
+ *   {"e":"accept","seq":7,"req":{...original request object...}}
+ *   {"e":"complete","seq":7,"status":"ok","hash":"<32 hex>"}
+ */
+#ifndef QA_RESILIENCE_JOURNAL_HPP
+#define QA_RESILIENCE_JOURNAL_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qa
+{
+namespace resilience
+{
+
+/** Journal write knobs. */
+struct JournalOptions
+{
+    /** fsync after this many records (1 = every record; 0 = only on
+     *  sync()/close). Flush-to-OS always happens per record. */
+    size_t sync_every = 8;
+};
+
+/** Append-only journal writer (thread-safe; workers complete jobs). */
+class Journal
+{
+  public:
+    /** Opens (creating if needed) for append; throws UserError on
+     *  failure. */
+    explicit Journal(std::string path, JournalOptions options = {});
+
+    /** Syncs and closes. */
+    ~Journal();
+
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /**
+     * Write-ahead accept record. `request_json` must be one complete
+     * JSON object (the raw wire line) — it is embedded verbatim.
+     */
+    void appendAccept(uint64_t seq, const std::string& request_json);
+
+    /** Completion record with the result's payload hash (32 hex). */
+    void appendComplete(uint64_t seq, const std::string& status,
+                        const std::string& payload_hash);
+
+    /** Flush and fsync now (drain path). */
+    void sync();
+
+    const std::string& path() const { return path_; }
+
+    uint64_t recordsWritten() const;
+    uint64_t syncsIssued() const;
+
+  private:
+    void appendLine(const std::string& line);
+
+    std::string path_;
+    JournalOptions options_;
+    mutable std::mutex mutex_;
+    int fd_ = -1;
+    uint64_t records_ = 0;
+    uint64_t syncs_ = 0;
+    size_t unsynced_ = 0;
+};
+
+/** One accepted request recovered from a journal. */
+struct JournalEntry
+{
+    uint64_t seq = 0;
+    std::string request; ///< The original request JSON object.
+};
+
+/** Everything a journal scan recovers. */
+struct JournalScan
+{
+    /** Every accept record, in append (seq) order. */
+    std::vector<JournalEntry> accepted;
+
+    /** seq -> (status, payload hash) of completion records. */
+    struct Completion
+    {
+        std::string status;
+        std::string hash;
+    };
+    std::unordered_map<uint64_t, Completion> completed;
+
+    size_t lines = 0;
+
+    /** True when a damaged final line was dropped (crash mid-append). */
+    bool torn_tail = false;
+
+    /** The dropped tail text (diagnostics). */
+    std::string torn_text;
+
+    /** Accepts with no completion record: the work replay must re-run. */
+    std::vector<JournalEntry> pending() const;
+};
+
+/**
+ * Read a journal back, tolerating a torn final line. Throws UserError
+ * with ErrorCode::kJournalCorrupt when a non-tail record is damaged,
+ * and ErrorCode::kBadRequest when the file cannot be opened.
+ */
+JournalScan scanJournal(const std::string& path);
+
+} // namespace resilience
+} // namespace qa
+
+#endif // QA_RESILIENCE_JOURNAL_HPP

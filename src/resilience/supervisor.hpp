@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Worker-supervision primitives: per-worker heartbeats and the watchdog
+ * poll thread that turns stale heartbeats into recovery actions.
+ *
+ * The scheduler owns the workers and the recovery policy (retry the
+ * in-flight job or fail it with kWorkerLost, respawn the slot); this
+ * file owns the two mechanisms those decisions need:
+ *
+ *  - Heartbeat: a lock-free busy/idle stamp one worker writes and the
+ *    watchdog reads. A worker marks beginWork(token) when it picks a
+ *    job, may beat() during long jobs, and endWork() when done. "Wedged"
+ *    is defined as `busy && now - last_beat > stall_timeout` — an idle
+ *    worker parked on its condition variable is never flagged.
+ *
+ *  - Watchdog: a background thread that invokes a scan callback at a
+ *    fixed poll interval, with prompt stop/join semantics (no detached
+ *    threads; stop() is idempotent and safe to call from destructors).
+ *
+ * Time flows through the Clock abstraction so stall detection is
+ * testable with a ManualClock and zero real sleeps.
+ */
+#ifndef QA_RESILIENCE_SUPERVISOR_HPP
+#define QA_RESILIENCE_SUPERVISOR_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace qa
+{
+namespace resilience
+{
+
+/** Supervision knobs (embedded in SchedulerOptions). */
+struct SupervisorOptions
+{
+    /**
+     * A busy worker whose heartbeat is older than this is declared
+     * lost. <= 0 disables the watchdog entirely. Must comfortably
+     * exceed the longest legitimate job (deadlines bound that).
+     */
+    double stall_timeout_ms = 0.0;
+
+    /** Watchdog scan cadence. */
+    double poll_interval_ms = 10.0;
+};
+
+/** One worker's liveness stamp (single writer, concurrent readers). */
+class Heartbeat
+{
+  public:
+    explicit Heartbeat(Clock* clock = nullptr)
+        : clock_(resolveClock(clock))
+    {}
+
+    /** Worker: entering a job identified by `token`. */
+    void
+    beginWork(uint64_t token)
+    {
+        token_.store(token, std::memory_order_relaxed);
+        stamp();
+        busy_.store(true, std::memory_order_release);
+    }
+
+    /** Worker: proof of liveness mid-job. */
+    void beat() { stamp(); }
+
+    /** Worker: job finished (whatever the outcome). */
+    void endWork() { busy_.store(false, std::memory_order_release); }
+
+    bool busy() const { return busy_.load(std::memory_order_acquire); }
+
+    uint64_t token() const
+    {
+        return token_.load(std::memory_order_relaxed);
+    }
+
+    /** Milliseconds since the last beat; 0 when idle. */
+    double
+    staleMs() const
+    {
+        if (!busy()) return 0.0;
+        const auto beat_ns = std::chrono::nanoseconds(
+            last_beat_ns_.load(std::memory_order_acquire));
+        const auto now_ns = clock_.now().time_since_epoch();
+        const double ms =
+            std::chrono::duration<double, std::milli>(now_ns - beat_ns)
+                .count();
+        return ms < 0.0 ? 0.0 : ms;
+    }
+
+  private:
+    void
+    stamp()
+    {
+        last_beat_ns_.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock_.now().time_since_epoch())
+                .count(),
+            std::memory_order_release);
+    }
+
+    Clock& clock_;
+    std::atomic<bool> busy_{false};
+    std::atomic<uint64_t> token_{0};
+    std::atomic<int64_t> last_beat_ns_{0};
+};
+
+/** Periodic scan thread with prompt stop/join. */
+class Watchdog
+{
+  public:
+    using Scan = std::function<void()>;
+
+    Watchdog() = default;
+
+    /** stop()s and joins. */
+    ~Watchdog() { stop(); }
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /** Start scanning every `poll_interval_ms`. One start per instance. */
+    void
+    start(Scan scan, double poll_interval_ms)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (thread_.joinable()) return;
+        stop_ = false;
+        const auto interval = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                poll_interval_ms > 0.0 ? poll_interval_ms : 1.0));
+        thread_ = std::thread([this, scan = std::move(scan), interval] {
+            std::unique_lock<std::mutex> wait_lock(mutex_);
+            while (!stop_) {
+                cv_.wait_for(wait_lock, interval,
+                             [this] { return stop_; });
+                if (stop_) break;
+                wait_lock.unlock();
+                scan();
+                wait_lock.lock();
+            }
+        });
+    }
+
+    /** Stop and join; idempotent, no-op if never started. */
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    bool running() const { return thread_.joinable(); }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace resilience
+} // namespace qa
+
+#endif // QA_RESILIENCE_SUPERVISOR_HPP

@@ -172,5 +172,40 @@ executeJob(const JobSpec& spec)
     return result;
 }
 
+namespace
+{
+
+void
+absorbCounts(HashStream& stream, const Counts& counts)
+{
+    stream.i64(counts.shots);
+    stream.u64(counts.truncated ? 1 : 0);
+    stream.u64(counts.map.size());
+    for (const auto& [bits, n] : counts.map) { // std::map: sorted order
+        stream.str(bits);
+        stream.i64(n);
+    }
+}
+
+} // namespace
+
+Hash128
+payloadHash(const JobResult& result)
+{
+    HashStream stream(0x7061796cULL); // domain tag: "payl"
+    stream.i64(int64_t(result.status));
+    if (result.status != JobStatus::kOk) {
+        stream.i64(int64_t(result.error_code));
+        return stream.digest();
+    }
+    absorbCounts(stream, result.counts);
+    absorbCounts(stream, result.program_counts);
+    stream.u64(result.slot_error_rate.size());
+    for (double rate : result.slot_error_rate) stream.f64(rate);
+    stream.f64(result.pass_rate);
+    stream.u64(result.truncated ? 1 : 0);
+    return stream.digest();
+}
+
 } // namespace serve
 } // namespace qa

@@ -165,6 +165,16 @@ Hash128 jobKey(const JobSpec& spec);
  */
 JobResult executeJob(const JobSpec& spec);
 
+/**
+ * 128-bit digest of a result's deterministic payload: status, counts,
+ * program counts, slot error rates, pass rate, truncation flag, and —
+ * for failures — the error code. Timing (queue_ms/exec_ms), cache_hit,
+ * and the tag are excluded, so two executions of the same JobSpec hash
+ * identically. Journal completion records carry this digest; replay
+ * recomputes it to prove bit-identical re-execution.
+ */
+Hash128 payloadHash(const JobResult& result);
+
 } // namespace serve
 } // namespace qa
 

@@ -58,6 +58,10 @@ ServiceMetrics::snapshot() const
     snap.completed = completed.load(std::memory_order_relaxed);
     snap.failed = failed.load(std::memory_order_relaxed);
     snap.cancelled = cancelled.load(std::memory_order_relaxed);
+    snap.retried = retried.load(std::memory_order_relaxed);
+    snap.shed = shed.load(std::memory_order_relaxed);
+    snap.worker_lost = worker_lost.load(std::memory_order_relaxed);
+    snap.respawned = respawned.load(std::memory_order_relaxed);
     snap.queue_wait = queue_wait.snapshot();
     snap.execute = execute.snapshot();
     return snap;
@@ -85,11 +89,16 @@ MetricsSnapshot::str() const
         << "  jobs: accepted=" << accepted << " rejected=" << rejected
         << " completed=" << completed << " failed=" << failed
         << " cancelled=" << cancelled << "\n"
+        << "  resilience: retried=" << retried << " shed=" << shed
+        << " worker_lost=" << worker_lost << " respawned=" << respawned
+        << "\n"
         << "  queue: depth=" << queue_depth << " in_flight=" << in_flight
         << "\n"
         << "  cache: hits=" << cache_hits << " misses=" << cache_misses
-        << " entries=" << cache_entries << " hit_rate=" << std::fixed
-        << std::setprecision(3) << cacheHitRate() << "\n";
+        << " insertions=" << cache_insertions << " evictions="
+        << cache_evictions << " entries=" << cache_entries
+        << " hit_rate=" << std::fixed << std::setprecision(3)
+        << cacheHitRate() << "\n";
     renderHistogram(oss, "queue_wait", queue_wait);
     renderHistogram(oss, "execute", execute);
     return oss.str();

@@ -75,11 +75,18 @@ struct MetricsSnapshot
     uint64_t failed = 0;    ///< Jobs finished with status kFailed.
     uint64_t cancelled = 0; ///< Jobs cancelled by stop().
 
+    uint64_t retried = 0;     ///< Attempts re-queued after a transient failure.
+    uint64_t shed = 0;        ///< Submissions refused by the circuit breaker.
+    uint64_t worker_lost = 0; ///< Attempts reclaimed from a wedged/dead worker.
+    uint64_t respawned = 0;   ///< Worker slots restarted by the watchdog.
+
     size_t queue_depth = 0; ///< Jobs waiting for a worker right now.
     size_t in_flight = 0;   ///< Jobs executing right now.
 
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    uint64_t cache_insertions = 0;
+    uint64_t cache_evictions = 0;
     size_t cache_entries = 0;
 
     LatencyHistogramSnapshot queue_wait;
@@ -105,6 +112,10 @@ class ServiceMetrics
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> retried{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> worker_lost{0};
+    std::atomic<uint64_t> respawned{0};
 
     LatencyHistogram queue_wait;
     LatencyHistogram execute;

@@ -3,37 +3,55 @@
  * Multi-tenant assertion-job scheduler: the in-process service front
  * door (qassertd is a thin NDJSON loop over it).
  *
- * Shape: submit() performs admission control on a bounded priority
- * queue — a full queue rejects with a typed UserError
- * (ErrorCode::kQueueFull) instead of blocking the caller — and a fixed
- * worker pool drains the queue, consulting the cross-job ResultCache
- * before dispatching cache misses onto the shot-execution engine
- * (executeJob -> runShots / runAssertedPolicy -> ShotExecutor +
- * runShotPool).
+ * Shape: submit() performs admission control — a circuit breaker sheds
+ * load with ErrorCode::kShedding when the service is unhealthy, and a
+ * bounded priority queue rejects with ErrorCode::kQueueFull instead of
+ * blocking — and a supervised worker pool drains the queue, consulting
+ * the cross-job ResultCache before dispatching cache misses onto the
+ * shot-execution engine (executeJob -> runShots / runAssertedPolicy).
+ *
+ * Resilience: each worker slot carries a heartbeat; a watchdog thread
+ * (enabled via SupervisorOptions::stall_timeout_ms) detects wedged
+ * workers, reclaims their in-flight job — retried when the retry policy
+ * allows, failed with ErrorCode::kWorkerLost otherwise — and respawns
+ * the slot. Transient failures (kGeneric, kWorkerLost, kWorkerFailure)
+ * retry with deterministic counter-based jittered backoff, bounded by
+ * attempts and by the job's own deadline budget. Every admitted job is
+ * resolved exactly once: attempt resolution is an attempt-stamped CAS
+ * on the job ticket, so a zombie worker finishing late can never
+ * double-resolve or clobber a retry.
  *
  * Determinism: a job's result is a pure function of its JobSpec (see
  * serve/job.hpp), so per-job results are bit-identical for any worker
- * count, arrival order, or cache state. Scheduling only affects
- * latency, never payloads.
+ * count, arrival order, cache state, or recovery path — a job that
+ * succeeds on attempt 3 returns the same payload it would have on
+ * attempt 1. Scheduling and recovery only affect latency, never
+ * payloads.
  *
  * Lifecycle: workers start immediately (or parked when
  * SchedulerOptions::start_paused, until resume()). stop() — also run by
- * the destructor — rejects new work, fulfills still-queued jobs with
- * JobStatus::kCancelled, finishes in-flight jobs, and joins every
- * worker; no detached threads, ever.
+ * the destructor — halts the watchdog, rejects new work, fulfills
+ * still-queued and backoff-parked jobs with JobStatus::kCancelled,
+ * finishes in-flight jobs, and joins every worker including zombies
+ * left behind by respawns; no detached threads, ever.
  */
 #ifndef QA_SERVE_SCHEDULER_HPP
 #define QA_SERVE_SCHEDULER_HPP
 
-#include <chrono>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "resilience/breaker.hpp"
+#include "resilience/retry.hpp"
+#include "resilience/supervisor.hpp"
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
 #include "serve/metrics.hpp"
@@ -42,6 +60,14 @@ namespace qa
 {
 namespace serve
 {
+
+/**
+ * Test/chaos hook run by a worker at the top of every execution attempt
+ * (before the cache lookup). Receives the job's admission sequence
+ * number and the 0-based attempt. May sleep (simulating a wedged
+ * worker) or throw (a transient execution failure).
+ */
+using ExecHook = std::function<void(uint64_t seq, int attempt)>;
 
 /** Scheduler sizing and behaviour knobs. */
 struct SchedulerOptions
@@ -61,6 +87,21 @@ struct SchedulerOptions
      * deterministically before execution starts.
      */
     bool start_paused = false;
+
+    /** Transient-failure retry policy (attempts, backoff, jitter). */
+    resilience::RetryOptions retry;
+
+    /** Admission circuit breaker; disabled by default. */
+    resilience::BreakerOptions breaker;
+
+    /** Worker supervision; stall_timeout_ms <= 0 keeps the watchdog off. */
+    resilience::SupervisorOptions supervisor;
+
+    /** Chaos/test injection point; empty = no-op. */
+    ExecHook exec_hook;
+
+    /** Time source; nullptr = the real steady clock. */
+    Clock* clock = nullptr;
 };
 
 /** Completion callback; invoked exactly once per admitted job. */
@@ -79,9 +120,10 @@ class Scheduler
 
     /**
      * Admit a job and resolve the returned future when it completes
-     * (any JobStatus). Throws UserError immediately on backpressure
-     * (ErrorCode::kQueueFull) or after stop()
-     * (ErrorCode::kServiceStopped); rejected jobs consume no queue slot.
+     * (any JobStatus). Throws UserError immediately on shedding
+     * (ErrorCode::kShedding), backpressure (ErrorCode::kQueueFull), or
+     * after stop() (ErrorCode::kServiceStopped); rejected jobs consume
+     * no queue slot.
      */
     std::future<JobResult> submit(JobSpec spec);
 
@@ -95,65 +137,131 @@ class Scheduler
     void resume();
 
     /**
-     * Block until every admitted job has completed. The scheduler must
+     * Block until every admitted job has resolved. The scheduler must
      * not be paused (a parked pool would never drain).
      */
     void drain();
 
     /**
-     * Reject new submissions, cancel still-queued jobs
-     * (JobStatus::kCancelled, ErrorCode::kServiceStopped), finish
-     * in-flight ones, and join all workers. Idempotent.
+     * Bounded drain: wait up to `timeout_ms` for every admitted job to
+     * resolve. Returns true when idle; false on timeout with work still
+     * pending (the graceful-shutdown path then calls stop(), which
+     * cancels whatever remains). `timeout_ms` <= 0 returns immediately.
+     */
+    bool drainFor(double timeout_ms);
+
+    /**
+     * Reject new submissions, cancel still-queued and backoff-parked
+     * jobs (JobStatus::kCancelled, ErrorCode::kServiceStopped), finish
+     * in-flight ones, and join all workers (zombies included).
+     * Idempotent.
      */
     void stop();
 
     /** Resolved worker-pool size. */
-    int workers() const { return int(pool_.size()); }
+    int
+    workers() const
+    {
+        return workers_;
+    }
 
-    /** Counters + queue depth + cache stats, one consistent snapshot. */
+    /** Counters + queue depth + cache + breaker, one consistent snapshot. */
     MetricsSnapshot metrics() const;
 
     /** Cache counters alone (benches assert on hit rates). */
     CacheStats cacheStats() const { return cache_.stats(); }
 
+    /** Breaker counters (tests; zeros when the breaker is disabled). */
+    resilience::CircuitBreaker::Stats breakerStats() const
+    {
+        return breaker_.stats();
+    }
+
   private:
-    struct Job
+    /**
+     * One admitted job, shared between the queue, the executing worker,
+     * and the watchdog. `claim` holds the next unresolved attempt
+     * number: resolving attempt `a` — worker finished, or watchdog
+     * declared the worker lost — is a CAS(a -> a+1), and exactly one
+     * resolver wins. A zombie worker whose attempt was reclaimed loses
+     * the CAS and discards its result; it can never claim a later
+     * attempt because the CAS is attempt-stamped.
+     */
+    struct Ticket
     {
         JobSpec spec;
         uint64_t seq = 0;
         int priority = 0;
-        std::chrono::steady_clock::time_point enqueued;
+        Clock::TimePoint enqueued;
         JobCallback done;
+        int attempt = 0;            ///< Attempt the next dispatch runs.
+        std::atomic<int> claim{0};  ///< Next unresolved attempt.
     };
+    using TicketPtr = std::shared_ptr<Ticket>;
 
     /** Max-heap order: highest priority first, FIFO within a level. */
-    struct JobOrder
+    struct TicketOrder
     {
         bool
-        operator()(const Job& a, const Job& b) const
+        operator()(const TicketPtr& a, const TicketPtr& b) const
         {
-            if (a.priority != b.priority) return a.priority < b.priority;
-            return a.seq > b.seq; // lower seq = older = higher priority
+            if (a->priority != b->priority) {
+                return a->priority < b->priority;
+            }
+            return a->seq > b->seq; // lower seq = older = higher priority
         }
     };
 
-    void workerLoop();
-    void runJob(Job job);
+    /** A retry waiting out its backoff. */
+    struct StashEntry
+    {
+        TicketPtr ticket;
+        Clock::TimePoint release;
+    };
+
+    /** One supervised worker position. */
+    struct Slot
+    {
+        std::thread thread;
+        std::shared_ptr<resilience::Heartbeat> heartbeat;
+        uint64_t generation = 0;
+        TicketPtr running;      ///< Ticket being executed, if any.
+        int running_attempt = 0;
+    };
+
+    void workerLoop(size_t slot_index, uint64_t generation,
+                    std::shared_ptr<resilience::Heartbeat> heartbeat);
+    JobResult runAttempt(const Ticket& ticket, int attempt);
+    void finishAttempt(size_t slot_index, uint64_t generation,
+                       const TicketPtr& ticket, int attempt,
+                       JobResult result);
+    void resolveFinal(const TicketPtr& ticket, JobResult result);
+    void watchdogScan();
+    void promoteDueRetriesLocked();
+    void pushQueueLocked(TicketPtr ticket);
+    void spawnSlotLocked(size_t slot_index);
 
     SchedulerOptions options_;
+    Clock& clock_;
     ResultCache cache_;
     ServiceMetrics metrics_;
+    resilience::CircuitBreaker breaker_;
+    resilience::Watchdog watchdog_;
+    int workers_ = 0;
 
     mutable std::mutex mutex_;
-    std::condition_variable work_cv_; // queue/pause/stop changes
-    std::condition_variable idle_cv_; // completion changes
-    std::vector<Job> queue_;          // heap ordered by JobOrder
+    std::condition_variable work_cv_; // queue/stash/pause/stop changes
+    std::condition_variable idle_cv_; // resolution changes
+    std::vector<TicketPtr> queue_;    // heap ordered by TicketOrder
+    std::vector<StashEntry> stash_;   // retries waiting out backoff
     uint64_t next_seq_ = 0;
-    size_t in_flight_ = 0;
+    size_t in_flight_ = 0;   ///< Threads inside runAttempt right now.
+    size_t unresolved_ = 0;  ///< Admitted jobs not yet resolved.
     bool paused_ = false;
     bool stopped_ = false;
 
-    std::vector<std::thread> pool_;
+    std::vector<Slot> slots_;
+    std::vector<std::thread> zombies_; ///< Replaced workers; joined at stop.
 };
 
 } // namespace serve

@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <istream>
 #include <sstream>
 
 #include "circuit/qasm.hpp"
@@ -177,6 +178,35 @@ encodeResult(const std::string& id, const JobResult& result)
 }
 
 std::string
+encodeReplay(const std::string& id, const JobResult& result)
+{
+    if (result.status != JobStatus::kOk) {
+        return encodeError(id.empty() ? result.tag : id, result.error_code,
+                           result.error_message);
+    }
+    std::ostringstream oss;
+    oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
+        << ",\"shots\":" << result.counts.shots
+        << ",\"truncated\":" << (result.truncated ? "true" : "false")
+        << ",\"pass_rate\":" << jsonNumber(result.pass_rate);
+    oss << ",\"slot_error_rate\":[";
+    for (size_t i = 0; i < result.slot_error_rate.size(); ++i) {
+        if (i) oss << ",";
+        oss << jsonNumber(result.slot_error_rate[i]);
+    }
+    oss << "]";
+    oss << ",\"counts\":";
+    encodeCounts(oss, result.counts);
+    if (!result.slot_error_rate.empty()) {
+        oss << ",\"program_counts\":";
+        encodeCounts(oss, result.program_counts);
+        oss << ",\"accepted_shots\":" << result.program_counts.shots;
+    }
+    oss << "}";
+    return oss.str();
+}
+
+std::string
 encodeError(const std::string& id, ErrorCode code,
             const std::string& message)
 {
@@ -197,10 +227,16 @@ encodeMetrics(const MetricsSnapshot& snapshot)
         << ",\"completed\":" << snapshot.completed
         << ",\"failed\":" << snapshot.failed
         << ",\"cancelled\":" << snapshot.cancelled
+        << ",\"retried\":" << snapshot.retried
+        << ",\"shed\":" << snapshot.shed
+        << ",\"worker_lost\":" << snapshot.worker_lost
+        << ",\"respawned\":" << snapshot.respawned
         << ",\"queue_depth\":" << snapshot.queue_depth
         << ",\"in_flight\":" << snapshot.in_flight
         << ",\"cache_hits\":" << snapshot.cache_hits
         << ",\"cache_misses\":" << snapshot.cache_misses
+        << ",\"cache_insertions\":" << snapshot.cache_insertions
+        << ",\"cache_evictions\":" << snapshot.cache_evictions
         << ",\"cache_entries\":" << snapshot.cache_entries
         << ",\"cache_hit_rate\":" << jsonNumber(snapshot.cacheHitRate())
         << ",";
@@ -209,6 +245,31 @@ encodeMetrics(const MetricsSnapshot& snapshot)
     encodeHistogram(oss, "execute_ms", snapshot.execute);
     oss << "}}";
     return oss.str();
+}
+
+ReadLineStatus
+readLineBounded(std::istream& in, std::string* out, size_t max_len)
+{
+    out->clear();
+    bool overflow = false;
+    for (;;) {
+        const int ch = in.get();
+        if (ch == std::char_traits<char>::eof()) {
+            // EOF (or a failed read, e.g. EINTR from a drain signal)
+            // with buffered bytes still yields the partial line.
+            if (out->empty() && !overflow) return ReadLineStatus::kEof;
+            break;
+        }
+        if (ch == '\n') break;
+        if (overflow) continue; // discard to the terminator
+        if (out->size() >= max_len) {
+            overflow = true;
+            out->clear();
+            continue;
+        }
+        out->push_back(char(ch));
+    }
+    return overflow ? ReadLineStatus::kOverflow : ReadLineStatus::kOk;
 }
 
 } // namespace serve

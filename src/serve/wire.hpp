@@ -28,6 +28,7 @@
 #ifndef QA_SERVE_WIRE_HPP
 #define QA_SERVE_WIRE_HPP
 
+#include <iosfwd>
 #include <string>
 
 #include "serve/job.hpp"
@@ -75,12 +76,39 @@ WireRequest parseRequest(const std::string& line);
 /** Encode a completed job as one response line (no trailing newline). */
 std::string encodeResult(const std::string& id, const JobResult& result);
 
+/**
+ * Deterministic-payload encoding: encodeResult minus everything that
+ * varies run to run (queue_ms/exec_ms timing, cache_hit). Two
+ * executions of the same JobSpec produce byte-identical encodeReplay
+ * lines — this is what `qassertd --replay` emits and what the
+ * kill-and-replay smoke test diffs.
+ */
+std::string encodeReplay(const std::string& id, const JobResult& result);
+
 /** Encode a failure as one response line (no trailing newline). */
 std::string encodeError(const std::string& id, ErrorCode code,
                         const std::string& message);
 
 /** Encode a metrics snapshot as one response line. */
 std::string encodeMetrics(const MetricsSnapshot& snapshot);
+
+/** Outcome of one bounded NDJSON line read. */
+enum class ReadLineStatus
+{
+    kOk,      ///< One complete line (newline stripped) in `out`.
+    kEof,     ///< Stream ended (or failed, e.g. EINTR) before any byte.
+    kOverflow ///< Line exceeded the bound; rest of the line consumed.
+};
+
+/**
+ * Read one newline-terminated line of at most `max_len` bytes
+ * (excluding the newline). An over-long line is consumed to its
+ * terminator — so the stream stays line-synchronised — and reported as
+ * kOverflow; the caller responds with a typed kBadRequest instead of
+ * buffering an unbounded request.
+ */
+ReadLineStatus readLineBounded(std::istream& in, std::string* out,
+                               size_t max_len);
 
 } // namespace serve
 } // namespace qa

@@ -230,38 +230,46 @@ runShotPool(int shots, int num_threads, double deadline_ms,
     const int chunk = std::max(1, shots / (threads * 8));
     FirstException failure;
     std::vector<std::thread> pool;
-    pool.reserve(size_t(threads));
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] {
-            // The shot loop is the outer parallelism: keep the gate
-            // kernels this worker calls serial.
-            SerialKernelScope serial;
-            int done = 0;
-            try {
-                auto worker = make_worker();
-                bool expired = false;
-                while (!expired && !failure.armed()) {
-                    if (deadline.expired()) break;
-                    const int begin = cursor.fetch_add(chunk);
-                    if (begin >= shots) break;
-                    const int end = std::min(shots, begin + chunk);
-                    for (int s = begin; s < end; ++s) {
-                        worker(s, locals[size_t(t)]);
-                        ++done;
-                        if (deadline.active() && (done & 63) == 0 &&
-                            deadline.expired()) {
-                            expired = true;
-                            break;
+    ThreadJoiner joiner(pool);
+    try {
+        pool.reserve(size_t(threads));
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                // The shot loop is the outer parallelism: keep the gate
+                // kernels this worker calls serial.
+                SerialKernelScope serial;
+                int done = 0;
+                try {
+                    auto worker = make_worker();
+                    bool expired = false;
+                    while (!expired && !failure.armed()) {
+                        if (deadline.expired()) break;
+                        const int begin = cursor.fetch_add(chunk);
+                        if (begin >= shots) break;
+                        const int end = std::min(shots, begin + chunk);
+                        for (int s = begin; s < end; ++s) {
+                            worker(s, locals[size_t(t)]);
+                            ++done;
+                            if (deadline.active() && (done & 63) == 0 &&
+                                deadline.expired()) {
+                                expired = true;
+                                break;
+                            }
                         }
                     }
+                } catch (...) {
+                    failure.capture();
                 }
-            } catch (...) {
-                failure.capture();
-            }
-            completed.fetch_add(done, std::memory_order_relaxed);
-        });
+                completed.fetch_add(done, std::memory_order_relaxed);
+            });
+        }
+    } catch (...) {
+        // Thread creation failed mid-spawn: arm the latch so live
+        // workers stop pulling chunks, join them while cursor/locals
+        // are still alive, then surface the spawn error.
+        failure.capture();
     }
-    for (std::thread& th : pool) th.join();
+    joiner.joinAll();
     failure.rethrow();
     status.completed = completed.load(std::memory_order_relaxed);
     status.truncated = status.completed < shots;

@@ -316,6 +316,40 @@ TEST(ShotPoolTest, WorkerExceptionIsRethrownWithThreadsJoined)
                  UserError);
 }
 
+TEST(ShotPoolTest, ExceptionDuringDeadlineDrainJoinsCleanly)
+{
+    // Regression for the pool shutdown ordering: a worker throwing
+    // while its siblings are already draining on an expired deadline
+    // must not race the pool teardown. Whichever side wins — the
+    // deadline truncating the run or the poisoned shot throwing — every
+    // thread is joined before runShotPool unwinds and the per-worker
+    // locals stay consistent (tier1 runs this under TSAN, which is what
+    // actually checks the join ordering).
+    for (int iter = 0; iter < 25; ++iter) {
+        std::vector<long> locals;
+        try {
+            const ShotLoopStatus status = runShotPool(
+                1 << 20, 4, 0.2, locals,
+                [&]() {
+                    return [](int shot, long& local) {
+                        if ((shot & 4095) == 4095) {
+                            throw std::runtime_error("poisoned shot");
+                        }
+                        ++local;
+                    };
+                });
+            // The deadline beat every poisoned shot: a clean truncation.
+            EXPECT_TRUE(status.truncated);
+        } catch (const std::runtime_error&) {
+            // A poisoned shot threw while the others drained: the
+            // exception surfaced on this thread after a full join.
+        }
+        long total = 0;
+        for (long local : locals) total += local;
+        EXPECT_GE(total, 0);
+    }
+}
+
 TEST(ShotPoolTest, CompletedRunsReportFullShotCount)
 {
     std::vector<long> locals;

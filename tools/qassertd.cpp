@@ -3,28 +3,45 @@
  * qassertd: the assertion service front-end. Speaks newline-delimited
  * JSON over stdin/stdout (protocol: serve/wire.hpp) and drives the
  * in-process Scheduler — batching, priorities, the cross-job result
- * cache, and per-job deadlines all come from there.
+ * cache, per-job deadlines, worker supervision, and transient-failure
+ * retries all come from there.
  *
  * Usage:
- *   qassertd [--workers N] [--queue N] [--cache N]
+ *   qassertd [--workers N] [--queue N] [--cache N] [--max-line N]
+ *            [--retries N] [--stall-ms X] [--breaker]
+ *            [--journal PATH] [--sync-every N] [--drain-ms X]
+ *   qassertd --replay PATH
  *
  * Behaviour:
  *  - every input line is one request; every response is one line
  *    tagged with the request's id, emitted in completion order;
- *  - admission rejections ({"code":"queue_full"}) are immediate — the
- *    reader never blocks on a full queue, callers are expected to
- *    retry with backoff;
- *  - EOF or {"op":"shutdown"} drains in-flight work and exits 0.
+ *  - input lines are bounded (--max-line, default 1 MiB); an oversize
+ *    line is consumed and rejected with {"code":"bad_request"} without
+ *    ever being buffered whole;
+ *  - admission rejections ({"code":"queue_full"}, {"code":"shedding"})
+ *    are immediate — the reader never blocks on a full queue, callers
+ *    are expected to retry with backoff;
+ *  - with --journal, every admitted run request is appended to a
+ *    crash-safe NDJSON journal *before* it enters the scheduler, and a
+ *    completion record (with the result's payload hash) follows when it
+ *    resolves — `--replay` re-executes the journal deterministically;
+ *  - SIGTERM/SIGINT, EOF, or {"op":"shutdown"} stop admission, drain
+ *    in-flight work (bounded by --drain-ms), flush the journal, and
+ *    exit 0 after printing a final metrics summary.
  *
  * Diagnostics (startup banner, shutdown summary) go to stderr so stdout
  * stays a pure response stream.
  */
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "resilience/journal.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/wire.hpp"
 
@@ -33,6 +50,31 @@ namespace
 
 using namespace qa;
 using namespace qa::serve;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onDrainSignal(int sig)
+{
+    g_signal = sig;
+}
+
+/**
+ * Install SIGTERM/SIGINT handlers *without* SA_RESTART, so the blocking
+ * stdin read fails with EINTR and the main loop falls through to the
+ * graceful-drain path instead of dying mid-job.
+ */
+void
+installDrainHandlers()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = onDrainSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+}
 
 /** Serializes response lines from concurrent worker callbacks. */
 class ResponseWriter
@@ -66,12 +108,92 @@ parsePositiveArg(const std::string& flag, const char* value)
     return parsed;
 }
 
+/**
+ * Replay a journal: re-execute every accepted request in admission
+ * order on this thread and emit one timing-free response line each
+ * (encodeReplay). Because executeJob is a pure function of the spec,
+ * the output is byte-identical no matter when or where the journal was
+ * written — including a journal cut short by SIGKILL. Completion
+ * records double as an integrity check: a recomputed payload hash that
+ * disagrees with the journaled one is reported and fails the replay.
+ */
+int
+replayJournal(const std::string& path)
+{
+    resilience::JournalScan scan;
+    try {
+        scan = resilience::scanJournal(path);
+    } catch (const UserError& err) {
+        std::cerr << "qassertd: replay failed: " << err.what() << "\n";
+        return 1;
+    }
+    if (scan.torn_tail) {
+        std::cerr << "qassertd: journal has a torn final record "
+                     "(crash mid-append); dropped\n";
+    }
+    std::cerr << "qassertd: replaying " << scan.accepted.size()
+              << " accepted job(s), " << scan.completed.size()
+              << " completion record(s)\n";
+
+    int mismatches = 0;
+    for (const resilience::JournalEntry& entry : scan.accepted) {
+        std::string id;
+        JobResult result;
+        try {
+            const JsonValue parsed = JsonValue::parse(entry.request);
+            id = requestId(parsed);
+            WireRequest request = buildRequest(parsed);
+            result = executeJob(request.spec);
+        } catch (const UserError& err) {
+            result = JobResult{};
+            result.status = JobStatus::kFailed;
+            result.error_code = err.code();
+            result.error_message = err.what();
+        } catch (const std::exception& err) {
+            result = JobResult{};
+            result.status = JobStatus::kFailed;
+            result.error_code = ErrorCode::kGeneric;
+            result.error_message = err.what();
+        }
+        std::cout << encodeReplay(id, result) << "\n";
+
+        const auto completed = scan.completed.find(entry.seq);
+        if (completed == scan.completed.end()) continue;
+        if (completed->second.status != "ok" &&
+            completed->second.status != "failed") {
+            continue; // rejected/cancelled records carry no payload hash
+        }
+        const std::string recomputed = payloadHash(result).str();
+        if (recomputed != completed->second.hash) {
+            std::cerr << "qassertd: seq " << entry.seq
+                      << " payload hash mismatch (journal "
+                      << completed->second.hash << ", replay "
+                      << recomputed << ")\n";
+            ++mismatches;
+        }
+    }
+    std::cout.flush();
+    if (mismatches > 0) {
+        std::cerr << "qassertd: replay NOT bit-identical (" << mismatches
+                  << " mismatching payload(s))\n";
+        return 1;
+    }
+    std::cerr << "qassertd: replay done; all journaled payloads "
+                 "reproduced bit-identically\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     SchedulerOptions options;
+    std::string journal_path;
+    std::string replay_path;
+    size_t max_line = size_t(1) << 20;
+    size_t sync_every = 8;
+    double drain_ms = 30000.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -89,11 +211,49 @@ main(int argc, char** argv)
             }
             options.cache_capacity = size_t(std::atoi(value)); // 0 = off
             ++i;
+        } else if (arg == "--max-line") {
+            max_line = size_t(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--retries") {
+            options.retry.max_attempts = parsePositiveArg(arg, value);
+            ++i;
+        } else if (arg == "--stall-ms") {
+            options.supervisor.stall_timeout_ms =
+                double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--breaker") {
+            options.breaker.enabled = true;
+        } else if (arg == "--journal") {
+            if (value == nullptr) {
+                std::cerr << "qassertd: --journal needs a path\n";
+                return 2;
+            }
+            journal_path = value;
+            ++i;
+        } else if (arg == "--sync-every") {
+            sync_every = size_t(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--drain-ms") {
+            drain_ms = double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--replay") {
+            if (value == nullptr) {
+                std::cerr << "qassertd: --replay needs a path\n";
+                return 2;
+            }
+            replay_path = value;
+            ++i;
         } else if (arg == "--help" || arg == "-h") {
-            std::cerr << "usage: qassertd [--workers N] [--queue N] "
-                         "[--cache N]\n"
-                         "NDJSON requests on stdin, one response line "
-                         "per request on stdout (see DESIGN.md Sec. 9)\n";
+            std::cerr
+                << "usage: qassertd [--workers N] [--queue N] [--cache N]"
+                   " [--max-line N]\n"
+                   "                [--retries N] [--stall-ms X]"
+                   " [--breaker]\n"
+                   "                [--journal PATH] [--sync-every N]"
+                   " [--drain-ms X]\n"
+                   "       qassertd --replay PATH\n"
+                   "NDJSON requests on stdin, one response line per "
+                   "request on stdout (see DESIGN.md Sec. 9/10)\n";
             return 0;
         } else {
             std::cerr << "qassertd: unknown option '" << arg << "'\n";
@@ -101,13 +261,46 @@ main(int argc, char** argv)
         }
     }
 
+    if (!replay_path.empty()) return replayJournal(replay_path);
+
+    std::unique_ptr<resilience::Journal> journal;
+    if (!journal_path.empty()) {
+        try {
+            resilience::JournalOptions jopts;
+            jopts.sync_every = sync_every;
+            journal = std::make_unique<resilience::Journal>(journal_path,
+                                                            jopts);
+        } catch (const UserError& err) {
+            std::cerr << "qassertd: " << err.what() << "\n";
+            return 2;
+        }
+    }
+
+    installDrainHandlers();
     Scheduler scheduler(options);
     ResponseWriter out;
-    std::cerr << "qassertd: ready (" << scheduler.workers()
-              << " workers)\n";
+    std::cerr << "qassertd: ready (" << scheduler.workers() << " workers"
+              << (journal ? ", journaled" : "")
+              << (options.supervisor.stall_timeout_ms > 0.0 ? ", supervised"
+                                                            : "")
+              << ")\n";
 
+    uint64_t journal_seq = 0;
     std::string line;
-    while (std::getline(std::cin, line)) {
+    bool shutdown_requested = false;
+    while (!shutdown_requested && g_signal == 0) {
+        const ReadLineStatus read =
+            readLineBounded(std::cin, &line, max_line);
+        if (read == ReadLineStatus::kEof) {
+            break; // closed pipe, or EINTR from a drain signal
+        }
+        if (read == ReadLineStatus::kOverflow) {
+            out.writeLine(encodeError(
+                "", ErrorCode::kBadRequest,
+                "input line exceeds the " + std::to_string(max_line) +
+                    "-byte bound; request rejected unread"));
+            continue;
+        }
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
         JsonValue parsed;
@@ -125,17 +318,55 @@ main(int argc, char** argv)
                 out.writeLine(encodeMetrics(scheduler.metrics()));
                 continue;
             }
-            if (request.op == RequestOp::kShutdown) break;
-            scheduler.submit(
-                std::move(request.spec), [id, &out](JobResult result) {
-                    out.writeLine(encodeResult(id, result));
-                });
+            if (request.op == RequestOp::kShutdown) {
+                shutdown_requested = true;
+                continue;
+            }
+            const uint64_t seq = journal_seq++;
+            // Write-ahead: the accept record hits the journal before
+            // the scheduler sees the job, so a crash between the two
+            // replays the job instead of losing it.
+            if (journal) journal->appendAccept(seq, line);
+            resilience::Journal* journal_raw = journal.get();
+            try {
+                scheduler.submit(
+                    std::move(request.spec),
+                    [id, seq, &out, journal_raw](JobResult result) {
+                        if (journal_raw != nullptr) {
+                            journal_raw->appendComplete(
+                                seq, jobStatusName(result.status),
+                                payloadHash(result).str());
+                        }
+                        out.writeLine(encodeResult(id, result));
+                    });
+            } catch (const UserError&) {
+                // Admission refused after the write-ahead record: close
+                // the journal entry so replay does not resurrect a job
+                // the caller saw rejected.
+                if (journal) journal->appendComplete(seq, "rejected", "");
+                throw;
+            }
         } catch (const UserError& err) {
             out.writeLine(encodeError(id, err.code(), err.what()));
         }
     }
 
-    scheduler.drain();
+    if (g_signal != 0) {
+        std::cerr << "qassertd: caught "
+                  << (g_signal == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << "; draining (bound " << drain_ms << "ms)\n";
+    }
+    if (!scheduler.drainFor(drain_ms)) {
+        std::cerr << "qassertd: drain timed out; cancelling remaining "
+                     "jobs\n";
+    }
+    scheduler.stop();
+    if (journal) {
+        journal->sync();
+        std::cerr << "qassertd: journal flushed ("
+                  << journal->recordsWritten() << " records, "
+                  << journal->syncsIssued() << " fsyncs)\n";
+    }
     const MetricsSnapshot metrics = scheduler.metrics();
     std::cerr << metrics.str();
     return 0;
