@@ -3,13 +3,15 @@
 # Tier-1 verification: the canonical build + full ctest sweep (plus the
 # qassertd kill-and-replay chaos smoke, scripts/chaos_smoke.sh), then a
 # ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine,
-# policy-runner, service-scheduler, and resilience-chaos tests — the
-# multi-threaded code paths, including watchdog reclaim/respawn and
-# zombie joins — under TSAN, and an ASan+UBSan build (QA_ENABLE_ASAN=ON)
-# that runs the fault-injection, recovery-policy, service, and
-# resilience tests, whose error paths exercise exception propagation
-# out of worker pools, scheduler callbacks, and the adversarial wire
-# corpus.
+# policy-runner, service-scheduler, backend-subsystem, and
+# resilience-chaos tests — the multi-threaded code paths, including
+# watchdog reclaim/respawn, zombie joins, and the pooled shot loops of
+# all three simulation backends — under TSAN, and an ASan+UBSan build
+# (QA_ENABLE_ASAN=ON) that runs the fault-injection, recovery-policy,
+# service, backend, and resilience tests, whose error paths exercise
+# exception propagation out of worker pools, scheduler callbacks, the
+# backend router's incapable-request rejections, and the adversarial
+# wire corpus.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
 #
@@ -44,13 +46,15 @@ if [[ "$skip_tsan" -ne 1 ]]; then
         -DQASSERT_BUILD_BENCHES=OFF \
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target test_engine --target test_policy \
-        --target test_serve --target test_resilience
+        --target test_serve --target test_backend --target test_resilience
     ./build-tsan/tests/test_engine \
         --gtest_filter='EngineTest.*:ShotPlanTest.*:ShotPoolTest.*'
     ./build-tsan/tests/test_policy \
         --gtest_filter='PolicyTest.*'
     ./build-tsan/tests/test_serve \
         --gtest_filter='SchedulerTest.*:CacheTest.*'
+    ./build-tsan/tests/test_backend \
+        --gtest_filter='BackendDeterminismTest.*:CrossBackendTest.*'
     ./build-tsan/tests/test_resilience
 fi
 
@@ -61,12 +65,13 @@ if [[ "$skip_asan" -ne 1 ]]; then
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-asan -j \
         --target test_inject --target test_policy --target test_engine \
-        --target test_serve --target test_resilience
+        --target test_serve --target test_backend --target test_resilience
     ./build-asan/tests/test_inject
     ./build-asan/tests/test_policy
     ./build-asan/tests/test_engine \
         --gtest_filter='ShotPoolTest.*:EngineTest.Deadline*'
     ./build-asan/tests/test_serve
+    ./build-asan/tests/test_backend
     ./build-asan/tests/test_resilience
 fi
 

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Circuit and noise analysis for backend routing: classify a circuit by
+ * its Clifford content and measurement structure, and a noise model by
+ * whether its channels are Pauli mixtures, so the router can decide
+ * which simulation backends are capable of a job and which is cheapest.
+ *
+ * Everything here is a pure function of the circuit and noise model —
+ * no RNG, no clocks, no global state — which is what makes routing
+ * decisions bit-identically reproducible and safe to absorb into cache
+ * keys.
+ */
+#ifndef QA_BACKEND_ANALYZER_HPP
+#define QA_BACKEND_ANALYZER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/noise.hpp"
+
+namespace qa
+{
+namespace backend
+{
+
+/** Coarse circuit classification for routing and `--explain` output. */
+enum class CircuitClass
+{
+    kClifford,        ///< every gate is Clifford
+    kCliffordPlusFew, ///< a handful of non-Clifford gates
+    kGeneral,         ///< substantially non-Clifford
+};
+
+const char* circuitClassName(CircuitClass klass);
+
+/** Structural profile of one circuit, computed in a single pass. */
+struct CircuitProfile
+{
+    int num_qubits = 0;
+    int num_clbits = 0;
+    size_t instructions = 0;
+    size_t gates = 0;
+    size_t measures = 0;
+    size_t resets = 0;
+
+    /** Gates whose unitary is not a recognized Clifford operation. */
+    int non_clifford_gates = 0;
+
+    /** Unique non-Clifford gate names, in order of first appearance. */
+    std::vector<std::string> non_clifford_names;
+
+    /**
+     * True when every measurement sits in a terminal suffix of
+     * measure/barrier instructions and the circuit has no resets:
+     * exactly the shape density-matrix sampling can serve by reading
+     * the final diagonal.
+     */
+    bool terminal_measure_only = false;
+
+    /** (qubit, clbit) pairs of the terminal measurements, in order. */
+    std::vector<std::pair<int, int>> terminal_measures;
+
+    CircuitClass klass = CircuitClass::kGeneral;
+};
+
+/** Analyze a circuit; one pass plus Clifford recognition per gate. */
+CircuitProfile analyzeCircuit(const QuantumCircuit& circuit);
+
+/** What the active noise model demands of a backend. */
+struct NoiseProfile
+{
+    bool enabled = false;
+
+    /** Gate-level Kraus channels are attached. */
+    bool kraus = false;
+
+    /** Classical readout error is attached. */
+    bool readout = false;
+
+    /**
+     * True when every attached Kraus channel is a probabilistic Pauli
+     * mixture (depolarizing, bit/phase flip, ...). Such channels are
+     * state-independent, so stabilizer trajectories can apply them as
+     * sign-only tableau updates. Meaningless when `kraus` is false.
+     */
+    bool pauli_only = true;
+};
+
+NoiseProfile analyzeNoise(const NoiseModel* noise);
+
+/**
+ * A Kraus channel recognized as a Pauli mixture: outcome i applies the
+ * single-qubit Pauli with symplectic bits (x, z) = `paulis[i]` with
+ * unnormalized weight `weights[i]` (the |c|^2 of K_i = c * P_i).
+ */
+struct PauliChannel
+{
+    std::vector<double> weights;
+    std::vector<std::pair<uint8_t, uint8_t>> paulis;
+};
+
+/**
+ * Recognize a single-qubit Kraus channel as a Pauli mixture: each Kraus
+ * operator must be a complex multiple of one Pauli (coefficient
+ * c = tr(P^dag K) / 2, all other Pauli coefficients ~0). Returns
+ * nullopt when any operator mixes Paulis (amplitude damping et al.),
+ * whose trajectory probabilities are state-dependent.
+ */
+std::optional<PauliChannel> recognizePauliChannel(const KrausChannel& channel);
+
+} // namespace backend
+} // namespace qa
+
+#endif // QA_BACKEND_ANALYZER_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Backend registry and the routed shot-execution entry points: the
+ * pooled shot loop shared by every backend, prepareRun (route +
+ * prepare), and the top-level qa::runShots the rest of the codebase
+ * calls.
+ */
+#include "backend/backend.hpp"
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace qa
+{
+namespace backend
+{
+
+const Backend&
+backendFor(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kStatevector:
+        return detail::statevectorBackend();
+      case BackendKind::kDensityMatrix:
+        return detail::densityMatrixBackend();
+      case BackendKind::kStabilizer:
+        return detail::stabilizerBackend();
+    }
+    QA_FAIL("unknown backend kind");
+}
+
+Counts
+runPrepared(const PreparedCircuit& prepared, const SimOptions& options)
+{
+    QA_REQUIRE(options.shots > 0, "need a positive shot count");
+
+    std::vector<Counts> locals;
+    const ShotLoopStatus status = runShotPool(
+        options.shots, options.num_threads, options.deadline_ms, locals,
+        [&]() {
+            // One sampler (and its scratch state) per pool worker.
+            return [&, sampler = prepared.makeSampler()](
+                       int shot, Counts& local) {
+                Rng rng = Rng::forStream(options.seed, uint64_t(shot));
+                ++local.map[sampler->runOne(rng)];
+                ++local.shots;
+            };
+        });
+
+    Counts counts;
+    counts.truncated = status.truncated;
+    for (const Counts& local : locals) mergeCounts(counts, local);
+    QA_REQUIRE(counts.shots == status.completed,
+               "shot pool lost track of completed shots");
+    return counts;
+}
+
+Counts
+Backend::runShots(const QuantumCircuit& circuit,
+                  const SimOptions& options) const
+{
+    return runPrepared(*prepare(circuit, options), options);
+}
+
+RoutedRun
+prepareRun(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    RoutedRun run;
+    run.choice = routeShots(circuit, options);
+    QA_REQUIRE_CODE(run.choice.capable, ErrorCode::kBadRequest,
+                    run.choice.reason);
+    run.prepared =
+        backendFor(run.choice.backend).prepare(circuit, options);
+    return run;
+}
+
+} // namespace backend
+
+Counts
+runShots(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    const backend::RoutedRun run = backend::prepareRun(circuit, options);
+    return backend::runPrepared(*run.prepared, options);
+}
+
+} // namespace qa

@@ -1,0 +1,218 @@
+#include "backend/router.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace qa
+{
+namespace backend
+{
+
+namespace
+{
+
+/**
+ * Density-matrix memory wall: 4^n complex doubles. Above this the
+ * statevector engine is always preferred, whatever the shot count.
+ */
+constexpr int kDensityMaxQubits = 8;
+
+/** Deterministic cost estimates used to arbitrate density vs replay. */
+struct CostEstimate
+{
+    double statevector = 0.0;
+    double density = 0.0;
+};
+
+CostEstimate
+estimateCosts(const CircuitProfile& circuit, const NoiseModel* noise,
+              int shots)
+{
+    const double dim = std::ldexp(1.0, circuit.num_qubits);
+    const double work = double(circuit.instructions) + 1.0;
+    size_t channels = 0;
+    if (noise != nullptr) {
+        channels = noise->noise_1q.size() + noise->noise_2q.size();
+    }
+    CostEstimate est;
+    // Per-shot replay touches every amplitude per instruction; the
+    // density path evolves 4^n entries once, channels included exactly.
+    est.statevector = double(shots) * work * dim;
+    est.density = work * double(1 + channels) * dim * dim;
+    return est;
+}
+
+/** Why the stabilizer backend cannot run this job ("" when it can). */
+std::string
+stabilizerObjection(const CircuitProfile& circuit,
+                    const NoiseProfile& noise)
+{
+    if (circuit.non_clifford_gates > 0) {
+        std::ostringstream out;
+        out << circuit.non_clifford_gates << " non-Clifford gate"
+            << (circuit.non_clifford_gates == 1 ? "" : "s");
+        if (!circuit.non_clifford_names.empty()) {
+            out << " (first: " << circuit.non_clifford_names.front()
+                << ")";
+        }
+        return out.str();
+    }
+    if (noise.kraus && !noise.pauli_only) {
+        return "non-Pauli Kraus channels in the noise model";
+    }
+    return "";
+}
+
+/** Why the density backend cannot run this job ("" when it can). */
+std::string
+densityObjection(const CircuitProfile& circuit)
+{
+    if (!circuit.terminal_measure_only) {
+        return "mid-circuit measurements or resets";
+    }
+    if (circuit.num_qubits > kDensityMaxQubits) {
+        std::ostringstream out;
+        out << circuit.num_qubits << " qubits exceed the "
+            << kDensityMaxQubits << "-qubit density-matrix limit";
+        return out.str();
+    }
+    return "";
+}
+
+std::string
+describeNoise(const NoiseProfile& noise)
+{
+    if (!noise.enabled) return "none";
+    std::string desc;
+    if (noise.kraus) {
+        desc = noise.pauli_only ? "Pauli channels" : "non-Pauli channels";
+    }
+    if (noise.readout) {
+        if (!desc.empty()) desc += " + ";
+        desc += "readout error";
+    }
+    return desc;
+}
+
+} // namespace
+
+BackendChoice
+routeShots(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    const CircuitProfile profile = analyzeCircuit(circuit);
+    const NoiseProfile noise = analyzeNoise(options.noise);
+
+    BackendChoice choice;
+    choice.klass = profile.klass;
+    choice.non_clifford_gates = profile.non_clifford_gates;
+
+    const std::string stab_why = stabilizerObjection(profile, noise);
+    const std::string dens_why = densityObjection(profile);
+
+    if (options.backend != BackendRequest::kAuto) {
+        choice.explicit_request = true;
+        switch (options.backend) {
+          case BackendRequest::kStatevector:
+            choice.backend = BackendKind::kStatevector;
+            choice.reason = "explicit statevector request";
+            break;
+          case BackendRequest::kDensityMatrix:
+            choice.backend = BackendKind::kDensityMatrix;
+            choice.capable = dens_why.empty();
+            choice.reason =
+                choice.capable
+                    ? "explicit density-matrix request"
+                    : "density-matrix backend cannot run this job: " +
+                          dens_why;
+            break;
+          case BackendRequest::kStabilizer:
+            choice.backend = BackendKind::kStabilizer;
+            choice.capable = stab_why.empty();
+            choice.reason =
+                choice.capable
+                    ? "explicit stabilizer request"
+                    : "stabilizer backend cannot run this job: " +
+                          stab_why;
+            break;
+          case BackendRequest::kAuto:
+            break;
+        }
+        return choice;
+    }
+
+    if (options.naive) {
+        choice.backend = BackendKind::kStatevector;
+        choice.reason =
+            "naive replay is a statevector-engine diagnostic mode";
+        return choice;
+    }
+
+    if (stab_why.empty()) {
+        choice.backend = BackendKind::kStabilizer;
+        choice.reason = "Clifford circuit (noise: " +
+                        describeNoise(noise) + "), O(n^2)-per-gate "
+                        "tableau simulation";
+        return choice;
+    }
+
+    if (noise.kraus && !noise.pauli_only && dens_why.empty()) {
+        const CostEstimate est =
+            estimateCosts(profile, options.noise, options.shots);
+        if (est.density < est.statevector) {
+            choice.backend = BackendKind::kDensityMatrix;
+            choice.reason =
+                "non-Pauli Kraus channels on a small terminal-"
+                "measurement circuit: one exact channel evolution is "
+                "cheaper than per-shot trajectory replay";
+            return choice;
+        }
+    }
+
+    choice.backend = BackendKind::kStatevector;
+    choice.reason = "general circuit: " + stab_why;
+    return choice;
+}
+
+std::string
+explainRouting(const QuantumCircuit& circuit, const SimOptions& options)
+{
+    const CircuitProfile profile = analyzeCircuit(circuit);
+    const NoiseProfile noise = analyzeNoise(options.noise);
+    const BackendChoice choice = routeShots(circuit, options);
+    const std::string stab_why = stabilizerObjection(profile, noise);
+    const std::string dens_why = densityObjection(profile);
+
+    std::ostringstream out;
+    out << "circuit: " << profile.num_qubits << " qubits, "
+        << profile.gates << " gates, " << profile.measures
+        << " measures, " << profile.resets << " resets\n";
+    out << "class: " << circuitClassName(profile.klass);
+    if (profile.non_clifford_gates > 0) {
+        out << " (" << profile.non_clifford_gates
+            << " non-Clifford gates";
+        if (!profile.non_clifford_names.empty()) {
+            out << ":";
+            for (const std::string& name : profile.non_clifford_names) {
+                out << " " << name;
+            }
+        }
+        out << ")";
+    }
+    out << "\n";
+    out << "measurement shape: "
+        << (profile.terminal_measure_only ? "terminal only"
+                                          : "mid-circuit")
+        << "\n";
+    out << "noise: " << describeNoise(noise) << "\n";
+    out << "capable: statevector=yes, density_matrix="
+        << (dens_why.empty() ? "yes" : "no (" + dens_why + ")")
+        << ", stabilizer="
+        << (stab_why.empty() ? "yes" : "no (" + stab_why + ")") << "\n";
+    out << "chosen: " << backendName(choice.backend)
+        << (choice.capable ? "" : " [INCAPABLE]") << " — "
+        << choice.reason << "\n";
+    return out.str();
+}
+
+} // namespace backend
+} // namespace qa

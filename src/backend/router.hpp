@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-job backend routing: given a circuit and run options, pick the
+ * cheapest capable simulation backend.
+ *
+ * Routing is a pure function of the circuit structure, the noise model,
+ * and the keyed run options (shots, explicit backend request, naive
+ * flag) — never of wall-clock, thread count, or RNG state. That makes
+ * the decision bit-identically reproducible, which the serve layer
+ * relies on when it absorbs the resolved backend into cache keys.
+ *
+ * routeShots never throws: an explicit request for a backend that
+ * cannot run the job comes back with `capable == false` and a reason,
+ * and the caller (dispatch / the serve layer) decides how to surface
+ * the error. This keeps jobKey() exception-free.
+ */
+#ifndef QA_BACKEND_ROUTER_HPP
+#define QA_BACKEND_ROUTER_HPP
+
+#include <string>
+
+#include "backend/analyzer.hpp"
+#include "sim/options.hpp"
+#include "sim/statevector.hpp"
+
+namespace qa
+{
+namespace backend
+{
+
+/** The routing decision for one job, recorded in results and metrics. */
+struct BackendChoice
+{
+    /** The resolved backend (the requested one for explicit requests). */
+    BackendKind backend = BackendKind::kStatevector;
+
+    /** True when the caller forced the backend instead of auto-routing. */
+    bool explicit_request = false;
+
+    /**
+     * False when an explicitly requested backend cannot run the job
+     * (e.g. stabilizer for a T-gate circuit). Auto-routed choices are
+     * always capable. Executing an incapable choice is the caller's
+     * error to raise.
+     */
+    bool capable = true;
+
+    /** Circuit classification behind the decision. */
+    CircuitClass klass = CircuitClass::kGeneral;
+
+    /** Non-Clifford gate count found by the analyzer. */
+    int non_clifford_gates = 0;
+
+    /** Human-readable explanation of the decision (one sentence). */
+    std::string reason;
+};
+
+/**
+ * Route one shot-execution job. Considers, in order: an explicit
+ * `options.backend` request (validated, never overridden), the naive
+ * replay flag (statevector only), the stabilizer fast path (Clifford
+ * circuit, noise absent or Pauli/readout only), the density-matrix
+ * backend (non-Pauli channels on a small terminal-measurement circuit
+ * where exact channel evolution beats per-shot trajectory replay), and
+ * finally the general statevector engine. Never throws.
+ */
+BackendChoice routeShots(const QuantumCircuit& circuit,
+                         const SimOptions& options);
+
+/**
+ * Multi-line human-readable report of the analysis and routing for a
+ * job: circuit profile, noise profile, per-backend capability verdicts,
+ * and the chosen backend with its reason. Powers `qassertd --explain`
+ * and the qa_explain tool; executes nothing.
+ */
+std::string explainRouting(const QuantumCircuit& circuit,
+                           const SimOptions& options);
+
+} // namespace backend
+} // namespace qa
+
+#endif // QA_BACKEND_ROUTER_HPP

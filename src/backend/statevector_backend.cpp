@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The dense statevector engine behind the Backend interface: a thin
+ * adapter over sim/engine.hpp's ShotExecutor, so routed runs keep the
+ * prefix cache, the terminal-sampling fast path, and the exact RNG
+ * draw sequence of runShotsStatevector.
+ */
+#include "backend/backend.hpp"
+
+#include "sim/engine.hpp"
+
+namespace qa
+{
+namespace backend
+{
+
+namespace
+{
+
+class StatevectorSampler final : public ShotSampler
+{
+  public:
+    explicit StatevectorSampler(const ShotExecutor& executor)
+        : executor_(executor), scratch_(executor.makeScratch())
+    {}
+
+    std::string
+    runOne(Rng& rng) override
+    {
+        return executor_.runOne(rng, scratch_);
+    }
+
+  private:
+    const ShotExecutor& executor_;
+    Statevector scratch_;
+};
+
+class StatevectorPrepared final : public PreparedCircuit
+{
+  public:
+    StatevectorPrepared(const QuantumCircuit& circuit,
+                        const NoiseModel* noise, bool naive)
+        : executor_(circuit, noise, naive)
+    {}
+
+    std::unique_ptr<ShotSampler>
+    makeSampler() const override
+    {
+        return std::make_unique<StatevectorSampler>(executor_);
+    }
+
+  private:
+    ShotExecutor executor_;
+};
+
+class StatevectorBackend final : public Backend
+{
+  public:
+    BackendCapabilities
+    capabilities() const override
+    {
+        BackendCapabilities caps;
+        caps.kind = BackendKind::kStatevector;
+        caps.name = backendName(BackendKind::kStatevector);
+        caps.clifford_only = false;
+        caps.mid_circuit = true;
+        caps.kraus_noise = true;
+        caps.pauli_noise = true;
+        caps.readout_noise = true;
+        caps.max_qubits = 0; // memory-bound: 2^n amplitudes
+        return caps;
+    }
+
+    std::shared_ptr<const PreparedCircuit>
+    prepare(const QuantumCircuit& circuit,
+            const SimOptions& options) const override
+    {
+        return std::make_shared<StatevectorPrepared>(
+            circuit, options.noise, options.naive);
+    }
+};
+
+} // namespace
+
+namespace detail
+{
+
+const Backend&
+statevectorBackend()
+{
+    static const StatevectorBackend instance;
+    return instance;
+}
+
+} // namespace detail
+
+} // namespace backend
+} // namespace qa

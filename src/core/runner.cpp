@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/backend.hpp"
 #include "common/error.hpp"
 #include "sim/density.hpp"
 #include "sim/engine.hpp"
@@ -121,13 +122,14 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
     }
 
     const auto& slots = program.slots();
-    const NoiseModel* noise =
-        options.noise != nullptr && options.noise->enabled()
-            ? options.noise
-            : nullptr;
-    const ShotExecutor executor(program.circuit(), noise, options.naive);
+
+    // Route once per run: the resolved backend is recorded on the
+    // outcome and every worker samples from the same prepared circuit.
+    const backend::RoutedRun routed =
+        backend::prepareRun(program.circuit(), options);
 
     PolicyOutcome out;
+    out.backend = routed.choice;
     out.policy = popts.policy;
     out.shots_requested = options.shots;
     out.slot_error_rate.assign(slots.size(), 0.0);
@@ -140,14 +142,14 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         // order and stop at the first flagged one, so the abort point is
         // deterministic.
         const ShotDeadline deadline(options.deadline_ms);
-        Statevector scratch = executor.makeScratch();
+        const auto sampler = routed.prepared->makeSampler();
         for (int s = 0; s < options.shots; ++s) {
             if (deadline.active() && (s & 63) == 0 && deadline.expired()) {
                 out.truncated = true;
                 break;
             }
             Rng rng = Rng::forStream(options.seed, uint64_t(s));
-            const std::string bits = executor.runOne(rng, scratch);
+            const std::string bits = sampler->runOne(rng);
             ++out.shots_completed;
             bool any = false;
             for (size_t i = 0; i < slots.size(); ++i) {
@@ -185,8 +187,8 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         const ShotLoopStatus status = runShotPool(
             options.shots, options.num_threads, options.deadline_ms,
             locals, [&]() {
-                return [&, scratch = executor.makeScratch()](
-                           int shot, Local& local) mutable {
+                return [&, sampler = routed.prepared->makeSampler()](
+                           int shot, Local& local) {
                     if (local.slot_errors.empty()) {
                         local.slot_errors.assign(slots.size(), 0);
                     }
@@ -197,7 +199,7 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
                             options.seed,
                             uint64_t(shot) * uint64_t(attempts) +
                                 uint64_t(a));
-                        bits = executor.runOne(rng, scratch);
+                        bits = sampler->runOne(rng);
                         any = false;
                         for (size_t i = 0; i < slots.size(); ++i) {
                             const bool flagged =

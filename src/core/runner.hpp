@@ -8,6 +8,7 @@
 #ifndef QA_CORE_RUNNER_HPP
 #define QA_CORE_RUNNER_HPP
 
+#include "backend/router.hpp"
 #include "core/asserted_program.hpp"
 #include "sim/noise.hpp"
 #include "sim/result.hpp"
@@ -140,6 +141,9 @@ struct PolicyOutcome
 
     /** True when the deadline cancelled the run before all shots ran. */
     bool truncated = false;
+
+    /** Which simulation backend the router resolved for this run. */
+    backend::BackendChoice backend;
 };
 
 /**

@@ -92,33 +92,36 @@ constexpr double kRankEps = 1e-8;
  * diagonal), replace the basis with the computational basis states it
  * spans. This undoes arbitrary rotations inside degenerate eigenspaces
  * and unlocks the CNOT-only synthesis paths.
+ *
+ * Decided from the projector's diagonal alone, in O(rank * 2^n) time
+ * and O(2^n) memory: d(i) = sum_b |b[i]|^2 is the squared norm of the
+ * projection of |i>, so d(i) = 1 iff |i> lies in the span. Since
+ * tr(P) = rank, every diagonal in {0, 1} forces exactly `rank` ones,
+ * and those orthonormal basis states then span the whole subspace —
+ * the projector is diagonal without ever materializing the 2^n x 2^n
+ * matrix (which made assertions on 16+ qubit states intractable).
  */
 void
 alignToBasisStates(CorrectSubspace& subspace)
 {
-    const CMatrix p = subspace.projector();
-    for (size_t r = 0; r < p.rows(); ++r) {
-        for (size_t c = 0; c < p.cols(); ++c) {
-            if (r == c) {
-                const double d = p(r, c).real();
-                if (std::abs(d) > kRankEps && std::abs(d - 1.0) > kRankEps) {
-                    return; // fractional occupancy: not a coordinate span
-                }
-            } else if (std::abs(p(r, c)) > kRankEps) {
-                return;
-            }
-        }
+    const size_t dim = size_t(1) << subspace.n;
+    std::vector<double> diag(dim, 0.0);
+    for (const CVector& b : subspace.basis) {
+        for (size_t i = 0; i < dim; ++i) diag[i] += std::norm(b[i]);
     }
-    std::vector<CVector> aligned;
     std::vector<uint64_t> indices;
-    for (size_t i = 0; i < p.rows(); ++i) {
-        if (p(i, i).real() > 0.5) {
-            aligned.push_back(CVector::basisState(p.rows(), i));
-            indices.push_back(i);
+    for (size_t i = 0; i < dim; ++i) {
+        if (std::abs(diag[i]) <= kRankEps) continue;
+        if (std::abs(diag[i] - 1.0) > kRankEps) {
+            return; // fractional occupancy: not a coordinate span
         }
+        indices.push_back(i);
     }
-    QA_ASSERT(aligned.size() == subspace.basis.size(),
-              "basis alignment changed the rank");
+    if (indices.size() != subspace.basis.size()) return;
+    std::vector<CVector> aligned;
+    for (uint64_t i : indices) {
+        aligned.push_back(CVector::basisState(dim, i));
+    }
     subspace.basis = std::move(aligned);
     subspace.all_basis_states = true;
     subspace.basis_indices = std::move(indices);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/backend.hpp"
 #include "circuit/hash.hpp"
 #include "common/error.hpp"
 #include "sim/statevector.hpp"
@@ -25,6 +26,20 @@ allSlotsPass(const std::string& bits,
         }
     }
     return true;
+}
+
+/** The SimOptions a spec executes (and routes) under. */
+SimOptions
+specOptions(const JobSpec& spec)
+{
+    SimOptions options;
+    options.shots = spec.shots;
+    options.seed = spec.seed;
+    options.noise = spec.noise.enabled() ? &spec.noise : nullptr;
+    options.num_threads = spec.num_threads;
+    options.deadline_ms = spec.deadline_ms;
+    options.backend = spec.backend;
+    return options;
 }
 
 } // namespace
@@ -78,18 +93,23 @@ jobKey(const JobSpec& spec)
     stream.u64(noise.lo);
     stream.i64(spec.shots);
     stream.u64(spec.seed);
+
+    // The RESOLVED backend: different backends agree only in
+    // distribution, so their histograms must never share a cache entry.
+    // routeShots is a pure function of fields absorbed above and never
+    // throws, so auto-routed jobs add no key entropy and jobKey stays
+    // exception-free (the scheduler calls it outside its try block).
+    const backend::BackendChoice choice = backend::routeShots(
+        spec.program != nullptr ? spec.program->circuit() : spec.circuit,
+        specOptions(spec));
+    stream.i64(int64_t(choice.backend));
     return stream.digest();
 }
 
 JobResult
 executeJob(const JobSpec& spec)
 {
-    SimOptions options;
-    options.shots = spec.shots;
-    options.seed = spec.seed;
-    options.noise = spec.noise.enabled() ? &spec.noise : nullptr;
-    options.num_threads = spec.num_threads;
-    options.deadline_ms = spec.deadline_ms;
+    const SimOptions options = specOptions(spec);
 
     JobResult result;
     result.tag = spec.tag;
@@ -105,6 +125,7 @@ executeJob(const JobSpec& spec)
         result.slot_error_rate = outcome.slot_error_rate;
         result.pass_rate = outcome.pass_rate;
         result.truncated = outcome.truncated;
+        result.backend = outcome.backend;
         return result;
     }
 
@@ -131,7 +152,13 @@ executeJob(const JobSpec& spec)
         }
     }
 
-    const Counts raw = runShots(spec.circuit, options);
+    // Route explicitly (instead of through qa::runShots) so the job
+    // result records the decision; throws kBadRequest when an explicit
+    // backend request cannot run the circuit.
+    const backend::RoutedRun routed =
+        backend::prepareRun(spec.circuit, options);
+    result.backend = routed.choice;
+    const Counts raw = backend::runPrepared(*routed.prepared, options);
     result.counts = raw;
     result.truncated = raw.truncated;
 

@@ -23,9 +23,11 @@
 #include "circuit/circuit.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "backend/router.hpp"
 #include "core/asserted_program.hpp"
 #include "core/runner.hpp"
 #include "sim/noise.hpp"
+#include "sim/options.hpp"
 #include "sim/result.hpp"
 
 namespace qa
@@ -72,15 +74,22 @@ struct JobSpec
     /** Gate/readout noise; applied when enabled(). */
     NoiseModel noise;
 
-    int shots = 1024;
-    uint64_t seed = 12345;
+    /**
+     * Simulation-backend request: kAuto lets the router pick the
+     * cheapest capable backend; an explicit kind is honored or the job
+     * fails with kBadRequest when that backend cannot run it.
+     */
+    BackendRequest backend = defaults::kBackend;
+
+    int shots = defaults::kShots;
+    uint64_t seed = defaults::kSeed;
 
     /**
-     * Threads for the job's own shot loop. The default of 1 keeps the
+     * Threads for the job's own shot loop. The default keeps the
      * scheduler's worker pool as the only parallelism; raise it for
      * huge single jobs on an otherwise idle service.
      */
-    int num_threads = 1;
+    int num_threads = defaults::kServeThreads;
 
     /** Per-job wall-clock budget (PR 2 cooperative cancellation). */
     double deadline_ms = 0.0;
@@ -134,6 +143,9 @@ struct JobResult
     /** True when the result came from the cross-job cache. */
     bool cache_hit = false;
 
+    /** Which simulation backend the router resolved for this job. */
+    backend::BackendChoice backend;
+
     /** Failure classification when status == kFailed/kCancelled. */
     ErrorCode error_code = ErrorCode::kGeneric;
     std::string error_message;
@@ -150,10 +162,20 @@ struct JobResult
 
 /**
  * Canonical cache key: covers everything the result depends on (circuit
- * or program structure, slots, policy, noise fingerprint, shots, seed)
- * and nothing it doesn't (num_threads — results are bit-identical for
- * any thread count — deadline, priority, tag). Cross-thread-count and
+ * or program structure, slots, policy, noise fingerprint, shots, seed,
+ * and the RESOLVED simulation backend) and nothing it doesn't
+ * (num_threads — results are bit-identical for any thread count on a
+ * fixed backend — deadline, priority, tag). Cross-thread-count and
  * cross-deadline submissions therefore share cache entries safely.
+ *
+ * The resolved backend matters because different backends only agree
+ * distributionally, not bit-wise. Routing is a pure function of fields
+ * already in the key, so auto-routed jobs gain no key entropy: an
+ * explicit request for the backend the router would pick anyway hashes
+ * identically to the auto submission and shares its cache entry, while
+ * forcing a different backend gets its own entry. Never throws — an
+ * explicit request for an incapable backend keys on the requested kind
+ * (such jobs fail in executeJob and failures are never cached).
  */
 Hash128 jobKey(const JobSpec& spec);
 

@@ -62,6 +62,12 @@ ServiceMetrics::snapshot() const
     snap.shed = shed.load(std::memory_order_relaxed);
     snap.worker_lost = worker_lost.load(std::memory_order_relaxed);
     snap.respawned = respawned.load(std::memory_order_relaxed);
+    snap.backend_statevector =
+        backend_statevector.load(std::memory_order_relaxed);
+    snap.backend_density_matrix =
+        backend_density_matrix.load(std::memory_order_relaxed);
+    snap.backend_stabilizer =
+        backend_stabilizer.load(std::memory_order_relaxed);
     snap.queue_wait = queue_wait.snapshot();
     snap.execute = execute.snapshot();
     return snap;
@@ -98,7 +104,10 @@ MetricsSnapshot::str() const
         << " insertions=" << cache_insertions << " evictions="
         << cache_evictions << " entries=" << cache_entries
         << " hit_rate=" << std::fixed << std::setprecision(3)
-        << cacheHitRate() << "\n";
+        << cacheHitRate() << "\n"
+        << "  backends: statevector=" << backend_statevector
+        << " density_matrix=" << backend_density_matrix
+        << " stabilizer=" << backend_stabilizer << "\n";
     renderHistogram(oss, "queue_wait", queue_wait);
     renderHistogram(oss, "execute", execute);
     return oss.str();

@@ -19,6 +19,8 @@
 
 #include <mutex>
 
+#include "sim/options.hpp"
+
 namespace qa
 {
 namespace serve
@@ -89,6 +91,11 @@ struct MetricsSnapshot
     uint64_t cache_evictions = 0;
     size_t cache_entries = 0;
 
+    /** Executed (non-cache-hit) jobs per resolved simulation backend. */
+    uint64_t backend_statevector = 0;
+    uint64_t backend_density_matrix = 0;
+    uint64_t backend_stabilizer = 0;
+
     LatencyHistogramSnapshot queue_wait;
     LatencyHistogramSnapshot execute;
 
@@ -117,8 +124,31 @@ class ServiceMetrics
     std::atomic<uint64_t> worker_lost{0};
     std::atomic<uint64_t> respawned{0};
 
+    /** Executed jobs per resolved backend (cache hits not counted). */
+    std::atomic<uint64_t> backend_statevector{0};
+    std::atomic<uint64_t> backend_density_matrix{0};
+    std::atomic<uint64_t> backend_stabilizer{0};
+
     LatencyHistogram queue_wait;
     LatencyHistogram execute;
+
+    /** Bump the per-backend executed-job counter. */
+    void
+    recordBackend(BackendKind kind)
+    {
+        switch (kind) {
+          case BackendKind::kStatevector:
+            backend_statevector.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case BackendKind::kDensityMatrix:
+            backend_density_matrix.fetch_add(1,
+                                             std::memory_order_relaxed);
+            break;
+          case BackendKind::kStabilizer:
+            backend_stabilizer.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
 
     /** Snapshot the counters; queue/cache fields are the caller's. */
     MetricsSnapshot snapshot() const;

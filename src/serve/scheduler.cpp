@@ -302,6 +302,7 @@ Scheduler::runAttempt(const Ticket& ticket, int attempt)
         }
         if (!from_cache) {
             result = executeJob(ticket.spec);
+            metrics_.recordBackend(result.backend.backend);
             if (cacheable) cache_.put(key, result);
         }
     } catch (const UserError& err) {

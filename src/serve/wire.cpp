@@ -113,9 +113,11 @@ buildRequest(const JsonValue& request)
         out.op = RequestOp::kShutdown;
         return out;
     }
-    QA_REQUIRE_CODE(op == "run", ErrorCode::kBadRequest,
+    QA_REQUIRE_CODE(op == "run" || op == "explain",
+                    ErrorCode::kBadRequest,
                     "unknown op '" + op +
-                        "' (expected run|metrics|shutdown)");
+                        "' (expected run|explain|metrics|shutdown)");
+    if (op == "explain") out.op = RequestOp::kExplain;
 
     const JsonValue* qasm = request.find("qasm");
     QA_REQUIRE_CODE(qasm != nullptr && qasm->isString(),
@@ -128,8 +130,18 @@ buildRequest(const JsonValue& request)
     out.spec.seed = uint64_t(request.intOr("seed", int64_t(out.spec.seed)));
     out.spec.deadline_ms = request.numberOr("deadline_ms", 0.0);
     out.spec.priority = int(request.intOr("priority", 0));
-    out.spec.num_threads = int(request.intOr("threads", 1));
+    // Defaults live on JobSpec (sim/options.hpp defaults namespace);
+    // the wire layer only overrides what the request names.
+    out.spec.num_threads =
+        int(request.intOr("threads", out.spec.num_threads));
     out.spec.use_cache = request.boolOr("cache", true);
+    const std::string backend =
+        request.stringOr("backend", backendRequestName(out.spec.backend));
+    QA_REQUIRE_CODE(parseBackendRequest(backend, &out.spec.backend),
+                    ErrorCode::kBadRequest,
+                    "unknown backend '" + backend +
+                        "' (expected auto|statevector|density_matrix|"
+                        "stabilizer)");
     out.spec.tag = out.id;
     if (const JsonValue* slots = request.find("assert_clbits")) {
         out.spec.assert_clbits = decodeSlots(*slots);
@@ -156,6 +168,8 @@ encodeResult(const std::string& id, const JobResult& result)
     std::ostringstream oss;
     oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
         << ",\"cache_hit\":" << (result.cache_hit ? "true" : "false")
+        << ",\"backend\":\"" << backendName(result.backend.backend)
+        << "\""
         << ",\"shots\":" << result.counts.shots
         << ",\"truncated\":" << (result.truncated ? "true" : "false")
         << ",\"pass_rate\":" << jsonNumber(result.pass_rate);
@@ -186,6 +200,8 @@ encodeReplay(const std::string& id, const JobResult& result)
     }
     std::ostringstream oss;
     oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
+        << ",\"backend\":\"" << backendName(result.backend.backend)
+        << "\""
         << ",\"shots\":" << result.counts.shots
         << ",\"truncated\":" << (result.truncated ? "true" : "false")
         << ",\"pass_rate\":" << jsonNumber(result.pass_rate);
@@ -218,6 +234,21 @@ encodeError(const std::string& id, ErrorCode code,
 }
 
 std::string
+encodeExplain(const std::string& id, const backend::BackendChoice& choice)
+{
+    std::ostringstream oss;
+    oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
+        << ",\"class\":\""
+        << backend::circuitClassName(choice.klass) << "\""
+        << ",\"backend\":\"" << backendName(choice.backend) << "\""
+        << ",\"explicit\":" << (choice.explicit_request ? "true" : "false")
+        << ",\"capable\":" << (choice.capable ? "true" : "false")
+        << ",\"non_clifford_gates\":" << choice.non_clifford_gates
+        << ",\"reason\":\"" << jsonEscape(choice.reason) << "\"}";
+    return oss.str();
+}
+
+std::string
 encodeMetrics(const MetricsSnapshot& snapshot)
 {
     std::ostringstream oss;
@@ -239,6 +270,10 @@ encodeMetrics(const MetricsSnapshot& snapshot)
         << ",\"cache_evictions\":" << snapshot.cache_evictions
         << ",\"cache_entries\":" << snapshot.cache_entries
         << ",\"cache_hit_rate\":" << jsonNumber(snapshot.cacheHitRate())
+        << ",\"backend_jobs\":{"
+        << "\"statevector\":" << snapshot.backend_statevector
+        << ",\"density_matrix\":" << snapshot.backend_density_matrix
+        << ",\"stabilizer\":" << snapshot.backend_stabilizer << "}"
         << ",";
     encodeHistogram(oss, "queue_wait_ms", snapshot.queue_wait);
     oss << ",";

@@ -3,23 +3,32 @@
  * qassertd wire protocol: newline-delimited JSON requests/responses.
  *
  * Request (one JSON object per line):
- *   {"op": "run",                     // default; also "metrics","shutdown"
+ *   {"op": "run",                     // default; also "explain",
+ *                                     // "metrics","shutdown"
  *    "id": "job-1",                   // echoed back; optional
  *    "qasm": "OPENQASM 2.0; ...",     // circuit, toQasm-compatible subset
  *    "shots": 1024, "seed": 7,        // optional, defaults as JobSpec
  *    "deadline_ms": 0, "priority": 0,
  *    "threads": 1, "cache": true,
+ *    "backend": "auto",               // or statevector|density_matrix|
+ *                                     // stabilizer (explicit override)
  *    "assert_clbits": [[0],[1,2]],    // assertion slots (|0..0> = pass)
  *    "noise": {"kind": "melbourne"}}  // or "none" (default) or
  *                                     // {"kind":"depolarizing",
  *                                     //  "p1":1e-3,"p2":1e-2}
  *
  * Response (one line per request, tagged with the request id):
- *   {"id":"job-1","status":"ok","cache_hit":false,"shots":1024,
- *    "truncated":false,"pass_rate":0.98,"slot_error_rate":[0.02],
+ *   {"id":"job-1","status":"ok","cache_hit":false,"backend":"stabilizer",
+ *    "shots":1024,"truncated":false,"pass_rate":0.98,
+ *    "slot_error_rate":[0.02],
  *    "counts":{"00":519,...},"program_counts":{"0":519,...},
  *    "queue_ms":0.1,"exec_ms":3.2}
  *   {"id":"job-2","status":"error","code":"queue_full","message":"..."}
+ *
+ * An "explain" request takes the same fields as "run" but classifies
+ * and routes without executing:
+ *   {"id":"e1","status":"ok","class":"clifford","backend":"stabilizer",
+ *    "capable":true,"non_clifford_gates":0,"reason":"..."}
  *
  * Responses are emitted in completion order (the id is the correlation
  * key), which is what lets a single connection keep the whole worker
@@ -44,6 +53,7 @@ namespace serve
 enum class RequestOp
 {
     kRun,     ///< Submit a job.
+    kExplain, ///< Classify + route the job without executing it.
     kMetrics, ///< Return a ServiceMetrics snapshot.
     kShutdown ///< Drain and exit.
 };
@@ -88,6 +98,10 @@ std::string encodeReplay(const std::string& id, const JobResult& result);
 /** Encode a failure as one response line (no trailing newline). */
 std::string encodeError(const std::string& id, ErrorCode code,
                         const std::string& message);
+
+/** Encode an "explain" routing decision as one response line. */
+std::string encodeExplain(const std::string& id,
+                          const backend::BackendChoice& choice);
 
 /** Encode a metrics snapshot as one response line. */
 std::string encodeMetrics(const MetricsSnapshot& snapshot);

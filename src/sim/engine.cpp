@@ -35,7 +35,8 @@ applyGateNoise(Statevector& state, const Instruction& instr,
     }
 }
 
-/** Flip a recorded readout with the configured asymmetric error. */
+} // namespace
+
 int
 applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng)
 {
@@ -49,8 +50,6 @@ applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng)
     }
     return outcome;
 }
-
-} // namespace
 
 int
 resolveShotThreads(int requested, int shots)
@@ -197,7 +196,8 @@ ShotExecutor::runOne(Rng& rng, Statevector& scratch) const
 }
 
 Counts
-runShots(const QuantumCircuit& circuit, const SimOptions& options)
+runShotsStatevector(const QuantumCircuit& circuit,
+                    const SimOptions& options)
 {
     QA_REQUIRE(options.shots > 0, "need a positive shot count");
     const ShotExecutor executor(circuit, options.noise, options.naive);

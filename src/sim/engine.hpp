@@ -142,6 +142,22 @@ class ShotExecutor
     std::string clbits0_;
 };
 
+/**
+ * The statevector engine's shot loop: what runShots executes when the
+ * router resolves (or the caller forces) the statevector backend.
+ * options.backend is ignored here — this IS the statevector backend.
+ */
+Counts runShotsStatevector(const QuantumCircuit& circuit,
+                           const SimOptions& options);
+
+/**
+ * Flip a recorded measurement outcome with the model's asymmetric
+ * readout error (one bernoulli draw per configured direction). Shared
+ * by every backend so classical readout consumes identical RNG draws
+ * regardless of how the quantum outcome was produced.
+ */
+int applyReadoutError(int outcome, const NoiseModel& noise, Rng& rng);
+
 /** Worker count for a shot loop: <= 0 means hardware concurrency. */
 int resolveShotThreads(int requested, int shots);
 

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shot-execution options shared by every simulation backend, plus the
+ * backend-selection vocabulary (BackendKind / BackendRequest).
+ *
+ * This header is the single home of the execution defaults. The serve
+ * layer's JobSpec and wire parser defer to `defaults::` instead of
+ * repeating literals, so adding an option (like the backend request)
+ * cannot leave the engine and the job parser disagreeing about its
+ * default.
+ */
+#ifndef QA_SIM_OPTIONS_HPP
+#define QA_SIM_OPTIONS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace qa
+{
+
+struct NoiseModel;
+
+/** One concrete simulation backend (see backend/backend.hpp). */
+enum class BackendKind
+{
+    kStatevector,   ///< Dense pure-state evolution, O(2^n) per gate.
+    kDensityMatrix, ///< Dense mixed-state evolution, O(4^n) per gate.
+    kStabilizer     ///< Clifford tableau, O(n) per gate / O(n^2) measure.
+};
+
+/** What a caller may ask for: a concrete backend, or automatic routing. */
+enum class BackendRequest
+{
+    kAuto,          ///< Router picks the cheapest capable backend.
+    kStatevector,
+    kDensityMatrix,
+    kStabilizer
+};
+
+/** Stable wire/log name of a backend kind. */
+inline const char*
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kStatevector:   return "statevector";
+      case BackendKind::kDensityMatrix: return "density_matrix";
+      case BackendKind::kStabilizer:    return "stabilizer";
+    }
+    return "unknown";
+}
+
+/** Stable wire/log name of a backend request. */
+inline const char*
+backendRequestName(BackendRequest request)
+{
+    switch (request) {
+      case BackendRequest::kAuto:          return "auto";
+      case BackendRequest::kStatevector:   return "statevector";
+      case BackendRequest::kDensityMatrix: return "density_matrix";
+      case BackendRequest::kStabilizer:    return "stabilizer";
+    }
+    return "unknown";
+}
+
+/** Parse a wire backend name; returns false on an unknown name. */
+inline bool
+parseBackendRequest(const std::string& name, BackendRequest* out)
+{
+    if (name == "auto") { *out = BackendRequest::kAuto; return true; }
+    if (name == "statevector") {
+        *out = BackendRequest::kStatevector;
+        return true;
+    }
+    if (name == "density_matrix" || name == "density") {
+        *out = BackendRequest::kDensityMatrix;
+        return true;
+    }
+    if (name == "stabilizer") {
+        *out = BackendRequest::kStabilizer;
+        return true;
+    }
+    return false;
+}
+
+/** The execution defaults, shared by SimOptions and serve::JobSpec. */
+namespace defaults
+{
+inline constexpr int kShots = 1024;
+inline constexpr uint64_t kSeed = 12345;
+
+/**
+ * Engine-level default thread count: 0 picks hardware concurrency.
+ * The serve layer overrides this with kServeThreads.
+ */
+inline constexpr int kSimThreads = 0;
+
+/**
+ * Serve-layer default for a job's own shot loop: 1 keeps the
+ * scheduler's worker pool as the only parallelism.
+ */
+inline constexpr int kServeThreads = 1;
+
+inline constexpr double kDeadlineMs = 0.0;
+inline constexpr BackendRequest kBackend = BackendRequest::kAuto;
+} // namespace defaults
+
+/** Options for shot-based simulation. */
+struct SimOptions
+{
+    int shots = defaults::kShots;
+    uint64_t seed = defaults::kSeed;
+    const NoiseModel* noise = nullptr;
+
+    /**
+     * Worker threads for the shot loop: 0 picks hardware_concurrency,
+     * 1 runs the loop inline. Seeded runs produce bit-identical Counts
+     * for any value (per-shot counter-based RNG streams).
+     */
+    int num_threads = defaults::kSimThreads;
+
+    /**
+     * Skip circuit analysis and replay every instruction each shot on
+     * the statevector backend (the pre-engine reference path; kept for
+     * tests and benchmarks). Forces statevector routing.
+     */
+    bool naive = false;
+
+    /**
+     * Wall-clock budget in milliseconds; <= 0 runs unbounded. When the
+     * budget expires mid-run the engine stops cooperatively, joins every
+     * worker, and returns the shots completed so far with
+     * Counts::truncated set. Truncated runs are not bit-reproducible
+     * (which shots finish depends on timing); completed runs are.
+     */
+    double deadline_ms = defaults::kDeadlineMs;
+
+    /**
+     * Backend selection: kAuto routes to the cheapest capable backend
+     * (backend/router.hpp); a concrete request forces that backend and
+     * fails with ErrorCode::kBadRequest if it cannot run the circuit.
+     */
+    BackendRequest backend = defaults::kBackend;
+};
+
+} // namespace qa
+
+#endif // QA_SIM_OPTIONS_HPP

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "linalg/vector.hpp"
 #include "sim/noise.hpp"
+#include "sim/options.hpp"
 #include "sim/result.hpp"
 
 namespace qa
@@ -87,43 +88,16 @@ class Statevector
     CVector amps_;
 };
 
-/** Options for shot-based simulation. */
-struct SimOptions
-{
-    int shots = 1024;
-    uint64_t seed = 12345;
-    const NoiseModel* noise = nullptr;
-
-    /**
-     * Worker threads for the shot loop: 0 picks hardware_concurrency,
-     * 1 runs the loop inline. Seeded runs produce bit-identical Counts
-     * for any value (per-shot counter-based RNG streams).
-     */
-    int num_threads = 0;
-
-    /**
-     * Skip circuit analysis and replay every instruction each shot (the
-     * pre-engine reference path; kept for tests and benchmarks).
-     */
-    bool naive = false;
-
-    /**
-     * Wall-clock budget in milliseconds; <= 0 runs unbounded. When the
-     * budget expires mid-run the engine stops cooperatively, joins every
-     * worker, and returns the shots completed so far with
-     * Counts::truncated set. Truncated runs are not bit-reproducible
-     * (which shots finish depends on timing); completed runs are.
-     */
-    double deadline_ms = 0.0;
-};
-
 /**
  * Run the circuit `shots` times, sampling measurements (and trajectory
  * noise when a model is given), and histogram the classical bits.
- * Implemented by the shot-execution engine (sim/engine.hpp): the
- * deterministic circuit prefix is evolved once and cloned per shot, and
- * noiseless terminal-measurement circuits are sampled directly from the
- * final distribution without any per-shot evolution.
+ * Routed entry point (backend/dispatch.cpp): options.backend selects a
+ * concrete simulation backend, and kAuto picks the cheapest capable one
+ * (Clifford circuits run on the stabilizer tableau at polynomial cost;
+ * dense circuits fall back to the statevector engine of sim/engine.hpp,
+ * whose deterministic prefix is evolved once and cloned per shot).
+ * Results are bit-identical for any thread count on any fixed resolved
+ * backend; different backends agree distributionally, not bit-wise.
  */
 Counts runShots(const QuantumCircuit& circuit, const SimOptions& options);
 

@@ -1,0 +1,119 @@
+#include "stab/clifford.hpp"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Local Pauli with the given symplectic bits (phase 0). */
+PauliString
+localPauli(int k, const std::vector<uint8_t>& xs,
+           const std::vector<uint8_t>& zs)
+{
+    PauliString p(k);
+    for (int j = 0; j < k; ++j) {
+        p.setX(j, xs[size_t(j)] != 0);
+        p.setZ(j, zs[size_t(j)] != 0);
+    }
+    return p;
+}
+
+/** Entry-wise comparison of two equally-shaped matrices. */
+bool
+matricesClose(const CMatrix& a, const CMatrix& b, double tol)
+{
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < a.cols(); ++c) {
+            if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Match a dense 2^k x 2^k matrix against the signed Pauli group:
+ * iterate the 4^k symplectic candidates with phase + and -, comparing
+ * entry-wise. Returns nullopt when nothing matches.
+ */
+std::optional<PauliString>
+matchSignedPauli(const CMatrix& m, int k, double tol)
+{
+    std::vector<uint8_t> xs(size_t(k), 0), zs(size_t(k), 0);
+    const uint32_t combos = uint32_t(1) << (2 * k);
+    for (uint32_t bits = 0; bits < combos; ++bits) {
+        for (int j = 0; j < k; ++j) {
+            xs[size_t(j)] = uint8_t((bits >> (2 * j)) & 1);
+            zs[size_t(j)] = uint8_t((bits >> (2 * j + 1)) & 1);
+        }
+        PauliString candidate = localPauli(k, xs, zs);
+        for (int sign = 0; sign < 2; ++sign) {
+            candidate.setPhase(sign == 0 ? 0 : 2);
+            if (matricesClose(m, candidate.toMatrix(), tol)) {
+                return candidate;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<CliffordAction>
+recognizeCliffordMatrix(const CMatrix& u, double tol)
+{
+    if (u.rows() != u.cols()) return std::nullopt;
+    int k = 0;
+    if (u.rows() == 2) {
+        k = 1;
+    } else if (u.rows() == 4) {
+        k = 2;
+    } else {
+        // Conservative: 3+-qubit gates are treated as non-Clifford
+        // (none of the circuit builders emit Clifford gates that wide).
+        return std::nullopt;
+    }
+
+    const CMatrix udag = u.dagger();
+    CliffordAction action;
+    action.arity = k;
+    std::vector<uint8_t> xs(size_t(k), 0), zs(size_t(k), 0);
+    for (int j = 0; j < k; ++j) {
+        for (int which = 0; which < 2; ++which) {
+            std::fill(xs.begin(), xs.end(), uint8_t(0));
+            std::fill(zs.begin(), zs.end(), uint8_t(0));
+            (which == 0 ? xs : zs)[size_t(j)] = 1;
+            const CMatrix generator = localPauli(k, xs, zs).toMatrix();
+            const CMatrix image = u * generator * udag;
+            std::optional<PauliString> pauli =
+                matchSignedPauli(image, k, tol);
+            if (!pauli) return std::nullopt;
+            (which == 0 ? action.x_images : action.z_images)
+                .push_back(std::move(*pauli));
+        }
+    }
+    return action;
+}
+
+bool
+isNamedCliffordGate(const Instruction& instr)
+{
+    static const std::set<std::string> named = {
+        "id", "x", "y", "z", "h", "s", "sdg", "cx", "cz", "swap"};
+    return instr.isGate() && named.count(instr.name) > 0;
+}
+
+std::optional<CliffordAction>
+recognizeClifford(const Instruction& instr)
+{
+    if (!instr.isGate()) return std::nullopt;
+    return recognizeCliffordMatrix(instr.matrix);
+}
+
+} // namespace qa

@@ -108,6 +108,51 @@ StabilizerTableau::applyGate(const Instruction& instr)
             "' in stabilizer simulation");
 }
 
+void
+StabilizerTableau::applyClifford(const CliffordAction& action,
+                                 const std::vector<int>& qubits)
+{
+    const int k = action.arity;
+    QA_REQUIRE(int(qubits.size()) == k,
+               "Clifford action arity does not match the qubit list");
+    QA_REQUIRE(int(action.x_images.size()) == k &&
+                   int(action.z_images.size()) == k,
+               "malformed Clifford action");
+    for (int q : qubits) {
+        QA_REQUIRE(q >= 0 && q < n_, "qubit index out of range");
+    }
+
+    for (int i = 0; i < 2 * n_; ++i) {
+        // Local factor of row i over the touched qubits, written as
+        // i^s * prod_j X_j^x Z_j^z with s = sum x_j z_j (Y = iXZ).
+        int s = 0;
+        bool any = false;
+        PauliString acc(k);
+        for (int j = 0; j < k; ++j) {
+            const uint8_t lx = x_[i][qubits[size_t(j)]];
+            const uint8_t lz = z_[i][qubits[size_t(j)]];
+            if (lx && lz) ++s;
+            if (lx) {
+                acc = acc * action.x_images[size_t(j)];
+                any = true;
+            }
+            if (lz) {
+                acc = acc * action.z_images[size_t(j)];
+                any = true;
+            }
+        }
+        if (!any) continue;
+        acc.setPhase(acc.phase() + s);
+        QA_ASSERT(acc.phase() % 2 == 0,
+                  "Clifford conjugation left the signed Pauli group");
+        for (int j = 0; j < k; ++j) {
+            x_[i][qubits[size_t(j)]] = acc.x(j) ? 1 : 0;
+            z_[i][qubits[size_t(j)]] = acc.z(j) ? 1 : 0;
+        }
+        r_[i] ^= uint8_t(acc.phase() / 2);
+    }
+}
+
 namespace
 {
 

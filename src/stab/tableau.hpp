@@ -13,6 +13,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "linalg/vector.hpp"
+#include "stab/clifford.hpp"
 #include "stab/pauli.hpp"
 
 namespace qa
@@ -45,6 +46,17 @@ class StabilizerTableau
      * non-Clifford gates.
      */
     void applyGate(const Instruction& instr);
+
+    /**
+     * Apply an arbitrary recognized Clifford gate (stab/clifford.hpp)
+     * to the listed qubits by rewriting every row's local Pauli factor
+     * as a product of the gate's generator images. O(n) rows, O(1)
+     * local work per row for the 1-2 qubit gates recognition admits —
+     * O(n) per gate overall, O(n^2) per gate across a full tableau
+     * rebuild. qubits[j] corresponds to the action's local qubit j.
+     */
+    void applyClifford(const CliffordAction& action,
+                       const std::vector<int>& qubits);
 
     /** Measure qubit q in the computational basis (collapsing). */
     int measure(int q, Rng& rng);

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * qa_explain: stand-alone CircuitAnalyzer/Router front-end. Reads a
+ * QASM circuit, prints its classification, the per-backend capability
+ * verdicts, and the routing decision — without executing a shot.
+ *
+ * Usage:
+ *   qa_explain FILE [--noise none|melbourne|depolarizing]
+ *             [--p1 X] [--p2 X] [--shots N] [--backend NAME] [--naive]
+ *
+ * FILE may be "-" for stdin. --shots feeds the router's density-vs-
+ * replay cost model; --backend exercises explicit-override validation
+ * (an incapable override is reported, not executed).
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "backend/router.hpp"
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "sim/noise.hpp"
+
+namespace
+{
+
+using namespace qa;
+
+int
+usage(int code)
+{
+    std::cerr << "usage: qa_explain FILE [--noise none|melbourne|"
+                 "depolarizing] [--p1 X] [--p2 X]\n"
+                 "                  [--shots N] [--backend auto|"
+                 "statevector|density_matrix|stabilizer] [--naive]\n"
+                 "FILE is a QASM circuit, or - for stdin; prints the "
+                 "backend routing decision without executing\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    std::string noise_kind = "none";
+    double p1 = 1e-3, p2 = 1e-2;
+    int shots = defaults::kShots;
+    BackendRequest request = BackendRequest::kAuto;
+    bool naive = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--help" || arg == "-h") return usage(0);
+        if (arg == "--noise") {
+            if (value == nullptr) return usage(2);
+            noise_kind = value;
+            ++i;
+        } else if (arg == "--p1") {
+            if (value == nullptr) return usage(2);
+            p1 = std::atof(value);
+            ++i;
+        } else if (arg == "--p2") {
+            if (value == nullptr) return usage(2);
+            p2 = std::atof(value);
+            ++i;
+        } else if (arg == "--shots") {
+            if (value == nullptr) return usage(2);
+            shots = std::atoi(value);
+            ++i;
+        } else if (arg == "--backend") {
+            if (value == nullptr) return usage(2);
+            if (!parseBackendRequest(value, &request)) {
+                std::cerr << "qa_explain: unknown backend '" << value
+                          << "'\n";
+                return 2;
+            }
+            ++i;
+        } else if (arg == "--naive") {
+            naive = true;
+        } else if (path.empty() && (arg == "-" || arg[0] != '-')) {
+            path = arg;
+        } else {
+            std::cerr << "qa_explain: unknown option '" << arg << "'\n";
+            return usage(2);
+        }
+    }
+    if (path.empty()) return usage(2);
+
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "qa_explain: cannot open '" << path << "'\n";
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+
+    NoiseModel noise;
+    if (noise_kind == "melbourne") {
+        noise = NoiseModel::ibmqMelbourneLike();
+    } else if (noise_kind == "depolarizing") {
+        noise = NoiseModel::depolarizing(p1, p2);
+    } else if (noise_kind != "none") {
+        std::cerr << "qa_explain: unknown noise kind '" << noise_kind
+                  << "'\n";
+        return 2;
+    }
+
+    try {
+        const QuantumCircuit circuit = parseQasm(text);
+        SimOptions options;
+        options.shots = shots;
+        options.noise = noise.enabled() ? &noise : nullptr;
+        options.backend = request;
+        options.naive = naive;
+        std::cout << backend::explainRouting(circuit, options);
+    } catch (const UserError& err) {
+        std::cerr << "qa_explain: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -11,6 +11,7 @@
  *            [--retries N] [--stall-ms X] [--breaker]
  *            [--journal PATH] [--sync-every N] [--drain-ms X]
  *   qassertd --replay PATH
+ *   qassertd --explain PATH      # classify + route a QASM file, no run
  *
  * Behaviour:
  *  - every input line is one request; every response is one line
@@ -35,11 +36,15 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 
+#include "backend/router.hpp"
+#include "circuit/qasm.hpp"
 #include "common/error.hpp"
 #include "resilience/journal.hpp"
 #include "serve/scheduler.hpp"
@@ -183,6 +188,39 @@ replayJournal(const std::string& path)
     return 0;
 }
 
+/**
+ * `--explain PATH`: parse a QASM file ("-" = stdin), print the circuit
+ * classification, per-backend capability verdicts, and the routing
+ * decision to stdout — without executing a single shot.
+ */
+int
+explainFile(const std::string& path)
+{
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "qassertd: cannot open '" << path << "'\n";
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+    try {
+        const QuantumCircuit circuit = parseQasm(text);
+        std::cout << backend::explainRouting(circuit, SimOptions{});
+    } catch (const UserError& err) {
+        std::cerr << "qassertd: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -191,6 +229,7 @@ main(int argc, char** argv)
     SchedulerOptions options;
     std::string journal_path;
     std::string replay_path;
+    std::string explain_path;
     size_t max_line = size_t(1) << 20;
     size_t sync_every = 8;
     double drain_ms = 30000.0;
@@ -243,6 +282,14 @@ main(int argc, char** argv)
             }
             replay_path = value;
             ++i;
+        } else if (arg == "--explain") {
+            if (value == nullptr) {
+                std::cerr << "qassertd: --explain needs a path "
+                             "(or - for stdin)\n";
+                return 2;
+            }
+            explain_path = value;
+            ++i;
         } else if (arg == "--help" || arg == "-h") {
             std::cerr
                 << "usage: qassertd [--workers N] [--queue N] [--cache N]"
@@ -252,8 +299,10 @@ main(int argc, char** argv)
                    "                [--journal PATH] [--sync-every N]"
                    " [--drain-ms X]\n"
                    "       qassertd --replay PATH\n"
+                   "       qassertd --explain PATH   (QASM file, - for "
+                   "stdin; routes without executing)\n"
                    "NDJSON requests on stdin, one response line per "
-                   "request on stdout (see DESIGN.md Sec. 9/10)\n";
+                   "request on stdout (see DESIGN.md Sec. 9/10/11)\n";
             return 0;
         } else {
             std::cerr << "qassertd: unknown option '" << arg << "'\n";
@@ -262,6 +311,7 @@ main(int argc, char** argv)
     }
 
     if (!replay_path.empty()) return replayJournal(replay_path);
+    if (!explain_path.empty()) return explainFile(explain_path);
 
     std::unique_ptr<resilience::Journal> journal;
     if (!journal_path.empty()) {
@@ -316,6 +366,21 @@ main(int argc, char** argv)
             WireRequest request = buildRequest(parsed);
             if (request.op == RequestOp::kMetrics) {
                 out.writeLine(encodeMetrics(scheduler.metrics()));
+                continue;
+            }
+            if (request.op == RequestOp::kExplain) {
+                // Route without executing: same analysis the scheduler
+                // path runs, zero shots.
+                SimOptions sim;
+                sim.shots = request.spec.shots;
+                sim.seed = request.spec.seed;
+                sim.noise = request.spec.noise.enabled()
+                                ? &request.spec.noise
+                                : nullptr;
+                sim.backend = request.spec.backend;
+                out.writeLine(encodeExplain(
+                    id,
+                    backend::routeShots(request.spec.circuit, sim)));
                 continue;
             }
             if (request.op == RequestOp::kShutdown) {
