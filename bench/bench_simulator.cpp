@@ -12,6 +12,7 @@
 #include "algos/qft.hpp"
 #include "linalg/states.hpp"
 #include "sim/density.hpp"
+#include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 #include "stab/tableau.hpp"
 
@@ -48,6 +49,56 @@ BM_StatevectorLayers(benchmark::State& state)
                             int64_t(qc.size()));
 }
 BENCHMARK(BM_StatevectorLayers)->DenseRange(4, 16, 4);
+
+/**
+ * Same workload with fusion and SIMD disabled: the pre-fusion kernel
+ * path. The BM_StatevectorLayers ratio is the tentpole speedup.
+ */
+void
+BM_StatevectorLayersUnfused(benchmark::State& state)
+{
+    const int n = int(state.range(0));
+    const QuantumCircuit qc = layeredCircuit(n, 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            finalState(qc, FusionOptions{false, 2}, false)
+                .amplitudes()
+                .dim());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(qc.size()));
+}
+BENCHMARK(BM_StatevectorLayersUnfused)->DenseRange(4, 16, 4);
+
+/**
+ * The PR 6 acceptance workload: a 16-qubit random 1q+2q layered
+ * circuit at 4096 shots through the full shot engine (fused prefix +
+ * terminal sampling). The Fused/Unfused pair brackets the fusion +
+ * SIMD win on a realistic job.
+ */
+void
+BM_ShotEngineRandom16(benchmark::State& state)
+{
+    QuantumCircuit qc(16, 16);
+    std::vector<int> ident;
+    for (int q = 0; q < 16; ++q) ident.push_back(q);
+    qc.compose(layeredCircuit(16, 8), ident);
+    qc.measureAll();
+    SimOptions options;
+    options.shots = 4096;
+    options.seed = 11;
+    options.fusion = state.range(0) != 0;
+    options.simd = state.range(0) != 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runShots(qc, options).shots);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * options.shots);
+}
+BENCHMARK(BM_ShotEngineRandom16)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"fused"})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ShotSampling(benchmark::State& state)

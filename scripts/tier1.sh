@@ -3,8 +3,8 @@
 # Tier-1 verification: the canonical build + full ctest sweep (plus the
 # qassertd kill-and-replay chaos smoke, scripts/chaos_smoke.sh), then a
 # ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine,
-# policy-runner, service-scheduler, backend-subsystem, and
-# resilience-chaos tests — the multi-threaded code paths, including
+# policy-runner, service-scheduler, backend-subsystem,
+# gate-fusion/kernel, and resilience-chaos tests — the multi-threaded code paths, including
 # watchdog reclaim/respawn, zombie joins, and the pooled shot loops of
 # all three simulation backends — under TSAN, and an ASan+UBSan build
 # (QA_ENABLE_ASAN=ON) that runs the fault-injection, recovery-policy,
@@ -46,7 +46,10 @@ if [[ "$skip_tsan" -ne 1 ]]; then
         -DQASSERT_BUILD_BENCHES=OFF \
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target test_engine --target test_policy \
-        --target test_serve --target test_backend --target test_resilience
+        --target test_serve --target test_backend --target test_resilience \
+        --target test_fusion
+    ./build-tsan/tests/test_fusion \
+        --gtest_filter='FusionTest.CountsAreBitIdenticalAcrossThreadCounts:FusionTest.KrausNoiseKeepsTheNoisyStreamUnfused'
     ./build-tsan/tests/test_engine \
         --gtest_filter='EngineTest.*:ShotPlanTest.*:ShotPoolTest.*'
     ./build-tsan/tests/test_policy \
@@ -65,7 +68,9 @@ if [[ "$skip_asan" -ne 1 ]]; then
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-asan -j \
         --target test_inject --target test_policy --target test_engine \
-        --target test_serve --target test_backend --target test_resilience
+        --target test_serve --target test_backend --target test_resilience \
+        --target test_fusion
+    ./build-asan/tests/test_fusion
     ./build-asan/tests/test_inject
     ./build-asan/tests/test_policy
     ./build-asan/tests/test_engine \

@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "sim/density.hpp"
 #include "sim/engine.hpp"
+#include "sim/fusion.hpp"
 
 namespace qa
 {
@@ -34,9 +35,11 @@ class DensityPrepared final : public PreparedCircuit
 {
   public:
     DensityPrepared(const QuantumCircuit& circuit,
-                    const NoiseModel* noise)
+                    const SimOptions& options)
         : num_qubits_(circuit.numQubits()),
-          noise_(noise != nullptr && noise->enabled() ? noise : nullptr),
+          noise_(options.noise != nullptr && options.noise->enabled()
+                     ? options.noise
+                     : nullptr),
           clbits0_(size_t(std::max(circuit.numClbits(), 0)), '0')
     {
         if (noise_ != nullptr) noise_->validate();
@@ -50,11 +53,28 @@ class DensityPrepared final : public PreparedCircuit
                        std::to_string(kMaxQubits) + " qubits");
         measures_ = profile.terminal_measures;
 
+        // Fuse only when no per-gate Kraus channel is active: fusion
+        // changes gate arity, which would redirect the channel loop
+        // below to the wrong list (noise_1q vs noise_2q).
+        const bool kraus =
+            noise_ != nullptr && (!noise_->noise_1q.empty() ||
+                                  !noise_->noise_2q.empty());
+        std::vector<Instruction> program;
+        if (options.fusion && !kraus) {
+            FusedProgram prog = fuseCircuit(
+                circuit,
+                FusionOptions{true, options.fusion_max_qubits});
+            program = std::move(prog.instructions);
+        } else {
+            program = circuit.instructions();
+        }
+
         // Exact evolution: gate, then that gate's channels on each
         // touched qubit — the same ordering the statevector engine uses
         // for its per-shot trajectories, so distributions match.
         DensityState state(num_qubits_);
-        for (const Instruction& instr : circuit.instructions()) {
+        state.setSimd(options.simd);
+        for (const Instruction& instr : program) {
             if (instr.type != OpType::kGate) continue;
             state.applyGate(instr);
             if (noise_ == nullptr) continue;
@@ -159,8 +179,7 @@ class DensityBackend final : public Backend
     prepare(const QuantumCircuit& circuit,
             const SimOptions& options) const override
     {
-        return std::make_shared<DensityPrepared>(circuit,
-                                                 options.noise);
+        return std::make_shared<DensityPrepared>(circuit, options);
     }
 };
 

@@ -1,6 +1,8 @@
 #include "backend/router.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 
 namespace qa
@@ -26,10 +28,10 @@ struct CostEstimate
 
 CostEstimate
 estimateCosts(const CircuitProfile& circuit, const NoiseModel* noise,
-              int shots)
+              int shots, size_t effective_instructions)
 {
     const double dim = std::ldexp(1.0, circuit.num_qubits);
-    const double work = double(circuit.instructions) + 1.0;
+    const double work = double(effective_instructions) + 1.0;
     size_t channels = 0;
     if (noise != nullptr) {
         channels = noise->noise_1q.size() + noise->noise_2q.size();
@@ -106,6 +108,22 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
     choice.klass = profile.klass;
     choice.non_clifford_gates = profile.non_clifford_gates;
 
+    // Fusion summary: what the dense backends will execute. Kraus
+    // channels revert the noisy stream to raw gates at prepare time,
+    // so the cost model only credits fusion when none are active.
+    choice.fusion_enabled = options.fusion && !options.naive;
+    if (choice.fusion_enabled) {
+        choice.fusion =
+            fuseCircuit(circuit, FusionOptions{
+                                     true, options.fusion_max_qubits})
+                .stats;
+    }
+    size_t effective = profile.instructions;
+    if (choice.fusion_enabled && !noise.kraus) {
+        effective = profile.instructions - profile.gates +
+                    choice.fusion.gates_out;
+    }
+
     const std::string stab_why = stabilizerObjection(profile, noise);
     const std::string dens_why = densityObjection(profile);
 
@@ -156,8 +174,8 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
     }
 
     if (noise.kraus && !noise.pauli_only && dens_why.empty()) {
-        const CostEstimate est =
-            estimateCosts(profile, options.noise, options.shots);
+        const CostEstimate est = estimateCosts(
+            profile, options.noise, options.shots, effective);
         if (est.density < est.statevector) {
             choice.backend = BackendKind::kDensityMatrix;
             choice.reason =
@@ -204,6 +222,28 @@ explainRouting(const QuantumCircuit& circuit, const SimOptions& options)
                                           : "mid-circuit")
         << "\n";
     out << "noise: " << describeNoise(noise) << "\n";
+    if (!choice.fusion_enabled) {
+        out << "fusion: off\n";
+    } else {
+        const FusionStats& fs = choice.fusion;
+        out << "fusion: on (max "
+            << std::clamp(options.fusion_max_qubits, 1, 3)
+            << " qubits): " << fs.gates_in << " gates -> "
+            << fs.gates_out << " kernels (ratio "
+            << std::fixed << std::setprecision(2) << fs.ratio()
+            << std::defaultfloat << ", " << fs.fused_groups
+            << " fused groups, largest " << fs.max_group << ")";
+        if (noise.kraus) {
+            out << " [Kraus-noisy gates run unfused]";
+        }
+        out << "\n";
+        out << "kernels:";
+        for (const auto& [name, n] : fs.kernel_counts) {
+            out << " " << name << "=" << n;
+        }
+        if (fs.kernel_counts.empty()) out << " none";
+        out << "\n";
+    }
     out << "capable: statevector=yes, density_matrix="
         << (dens_why.empty() ? "yes" : "no (" + dens_why + ")")
         << ", stabilizer="

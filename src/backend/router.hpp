@@ -20,6 +20,7 @@
 #include <string>
 
 #include "backend/analyzer.hpp"
+#include "sim/fusion.hpp"
 #include "sim/options.hpp"
 #include "sim/statevector.hpp"
 
@@ -50,6 +51,20 @@ struct BackendChoice
 
     /** Non-Clifford gate count found by the analyzer. */
     int non_clifford_gates = 0;
+
+    /**
+     * True when the job's options enable gate fusion for the dense
+     * backends (options.fusion and not naive). Per-gate Kraus noise
+     * still reverts the affected stream to raw gates at prepare time.
+     */
+    bool fusion_enabled = false;
+
+    /**
+     * What the fusion pass does to this circuit's full stream (empty
+     * when fusion_enabled is false). Deterministic — safe to absorb
+     * into cache keys and explain output.
+     */
+    FusionStats fusion;
 
     /** Human-readable explanation of the decision (one sentence). */
     std::string reason;

@@ -39,8 +39,11 @@ class StatevectorPrepared final : public PreparedCircuit
 {
   public:
     StatevectorPrepared(const QuantumCircuit& circuit,
-                        const NoiseModel* noise, bool naive)
-        : executor_(circuit, noise, naive)
+                        const SimOptions& options)
+        : executor_(circuit, options.noise, options.naive,
+                    FusionOptions{options.fusion,
+                                  options.fusion_max_qubits},
+                    options.simd)
     {}
 
     std::unique_ptr<ShotSampler>
@@ -75,8 +78,7 @@ class StatevectorBackend final : public Backend
     prepare(const QuantumCircuit& circuit,
             const SimOptions& options) const override
     {
-        return std::make_shared<StatevectorPrepared>(
-            circuit, options.noise, options.naive);
+        return std::make_shared<StatevectorPrepared>(circuit, options);
     }
 };
 

@@ -20,8 +20,15 @@ kernelThreads()
 {
     const int cap = g_kernel_threads.load(std::memory_order_relaxed);
     if (cap > 0) return cap;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : int(hw);
+    // hardware_concurrency() is a syscall on glibc (~2 us); calling it
+    // per gate kernel dominated small-state sweeps (the BENCH_PR1
+    // BM_StatevectorLayers 1-CPU regression). The topology never
+    // changes mid-process, so resolve it once.
+    static const int hw = [] {
+        const unsigned n = std::thread::hardware_concurrency();
+        return n == 0 ? 1 : int(n);
+    }();
+    return hw;
 }
 
 void

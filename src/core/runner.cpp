@@ -53,13 +53,12 @@ runAsserted(const AssertedProgram& program, const SimOptions& options)
     const std::vector<int>& prog_bits = program.programClbits();
     outcome.program_counts = marginalCounts(outcome.raw, prog_bits);
 
-    Counts passed;
-    for (const auto& [bits, n] : outcome.raw.map) {
-        if (!allZero(bits, assertion_bits)) continue;
-        passed.map[programBits(bits, prog_bits)] += n;
-        passed.shots += n;
-    }
-    outcome.program_counts_passed = std::move(passed);
+    outcome.program_counts_passed = marginalCounts(
+        filterCounts(outcome.raw,
+                     [&](const std::string& bits) {
+                         return allZero(bits, assertion_bits);
+                     }),
+        prog_bits);
     return outcome;
 }
 
@@ -249,13 +248,9 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         out.pass_rate = double(passed) / double(out.shots_completed);
     }
 
-    const std::vector<int>& prog_bits = program.programClbits();
-    for (const auto& [bits, n] : out.raw.map) {
-        out.program_counts.map[programBits(bits, prog_bits)] += n;
-    }
-    out.program_counts.shots = out.shots_accepted;
-    out.program_counts.truncated = out.truncated;
     out.raw.truncated = out.truncated;
+    out.program_counts =
+        marginalCounts(out.raw, program.programClbits());
     return out;
 }
 

@@ -186,16 +186,12 @@ executeJob(const JobSpec& spec)
         if (!is_assert[size_t(c)]) program_bits.push_back(c);
     }
 
-    Counts& accepted = result.program_counts;
-    for (const auto& [bits, n] : raw.map) {
-        if (!allSlotsPass(bits, slots)) continue;
-        std::string reduced;
-        reduced.reserve(program_bits.size());
-        for (int c : program_bits) reduced.push_back(bits[size_t(c)]);
-        accepted.map[reduced] += n;
-        accepted.shots += n;
-    }
-    accepted.truncated = raw.truncated;
+    result.program_counts = marginalCounts(
+        filterCounts(raw,
+                     [&](const std::string& bits) {
+                         return allSlotsPass(bits, slots);
+                     }),
+        program_bits);
     return result;
 }
 

@@ -244,6 +244,21 @@ encodeExplain(const std::string& id, const backend::BackendChoice& choice)
         << ",\"explicit\":" << (choice.explicit_request ? "true" : "false")
         << ",\"capable\":" << (choice.capable ? "true" : "false")
         << ",\"non_clifford_gates\":" << choice.non_clifford_gates
+        << ",\"fusion\":{\"enabled\":"
+        << (choice.fusion_enabled ? "true" : "false")
+        << ",\"gates_in\":" << choice.fusion.gates_in
+        << ",\"gates_out\":" << choice.fusion.gates_out
+        << ",\"fused_groups\":" << choice.fusion.fused_groups
+        << ",\"max_group\":" << choice.fusion.max_group
+        << ",\"ratio\":" << jsonNumber(choice.fusion.ratio())
+        << ",\"kernels\":{";
+    bool first = true;
+    for (const auto& [name, n] : choice.fusion.kernel_counts) {
+        if (!first) oss << ",";
+        first = false;
+        oss << "\"" << jsonEscape(name) << "\":" << n;
+    }
+    oss << "}}"
         << ",\"reason\":\"" << jsonEscape(choice.reason) << "\"}";
     return oss.str();
 }

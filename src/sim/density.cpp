@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "linalg/states.hpp"
+#include "sim/kernels.hpp"
 
 namespace qa
 {
@@ -12,74 +13,29 @@ namespace qa
 namespace
 {
 
-std::vector<int>
-bitPositions(const std::vector<int>& qubits, int num_qubits)
-{
-    std::vector<int> pos(qubits.size());
-    for (size_t j = 0; j < qubits.size(); ++j) {
-        pos[j] = num_qubits - 1 - qubits[j];
-    }
-    return pos;
-}
-
-uint64_t
-depositZeros(uint64_t packed, const std::vector<int>& sorted_pos)
-{
-    uint64_t out = packed;
-    for (int p : sorted_pos) {
-        uint64_t low = out & ((uint64_t(1) << p) - 1);
-        out = ((out >> p) << (p + 1)) | low;
-    }
-    return out;
-}
-
 /**
  * Apply `m` to one axis of rho (axis 0 = row index, axis 1 = column
  * index). Row application computes M rho; column application computes
  * rho M^T (note: transpose, not dagger -- callers pass conj(M) to get
  * rho M^dagger).
+ *
+ * Row-major rho is one flat 2^(2n)-amplitude array whose index packs
+ * (row << n) | col, so both axes reuse the statevector kernels: the
+ * row axis places qubit q's bit at n + (n-1-q), the column axis at
+ * n-1-q. The column sweep applies m row-wise over the column bits of
+ * every row r, i.e. rho'(r, :) = (m * rho(r, :)^T)^T = rho * m^T.
  */
 void
 applyAxis(CMatrix& rho, const CMatrix& m, const std::vector<int>& qubits,
-          int num_qubits, int axis)
+          int num_qubits, int axis, bool simd)
 {
-    const size_t k = qubits.size();
-    const size_t subdim = size_t(1) << k;
-    const std::vector<int> pos = bitPositions(qubits, num_qubits);
-    std::vector<int> sorted_pos = pos;
-    std::sort(sorted_pos.begin(), sorted_pos.end());
-
-    const size_t dim = rho.rows();
-    const uint64_t rest_count = uint64_t(1) << (num_qubits - int(k));
-    std::vector<Complex> gathered(subdim);
-    std::vector<uint64_t> indices(subdim);
-
-    for (size_t other = 0; other < dim; ++other) {
-        for (uint64_t r = 0; r < rest_count; ++r) {
-            const uint64_t base = depositZeros(r, sorted_pos);
-            for (size_t msub = 0; msub < subdim; ++msub) {
-                uint64_t idx = base;
-                for (size_t j = 0; j < k; ++j) {
-                    uint64_t bit = (msub >> (k - 1 - j)) & 1;
-                    idx |= bit << pos[j];
-                }
-                indices[msub] = idx;
-                gathered[msub] = axis == 0 ? rho(idx, other)
-                                           : rho(other, idx);
-            }
-            for (size_t row = 0; row < subdim; ++row) {
-                Complex sum = 0.0;
-                for (size_t col = 0; col < subdim; ++col) {
-                    sum += m(row, col) * gathered[col];
-                }
-                if (axis == 0) {
-                    rho(indices[row], other) = sum;
-                } else {
-                    rho(other, indices[row]) = sum;
-                }
-            }
-        }
+    const int shift = axis == 0 ? num_qubits : 0;
+    std::vector<int> pos(qubits.size());
+    for (size_t j = 0; j < qubits.size(); ++j) {
+        pos[j] = shift + num_qubits - 1 - qubits[j];
     }
+    const uint64_t dim = uint64_t(rho.rows()) * rho.cols();
+    applyDenseKernel(&rho(0, 0), dim, m, pos.data(), qubits.size(), simd);
 }
 
 } // namespace
@@ -104,7 +60,7 @@ DensityState::DensityState(CMatrix rho) : num_qubits_(0),
 void
 DensityState::applyLeft(const CMatrix& m, const std::vector<int>& qubits)
 {
-    applyAxis(rho_, m, qubits, num_qubits_, 0);
+    applyAxis(rho_, m, qubits, num_qubits_, 0, simd_);
 }
 
 void
@@ -113,8 +69,8 @@ DensityState::applyMatrix(const CMatrix& m, const std::vector<int>& qubits)
     for (int q : qubits) {
         QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
     }
-    applyAxis(rho_, m, qubits, num_qubits_, 0);
-    applyAxis(rho_, m.conjugate(), qubits, num_qubits_, 1);
+    applyAxis(rho_, m, qubits, num_qubits_, 0, simd_);
+    applyAxis(rho_, m.conjugate(), qubits, num_qubits_, 1, simd_);
 }
 
 void
@@ -130,8 +86,8 @@ DensityState::applyKraus(const KrausChannel& channel, int q)
     CMatrix result(rho_.rows(), rho_.cols());
     for (const CMatrix& k : channel.ops()) {
         CMatrix term = rho_;
-        applyAxis(term, k, {q}, num_qubits_, 0);
-        applyAxis(term, k.conjugate(), {q}, num_qubits_, 1);
+        applyAxis(term, k, {q}, num_qubits_, 0, simd_);
+        applyAxis(term, k.conjugate(), {q}, num_qubits_, 1, simd_);
         result += term;
     }
     rho_ = std::move(result);

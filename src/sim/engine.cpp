@@ -124,25 +124,54 @@ SampleTable::sample(Rng& rng) const
 }
 
 ShotExecutor::ShotExecutor(const QuantumCircuit& circuit,
-                           const NoiseModel* noise, bool naive)
+                           const NoiseModel* noise, bool naive,
+                           const FusionOptions& fusion, bool simd)
     : circuit_(circuit),
       noise_(noise != nullptr && noise->enabled() ? noise : nullptr),
       prefix_(circuit.numQubits()),
       clbits0_(size_t(std::max(circuit.numClbits(), 0)), '0')
 {
     if (noise_ != nullptr) noise_->validate();
+    prefix_.setSimd(simd);
 
     // The naive plan (split = 0, no fast path) replays every instruction
     // per shot: the reference the cached plan must agree with exactly.
     if (!naive) plan_ = analyzeShotPlan(circuit_, noise_);
 
+    const auto& instrs = circuit_.instructions();
+    const bool fuse = fusion.enabled && !naive;
+
     // Evolve the deterministic prefix once; every shot clones it. The
     // prefix contains no stochastic instruction, so per-shot RNG draws
-    // are unaffected by where the split falls.
-    const auto& instrs = circuit_.instructions();
-    for (size_t i = 0; i < plan_.split; ++i) {
-        if (instrs[i].type == OpType::kGate) prefix_.applyGate(instrs[i]);
+    // are unaffected by where the split falls. The prefix never holds a
+    // noisy gate (that is where the split falls), so it always fuses.
+    if (fuse) {
+        FusedProgram prog =
+            fuseInstructions(instrs, 0, plan_.split, fusion);
+        for (const Instruction& instr : prog.instructions) {
+            if (instr.type == OpType::kGate) prefix_.applyGate(instr);
+        }
+        stats_ = std::move(prog.stats);
+    } else {
+        for (size_t i = 0; i < plan_.split; ++i) {
+            if (instrs[i].type == OpType::kGate) {
+                prefix_.applyGate(instrs[i]);
+            }
+        }
     }
+
+    // The per-shot suffix fuses only without Kraus noise: a fused gate
+    // has a different arity than its inputs, which would redirect the
+    // per-gate noise loop to the wrong channel list (noise_1q/noise_2q).
+    if (fuse && !plan_.kraus_noise) {
+        FusedProgram prog =
+            fuseInstructions(instrs, plan_.split, instrs.size(), fusion);
+        suffix_ = std::move(prog.instructions);
+        stats_.merge(prog.stats);
+    } else {
+        suffix_.assign(instrs.begin() + long(plan_.split), instrs.end());
+    }
+
     if (plan_.terminal_sampling) {
         table_ = std::make_unique<SampleTable>(prefix_);
     }
@@ -166,10 +195,8 @@ ShotExecutor::runOne(Rng& rng, Statevector& scratch) const
         return clbits;
     }
 
-    const auto& instrs = circuit_.instructions();
     scratch = prefix_;
-    for (size_t i = plan_.split; i < instrs.size(); ++i) {
-        const Instruction& instr = instrs[i];
+    for (const Instruction& instr : suffix_) {
         switch (instr.type) {
           case OpType::kGate:
             scratch.applyGate(instr);
@@ -200,7 +227,10 @@ runShotsStatevector(const QuantumCircuit& circuit,
                     const SimOptions& options)
 {
     QA_REQUIRE(options.shots > 0, "need a positive shot count");
-    const ShotExecutor executor(circuit, options.noise, options.naive);
+    const ShotExecutor executor(
+        circuit, options.noise, options.naive,
+        FusionOptions{options.fusion, options.fusion_max_qubits},
+        options.simd);
 
     std::vector<Counts> locals;
     const ShotLoopStatus status = runShotPool(

@@ -37,6 +37,7 @@
 #include "circuit/circuit.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "sim/fusion.hpp"
 #include "sim/noise.hpp"
 #include "sim/statevector.hpp"
 
@@ -110,12 +111,23 @@ class ShotExecutor
      * @param circuit Circuit to execute (kept by reference).
      * @param noise Optional noise model; ignored when null or disabled.
      * @param naive Skip circuit analysis and replay every instruction
-     *        per shot (the pre-engine reference path).
+     *        per shot (the pre-engine reference path; disables fusion).
+     * @param fusion Gate-fusion knobs. The deterministic prefix always
+     *        fuses when enabled (it contains no noisy gate by
+     *        construction); the per-shot suffix fuses only when no
+     *        Kraus channels are active, because fusion changes gate
+     *        arity and would redirect per-gate noise to the wrong
+     *        channel list.
+     * @param simd Allow the AVX2 kernels for prefix and scratch states.
      */
     ShotExecutor(const QuantumCircuit& circuit, const NoiseModel* noise,
-                 bool naive = false);
+                 bool naive = false, const FusionOptions& fusion = {},
+                 bool simd = true);
 
     const ShotPlan& plan() const { return plan_; }
+
+    /** What the fusion pass did (prefix + suffix combined). */
+    const FusionStats& fusionStats() const { return stats_; }
 
     /** The cached deterministic-prefix state. */
     const Statevector& prefix() const { return prefix_; }
@@ -140,6 +152,10 @@ class ShotExecutor
     Statevector prefix_;
     std::unique_ptr<SampleTable> table_;
     std::string clbits0_;
+
+    /** Post-split instructions runOne replays (fused when allowed). */
+    std::vector<Instruction> suffix_;
+    FusionStats stats_;
 };
 
 /**

@@ -1,0 +1,248 @@
+#include "sim/fusion.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/kernels.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** One open (still-growing) fusion group. */
+struct OpenGroup
+{
+    /** Qubit union, ascending (the fused instruction's operand list). */
+    std::vector<int> qubits;
+
+    /** Accumulated unitary over `qubits` (MSB-first convention). */
+    CMatrix matrix;
+
+    /** Input gates folded in so far. */
+    size_t count = 0;
+
+    /** The original instruction, emitted verbatim when count == 1. */
+    Instruction original;
+};
+
+bool
+disjoint(const std::vector<int>& sorted, const std::vector<int>& qubits)
+{
+    for (int q : qubits) {
+        if (std::binary_search(sorted.begin(), sorted.end(), q)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<int>
+sortedUnion(const std::vector<int>& sorted, const std::vector<int>& qubits)
+{
+    std::vector<int> out = sorted;
+    for (int q : qubits) {
+        const auto it = std::lower_bound(out.begin(), out.end(), q);
+        if (it == out.end() || *it != q) out.insert(it, q);
+    }
+    return out;
+}
+
+/** Fold gate `g` into `group`, widening the group to the qubit union. */
+void
+mergeInto(OpenGroup& group, const Instruction& g,
+          const std::vector<int>& union_qubits)
+{
+    const std::vector<int>& gq =
+        group.count == 1 ? group.original.qubits : group.qubits;
+    const CMatrix& gm =
+        group.count == 1 ? group.original.matrix : group.matrix;
+    // g runs after the group: left-multiply its expanded unitary.
+    group.matrix = expandToUnion(g.matrix, g.qubits, union_qubits) *
+                   expandToUnion(gm, gq, union_qubits);
+    group.qubits = union_qubits;
+    ++group.count;
+}
+
+void
+emitGroup(OpenGroup& group, std::vector<Instruction>& out,
+          FusionStats& stats)
+{
+    Instruction instr;
+    if (group.count == 1) {
+        instr = std::move(group.original);
+    } else {
+        instr.type = OpType::kGate;
+        instr.name = "fused";
+        instr.qubits = std::move(group.qubits);
+        instr.matrix = std::move(group.matrix);
+        ++stats.fused_groups;
+        stats.max_group = std::max(stats.max_group, group.count);
+    }
+    ++stats.gates_out;
+    ++stats.kernel_counts[kernelClassName(classifyKernel(instr.matrix))];
+    out.push_back(std::move(instr));
+}
+
+} // namespace
+
+void
+FusionStats::merge(const FusionStats& other)
+{
+    gates_in += other.gates_in;
+    gates_out += other.gates_out;
+    fused_groups += other.fused_groups;
+    max_group = std::max(max_group, other.max_group);
+    for (const auto& [name, n] : other.kernel_counts) {
+        kernel_counts[name] += n;
+    }
+}
+
+CMatrix
+expandToUnion(const CMatrix& m, const std::vector<int>& from,
+              const std::vector<int>& to)
+{
+    const size_t kf = from.size();
+    const size_t kt = to.size();
+    QA_REQUIRE(m.rows() == (size_t(1) << kf) && m.cols() == m.rows(),
+               "expandToUnion: matrix does not match operand count");
+
+    // Bit position (within the union index) of each `from` operand:
+    // to[j] owns bit kt-1-j of the union index.
+    std::vector<int> ubit(kf);
+    for (size_t j = 0; j < kf; ++j) {
+        const auto it = std::find(to.begin(), to.end(), from[j]);
+        QA_REQUIRE(it != to.end(),
+                   "expandToUnion: operand missing from the union");
+        ubit[j] = int(kt - 1 - size_t(it - to.begin()));
+    }
+    uint64_t sub_mask = 0;
+    for (int b : ubit) sub_mask |= uint64_t(1) << b;
+
+    const uint64_t dim = uint64_t(1) << kt;
+    const uint64_t subdim = uint64_t(1) << kf;
+    CMatrix out(dim, dim);
+    for (uint64_t r = 0; r < dim; ++r) {
+        uint64_t rsub = 0;
+        for (size_t j = 0; j < kf; ++j) {
+            rsub |= ((r >> ubit[j]) & 1) << (kf - 1 - j);
+        }
+        const uint64_t rest = r & ~sub_mask;
+        for (uint64_t csub = 0; csub < subdim; ++csub) {
+            uint64_t c = rest;
+            for (size_t j = 0; j < kf; ++j) {
+                c |= ((csub >> (kf - 1 - j)) & 1) << ubit[j];
+            }
+            out(r, c) = m(rsub, csub);
+        }
+    }
+    return out;
+}
+
+FusedProgram
+fuseInstructions(const std::vector<Instruction>& instrs, size_t begin,
+                 size_t end, const FusionOptions& options)
+{
+    const size_t max_qubits =
+        size_t(std::clamp(options.max_qubits, 1, 3));
+    FusedProgram prog;
+
+    if (!options.enabled) {
+        // Pass-through, but still report the stream's execution mix so
+        // explain output stays meaningful with fusion off.
+        for (size_t i = begin; i < end; ++i) {
+            const Instruction& instr = instrs[i];
+            if (instr.isGate()) {
+                ++prog.stats.gates_in;
+                ++prog.stats.gates_out;
+                ++prog.stats.kernel_counts[kernelClassName(
+                    classifyKernel(instr.matrix))];
+            }
+            prog.instructions.push_back(instr);
+        }
+        return prog;
+    }
+
+    std::vector<OpenGroup> open;
+    const auto flush = [&] {
+        for (OpenGroup& group : open) {
+            emitGroup(group, prog.instructions, prog.stats);
+        }
+        open.clear();
+    };
+    const auto pushNew = [&](const Instruction& g) {
+        OpenGroup group;
+        group.qubits = g.qubits;
+        std::sort(group.qubits.begin(), group.qubits.end());
+        group.count = 1;
+        group.original = g;
+        open.push_back(std::move(group));
+    };
+
+    for (size_t i = begin; i < end; ++i) {
+        const Instruction& instr = instrs[i];
+        if (!instr.isGate()) {
+            // Measurement/reset/barrier: a fusion boundary.
+            flush();
+            prog.instructions.push_back(instr);
+            continue;
+        }
+        ++prog.stats.gates_in;
+        if (instr.arity() > max_qubits) {
+            flush();
+            ++prog.stats.gates_out;
+            ++prog.stats.kernel_counts[kernelClassName(
+                classifyKernel(instr.matrix))];
+            prog.instructions.push_back(instr);
+            continue;
+        }
+
+        // Scan open groups newest-first. The gate must merge into the
+        // most recent group it overlaps (it cannot commute past it);
+        // groups it is disjoint from are transparent. A fully disjoint
+        // gate folds into the most recent group the union still fits.
+        bool handled = false;
+        int disjoint_fit = -1;
+        for (size_t idx = open.size(); idx-- > 0;) {
+            OpenGroup& group = open[idx];
+            if (disjoint(group.qubits, instr.qubits)) {
+                if (disjoint_fit < 0 &&
+                    sortedUnion(group.qubits, instr.qubits).size() <=
+                        max_qubits) {
+                    disjoint_fit = int(idx);
+                }
+                continue;
+            }
+            const std::vector<int> u =
+                sortedUnion(group.qubits, instr.qubits);
+            if (u.size() <= max_qubits) {
+                mergeInto(group, instr, u);
+            } else {
+                pushNew(instr);
+            }
+            handled = true;
+            break;
+        }
+        if (!handled) {
+            if (disjoint_fit >= 0) {
+                OpenGroup& group = open[size_t(disjoint_fit)];
+                mergeInto(group, instr,
+                          sortedUnion(group.qubits, instr.qubits));
+            } else {
+                pushNew(instr);
+            }
+        }
+    }
+    flush();
+    return prog;
+}
+
+FusedProgram
+fuseCircuit(const QuantumCircuit& circuit, const FusionOptions& options)
+{
+    const auto& instrs = circuit.instructions();
+    return fuseInstructions(instrs, 0, instrs.size(), options);
+}
+
+} // namespace qa

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Kernel classification, dispatch, and the scalar kernel family.
+ *
+ * Scalar kernels spell complex arithmetic out in explicit doubles:
+ * std::complex operator* can lower to the __muldc3 libcall (full
+ * inf/nan semantics), which is a per-amplitude function call in the
+ * hottest loop of the whole system. The explicit form vectorizes and
+ * matches the AVX2 leaves up to floating-point reassociation.
+ */
+#include "sim/kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "sim/kernels_simd.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Grain for parallel fan-out, in amplitudes (see kParallelThreshold). */
+constexpr uint64_t kKernelGrain = uint64_t(1) << 15;
+
+/** Insert zero bits at positions sp[0] < sp[1] < ... into packed r. */
+uint64_t
+deposit(uint64_t r, const int* sp, size_t k)
+{
+    uint64_t out = r;
+    for (size_t j = 0; j < k; ++j) {
+        const uint64_t low = out & ((uint64_t(1) << sp[j]) - 1);
+        out = ((out >> sp[j]) << (sp[j] + 1)) | low;
+    }
+    return out;
+}
+
+/** Amplitude index of the bit-clear member of 1q pair `r`. */
+uint64_t
+pairBase(uint64_t r, int p)
+{
+    return ((r >> p) << (p + 1)) | (r & ((uint64_t(1) << p) - 1));
+}
+
+/**
+ * Chunked sweep over the 2^(n-k) rest indices: inline below the
+ * parallel threshold so small states never pay thread handshakes.
+ */
+template <typename Leaf>
+void
+forRest(uint64_t dim, size_t k, const Leaf& leaf)
+{
+    const uint64_t rest = dim >> k;
+    if (dim < kParallelThreshold) {
+        leaf(uint64_t(0), rest);
+        return;
+    }
+    parallelFor(rest, std::max<uint64_t>(kKernelGrain >> k, 1), leaf);
+}
+
+/** Chunked sweep over all dim amplitudes (diagonal kernels). */
+template <typename Leaf>
+void
+forFull(uint64_t dim, const Leaf& leaf)
+{
+    if (dim < kParallelThreshold) {
+        leaf(uint64_t(0), dim);
+        return;
+    }
+    parallelFor(dim, kKernelGrain, leaf);
+}
+
+void
+scalarK1General(Complex* amps, uint64_t r0, uint64_t r1, int p,
+                const Complex* m)
+{
+    const uint64_t bit = uint64_t(1) << p;
+    const double m00r = m[0].real(), m00i = m[0].imag();
+    const double m01r = m[1].real(), m01i = m[1].imag();
+    const double m10r = m[2].real(), m10i = m[2].imag();
+    const double m11r = m[3].real(), m11i = m[3].imag();
+    for (uint64_t r = r0; r < r1; ++r) {
+        const uint64_t i0 = pairBase(r, p), i1 = i0 | bit;
+        const double a0r = amps[i0].real(), a0i = amps[i0].imag();
+        const double a1r = amps[i1].real(), a1i = amps[i1].imag();
+        amps[i0] = Complex(m00r * a0r - m00i * a0i +
+                               m01r * a1r - m01i * a1i,
+                           m00r * a0i + m00i * a0r +
+                               m01r * a1i + m01i * a1r);
+        amps[i1] = Complex(m10r * a0r - m10i * a0i +
+                               m11r * a1r - m11i * a1i,
+                           m10r * a0i + m10i * a0r +
+                               m11r * a1i + m11i * a1r);
+    }
+}
+
+void
+scalarK1Diag(Complex* amps, uint64_t r0, uint64_t r1, int p,
+             const Complex* d)
+{
+    const uint64_t bit = uint64_t(1) << p;
+    const double d0r = d[0].real(), d0i = d[0].imag();
+    const double d1r = d[1].real(), d1i = d[1].imag();
+    for (uint64_t r = r0; r < r1; ++r) {
+        const uint64_t i0 = pairBase(r, p), i1 = i0 | bit;
+        const double a0r = amps[i0].real(), a0i = amps[i0].imag();
+        const double a1r = amps[i1].real(), a1i = amps[i1].imag();
+        amps[i0] = Complex(d0r * a0r - d0i * a0i, d0r * a0i + d0i * a0r);
+        amps[i1] = Complex(d1r * a1r - d1i * a1i, d1r * a1i + d1i * a1r);
+    }
+}
+
+void
+scalarK1Perm(Complex* amps, uint64_t r0, uint64_t r1, int p,
+             const Complex* c)
+{
+    const uint64_t bit = uint64_t(1) << p;
+    const double c01r = c[0].real(), c01i = c[0].imag();
+    const double c10r = c[1].real(), c10i = c[1].imag();
+    for (uint64_t r = r0; r < r1; ++r) {
+        const uint64_t i0 = pairBase(r, p), i1 = i0 | bit;
+        const double a0r = amps[i0].real(), a0i = amps[i0].imag();
+        const double a1r = amps[i1].real(), a1i = amps[i1].imag();
+        amps[i0] = Complex(c01r * a1r - c01i * a1i,
+                           c01r * a1i + c01i * a1r);
+        amps[i1] = Complex(c10r * a0r - c10i * a0i,
+                           c10r * a0i + c10i * a0r);
+    }
+}
+
+void
+scalarCtrl(Complex* amps, uint64_t r0, uint64_t r1, int pc, int pt,
+           const Complex* u)
+{
+    const uint64_t cbit = uint64_t(1) << pc;
+    const uint64_t tbit = uint64_t(1) << pt;
+    const int sp[2] = {pc < pt ? pc : pt, pc < pt ? pt : pc};
+    const double u00r = u[0].real(), u00i = u[0].imag();
+    const double u01r = u[1].real(), u01i = u[1].imag();
+    const double u10r = u[2].real(), u10i = u[2].imag();
+    const double u11r = u[3].real(), u11i = u[3].imag();
+    for (uint64_t r = r0; r < r1; ++r) {
+        const uint64_t i0 = deposit(r, sp, 2) | cbit, i1 = i0 | tbit;
+        const double a0r = amps[i0].real(), a0i = amps[i0].imag();
+        const double a1r = amps[i1].real(), a1i = amps[i1].imag();
+        amps[i0] = Complex(u00r * a0r - u00i * a0i +
+                               u01r * a1r - u01i * a1i,
+                           u00r * a0i + u00i * a0r +
+                               u01r * a1i + u01i * a1r);
+        amps[i1] = Complex(u10r * a0r - u10i * a0i +
+                               u11r * a1r - u11i * a1i,
+                           u10r * a0i + u10i * a0r +
+                               u11r * a1i + u11i * a1r);
+    }
+}
+
+/**
+ * Dense fixed-size kernel for SUBDIM = 2^k groups: gather, multiply,
+ * scatter. SUBDIM as a template parameter lets the compiler fully
+ * unroll the row/column loops.
+ */
+template <size_t SUBDIM>
+void
+scalarDense(Complex* amps, uint64_t r0, uint64_t r1, const int* sp,
+            const uint64_t* off, const Complex* m)
+{
+    double mr[SUBDIM * SUBDIM], mi[SUBDIM * SUBDIM];
+    for (size_t e = 0; e < SUBDIM * SUBDIM; ++e) {
+        mr[e] = m[e].real();
+        mi[e] = m[e].imag();
+    }
+    constexpr size_t k = SUBDIM == 4 ? 2 : 3;
+    for (uint64_t r = r0; r < r1; ++r) {
+        const uint64_t base = deposit(r, sp, k);
+        double ar[SUBDIM], ai[SUBDIM], outr[SUBDIM], outi[SUBDIM];
+        for (size_t s = 0; s < SUBDIM; ++s) {
+            const Complex& a = amps[base | off[s]];
+            ar[s] = a.real();
+            ai[s] = a.imag();
+        }
+        for (size_t row = 0; row < SUBDIM; ++row) {
+            double sr = 0.0, si = 0.0;
+            for (size_t col = 0; col < SUBDIM; ++col) {
+                const size_t e = row * SUBDIM + col;
+                sr += mr[e] * ar[col] - mi[e] * ai[col];
+                si += mr[e] * ai[col] + mi[e] * ar[col];
+            }
+            outr[row] = sr;
+            outi[row] = si;
+        }
+        for (size_t s = 0; s < SUBDIM; ++s) {
+            amps[base | off[s]] = Complex(outr[s], outi[s]);
+        }
+    }
+}
+
+/** Generic k-qubit gather/scatter fallback (k >= 4). */
+void
+scalarGenericK(Complex* amps, uint64_t r0, uint64_t r1, const int* sp,
+               const std::vector<uint64_t>& off, const CMatrix& m)
+{
+    const size_t subdim = off.size();
+    const size_t k = size_t(__builtin_ctzll(uint64_t(subdim)));
+    std::vector<Complex> gathered(subdim);
+    std::vector<uint64_t> indices(subdim);
+    for (uint64_t r = r0; r < r1; ++r) {
+        const uint64_t base = deposit(r, sp, k);
+        for (size_t s = 0; s < subdim; ++s) {
+            indices[s] = base | off[s];
+            gathered[s] = amps[indices[s]];
+        }
+        for (size_t row = 0; row < subdim; ++row) {
+            Complex sum = 0.0;
+            for (size_t col = 0; col < subdim; ++col) {
+                sum += m(row, col) * gathered[col];
+            }
+            amps[indices[row]] = sum;
+        }
+    }
+}
+
+/**
+ * Match a controlled-1q pattern: m == I (+) U with the control on one
+ * local qubit and its value 1. On success stores the control's local
+ * bit (1 = local MSB = qubits[0], 0 = local LSB) and the 2x2 block.
+ */
+bool
+matchControlled(const CMatrix& m, int* control_local, Complex* u)
+{
+    const Complex zero(0.0), one(1.0);
+    // Control on the local MSB: rows/cols 0..1 are identity.
+    bool msb = m(0, 0) == one && m(1, 1) == one;
+    for (size_t r = 0; r < 4 && msb; ++r) {
+        for (size_t c = 0; c < 4; ++c) {
+            if ((r < 2 || c < 2) && !(r == c && r < 2) &&
+                m(r, c) != zero) {
+                msb = false;
+                break;
+            }
+        }
+    }
+    if (msb) {
+        *control_local = 1;
+        u[0] = m(2, 2);
+        u[1] = m(2, 3);
+        u[2] = m(3, 2);
+        u[3] = m(3, 3);
+        return true;
+    }
+    // Control on the local LSB: rows/cols 0 and 2 are identity.
+    bool lsb = m(0, 0) == one && m(2, 2) == one;
+    for (size_t r = 0; r < 4 && lsb; ++r) {
+        for (size_t c = 0; c < 4; ++c) {
+            const bool fixed_r = r == 0 || r == 2;
+            const bool fixed_c = c == 0 || c == 2;
+            if ((fixed_r || fixed_c) && !(r == c && fixed_r) &&
+                m(r, c) != zero) {
+                lsb = false;
+                break;
+            }
+        }
+    }
+    if (lsb) {
+        *control_local = 0;
+        u[0] = m(1, 1);
+        u[1] = m(1, 3);
+        u[2] = m(3, 1);
+        u[3] = m(3, 3);
+        return true;
+    }
+    return false;
+}
+
+/** One nonzero entry per row and per column. */
+bool
+isMonomial(const CMatrix& m)
+{
+    const Complex zero(0.0);
+    const size_t dim = m.rows();
+    std::vector<int> col_hits(dim, 0);
+    for (size_t r = 0; r < dim; ++r) {
+        int row_hits = 0;
+        for (size_t c = 0; c < dim; ++c) {
+            if (m(r, c) != zero) {
+                ++row_hits;
+                ++col_hits[c];
+            }
+        }
+        if (row_hits != 1) return false;
+    }
+    for (size_t c = 0; c < dim; ++c) {
+        if (col_hits[c] != 1) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char*
+kernelClassName(KernelClass klass)
+{
+    switch (klass) {
+      case KernelClass::kDiagonal1q:    return "diagonal1q";
+      case KernelClass::kPermutation1q: return "permutation1q";
+      case KernelClass::kGeneral1q:     return "general1q";
+      case KernelClass::kDiagonal2q:    return "diagonal2q";
+      case KernelClass::kControlled1q:  return "controlled1q";
+      case KernelClass::kPermutation2q: return "permutation2q";
+      case KernelClass::kGeneral2q:     return "general2q";
+      case KernelClass::kGeneral3q:     return "general3q";
+      case KernelClass::kGenericK:      return "generic";
+    }
+    return "unknown";
+}
+
+KernelClass
+classifyKernel(const CMatrix& m)
+{
+    const Complex zero(0.0);
+    const size_t dim = m.rows();
+    if (dim == 2) {
+        if (m(0, 1) == zero && m(1, 0) == zero) {
+            return KernelClass::kDiagonal1q;
+        }
+        if (m(0, 0) == zero && m(1, 1) == zero) {
+            return KernelClass::kPermutation1q;
+        }
+        return KernelClass::kGeneral1q;
+    }
+    if (dim == 4) {
+        bool diag = true;
+        for (size_t r = 0; r < 4 && diag; ++r) {
+            for (size_t c = 0; c < 4; ++c) {
+                if (r != c && m(r, c) != zero) {
+                    diag = false;
+                    break;
+                }
+            }
+        }
+        if (diag) return KernelClass::kDiagonal2q;
+        int control = 0;
+        Complex u[4];
+        if (matchControlled(m, &control, u)) {
+            return KernelClass::kControlled1q;
+        }
+        if (isMonomial(m)) return KernelClass::kPermutation2q;
+        return KernelClass::kGeneral2q;
+    }
+    if (dim == 8) return KernelClass::kGeneral3q;
+    return KernelClass::kGenericK;
+}
+
+bool
+simdCompiledIn()
+{
+#if defined(QA_SIMD_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+simdAvailable()
+{
+#if defined(QA_SIMD_ENABLED)
+    static const bool ok = __builtin_cpu_supports("avx2") &&
+                           __builtin_cpu_supports("fma");
+    return ok;
+#else
+    return false;
+#endif
+}
+
+void
+applyDenseKernel(Complex* amps, uint64_t dim, const CMatrix& m,
+                 const int* pos, size_t k, bool simd)
+{
+    QA_REQUIRE(k >= 1 && k <= 16 && m.rows() == (size_t(1) << k) &&
+                   m.cols() == m.rows(),
+               "kernel matrix dimension does not match qubit count");
+    const bool use_simd = simd && simdAvailable();
+    (void)use_simd;
+
+    if (k == 1) {
+        const int p = pos[0];
+        switch (classifyKernel(m)) {
+          case KernelClass::kDiagonal1q: {
+            const Complex d[2] = {m(0, 0), m(1, 1)};
+            forRest(dim, 1, [&](uint64_t b, uint64_t e) {
+#if defined(QA_SIMD_ENABLED)
+                if (use_simd) {
+                    simd::k1DiagRange(amps, b, e, p, d);
+                    return;
+                }
+#endif
+                scalarK1Diag(amps, b, e, p, d);
+            });
+            return;
+          }
+          case KernelClass::kPermutation1q: {
+            const Complex c[2] = {m(0, 1), m(1, 0)};
+            forRest(dim, 1, [&](uint64_t b, uint64_t e) {
+#if defined(QA_SIMD_ENABLED)
+                if (use_simd) {
+                    simd::k1PermRange(amps, b, e, p, c);
+                    return;
+                }
+#endif
+                scalarK1Perm(amps, b, e, p, c);
+            });
+            return;
+          }
+          default: {
+            const Complex mm[4] = {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+            forRest(dim, 1, [&](uint64_t b, uint64_t e) {
+#if defined(QA_SIMD_ENABLED)
+                if (use_simd) {
+                    simd::k1GeneralRange(amps, b, e, p, mm);
+                    return;
+                }
+#endif
+                scalarK1General(amps, b, e, p, mm);
+            });
+            return;
+          }
+        }
+    }
+
+    if (k == 2) {
+        const int p_hi = pos[0], p_lo = pos[1];
+        switch (classifyKernel(m)) {
+          case KernelClass::kDiagonal2q: {
+            const Complex d[4] = {m(0, 0), m(1, 1), m(2, 2), m(3, 3)};
+            const double dr[4] = {d[0].real(), d[1].real(), d[2].real(),
+                                  d[3].real()};
+            const double di[4] = {d[0].imag(), d[1].imag(), d[2].imag(),
+                                  d[3].imag()};
+            forFull(dim, [&](uint64_t b, uint64_t e) {
+                for (uint64_t i = b; i < e; ++i) {
+                    const size_t s = ((i >> p_hi) & 1) * 2 +
+                                     ((i >> p_lo) & 1);
+                    const double ar = amps[i].real(), ai = amps[i].imag();
+                    amps[i] = Complex(dr[s] * ar - di[s] * ai,
+                                      dr[s] * ai + di[s] * ar);
+                }
+            });
+            return;
+          }
+          case KernelClass::kControlled1q: {
+            int control = 0;
+            Complex u[4];
+            matchControlled(m, &control, u);
+            const int pc = control == 1 ? p_hi : p_lo;
+            const int pt = control == 1 ? p_lo : p_hi;
+            forRest(dim, 2, [&](uint64_t b, uint64_t e) {
+#if defined(QA_SIMD_ENABLED)
+                if (use_simd && pc >= 1 && pt >= 1) {
+                    simd::kCtrlRange(amps, b, e, pc, pt, u);
+                    return;
+                }
+#endif
+                scalarCtrl(amps, b, e, pc, pt, u);
+            });
+            return;
+          }
+          default: {
+            // Permutation-2q keeps the dense path: a 4x4 gather with
+            // mostly-zero rows is already cheap and swap gates are rare.
+            const int sp[2] = {p_hi < p_lo ? p_hi : p_lo,
+                               p_hi < p_lo ? p_lo : p_hi};
+            const uint64_t b_hi = uint64_t(1) << p_hi;
+            const uint64_t b_lo = uint64_t(1) << p_lo;
+            const uint64_t off[4] = {0, b_lo, b_hi, b_hi | b_lo};
+            Complex mm[16];
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 4; ++c) mm[r * 4 + c] = m(r, c);
+            }
+            forRest(dim, 2, [&](uint64_t b, uint64_t e) {
+#if defined(QA_SIMD_ENABLED)
+                if (use_simd && sp[0] >= 1) {
+                    const int pp[2] = {p_hi, p_lo};
+                    simd::k2GeneralRange(amps, b, e, pp, mm);
+                    return;
+                }
+#endif
+                scalarDense<4>(amps, b, e, sp, off, mm);
+            });
+            return;
+          }
+        }
+    }
+
+    if (k == 3) {
+        int sp[3] = {pos[0], pos[1], pos[2]};
+        std::sort(sp, sp + 3);
+        uint64_t off[8];
+        for (uint64_t s = 0; s < 8; ++s) {
+            off[s] = (((s >> 2) & 1) << pos[0]) |
+                     (((s >> 1) & 1) << pos[1]) | ((s & 1) << pos[2]);
+        }
+        Complex mm[64];
+        for (size_t r = 0; r < 8; ++r) {
+            for (size_t c = 0; c < 8; ++c) mm[r * 8 + c] = m(r, c);
+        }
+        forRest(dim, 3, [&](uint64_t b, uint64_t e) {
+#if defined(QA_SIMD_ENABLED)
+            if (use_simd && sp[0] >= 1) {
+                simd::k3GeneralRange(amps, b, e, pos, mm);
+                return;
+            }
+#endif
+            scalarDense<8>(amps, b, e, sp, off, mm);
+        });
+        return;
+    }
+
+    // Generic gather/scatter fallback for k >= 4.
+    std::vector<int> sp(pos, pos + k);
+    std::sort(sp.begin(), sp.end());
+    const size_t subdim = size_t(1) << k;
+    std::vector<uint64_t> off(subdim, 0);
+    for (uint64_t s = 0; s < subdim; ++s) {
+        for (size_t j = 0; j < k; ++j) {
+            off[s] |= ((s >> (k - 1 - j)) & 1) << pos[j];
+        }
+    }
+    forRest(dim, k, [&](uint64_t b, uint64_t e) {
+        scalarGenericK(amps, b, e, sp.data(), off, m);
+    });
+}
+
+} // namespace qa

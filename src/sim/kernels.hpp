@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Specialized dense amplitude kernels shared by the statevector and
+ * density-matrix simulators.
+ *
+ * Both dense states are flat arrays of complex amplitudes indexed by a
+ * bit pattern, so one kernel layer serves them: the statevector passes
+ * its 2^n amplitudes directly, and the density matrix passes its
+ * row-major 2^n x 2^n storage viewed as a 2^(2n)-entry array (row bits
+ * shifted up by n, column bits at the bottom).
+ *
+ * A kernel call applies a 2^k x 2^k matrix at k explicit bit positions.
+ * Dispatch picks a specialization by matrix structure (diagonal,
+ * permutation, controlled-1q, dense 1q/2q/3q, generic gather fallback)
+ * and, when compiled in and supported by the CPU, an AVX2+FMA variant
+ * of the hot dense cases. Scalar fallbacks are always available and
+ * produce the same results up to floating-point reassociation.
+ *
+ * Threading: kernels fan out through parallelFor only when the state
+ * has at least kParallelThreshold amplitudes; smaller states (<= ~14
+ * qubits) always run inline so per-gate cost never includes thread
+ * handshakes (the BENCH_PR1 1-CPU regression).
+ */
+#ifndef QA_SIM_KERNELS_HPP
+#define QA_SIM_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/**
+ * Structural class of a gate matrix, used both for kernel dispatch and
+ * for the fusion plan reported by explain (kernel mix).
+ */
+enum class KernelClass
+{
+    kDiagonal1q,    ///< 2x2 diagonal (z, s, t, rz, phase).
+    kPermutation1q, ///< 2x2 anti-diagonal (x, y).
+    kGeneral1q,     ///< Dense 2x2 (h, u3, fused 1q runs).
+    kDiagonal2q,    ///< 4x4 diagonal (cz, cphase, zz interactions).
+    kControlled1q,  ///< 4x4 block I (+) U on either local qubit (cx, cu).
+    kPermutation2q, ///< 4x4 with one unit-modulus entry per row (swap).
+    kGeneral2q,     ///< Dense 4x4 (fused 2q runs).
+    kGeneral3q,     ///< Dense 8x8 (stretch fusion).
+    kGenericK       ///< Anything larger: gather/scatter fallback.
+};
+
+/** Stable log/wire name of a kernel class. */
+const char* kernelClassName(KernelClass klass);
+
+/** Classify a 2^k x 2^k gate matrix by structure. */
+KernelClass classifyKernel(const CMatrix& m);
+
+/** True when AVX2 kernels were compiled in (QA_ENABLE_SIMD=ON). */
+bool simdCompiledIn();
+
+/** True when AVX2 kernels are compiled in AND this CPU supports them. */
+bool simdAvailable();
+
+/**
+ * Minimum amplitude count before a dense kernel fans out across
+ * threads. Below this the sweep runs inline on the calling thread.
+ */
+inline constexpr uint64_t kParallelThreshold = uint64_t(1) << 15;
+
+/**
+ * Apply the 2^k x 2^k matrix `m` to the amplitude array.
+ *
+ * @param amps Interleaved complex amplitudes (length `dim`).
+ * @param dim  Total amplitude count (power of two).
+ * @param m    Gate matrix; row/column index bit j (MSB-first over the k
+ *             operand bits) corresponds to global bit `pos[j]`.
+ * @param pos  Global bit positions of the operand bits, local-MSB first
+ *             (for a statevector: pos[j] = n-1-qubits[j]).
+ * @param k    Operand count; requires 2^k == m.rows() and k <= 16.
+ * @param simd Allow the AVX2 path when available; false forces scalar.
+ */
+void applyDenseKernel(Complex* amps, uint64_t dim, const CMatrix& m,
+                      const int* pos, size_t k, bool simd);
+
+} // namespace qa
+
+#endif // QA_SIM_KERNELS_HPP

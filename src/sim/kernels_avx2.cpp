@@ -1,0 +1,373 @@
+/**
+ * @file
+ * AVX2+FMA amplitude kernel leaves. This translation unit is the only
+ * one compiled with -mavx2 -mfma; it must stay free of code reachable
+ * before the runtime CPU check in kernels.cpp. One 256-bit lane holds
+ * two interleaved complex doubles; a complex multiply by a broadcast
+ * constant c is
+ *
+ *   fmaddsub(v, re(c), swap_pairs(v) * im(c))
+ *
+ * whose even lanes compute ar*cr - ai*ci and odd lanes ai*cr + ar*ci.
+ */
+#include "sim/kernels_simd.hpp"
+
+#if defined(QA_SIMD_ENABLED)
+
+#include <immintrin.h>
+
+namespace qa
+{
+namespace simd
+{
+
+namespace
+{
+
+/** v * c for a broadcast complex constant (cr/ci = set1 of re/im). */
+inline __m256d
+cmul(__m256d v, __m256d cr, __m256d ci)
+{
+    const __m256d sw = _mm256_permute_pd(v, 0x5);
+    return _mm256_fmaddsub_pd(v, cr, _mm256_mul_pd(sw, ci));
+}
+
+/** Insert zero bits at positions sp[0] < sp[1] < ... into packed r. */
+inline uint64_t
+deposit(uint64_t r, const int* sp, int k)
+{
+    uint64_t out = r;
+    for (int j = 0; j < k; ++j) {
+        const uint64_t low = out & ((uint64_t(1) << sp[j]) - 1);
+        out = ((out >> sp[j]) << (sp[j] + 1)) | low;
+    }
+    return out;
+}
+
+/** Amplitude index of the bit-clear member of 1q pair `r`. */
+inline uint64_t
+pairBase(uint64_t r, int p)
+{
+    return ((r >> p) << (p + 1)) | (r & ((uint64_t(1) << p) - 1));
+}
+
+/** Scalar single-pair 1q update (head/tail peeling only). */
+inline void
+gen1qOne(Complex* amps, uint64_t i0, uint64_t i1, const Complex* m)
+{
+    const Complex a0 = amps[i0], a1 = amps[i1];
+    amps[i0] = m[0] * a0 + m[1] * a1;
+    amps[i1] = m[2] * a0 + m[3] * a1;
+}
+
+/** Scalar single-group 2q update (head/tail peeling only). */
+inline void
+k2One(Complex* amps, uint64_t base, const uint64_t* off, const Complex* m)
+{
+    Complex a[4], o[4];
+    for (int s = 0; s < 4; ++s) a[s] = amps[base | off[s]];
+    for (int row = 0; row < 4; ++row) {
+        o[row] = m[4 * row] * a[0] + m[4 * row + 1] * a[1] +
+                 m[4 * row + 2] * a[2] + m[4 * row + 3] * a[3];
+    }
+    for (int s = 0; s < 4; ++s) amps[base | off[s]] = o[s];
+}
+
+/** Scalar single-group 3q update (head/tail peeling only). */
+inline void
+k3One(Complex* amps, uint64_t base, const uint64_t* off, const Complex* m)
+{
+    Complex a[8], o[8];
+    for (int s = 0; s < 8; ++s) a[s] = amps[base | off[s]];
+    for (int row = 0; row < 8; ++row) {
+        Complex sum = 0.0;
+        for (int col = 0; col < 8; ++col) {
+            sum += m[8 * row + col] * a[col];
+        }
+        o[row] = sum;
+    }
+    for (int s = 0; s < 8; ++s) amps[base | off[s]] = o[s];
+}
+
+} // namespace
+
+void
+k1GeneralRange(Complex* amps, uint64_t r0, uint64_t r1, int p,
+               const Complex* m)
+{
+    double* d = reinterpret_cast<double*>(amps);
+    if (p == 0) {
+        // Each rest index owns one contiguous [a0, a1] lane: multiply
+        // by per-half constants and by the lane-swapped vector.
+        const __m256d ar = _mm256_set_pd(m[3].real(), m[3].real(),
+                                         m[0].real(), m[0].real());
+        const __m256d ai = _mm256_set_pd(m[3].imag(), m[3].imag(),
+                                         m[0].imag(), m[0].imag());
+        const __m256d br = _mm256_set_pd(m[2].real(), m[2].real(),
+                                         m[1].real(), m[1].real());
+        const __m256d bi = _mm256_set_pd(m[2].imag(), m[2].imag(),
+                                         m[1].imag(), m[1].imag());
+        for (uint64_t r = r0; r < r1; ++r) {
+            const __m256d v = _mm256_loadu_pd(d + 4 * r);
+            const __m256d sw = _mm256_permute2f128_pd(v, v, 0x01);
+            _mm256_storeu_pd(d + 4 * r,
+                             _mm256_add_pd(cmul(v, ar, ai),
+                                           cmul(sw, br, bi)));
+        }
+        return;
+    }
+
+    const uint64_t bit = uint64_t(1) << p;
+    const __m256d m00r = _mm256_set1_pd(m[0].real());
+    const __m256d m00i = _mm256_set1_pd(m[0].imag());
+    const __m256d m01r = _mm256_set1_pd(m[1].real());
+    const __m256d m01i = _mm256_set1_pd(m[1].imag());
+    const __m256d m10r = _mm256_set1_pd(m[2].real());
+    const __m256d m10i = _mm256_set1_pd(m[2].imag());
+    const __m256d m11r = _mm256_set1_pd(m[3].real());
+    const __m256d m11i = _mm256_set1_pd(m[3].imag());
+
+    uint64_t r = r0;
+    for (; r < r1 && (r & 1); ++r) {
+        const uint64_t i0 = pairBase(r, p);
+        gen1qOne(amps, i0, i0 | bit, m);
+    }
+    for (; r + 2 <= r1; r += 2) {
+        const uint64_t i0 = pairBase(r, p);
+        const __m256d v0 = _mm256_loadu_pd(d + 2 * i0);
+        const __m256d v1 = _mm256_loadu_pd(d + 2 * (i0 | bit));
+        const __m256d o0 = _mm256_add_pd(cmul(v0, m00r, m00i),
+                                         cmul(v1, m01r, m01i));
+        const __m256d o1 = _mm256_add_pd(cmul(v0, m10r, m10i),
+                                         cmul(v1, m11r, m11i));
+        _mm256_storeu_pd(d + 2 * i0, o0);
+        _mm256_storeu_pd(d + 2 * (i0 | bit), o1);
+    }
+    for (; r < r1; ++r) {
+        const uint64_t i0 = pairBase(r, p);
+        gen1qOne(amps, i0, i0 | bit, m);
+    }
+}
+
+void
+k1DiagRange(Complex* amps, uint64_t r0, uint64_t r1, int p,
+            const Complex* dvals)
+{
+    double* d = reinterpret_cast<double*>(amps);
+    if (p == 0) {
+        const __m256d cr = _mm256_set_pd(dvals[1].real(), dvals[1].real(),
+                                         dvals[0].real(), dvals[0].real());
+        const __m256d ci = _mm256_set_pd(dvals[1].imag(), dvals[1].imag(),
+                                         dvals[0].imag(), dvals[0].imag());
+        for (uint64_t r = r0; r < r1; ++r) {
+            const __m256d v = _mm256_loadu_pd(d + 4 * r);
+            _mm256_storeu_pd(d + 4 * r, cmul(v, cr, ci));
+        }
+        return;
+    }
+
+    const uint64_t bit = uint64_t(1) << p;
+    const __m256d d0r = _mm256_set1_pd(dvals[0].real());
+    const __m256d d0i = _mm256_set1_pd(dvals[0].imag());
+    const __m256d d1r = _mm256_set1_pd(dvals[1].real());
+    const __m256d d1i = _mm256_set1_pd(dvals[1].imag());
+
+    uint64_t r = r0;
+    for (; r < r1 && (r & 1); ++r) {
+        const uint64_t i0 = pairBase(r, p);
+        amps[i0] *= dvals[0];
+        amps[i0 | bit] *= dvals[1];
+    }
+    for (; r + 2 <= r1; r += 2) {
+        const uint64_t i0 = pairBase(r, p);
+        const __m256d v0 = _mm256_loadu_pd(d + 2 * i0);
+        const __m256d v1 = _mm256_loadu_pd(d + 2 * (i0 | bit));
+        _mm256_storeu_pd(d + 2 * i0, cmul(v0, d0r, d0i));
+        _mm256_storeu_pd(d + 2 * (i0 | bit), cmul(v1, d1r, d1i));
+    }
+    for (; r < r1; ++r) {
+        const uint64_t i0 = pairBase(r, p);
+        amps[i0] *= dvals[0];
+        amps[i0 | bit] *= dvals[1];
+    }
+}
+
+void
+k1PermRange(Complex* amps, uint64_t r0, uint64_t r1, int p,
+            const Complex* c)
+{
+    double* d = reinterpret_cast<double*>(amps);
+    if (p == 0) {
+        const __m256d cr = _mm256_set_pd(c[1].real(), c[1].real(),
+                                         c[0].real(), c[0].real());
+        const __m256d ci = _mm256_set_pd(c[1].imag(), c[1].imag(),
+                                         c[0].imag(), c[0].imag());
+        for (uint64_t r = r0; r < r1; ++r) {
+            const __m256d v = _mm256_loadu_pd(d + 4 * r);
+            const __m256d sw = _mm256_permute2f128_pd(v, v, 0x01);
+            _mm256_storeu_pd(d + 4 * r, cmul(sw, cr, ci));
+        }
+        return;
+    }
+
+    const uint64_t bit = uint64_t(1) << p;
+    const __m256d c01r = _mm256_set1_pd(c[0].real());
+    const __m256d c01i = _mm256_set1_pd(c[0].imag());
+    const __m256d c10r = _mm256_set1_pd(c[1].real());
+    const __m256d c10i = _mm256_set1_pd(c[1].imag());
+
+    uint64_t r = r0;
+    for (; r < r1 && (r & 1); ++r) {
+        const uint64_t i0 = pairBase(r, p);
+        const Complex a0 = amps[i0];
+        amps[i0] = c[0] * amps[i0 | bit];
+        amps[i0 | bit] = c[1] * a0;
+    }
+    for (; r + 2 <= r1; r += 2) {
+        const uint64_t i0 = pairBase(r, p);
+        const __m256d v0 = _mm256_loadu_pd(d + 2 * i0);
+        const __m256d v1 = _mm256_loadu_pd(d + 2 * (i0 | bit));
+        _mm256_storeu_pd(d + 2 * i0, cmul(v1, c01r, c01i));
+        _mm256_storeu_pd(d + 2 * (i0 | bit), cmul(v0, c10r, c10i));
+    }
+    for (; r < r1; ++r) {
+        const uint64_t i0 = pairBase(r, p);
+        const Complex a0 = amps[i0];
+        amps[i0] = c[0] * amps[i0 | bit];
+        amps[i0 | bit] = c[1] * a0;
+    }
+}
+
+void
+kCtrlRange(Complex* amps, uint64_t r0, uint64_t r1, int pc, int pt,
+           const Complex* u)
+{
+    double* d = reinterpret_cast<double*>(amps);
+    const uint64_t cbit = uint64_t(1) << pc;
+    const uint64_t tbit = uint64_t(1) << pt;
+    const int sp[2] = {pc < pt ? pc : pt, pc < pt ? pt : pc};
+
+    const __m256d u00r = _mm256_set1_pd(u[0].real());
+    const __m256d u00i = _mm256_set1_pd(u[0].imag());
+    const __m256d u01r = _mm256_set1_pd(u[1].real());
+    const __m256d u01i = _mm256_set1_pd(u[1].imag());
+    const __m256d u10r = _mm256_set1_pd(u[2].real());
+    const __m256d u10i = _mm256_set1_pd(u[2].imag());
+    const __m256d u11r = _mm256_set1_pd(u[3].real());
+    const __m256d u11i = _mm256_set1_pd(u[3].imag());
+
+    uint64_t r = r0;
+    for (; r < r1 && (r & 1); ++r) {
+        const uint64_t i0 = deposit(r, sp, 2) | cbit;
+        gen1qOne(amps, i0, i0 | tbit, u);
+    }
+    for (; r + 2 <= r1; r += 2) {
+        const uint64_t i0 = deposit(r, sp, 2) | cbit;
+        const __m256d v0 = _mm256_loadu_pd(d + 2 * i0);
+        const __m256d v1 = _mm256_loadu_pd(d + 2 * (i0 | tbit));
+        const __m256d o0 = _mm256_add_pd(cmul(v0, u00r, u00i),
+                                         cmul(v1, u01r, u01i));
+        const __m256d o1 = _mm256_add_pd(cmul(v0, u10r, u10i),
+                                         cmul(v1, u11r, u11i));
+        _mm256_storeu_pd(d + 2 * i0, o0);
+        _mm256_storeu_pd(d + 2 * (i0 | tbit), o1);
+    }
+    for (; r < r1; ++r) {
+        const uint64_t i0 = deposit(r, sp, 2) | cbit;
+        gen1qOne(amps, i0, i0 | tbit, u);
+    }
+}
+
+void
+k2GeneralRange(Complex* amps, uint64_t r0, uint64_t r1, const int* pos,
+               const Complex* m)
+{
+    double* d = reinterpret_cast<double*>(amps);
+    const uint64_t b_hi = uint64_t(1) << pos[0];
+    const uint64_t b_lo = uint64_t(1) << pos[1];
+    const int sp[2] = {pos[0] < pos[1] ? pos[0] : pos[1],
+                       pos[0] < pos[1] ? pos[1] : pos[0]};
+    const uint64_t off[4] = {0, b_lo, b_hi, b_hi | b_lo};
+
+    __m256d mr[16], mi[16];
+    for (int e = 0; e < 16; ++e) {
+        mr[e] = _mm256_set1_pd(m[e].real());
+        mi[e] = _mm256_set1_pd(m[e].imag());
+    }
+
+    uint64_t r = r0;
+    for (; r < r1 && (r & 1); ++r) k2One(amps, deposit(r, sp, 2), off, m);
+    for (; r + 2 <= r1; r += 2) {
+        const uint64_t base = deposit(r, sp, 2);
+        __m256d v[4], o[4];
+        for (int s = 0; s < 4; ++s) {
+            v[s] = _mm256_loadu_pd(d + 2 * (base | off[s]));
+        }
+        for (int row = 0; row < 4; ++row) {
+            __m256d acc = cmul(v[0], mr[4 * row], mi[4 * row]);
+            for (int col = 1; col < 4; ++col) {
+                acc = _mm256_add_pd(
+                    acc, cmul(v[col], mr[4 * row + col],
+                              mi[4 * row + col]));
+            }
+            o[row] = acc;
+        }
+        for (int s = 0; s < 4; ++s) {
+            _mm256_storeu_pd(d + 2 * (base | off[s]), o[s]);
+        }
+    }
+    for (; r < r1; ++r) k2One(amps, deposit(r, sp, 2), off, m);
+}
+
+void
+k3GeneralRange(Complex* amps, uint64_t r0, uint64_t r1, const int* pos,
+               const Complex* m)
+{
+    double* d = reinterpret_cast<double*>(amps);
+    const uint64_t b0 = uint64_t(1) << pos[0];
+    const uint64_t b1 = uint64_t(1) << pos[1];
+    const uint64_t b2 = uint64_t(1) << pos[2];
+    int sp[3] = {pos[0], pos[1], pos[2]};
+    // 3-element sort.
+    if (sp[0] > sp[1]) { const int t = sp[0]; sp[0] = sp[1]; sp[1] = t; }
+    if (sp[1] > sp[2]) { const int t = sp[1]; sp[1] = sp[2]; sp[2] = t; }
+    if (sp[0] > sp[1]) { const int t = sp[0]; sp[0] = sp[1]; sp[1] = t; }
+    uint64_t off[8];
+    for (uint64_t s = 0; s < 8; ++s) {
+        off[s] = ((s >> 2) & 1) * b0 + ((s >> 1) & 1) * b1 + (s & 1) * b2;
+    }
+
+    __m256d mr[64], mi[64];
+    for (int e = 0; e < 64; ++e) {
+        mr[e] = _mm256_set1_pd(m[e].real());
+        mi[e] = _mm256_set1_pd(m[e].imag());
+    }
+
+    uint64_t r = r0;
+    for (; r < r1 && (r & 1); ++r) k3One(amps, deposit(r, sp, 3), off, m);
+    for (; r + 2 <= r1; r += 2) {
+        const uint64_t base = deposit(r, sp, 3);
+        __m256d v[8], o[8];
+        for (int s = 0; s < 8; ++s) {
+            v[s] = _mm256_loadu_pd(d + 2 * (base | off[s]));
+        }
+        for (int row = 0; row < 8; ++row) {
+            __m256d acc = cmul(v[0], mr[8 * row], mi[8 * row]);
+            for (int col = 1; col < 8; ++col) {
+                acc = _mm256_add_pd(
+                    acc, cmul(v[col], mr[8 * row + col],
+                              mi[8 * row + col]));
+            }
+            o[row] = acc;
+        }
+        for (int s = 0; s < 8; ++s) {
+            _mm256_storeu_pd(d + 2 * (base | off[s]), o[s]);
+        }
+    }
+    for (; r < r1; ++r) k3One(amps, deposit(r, sp, 3), off, m);
+}
+
+} // namespace simd
+} // namespace qa
+
+#endif // QA_SIMD_ENABLED

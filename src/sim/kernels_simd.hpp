@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Internal interface between the kernel dispatcher (kernels.cpp) and
+ * the AVX2 translation unit (kernels_avx2.cpp, compiled with
+ * -mavx2 -mfma when QA_ENABLE_SIMD is on).
+ *
+ * The dispatcher owns iteration-space decisions (threading, chunking)
+ * and hands each leaf a half-open range of "rest" indices — the packed
+ * index over the bits NOT touched by the gate. Leaves expand rest
+ * indices to amplitude addresses themselves, so a chunk boundary can
+ * fall anywhere; each leaf peels unaligned head/tail elements with
+ * scalar updates.
+ *
+ * Contract: every leaf except the 1q family requires all operand bit
+ * positions >= 1 (bit 0 free), so adjacent rest indices address
+ * adjacent amplitudes and a 256-bit lane holds two neighbouring
+ * groups. The dispatcher falls back to scalar code otherwise. Nothing
+ * here may be called without a positive simdAvailable() check — the
+ * whole TU is compiled with AVX2 codegen enabled.
+ */
+#ifndef QA_SIM_KERNELS_SIMD_HPP
+#define QA_SIM_KERNELS_SIMD_HPP
+
+#include <cstdint>
+
+#include "linalg/types.hpp"
+
+namespace qa
+{
+namespace simd
+{
+
+#if defined(QA_SIMD_ENABLED)
+
+/**
+ * Dense 1q kernel over rest indices [r0, r1) of a dim-amplitude state;
+ * operand bit position `p` (any value, including 0). `m` is row-major
+ * {m00, m01, m10, m11}.
+ */
+void k1GeneralRange(Complex* amps, uint64_t r0, uint64_t r1, int p,
+                    const Complex* m);
+
+/** Diagonal 1q kernel; d = {d0, d1}. */
+void k1DiagRange(Complex* amps, uint64_t r0, uint64_t r1, int p,
+                 const Complex* d);
+
+/** Anti-diagonal 1q kernel; c = {c01, c10} (new a0 = c01*a1, ...). */
+void k1PermRange(Complex* amps, uint64_t r0, uint64_t r1, int p,
+                 const Complex* c);
+
+/**
+ * Controlled-1q kernel: apply u (row-major 2x2) to the target bit at
+ * position `pt` on the subspace where the control bit at `pc` is 1.
+ * Requires pc >= 1 and pt >= 1. Rest space is dim/4.
+ */
+void kCtrlRange(Complex* amps, uint64_t r0, uint64_t r1, int pc, int pt,
+                const Complex* u);
+
+/**
+ * Dense 2q kernel; pos = {p_hi, p_lo} (local MSB first), both >= 1.
+ * m is row-major 4x4. Rest space is dim/4.
+ */
+void k2GeneralRange(Complex* amps, uint64_t r0, uint64_t r1,
+                    const int* pos, const Complex* m);
+
+/**
+ * Dense 3q kernel; pos = 3 positions (local MSB first), all >= 1.
+ * m is row-major 8x8. Rest space is dim/8.
+ */
+void k3GeneralRange(Complex* amps, uint64_t r0, uint64_t r1,
+                    const int* pos, const Complex* m);
+
+#endif // QA_SIMD_ENABLED
+
+} // namespace simd
+} // namespace qa
+
+#endif // QA_SIM_KERNELS_SIMD_HPP

@@ -102,6 +102,15 @@ inline constexpr int kServeThreads = 1;
 
 inline constexpr double kDeadlineMs = 0.0;
 inline constexpr BackendRequest kBackend = BackendRequest::kAuto;
+
+/** Gate fusion on by default; see sim/fusion.hpp. */
+inline constexpr bool kFusion = true;
+
+/** Largest qubit union one fused group may cover (2 or 3). */
+inline constexpr int kFusionMaxQubits = 2;
+
+/** AVX2 kernels on by default (runtime-dispatched; see sim/kernels.hpp). */
+inline constexpr bool kSimd = true;
 } // namespace defaults
 
 /** Options for shot-based simulation. */
@@ -140,6 +149,25 @@ struct SimOptions
      * fails with ErrorCode::kBadRequest if it cannot run the circuit.
      */
     BackendRequest backend = defaults::kBackend;
+
+    /**
+     * Gate fusion for the dense backends (sim/fusion.hpp): coalesce
+     * runs of gates sharing <= fusion_max_qubits qubits into single
+     * kernels at prepare time. Off under `naive`, and never applied to
+     * gates that receive per-gate Kraus noise (fusion would change
+     * gate arity and thus which channel list applies). Results equal
+     * the unfused evolution up to floating-point reassociation; fixed
+     * seeds keep sampled counts bit-identical across thread counts
+     * either way.
+     */
+    bool fusion = defaults::kFusion;
+    int fusion_max_qubits = defaults::kFusionMaxQubits;
+
+    /**
+     * Allow the AVX2 amplitude kernels when compiled in and supported
+     * by the CPU; false forces the scalar kernels.
+     */
+    bool simd = defaults::kSimd;
 };
 
 } // namespace qa

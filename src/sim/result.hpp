@@ -118,6 +118,26 @@ mergeCounts(Counts& dst, const Counts& src)
     dst.truncated = dst.truncated || src.truncated;
 }
 
+/**
+ * Keep only the entries where `pred(bitstring)` holds; `shots` becomes
+ * the kept total and `truncated` carries over. Compose with
+ * marginalCounts for filter-then-project pipelines (e.g. the counts of
+ * shots that passed every assertion, restricted to the program bits).
+ */
+inline Counts
+filterCounts(const Counts& counts,
+             const std::function<bool(const std::string&)>& pred)
+{
+    Counts out;
+    out.truncated = counts.truncated;
+    for (const auto& [bits, n] : counts.map) {
+        if (!pred(bits)) continue;
+        out.map[bits] = n;
+        out.shots += n;
+    }
+    return out;
+}
+
 /** Restrict a counts histogram to the listed classical bits (in order). */
 inline Counts
 marginalCounts(const Counts& counts, const std::vector<int>& clbits)

@@ -5,8 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/format.hpp"
-#include "common/parallel.hpp"
 #include "linalg/states.hpp"
+#include "sim/fusion.hpp"
+#include "sim/kernels.hpp"
 
 namespace qa
 {
@@ -28,26 +29,6 @@ bitPositions(const std::vector<int>& qubits, int num_qubits)
     }
     return pos;
 }
-
-/** Insert zero bits at the (ascending) positions into a packed index. */
-uint64_t
-depositZeros(uint64_t packed, const std::vector<int>& sorted_pos)
-{
-    uint64_t out = packed;
-    for (int p : sorted_pos) {
-        uint64_t low = out & ((uint64_t(1) << p) - 1);
-        out = ((out >> p) << (p + 1)) | low;
-    }
-    return out;
-}
-
-/**
- * Minimum amplitude count before a gate kernel fans out across threads;
- * below this the spawn cost dominates. Iterations that own an index with
- * the target bit set are skipped, so chunk boundaries never split the
- * amplitude pairs a single iteration updates.
- */
-constexpr uint64_t kKernelGrain = uint64_t(1) << 15;
 
 } // namespace
 
@@ -76,82 +57,9 @@ Statevector::applyMatrix(const CMatrix& m, const std::vector<int>& qubits)
     for (int q : qubits) {
         QA_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
     }
-
-    // Specialized kernels for the dominant gate sizes: no gather
-    // buffers, single pass over the amplitudes.
-    if (k == 1) {
-        const uint64_t bit = uint64_t(1) << (num_qubits_ - 1 - qubits[0]);
-        const Complex m00 = m(0, 0), m01 = m(0, 1);
-        const Complex m10 = m(1, 0), m11 = m(1, 1);
-        parallelFor(amps_.dim(), kKernelGrain,
-                    [&](uint64_t begin, uint64_t end) {
-            for (uint64_t i = begin; i < end; ++i) {
-                if (i & bit) continue;
-                const Complex a0 = amps_[i];
-                const Complex a1 = amps_[i | bit];
-                amps_[i] = m00 * a0 + m01 * a1;
-                amps_[i | bit] = m10 * a0 + m11 * a1;
-            }
-        });
-        return;
-    }
-    if (k == 2) {
-        const uint64_t hi = uint64_t(1) << (num_qubits_ - 1 - qubits[0]);
-        const uint64_t lo = uint64_t(1) << (num_qubits_ - 1 - qubits[1]);
-        parallelFor(amps_.dim(), kKernelGrain,
-                    [&](uint64_t begin, uint64_t end) {
-            for (uint64_t i = begin; i < end; ++i) {
-                if (i & (hi | lo)) continue;
-                const uint64_t i0 = i, i1 = i | lo, i2 = i | hi,
-                               i3 = i | hi | lo;
-                const Complex a0 = amps_[i0], a1 = amps_[i1],
-                              a2 = amps_[i2], a3 = amps_[i3];
-                amps_[i0] = m(0, 0) * a0 + m(0, 1) * a1 + m(0, 2) * a2 +
-                            m(0, 3) * a3;
-                amps_[i1] = m(1, 0) * a0 + m(1, 1) * a1 + m(1, 2) * a2 +
-                            m(1, 3) * a3;
-                amps_[i2] = m(2, 0) * a0 + m(2, 1) * a1 + m(2, 2) * a2 +
-                            m(2, 3) * a3;
-                amps_[i3] = m(3, 0) * a0 + m(3, 1) * a1 + m(3, 2) * a2 +
-                            m(3, 3) * a3;
-            }
-        });
-        return;
-    }
-
     const std::vector<int> pos = bitPositions(qubits, num_qubits_);
-    std::vector<int> sorted_pos = pos;
-    std::sort(sorted_pos.begin(), sorted_pos.end());
-
-    const size_t subdim = size_t(1) << k;
-    const uint64_t rest_count = uint64_t(1) << (num_qubits_ - int(k));
-
-    // Each value of r owns a disjoint 2^k-amplitude block, so the outer
-    // loop parallelizes with per-chunk gather buffers.
-    parallelFor(rest_count, std::max<uint64_t>(kKernelGrain >> k, 1),
-                [&](uint64_t begin, uint64_t end) {
-        std::vector<Complex> gathered(subdim);
-        std::vector<uint64_t> indices(subdim);
-        for (uint64_t r = begin; r < end; ++r) {
-            const uint64_t base = depositZeros(r, sorted_pos);
-            for (size_t msub = 0; msub < subdim; ++msub) {
-                uint64_t idx = base;
-                for (size_t j = 0; j < k; ++j) {
-                    uint64_t bit = (msub >> (k - 1 - j)) & 1;
-                    idx |= bit << pos[j];
-                }
-                indices[msub] = idx;
-                gathered[msub] = amps_[idx];
-            }
-            for (size_t row = 0; row < subdim; ++row) {
-                Complex sum = 0.0;
-                for (size_t col = 0; col < subdim; ++col) {
-                    sum += m(row, col) * gathered[col];
-                }
-                amps_[indices[row]] = sum;
-            }
-        }
-    });
+    applyDenseKernel(amps_.data().data(), amps_.dim(), m, pos.data(), k,
+                     simd_);
 }
 
 void
@@ -352,11 +260,22 @@ exactDistribution(const QuantumCircuit& circuit)
 Statevector
 finalState(const QuantumCircuit& circuit)
 {
-    Statevector state(circuit.numQubits());
+    return finalState(circuit, FusionOptions{});
+}
+
+Statevector
+finalState(const QuantumCircuit& circuit, const FusionOptions& fusion,
+           bool simd)
+{
     for (const Instruction& instr : circuit.instructions()) {
         QA_REQUIRE(instr.type == OpType::kGate ||
                        instr.type == OpType::kBarrier,
                    "finalState requires a measurement-free circuit");
+    }
+    Statevector state(circuit.numQubits());
+    state.setSimd(simd);
+    const FusedProgram prog = fuseCircuit(circuit, fusion);
+    for (const Instruction& instr : prog.instructions) {
         if (instr.type == OpType::kGate) state.applyGate(instr);
     }
     return state;

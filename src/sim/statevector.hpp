@@ -19,6 +19,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "linalg/vector.hpp"
+#include "sim/fusion.hpp"
 #include "sim/noise.hpp"
 #include "sim/options.hpp"
 #include "sim/result.hpp"
@@ -38,6 +39,14 @@ class Statevector
 
     int numQubits() const { return num_qubits_; }
     const CVector& amplitudes() const { return amps_; }
+
+    /**
+     * Allow/forbid the AVX2 kernel path for this state (default on;
+     * effective only when compiled in and supported by the CPU). The
+     * flag copies with the state, so scratch clones keep the setting.
+     */
+    void setSimd(bool simd) { simd_ = simd; }
+    bool simdEnabled() const { return simd_; }
 
     /**
      * Apply a 2^k x 2^k unitary (or Kraus operator) to the listed qubits;
@@ -86,6 +95,7 @@ class Statevector
   private:
     int num_qubits_;
     CVector amps_;
+    bool simd_ = true;
 };
 
 /**
@@ -110,9 +120,14 @@ Distribution exactDistribution(const QuantumCircuit& circuit);
 
 /**
  * Final pure state of a measurement-free, noiseless circuit.
- * Rejects circuits containing measurements or resets.
+ * Rejects circuits containing measurements or resets. Evolves through
+ * the gate-fusion pass with default options; the overload exposes the
+ * fusion and SIMD knobs (disable both for a reassociation-free
+ * reference evolution in tests).
  */
 Statevector finalState(const QuantumCircuit& circuit);
+Statevector finalState(const QuantumCircuit& circuit,
+                       const FusionOptions& fusion, bool simd = true);
 
 } // namespace qa
 

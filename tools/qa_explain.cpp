@@ -35,8 +35,10 @@ usage(int code)
                  "depolarizing] [--p1 X] [--p2 X]\n"
                  "                  [--shots N] [--backend auto|"
                  "statevector|density_matrix|stabilizer] [--naive]\n"
+                 "                  [--no-fusion] [--fusion-max 1|2|3]\n"
                  "FILE is a QASM circuit, or - for stdin; prints the "
-                 "backend routing decision without executing\n";
+                 "backend routing decision\n"
+                 "and the dense-backend fusion plan without executing\n";
     return code;
 }
 
@@ -51,6 +53,8 @@ main(int argc, char** argv)
     int shots = defaults::kShots;
     BackendRequest request = BackendRequest::kAuto;
     bool naive = false;
+    bool fusion = defaults::kFusion;
+    int fusion_max = defaults::kFusionMaxQubits;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -82,6 +86,12 @@ main(int argc, char** argv)
             ++i;
         } else if (arg == "--naive") {
             naive = true;
+        } else if (arg == "--no-fusion") {
+            fusion = false;
+        } else if (arg == "--fusion-max") {
+            if (value == nullptr) return usage(2);
+            fusion_max = std::atoi(value);
+            ++i;
         } else if (path.empty() && (arg == "-" || arg[0] != '-')) {
             path = arg;
         } else {
@@ -125,6 +135,8 @@ main(int argc, char** argv)
         options.noise = noise.enabled() ? &noise : nullptr;
         options.backend = request;
         options.naive = naive;
+        options.fusion = fusion;
+        options.fusion_max_qubits = fusion_max;
         std::cout << backend::explainRouting(circuit, options);
     } catch (const UserError& err) {
         std::cerr << "qa_explain: " << err.what() << "\n";
