@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 #
 # Tier-1 verification: the canonical build + full ctest sweep (plus the
-# qassertd kill-and-replay chaos smoke, scripts/chaos_smoke.sh), then a
+# qassertd kill-and-replay chaos smoke, scripts/chaos_smoke.sh, and the
+# fleet chaos smoke, scripts/fleet_smoke.sh, which SIGKILLs one of a
+# qa_router's three shards under open-loop load and requires every job
+# answered exactly once), then a
 # ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine,
 # policy-runner, service-scheduler, backend-subsystem,
 # gate-fusion/kernel, and resilience-chaos tests — the multi-threaded code paths, including
@@ -38,6 +41,7 @@ if [[ "$skip_release" -ne 1 ]]; then
     cmake --build build -j
     (cd build && ctest --output-on-failure -j)
     scripts/chaos_smoke.sh build/tools/qassertd
+    scripts/fleet_smoke.sh build
 fi
 
 if [[ "$skip_tsan" -ne 1 ]]; then

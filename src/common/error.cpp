@@ -22,6 +22,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kWorkerLost:        return "worker_lost";
       case ErrorCode::kShedding:          return "shedding";
       case ErrorCode::kJournalCorrupt:    return "journal_corrupt";
+      case ErrorCode::kNoShardAvailable:  return "no_shard_available";
     }
     return "unknown";
 }

@@ -43,7 +43,8 @@ enum class ErrorCode
     kBadRequest,        ///< Malformed service request (wire protocol).
     kWorkerLost,        ///< Scheduler worker wedged/died while executing.
     kShedding,          ///< Circuit breaker open; load shed at admission.
-    kJournalCorrupt     ///< Journal record damaged beyond the torn tail.
+    kJournalCorrupt,    ///< Journal record damaged beyond the torn tail.
+    kNoShardAvailable   ///< Fleet router found no live shard for a job.
 };
 
 /** Stable human-readable name of an error code. */

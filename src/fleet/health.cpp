@@ -1,0 +1,65 @@
+#include "fleet/health.hpp"
+
+namespace qa
+{
+namespace fleet
+{
+
+const char*
+shardHealthName(ShardHealth health)
+{
+    switch (health) {
+      case ShardHealth::kUp:       return "up";
+      case ShardHealth::kDegraded: return "degraded";
+      case ShardHealth::kDown:     return "down";
+    }
+    return "unknown";
+}
+
+void
+HealthTracker::onSuccess()
+{
+    consecutive_failures_ = 0;
+    if (state_ == ShardHealth::kDown) {
+        if (++consecutive_successes_ >= options_.recover_threshold) {
+            state_ = ShardHealth::kUp;
+            consecutive_successes_ = 0;
+        }
+        return;
+    }
+    consecutive_successes_ = 0;
+    state_ = ShardHealth::kUp;
+}
+
+void
+HealthTracker::onFailure()
+{
+    consecutive_successes_ = 0;
+    ++consecutive_failures_;
+    if (state_ == ShardHealth::kDown) return;
+    if (consecutive_failures_ >= options_.fail_threshold) {
+        enterDown();
+    } else {
+        state_ = ShardHealth::kDegraded;
+    }
+}
+
+void
+HealthTracker::onProcessExit()
+{
+    consecutive_successes_ = 0;
+    consecutive_failures_ = 0;
+    if (state_ != ShardHealth::kDown) enterDown();
+}
+
+void
+HealthTracker::enterDown()
+{
+    state_ = ShardHealth::kDown;
+    consecutive_failures_ = 0;
+    consecutive_successes_ = 0;
+    ++down_transitions_;
+}
+
+} // namespace fleet
+} // namespace qa

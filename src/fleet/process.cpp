@@ -1,0 +1,203 @@
+#include "fleet/process.hpp"
+
+#include <csignal>
+#include <cstring>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace fleet
+{
+
+namespace
+{
+
+void
+closeQuiet(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+ChildProcess::ChildProcess(std::vector<std::string> argv)
+{
+    QA_REQUIRE(!argv.empty(), "child process needs a non-empty argv");
+
+    // A shard dying between our liveness check and our write must not
+    // SIGPIPE-kill the whole fleet; writeLine reports EPIPE instead.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    int to_child[2] = {-1, -1};   // parent writes [1] -> child stdin [0]
+    int from_child[2] = {-1, -1}; // child stdout [1] -> parent reads [0]
+    if (::pipe(to_child) != 0) {
+        QA_FAIL("pipe(to_child) failed: " +
+                std::string(std::strerror(errno)));
+    }
+    if (::pipe(from_child) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        QA_FAIL("pipe(from_child) failed: " +
+                std::string(std::strerror(errno)));
+    }
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (std::string& arg : argv) cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        QA_FAIL("fork failed: " + std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls between fork and exec.
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        ::execvp(cargv[0], cargv.data());
+        _exit(127); // exec failed; parent sees immediate EOF
+    }
+
+    pid_ = pid;
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    in_fd_ = to_child[1];
+    out_fd_ = from_child[0];
+    // The fds must not leak into sibling shards respawned later: a
+    // leaked stdin write-end would keep a drained shard's stdin open
+    // forever (no EOF, no exit).
+    ::fcntl(in_fd_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(out_fd_, F_SETFD, FD_CLOEXEC);
+}
+
+ChildProcess::~ChildProcess()
+{
+    forceReap();
+    closeQuiet(in_fd_);
+    closeQuiet(out_fd_);
+}
+
+bool
+ChildProcess::writeLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (in_fd_ < 0) return false;
+    std::string buf = line;
+    buf.push_back('\n');
+    size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n = ::write(in_fd_, buf.data() + off,
+                                  buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false; // EPIPE et al.: the shard is gone
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+void
+ChildProcess::closeStdin()
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    closeQuiet(in_fd_);
+}
+
+void
+ChildProcess::signalChild(int sig)
+{
+    if (!reaped_ && pid_ > 0) ::kill(pid_, sig);
+}
+
+bool
+ChildProcess::tryReap()
+{
+    if (reaped_) return true;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+        reaped_ = true;
+        status_ = status;
+    }
+    return reaped_;
+}
+
+void
+ChildProcess::forceReap()
+{
+    if (reaped_) return;
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {}
+    reaped_ = true;
+    status_ = status;
+}
+
+LineReader::Status
+LineReader::next(std::string* out)
+{
+    out->clear();
+    bool overflow = false;
+    for (;;) {
+        // Scan only bytes not inspected before; a long partial line is
+        // not rescanned from the start on every read.
+        const size_t nl = buffer_.find('\n', scanned_);
+        if (nl != std::string::npos) {
+            if (!overflow && nl <= max_len_) {
+                out->assign(buffer_, 0, nl);
+            } else {
+                overflow = true;
+            }
+            buffer_.erase(0, nl + 1);
+            scanned_ = 0;
+            return overflow ? Status::kOverflow : Status::kOk;
+        }
+        scanned_ = buffer_.size();
+        if (buffer_.size() > max_len_ && !overflow) {
+            overflow = true; // keep consuming to the newline
+            buffer_.clear();
+            scanned_ = 0;
+        }
+        if (eof_) {
+            if (buffer_.empty()) return Status::kEof;
+            // Final unterminated line.
+            if (!overflow) out->assign(buffer_);
+            buffer_.clear();
+            scanned_ = 0;
+            return overflow ? Status::kOverflow : Status::kOk;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            eof_ = true; // treat read errors as stream end
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, size_t(n));
+    }
+}
+
+} // namespace fleet
+} // namespace qa

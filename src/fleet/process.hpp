@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Child-process plumbing for the fleet: spawn a shard (or a router, for
+ * the load generator) with its stdin/stdout attached to pipes, write it
+ * NDJSON request lines, and read its NDJSON response lines.
+ *
+ * The wire protocol is stdin/stdout-based by design (DESIGN.md Sec. 9),
+ * so "a shard" is exactly "a qassertd child on a pipe pair": SIGKILLing
+ * the child is a faithful shard-crash fault, EOF on its stdout is the
+ * death signal, and respawning is fork/exec again. stderr is inherited
+ * so shard diagnostics interleave into the parent's log.
+ *
+ * Robustness details that matter here:
+ *  - writes handle EINTR and report (not raise) EPIPE — a dead shard
+ *    must never take the router down, so spawn() also forces SIGPIPE to
+ *    SIG_IGN process-wide (documented; the tool mains do it too);
+ *  - reads handle EINTR and are bounded per line, mirroring
+ *    readLineBounded on the serve side;
+ *  - the destructor never blocks on a live child: it SIGKILLs and
+ *    reaps, because by then the owner has already drained gracefully
+ *    or decided not to.
+ */
+#ifndef QA_FLEET_PROCESS_HPP
+#define QA_FLEET_PROCESS_HPP
+
+#include <sys/types.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qa
+{
+namespace fleet
+{
+
+/** One spawned child with pipe-attached stdin/stdout. */
+class ChildProcess
+{
+  public:
+    /**
+     * fork/exec `argv` (argv[0] is the binary path, PATH-resolved via
+     * execvp). Throws UserError when the pipes or fork fail; an exec
+     * failure surfaces as immediate child exit 127 (EOF on first read).
+     */
+    explicit ChildProcess(std::vector<std::string> argv);
+
+    /** SIGKILLs and reaps when the child still runs; closes the pipes. */
+    ~ChildProcess();
+
+    ChildProcess(const ChildProcess&) = delete;
+    ChildProcess& operator=(const ChildProcess&) = delete;
+
+    /**
+     * Write one line (newline appended) to the child's stdin. Thread
+     * safe (router main + maintenance threads both write). Returns
+     * false when the pipe is broken — the caller marks the shard down.
+     */
+    bool writeLine(const std::string& line);
+
+    /** Close the child's stdin (EOF-initiated drain). Idempotent. */
+    void closeStdin();
+
+    pid_t pid() const { return pid_; }
+
+    /** Read end of the child's stdout (for a LineReader). */
+    int readFd() const { return out_fd_; }
+
+    /** Send `sig`; no-op once the child is reaped. */
+    void signalChild(int sig);
+
+    /** Non-blocking reap; true once the child has been collected. */
+    bool tryReap();
+
+    /** SIGKILL + blocking reap. Idempotent. */
+    void forceReap();
+
+    bool reaped() const { return reaped_; }
+
+    /** Exit status as waitpid reported it (valid once reaped). */
+    int rawStatus() const { return status_; }
+
+  private:
+    pid_t pid_ = -1;
+    int in_fd_ = -1;  ///< Write end of the child's stdin.
+    int out_fd_ = -1; ///< Read end of the child's stdout.
+    bool reaped_ = false;
+    int status_ = 0;
+    std::mutex write_mutex_;
+};
+
+/** Buffered bounded line reader over a raw fd (a ChildProcess stdout). */
+class LineReader
+{
+  public:
+    enum class Status
+    {
+        kOk,      ///< One complete line (newline stripped) in `out`.
+        kEof,     ///< Stream ended before any byte of a new line.
+        kOverflow ///< Line exceeded the bound; rest consumed.
+    };
+
+    explicit LineReader(int fd, size_t max_len = size_t(1) << 20)
+        : fd_(fd), max_len_(max_len)
+    {}
+
+    /** Blocking read of the next line; EINTR is retried. */
+    Status next(std::string* out);
+
+  private:
+    int fd_;
+    size_t max_len_;
+    std::string buffer_;
+    size_t scanned_ = 0; ///< buffer_ prefix already searched for '\n'.
+    bool eof_ = false;
+};
+
+} // namespace fleet
+} // namespace qa
+
+#endif // QA_FLEET_PROCESS_HPP

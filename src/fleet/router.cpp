@@ -1,0 +1,669 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "serve/job.hpp"
+#include "serve/wire.hpp"
+
+namespace qa
+{
+namespace fleet
+{
+
+namespace
+{
+
+std::chrono::steady_clock::duration
+durationMs(double ms)
+{
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+/**
+ * Shard error codes the fleet is allowed to redispatch: refusals
+ * (queue_full/shedding — the shard is healthy but saturated),
+ * service_stopped (the shard is draining; a sibling is not), and the
+ * transient execution failures the scheduler itself would retry. Typed
+ * caller mistakes (bad_request, qasm_syntax, ...) fail identically on
+ * every shard and are delivered as-is.
+ */
+bool
+fleetRetryableCode(const std::string& name)
+{
+    if (name == "queue_full" || name == "shedding" ||
+        name == "service_stopped") {
+        return true;
+    }
+    ErrorCode code = ErrorCode::kGeneric;
+    if (name == "worker_lost") code = ErrorCode::kWorkerLost;
+    else if (name == "worker_failure") code = ErrorCode::kWorkerFailure;
+    else if (name != "generic") return false;
+    return resilience::isTransientError(code);
+}
+
+/** Swap the quoted alias id in a shard response for the client's id. */
+std::string
+rewriteResponseId(const std::string& line, const std::string& alias,
+                  const std::string& client_id)
+{
+    const std::string needle = "\"" + alias + "\"";
+    const size_t pos = line.find(needle);
+    if (pos == std::string::npos) return line;
+    std::string out = line;
+    out.replace(pos, needle.size(),
+                "\"" + serve::jsonEscape(client_id) + "\"");
+    return out;
+}
+
+} // namespace
+
+resilience::BreakerOptions
+defaultShardBreaker()
+{
+    resilience::BreakerOptions options;
+    options.enabled = true;
+    // Shard-sized traffic: a smaller window and sample floor than the
+    // in-process scheduler breaker, so a genuinely failing shard trips
+    // within a few dozen responses.
+    options.window = 32;
+    options.min_samples = 8;
+    options.failure_threshold = 0.6;
+    options.open_cooldown_ms = 500.0;
+    options.half_open_probes = 2;
+    return options;
+}
+
+FleetRouter::FleetRouter(RouterOptions options, Emit emit)
+    : options_(std::move(options)), clock_(resolveClock(options_.clock)),
+      emit_(std::move(emit)),
+      ring_(options_.shards == 0 ? 1 : options_.shards, options_.vnodes)
+{
+    QA_REQUIRE(options_.shards > 0, "fleet needs at least one shard");
+    QA_REQUIRE(!options_.shard_command.empty(),
+               "fleet needs a shard command");
+    shards_.reserve(options_.shards);
+    for (size_t i = 0; i < options_.shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->health = HealthTracker(options_.health);
+        shard->breaker = std::make_unique<resilience::CircuitBreaker>(
+            options_.breaker, options_.clock);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+FleetRouter::~FleetRouter()
+{
+    stop();
+}
+
+std::vector<std::string>
+FleetRouter::shardArgv(size_t index, uint64_t generation) const
+{
+    std::vector<std::string> argv = options_.shard_command;
+    if (!options_.journal_dir.empty()) {
+        argv.push_back("--journal");
+        // Generation-suffixed so a respawned shard gets a fresh file:
+        // qassertd journal seqs restart at 0 per process, and appending
+        // two processes' records to one file would break replay.
+        argv.push_back(options_.journal_dir + "/shard-" +
+                       std::to_string(index) + ".g" +
+                       std::to_string(generation) + ".ndjson");
+    }
+    return argv;
+}
+
+void
+FleetRouter::spawnShardLocked(size_t index)
+{
+    Shard& shard = *shards_[index];
+    shard.generation++;
+    shard.proc =
+        std::make_unique<ChildProcess>(shardArgv(index, shard.generation));
+    shard.alive = true;
+    shard.ping_outstanding = false;
+    // Probe soon: recovery needs recover_threshold pongs.
+    shard.last_probe = clock_.now() - durationMs(options_.probe_interval_ms);
+    const uint64_t generation = shard.generation;
+    const int fd = shard.proc->readFd();
+    shard.reader = std::thread(
+        [this, index, generation, fd] { readerLoop(index, generation, fd); });
+}
+
+void
+FleetRouter::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    QA_REQUIRE(!started_, "fleet router already started");
+    started_ = true;
+    if (!options_.journal_dir.empty()) {
+        // Shards open their journal at exec and exit if the directory
+        // is missing — which would take the whole fleet down before the
+        // first job. Create it here instead of pushing that onto every
+        // operator.
+        std::error_code ec;
+        std::filesystem::create_directories(options_.journal_dir, ec);
+        QA_REQUIRE(!ec, "cannot create journal dir '" +
+                            options_.journal_dir + "': " + ec.message());
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) spawnShardLocked(i);
+    maintenance_ = std::thread([this] { maintenanceLoop(); });
+}
+
+void
+FleetRouter::readerLoop(size_t index, uint64_t generation, int fd)
+{
+    LineReader reader(fd, options_.max_line);
+    std::string line;
+    for (;;) {
+        const LineReader::Status status = reader.next(&line);
+        if (status == LineReader::Status::kEof) {
+            onShardExit(index, generation);
+            return;
+        }
+        if (status == LineReader::Status::kOverflow) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shards_[index]->health.onFailure();
+            continue;
+        }
+        onShardLine(index, generation, line);
+    }
+}
+
+void
+FleetRouter::handlePongLocked(size_t index, const std::string& alias)
+{
+    Shard& shard = *shards_[index];
+    if (shard.ping_outstanding && shard.ping_id == alias) {
+        shard.ping_outstanding = false;
+        shard.pings_ok++;
+        shard.last_rtt_ms = clock_.elapsedMs(shard.ping_sent);
+    }
+    // Even a late pong (its probe already counted as a timeout) proves
+    // the shard is answering.
+    shard.health.onSuccess();
+}
+
+void
+FleetRouter::onShardLine(size_t index, uint64_t generation,
+                         const std::string& line)
+{
+    std::string alias;
+    if (!serve::peekResponseId(line, &alias)) {
+        // Not a line any of our encoders produced; full parse for the id.
+        try {
+            alias = serve::requestId(serve::JsonValue::parse(line));
+        } catch (const UserError&) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shards_[index]->health.onFailure();
+            return;
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard& shard = *shards_[index];
+    const bool current = shard.generation == generation;
+
+    if (alias.rfind("!p", 0) == 0) {
+        if (current) handlePongLocked(index, alias);
+        return;
+    }
+
+    if (current) shard.responses++;
+    const PendingPtr job = pending_.find(alias);
+    if (!job) {
+        // Hedge loser, post-failover duplicate, or stale-generation
+        // flush: the job already resolved through another alias.
+        counters_.strays++;
+        return;
+    }
+
+    // Any well-formed response proves the shard is answering.
+    if (current) shard.health.onSuccess();
+
+    // Classify: error lines may be redispatched instead of delivered.
+    bool is_error = false;
+    std::string code_name;
+    double retry_after_ms = 0.0;
+    try {
+        const serve::JsonValue parsed = serve::JsonValue::parse(line);
+        is_error = parsed.stringOr("status", "ok") == "error";
+        if (is_error) {
+            code_name = parsed.stringOr("code", "generic");
+            retry_after_ms = parsed.numberOr("retry_after_ms", 0.0);
+        }
+    } catch (const UserError&) {
+        if (current) shard.health.onFailure();
+        counters_.strays++;
+        return;
+    }
+
+    if (current) {
+        if (is_error) {
+            shard.errors++;
+            shard.breaker->recordFailure();
+        } else {
+            shard.breaker->recordSuccess();
+        }
+    }
+
+    if (is_error && fleetRetryableCode(code_name) && !draining_) {
+        // This dispatch is spent; the job may have a hedge in flight.
+        job->awaiting.erase(
+            std::remove(job->awaiting.begin(), job->awaiting.end(), index),
+            job->awaiting.end());
+        if (!job->awaiting.empty()) return;
+
+        const double spent = clock_.elapsedMs(job->admitted);
+        if (job->dispatches < options_.retry.max_attempts) {
+            double backoff = resilience::retryBackoffMs(
+                options_.retry, job->seq, job->dispatches);
+            // Honour the shard's own estimate when it is the larger.
+            if (retry_after_ms > backoff) backoff = retry_after_ms;
+            if (job->deadline_ms <= 0.0 ||
+                spent + backoff < job->deadline_ms) {
+                job->parked = true;
+                job->release = clock_.now() + durationMs(backoff);
+                counters_.retried++;
+                return;
+            }
+        }
+        // Budget exhausted: fall through and deliver the refusal.
+    }
+
+    pending_.resolve(alias);
+    resolveLocked(job, rewriteResponseId(line, alias, job->client_id),
+                  !is_error);
+}
+
+void
+FleetRouter::resolveLocked(const PendingPtr& job, const std::string& line,
+                           bool ok)
+{
+    if (ok) counters_.resolved_ok++;
+    else counters_.resolved_error++;
+    (void)job;
+    emitLine(line);
+    idle_cv_.notify_all();
+}
+
+void
+FleetRouter::onShardExit(size_t index, uint64_t generation)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard& shard = *shards_[index];
+    if (shard.generation != generation) return;
+    shard.alive = false;
+    shard.ping_outstanding = false;
+    shard.health.onProcessExit();
+    shard.proc->tryReap();
+    shard.respawn_attempts++;
+    shard.next_respawn =
+        clock_.now() +
+        durationMs(resilience::retryBackoffMs(
+            options_.respawn_backoff, uint64_t(index),
+            std::min(shard.respawn_attempts, 16)));
+    if (draining_) return;
+
+    // Failover: every job whose only outstanding dispatch died with the
+    // shard gets resubmitted down its preference chain right away.
+    for (const PendingPtr& job : pending_.onShard(index)) {
+        job->awaiting.erase(
+            std::remove(job->awaiting.begin(), job->awaiting.end(), index),
+            job->awaiting.end());
+        if (!job->awaiting.empty()) continue; // hedge still in flight
+        if (job->parked) continue;            // backoff release re-dispatches
+        counters_.failovers++;
+        dispatchLocked(job, /*hedge=*/false);
+    }
+}
+
+bool
+FleetRouter::dispatchLocked(const PendingPtr& job, bool hedge)
+{
+    const size_t n = job->chain.size();
+    for (size_t tried = 0; tried < n; ++tried) {
+        const size_t target = job->chain[job->next_chain % n];
+        job->next_chain++;
+        Shard& shard = *shards_[target];
+        if (!shard.alive) continue;
+        if (shard.health.state() == ShardHealth::kDown) continue;
+        if (hedge && std::find(job->awaiting.begin(), job->awaiting.end(),
+                               target) != job->awaiting.end()) {
+            continue;
+        }
+        if (!shard.breaker->tryAdmit()) continue;
+
+        const std::string alias = pending_.issueAlias(job);
+        job->request.set("id", serve::JsonValue::makeString(alias));
+        if (!shard.proc->writeLine(job->request.dump())) {
+            // Broken pipe: the reader's EOF will run the full death
+            // path; meanwhile this alias simply never answers (the job
+            // resolves through the next dispatch, the alias becomes a
+            // stray entry cleaned up at resolution).
+            shard.health.onFailure();
+            continue;
+        }
+        shard.forwarded++;
+        job->awaiting.push_back(target);
+        job->dispatches++;
+        job->parked = false;
+        job->last_dispatch = clock_.now();
+        return true;
+    }
+    if (!hedge) parkOrFailLocked(job);
+    return false;
+}
+
+void
+FleetRouter::parkOrFailLocked(const PendingPtr& job)
+{
+    // No shard took the job. Park for a jittered backoff while the
+    // attempt budget lasts — a respawn or breaker cooldown may be
+    // moments away — then fail typed: never hang the client.
+    job->parks++;
+    const int attempts = job->dispatches + job->parks;
+    const double spent = clock_.elapsedMs(job->admitted);
+    if (attempts < options_.retry.max_attempts + 1) {
+        const double backoff = resilience::retryBackoffMs(
+            options_.retry, job->seq, attempts);
+        if (job->deadline_ms <= 0.0 || spent + backoff < job->deadline_ms) {
+            job->parked = true;
+            job->release = clock_.now() + durationMs(backoff);
+            return;
+        }
+    }
+    pending_.erase(job);
+    counters_.no_shard++;
+    resolveLocked(job,
+                  serve::encodeError(job->client_id,
+                                     ErrorCode::kNoShardAvailable,
+                                     "no live shard accepted the job after " +
+                                         std::to_string(job->dispatches) +
+                                         " dispatches"),
+                  false);
+}
+
+bool
+FleetRouter::handleLine(const std::string& line)
+{
+    serve::JsonValue parsed;
+    try {
+        parsed = serve::JsonValue::parse(line);
+    } catch (const UserError& e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.rejected++;
+        emitLine(serve::encodeError("", e.code(), e.what()));
+        return true;
+    }
+    const std::string id = serve::requestId(parsed);
+    const std::string op = parsed.stringOr("op", "run");
+
+    if (op == "shutdown") return false;
+    if (op == "ping") {
+        std::lock_guard<std::mutex> lock(mutex_);
+        size_t in_flight = 0;
+        for (const PendingPtr& job : pending_.all()) {
+            if (!job->parked) in_flight++;
+        }
+        emitLine(serve::encodePing(id, pending_.size(), in_flight));
+        return true;
+    }
+    if (op == "metrics" || op == "fleet_status") {
+        std::lock_guard<std::mutex> lock(mutex_);
+        emitLine(fleetStatusLocked(id));
+        return true;
+    }
+
+    serve::WireRequest request;
+    try {
+        request = serve::buildRequest(parsed);
+    } catch (const UserError& e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.rejected++;
+        emitLine(serve::encodeError(id, e.code(), e.what()));
+        return true;
+    }
+
+    const Hash128 key = serve::jobKey(request.spec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || !started_) {
+        counters_.rejected++;
+        emitLine(serve::encodeError(id, ErrorCode::kServiceStopped,
+                                    "fleet router is not accepting jobs"));
+        return true;
+    }
+    const PendingPtr job =
+        pending_.add(id, std::move(parsed), key, request.spec.deadline_ms,
+                     ring_.preferenceChain(key), clock_.now());
+    counters_.admitted++;
+    dispatchLocked(job, /*hedge=*/false);
+    return true;
+}
+
+void
+FleetRouter::maintenanceLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopped_) {
+        tick_cv_.wait_for(lock, durationMs(options_.maintenance_tick_ms),
+                          [this] { return stopped_; });
+        if (stopped_) break;
+        maintenanceTickLocked();
+    }
+}
+
+void
+FleetRouter::maintenanceTickLocked()
+{
+    const Clock::TimePoint now = clock_.now();
+
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[i];
+        if (!shard.alive) {
+            if (shard.proc) shard.proc->tryReap();
+            if (options_.respawn && !draining_ && now >= shard.next_respawn) {
+                // The reader that reported this death has finished its
+                // last locked call (it set alive = false); joining here
+                // only waits for thread teardown.
+                if (shard.reader.joinable()) shard.reader.join();
+                shard.proc.reset();
+                spawnShardLocked(i);
+                shard.respawns++;
+            }
+            continue;
+        }
+        if (shard.ping_outstanding &&
+            clock_.elapsedMs(shard.ping_sent) > options_.ping_timeout_ms) {
+            shard.ping_outstanding = false;
+            shard.pings_failed++;
+            shard.health.onFailure();
+        }
+        if (!shard.ping_outstanding &&
+            clock_.elapsedMs(shard.last_probe) >=
+                options_.probe_interval_ms) {
+            shard.ping_id =
+                "!p" + std::to_string(i) + "." + std::to_string(shard.ping_seq++);
+            shard.last_probe = now;
+            if (shard.proc->writeLine("{\"op\":\"ping\",\"id\":\"" +
+                                      shard.ping_id + "\"}")) {
+                shard.ping_outstanding = true;
+                shard.ping_sent = now;
+            } else {
+                shard.pings_failed++;
+                shard.health.onFailure();
+            }
+        }
+    }
+
+    for (const PendingPtr& job : pending_.all()) {
+        if (job->parked) {
+            if (now >= job->release) dispatchLocked(job, /*hedge=*/false);
+            continue;
+        }
+        if (options_.hedge_ms > 0.0 && !job->hedged &&
+            job->awaiting.size() == 1 &&
+            clock_.elapsedMs(job->last_dispatch) >= options_.hedge_ms) {
+            if (dispatchLocked(job, /*hedge=*/true)) {
+                job->hedged = true;
+                counters_.hedges++;
+            }
+        }
+    }
+}
+
+bool
+FleetRouter::drainFor(double timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return idle_cv_.wait_for(lock, durationMs(timeout_ms),
+                             [this] { return pending_.size() == 0; });
+}
+
+void
+FleetRouter::stop(double shard_grace_ms)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_ || !started_) {
+            stopped_ = true;
+            return;
+        }
+        draining_ = true;
+        stopped_ = true;
+    }
+    tick_cv_.notify_all();
+    if (maintenance_.joinable()) maintenance_.join();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& shard : shards_) {
+            if (shard->alive && shard->proc) {
+                shard->proc->writeLine("{\"op\":\"shutdown\"}");
+                shard->proc->closeStdin();
+            }
+        }
+    }
+
+    // Bounded graceful-exit wait, then SIGKILL. No router lock here:
+    // readers still need it for their final onShardExit.
+    const Clock::TimePoint deadline =
+        clock_.now() + durationMs(shard_grace_ms);
+    for (const auto& shard : shards_) {
+        if (!shard->proc) continue;
+        while (!shard->proc->tryReap() && clock_.now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (!shard->proc->reaped()) shard->proc->forceReap();
+        if (shard->reader.joinable()) shard->reader.join();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const PendingPtr& job : pending_.all()) {
+        pending_.erase(job);
+        resolveLocked(job,
+                      serve::encodeError(job->client_id,
+                                         ErrorCode::kServiceStopped,
+                                         "fleet stopped before the job "
+                                         "resolved"),
+                      false);
+    }
+}
+
+size_t
+FleetRouter::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
+FleetCounters
+FleetRouter::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+ShardStatus
+FleetRouter::shardStatus(size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    QA_REQUIRE(index < shards_.size(), "shard index out of range");
+    const Shard& shard = *shards_[index];
+    ShardStatus status;
+    status.index = int(index);
+    status.pid = shard.proc ? shard.proc->pid() : -1;
+    status.alive = shard.alive;
+    status.generation = shard.generation;
+    status.health = shard.health.state();
+    status.breaker = shard.breaker->state();
+    status.forwarded = shard.forwarded;
+    status.responses = shard.responses;
+    status.errors = shard.errors;
+    status.pings_ok = shard.pings_ok;
+    status.pings_failed = shard.pings_failed;
+    status.respawns = shard.respawns;
+    status.down_transitions = shard.health.downTransitions();
+    status.last_rtt_ms = shard.last_rtt_ms;
+    return status;
+}
+
+std::string
+FleetRouter::fleetStatusJson(const std::string& id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fleetStatusLocked(id);
+}
+
+std::string
+FleetRouter::fleetStatusLocked(const std::string& id) const
+{
+    std::ostringstream out;
+    out << "{\"id\":\"" << serve::jsonEscape(id)
+        << "\",\"status\":\"ok\",\"fleet\":{\"shards\":" << shards_.size()
+        << ",\"pending\":" << pending_.size()
+        << ",\"admitted\":" << counters_.admitted
+        << ",\"resolved_ok\":" << counters_.resolved_ok
+        << ",\"resolved_error\":" << counters_.resolved_error
+        << ",\"rejected\":" << counters_.rejected
+        << ",\"retried\":" << counters_.retried
+        << ",\"failovers\":" << counters_.failovers
+        << ",\"hedges\":" << counters_.hedges
+        << ",\"strays\":" << counters_.strays
+        << ",\"no_shard\":" << counters_.no_shard << ",\"shard\":[";
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& shard = *shards_[i];
+        if (i != 0) out << ",";
+        out << "{\"index\":" << i
+            << ",\"pid\":" << (shard.proc ? shard.proc->pid() : -1)
+            << ",\"alive\":" << (shard.alive ? "true" : "false")
+            << ",\"generation\":" << shard.generation << ",\"state\":\""
+            << shardHealthName(shard.health.state()) << "\",\"breaker\":\""
+            << resilience::breakerStateName(shard.breaker->state())
+            << "\",\"forwarded\":" << shard.forwarded
+            << ",\"responses\":" << shard.responses
+            << ",\"errors\":" << shard.errors
+            << ",\"pings_ok\":" << shard.pings_ok
+            << ",\"pings_failed\":" << shard.pings_failed
+            << ",\"respawns\":" << shard.respawns
+            << ",\"down_transitions\":" << shard.health.downTransitions()
+            << ",\"last_rtt_ms\":" << serve::jsonNumber(shard.last_rtt_ms)
+            << "}";
+    }
+    out << "]}}";
+    return out.str();
+}
+
+void
+FleetRouter::emitLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    if (emit_) emit_(line);
+}
+
+} // namespace fleet
+} // namespace qa

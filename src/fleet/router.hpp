@@ -1,0 +1,290 @@
+/**
+ * @file
+ * FleetRouter: the multi-process front-end behind the qa_router binary.
+ *
+ * Topology: the router fork/execs N qassertd shard children (NDJSON
+ * over pipes), consistent-hashes each admitted job's 128-bit structural
+ * jobKey onto the shard ring (serve-layer cache affinity for free: the
+ * same circuit structure always lands on the same shard while it is
+ * up), and multiplexes responses back to the client, rewriting its
+ * per-dispatch alias ids back to the client's ids.
+ *
+ * Robustness contract (DESIGN.md Sec. 13):
+ *  - **Health probing**: a maintenance thread wire-pings every shard
+ *    each probe interval; timeouts and failures drive the per-shard
+ *    up/degraded/down state machine (fleet/health.hpp).
+ *  - **Failover**: a down shard's keyspace re-hashes to its ring
+ *    successors (fleet/ring.hpp); jobs in flight on a dead shard are
+ *    resubmitted to the next live shard. Recovery restores affinity by
+ *    construction.
+ *  - **Per-shard circuit breakers** (resilience/breaker.hpp): a shard
+ *    answering with failures trips its breaker and stops receiving
+ *    dispatches until its cooldown probe succeeds.
+ *  - **Deadline-aware jittered retries** (resilience/retry.hpp):
+ *    shard-level refusals (queue_full/shedding/worker_lost/...) are
+ *    retried on the ring with counter-based jittered backoff — also
+ *    honouring the shard's own retry_after_ms hint — bounded by the
+ *    attempt budget and the job's deadline.
+ *  - **Hedged resubmission**: optionally, a job stuck past the stall
+ *    threshold is duplicated to the next live shard; first response
+ *    wins, the loser is dropped as a stray.
+ *  - **Exactly-once**: every admitted job resolves to the client
+ *    exactly once, through any combination of shard crash, respawn,
+ *    retry, and hedging (fleet/pending.hpp is the single resolution
+ *    point).
+ *  - **All shards down** is a typed kNoShardAvailable error after the
+ *    retry budget, never a hang.
+ *
+ * Threads: the caller's admission thread (handleLine), one reader
+ * thread per live shard, and one maintenance thread (probes, backoff
+ * releases, hedges, respawns). One router mutex guards all shared
+ * state; shard stdin writes take only the per-process pipe mutex.
+ */
+#ifndef QA_FLEET_ROUTER_HPP
+#define QA_FLEET_ROUTER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "fleet/health.hpp"
+#include "fleet/pending.hpp"
+#include "fleet/process.hpp"
+#include "fleet/ring.hpp"
+#include "resilience/breaker.hpp"
+#include "resilience/retry.hpp"
+
+namespace qa
+{
+namespace fleet
+{
+
+/** Per-shard breaker defaults tuned for shard-sized outcome volumes. */
+resilience::BreakerOptions defaultShardBreaker();
+
+/** Fleet sizing and behaviour knobs. */
+struct RouterOptions
+{
+    /** argv used to spawn each shard (binary + flags, no journal). */
+    std::vector<std::string> shard_command;
+
+    size_t shards = 3;
+
+    /** Ring vnodes per shard. */
+    size_t vnodes = 64;
+
+    /**
+     * When set, shard i of generation g journals to
+     * `<journal_dir>/shard-<i>.g<g>.ndjson`. Fresh file per respawn so
+     * every journal replays standalone (seq numbers restart per
+     * process).
+     */
+    std::string journal_dir;
+
+    /** Wire-ping cadence per shard. */
+    double probe_interval_ms = 250.0;
+
+    /** Unanswered-ping bound; past it the probe counts as a failure. */
+    double ping_timeout_ms = 2000.0;
+
+    /**
+     * Hedged-resubmission stall threshold; 0 disables hedging. Only
+     * ever one hedge per job, to a shard the job is not already on.
+     */
+    double hedge_ms = 0.0;
+
+    /** Maintenance loop tick. */
+    double maintenance_tick_ms = 10.0;
+
+    /** Respawn dead shards (with backoff); off leaves them down. */
+    bool respawn = true;
+
+    /** Fleet-level retry sizing (attempts, jittered backoff). */
+    resilience::RetryOptions retry;
+
+    /** Respawn backoff sizing (slower than job retries). */
+    resilience::RetryOptions respawn_backoff;
+
+    /** Per-shard circuit breaker. */
+    resilience::BreakerOptions breaker = defaultShardBreaker();
+
+    /** Health state-machine thresholds. */
+    HealthOptions health;
+
+    /** Bound on client and shard line lengths. */
+    size_t max_line = size_t(1) << 20;
+
+    /** Time source; nullptr = the real steady clock. */
+    Clock* clock = nullptr;
+
+    RouterOptions()
+    {
+        respawn_backoff.base_backoff_ms = 50.0;
+        respawn_backoff.max_backoff_ms = 2000.0;
+    }
+};
+
+/** Fleet-wide monotonic counters (one consistent snapshot). */
+struct FleetCounters
+{
+    uint64_t admitted = 0;       ///< Jobs accepted for routing.
+    uint64_t resolved_ok = 0;    ///< Responses delivered with status ok.
+    uint64_t resolved_error = 0; ///< Error responses delivered.
+    uint64_t rejected = 0;       ///< Malformed requests refused at the edge.
+    uint64_t retried = 0;        ///< Fleet-level redispatches after refusals.
+    uint64_t failovers = 0;      ///< Jobs resubmitted off a dead shard.
+    uint64_t hedges = 0;         ///< Hedged duplicates issued.
+    uint64_t strays = 0;         ///< Late/duplicate shard responses dropped.
+    uint64_t no_shard = 0;       ///< Jobs failed kNoShardAvailable.
+};
+
+/** Point-in-time view of one shard (fleet_status, tests). */
+struct ShardStatus
+{
+    int index = 0;
+    pid_t pid = -1;
+    bool alive = false;
+    uint64_t generation = 0;
+    ShardHealth health = ShardHealth::kUp;
+    resilience::CircuitBreaker::State breaker =
+        resilience::CircuitBreaker::State::kClosed;
+    uint64_t forwarded = 0;
+    uint64_t responses = 0;
+    uint64_t errors = 0;
+    uint64_t pings_ok = 0;
+    uint64_t pings_failed = 0;
+    uint64_t respawns = 0;
+    uint64_t down_transitions = 0;
+    double last_rtt_ms = 0.0;
+};
+
+class FleetRouter
+{
+  public:
+    /** Sink for client-facing response lines (no trailing newline). */
+    using Emit = std::function<void(const std::string&)>;
+
+    FleetRouter(RouterOptions options, Emit emit);
+
+    /** stop()s: drains nothing by itself — call drainFor first. */
+    ~FleetRouter();
+
+    FleetRouter(const FleetRouter&) = delete;
+    FleetRouter& operator=(const FleetRouter&) = delete;
+
+    /** Spawn the shards, their readers, and the maintenance thread. */
+    void start();
+
+    /**
+     * Process one client request line. Returns false when the line was
+     * a shutdown request (the caller then drains and stops); every
+     * other outcome — including malformed input, which is answered
+     * with a typed error — returns true.
+     */
+    bool handleLine(const std::string& line);
+
+    /**
+     * Wait up to `timeout_ms` for every admitted job to resolve.
+     * True when the pending table emptied.
+     */
+    bool drainFor(double timeout_ms);
+
+    /**
+     * Stop admission, ask the shards to drain (wire shutdown + stdin
+     * EOF, bounded by `shard_grace_ms`, then SIGKILL), join readers and
+     * the maintenance thread, and fail any still-pending job with
+     * kServiceStopped. Idempotent.
+     */
+    void stop(double shard_grace_ms = 3000.0);
+
+    size_t shards() const { return options_.shards; }
+    size_t pendingCount() const;
+    FleetCounters counters() const;
+    ShardStatus shardStatus(size_t index) const;
+
+    /** The fleet_status response line (also answers op "metrics"). */
+    std::string fleetStatusJson(const std::string& id) const;
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<ChildProcess> proc;
+        std::thread reader;
+        uint64_t generation = 0;
+        bool alive = false;
+        HealthTracker health;
+        std::unique_ptr<resilience::CircuitBreaker> breaker;
+
+        bool ping_outstanding = false;
+        std::string ping_id;
+        uint64_t ping_seq = 0;
+        Clock::TimePoint ping_sent;
+        Clock::TimePoint last_probe;
+        double last_rtt_ms = 0.0;
+
+        int respawn_attempts = 0;
+        Clock::TimePoint next_respawn;
+
+        uint64_t forwarded = 0;
+        uint64_t responses = 0;
+        uint64_t errors = 0;
+        uint64_t pings_ok = 0;
+        uint64_t pings_failed = 0;
+        uint64_t respawns = 0;
+    };
+
+    std::vector<std::string> shardArgv(size_t index,
+                                       uint64_t generation) const;
+    void spawnShardLocked(size_t index);
+    void readerLoop(size_t index, uint64_t generation, int fd);
+    void onShardLine(size_t index, uint64_t generation,
+                     const std::string& line);
+    void onShardExit(size_t index, uint64_t generation);
+    void handlePongLocked(size_t index, const std::string& alias);
+
+    /**
+     * Issue one dispatch of `job` to the first admitting shard on its
+     * chain (`hedge` additionally skips shards the job already waits
+     * on, and fails soft). Returns false when no shard took it; for
+     * non-hedge dispatches the job is then parked for a backoff retry
+     * or — budget exhausted — resolved with kNoShardAvailable.
+     */
+    bool dispatchLocked(const PendingPtr& job, bool hedge);
+    void parkOrFailLocked(const PendingPtr& job);
+    void resolveLocked(const PendingPtr& job, const std::string& line,
+                       bool ok);
+    void maintenanceLoop();
+    void maintenanceTickLocked();
+    std::string fleetStatusLocked(const std::string& id) const;
+
+    void emitLine(const std::string& line);
+
+    RouterOptions options_;
+    Clock& clock_;
+    Emit emit_;
+    HashRing ring_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_cv_;  ///< Pending resolutions.
+    std::condition_variable tick_cv_;  ///< Maintenance stop wakeups.
+    std::vector<std::unique_ptr<Shard>> shards_;
+    PendingTable pending_;
+    FleetCounters counters_;
+    bool draining_ = false;
+    bool stopped_ = false;
+    bool started_ = false;
+
+    std::thread maintenance_;
+    std::mutex emit_mutex_;
+};
+
+} // namespace fleet
+} // namespace qa
+
+#endif // QA_FLEET_ROUTER_HPP

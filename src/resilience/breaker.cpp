@@ -117,6 +117,25 @@ CircuitBreaker::state() const
     return state_;
 }
 
+double
+CircuitBreaker::retryAfterMs() const
+{
+    if (!options_.enabled) return 0.0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        return 0.0;
+      case State::kOpen: {
+        const double remaining =
+            options_.open_cooldown_ms - clock_.elapsedMs(opened_at_);
+        return remaining < 1.0 ? 1.0 : remaining;
+      }
+      case State::kHalfOpen:
+        return options_.open_cooldown_ms / 4.0;
+    }
+    return 0.0;
+}
+
 CircuitBreaker::Stats
 CircuitBreaker::stats() const
 {

@@ -86,6 +86,15 @@ class CircuitBreaker
 
     State state() const;
 
+    /**
+     * How long a shed caller should wait before resubmitting, derived
+     * from the breaker's own timeline: the remaining open cooldown when
+     * open, a quarter cooldown when half-open (a probe is already in
+     * flight; its outcome decides soon), and 0 when closed (any shed
+     * the caller saw was raced; resubmit immediately).
+     */
+    double retryAfterMs() const;
+
     /** Monotonic counters, one consistent snapshot. */
     struct Stats
     {

@@ -415,6 +415,58 @@ JsonValue::makeNumber(double value)
     return v;
 }
 
+void
+JsonValue::set(const std::string& key, JsonValue value)
+{
+    if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+    QA_REQUIRE_CODE(kind_ == Kind::kObject, ErrorCode::kBadRequest,
+                    "set() needs an object value");
+    object_[key] = std::move(value);
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::ostringstream oss;
+    switch (kind_) {
+      case Kind::kNull:
+        oss << "null";
+        break;
+      case Kind::kBool:
+        oss << (bool_ ? "true" : "false");
+        break;
+      case Kind::kNumber:
+        oss << jsonNumber(number_);
+        break;
+      case Kind::kString:
+        oss << "\"" << jsonEscape(string_) << "\"";
+        break;
+      case Kind::kArray: {
+        oss << "[";
+        bool first = true;
+        for (const JsonValue& v : array_) {
+            if (!first) oss << ",";
+            first = false;
+            oss << v.dump();
+        }
+        oss << "]";
+        break;
+      }
+      case Kind::kObject: {
+        oss << "{";
+        bool first = true;
+        for (const auto& [key, v] : object_) {
+            if (!first) oss << ",";
+            first = false;
+            oss << "\"" << jsonEscape(key) << "\":" << v.dump();
+        }
+        oss << "}";
+        break;
+      }
+    }
+    return oss.str();
+}
+
 std::string
 jsonEscape(const std::string& s)
 {

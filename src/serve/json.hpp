@@ -71,11 +71,28 @@ class JsonValue
                          const std::string& fallback) const;
     ///@}
 
-    /** @name Construction helpers (used by tests). */
+    /** @name Construction helpers (used by tests and the router). */
     ///@{
     static JsonValue makeString(std::string s);
     static JsonValue makeNumber(double v);
     ///@}
+
+    /**
+     * Set (inserting or replacing) an object member. Turns a null value
+     * into an empty object first; any other non-object kind throws
+     * kBadRequest. The fleet router uses this to rewrite request ids
+     * before forwarding.
+     */
+    void set(const std::string& key, JsonValue value);
+
+    /**
+     * Serialize back to a single-line JSON document. Object members are
+     * emitted in key-sorted order (the internal map order), strings via
+     * jsonEscape, numbers via jsonNumber — so dump(parse(x)) is stable
+     * and dump output always re-parses to an equal value, though it need
+     * not be byte-identical to the original text.
+     */
+    std::string dump() const;
 
   private:
     Kind kind_ = Kind::kNull;

@@ -93,6 +93,34 @@ Scheduler::submit(JobSpec spec, JobCallback done)
     work_cv_.notify_one();
 }
 
+double
+Scheduler::retryAfterMsHint(ErrorCode code) const
+{
+    if (code == ErrorCode::kShedding) return breaker_.retryAfterMs();
+    if (code != ErrorCode::kQueueFull) return 0.0;
+    const LatencyHistogramSnapshot exec = metrics_.execute.snapshot();
+    // No completions observed yet: suggest a token backoff rather than
+    // an invented latency.
+    double hint = exec.total == 0 ? 10.0 : exec.meanMs() / double(workers_);
+    if (hint < 1.0) hint = 1.0;
+    if (hint > 10000.0) hint = 10000.0;
+    return hint;
+}
+
+size_t
+Scheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size() + stash_.size();
+}
+
+size_t
+Scheduler::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_;
+}
+
 std::future<JobResult>
 Scheduler::submit(JobSpec spec)
 {

@@ -168,6 +168,22 @@ class Scheduler
     /** Counters + queue depth + cache + breaker, one consistent snapshot. */
     MetricsSnapshot metrics() const;
 
+    /**
+     * Backoff hint (ms) for a submission this scheduler just rejected
+     * with `code`; 0 means "no estimate" and the field is omitted from
+     * the wire response. kShedding derives from the breaker's remaining
+     * cooldown; kQueueFull from the observed mean execution time — a
+     * queue slot frees when any of the `workers()` workers pulls its
+     * next job, so mean_exec / workers approximates that wait.
+     */
+    double retryAfterMsHint(ErrorCode code) const;
+
+    /** @name Cheap liveness numbers for the ping response. */
+    ///@{
+    size_t queueDepth() const; ///< Queued + backoff-stashed jobs.
+    size_t inFlight() const;   ///< Jobs executing right now.
+    ///@}
+
     /** Cache counters alone (benches assert on hit rates). */
     CacheStats cacheStats() const { return cache_.stats(); }
 

@@ -109,6 +109,10 @@ buildRequest(const JsonValue& request)
         out.op = RequestOp::kMetrics;
         return out;
     }
+    if (op == "ping") {
+        out.op = RequestOp::kPing;
+        return out;
+    }
     if (op == "shutdown") {
         out.op = RequestOp::kShutdown;
         return out;
@@ -116,7 +120,7 @@ buildRequest(const JsonValue& request)
     QA_REQUIRE_CODE(op == "run" || op == "explain",
                     ErrorCode::kBadRequest,
                     "unknown op '" + op +
-                        "' (expected run|explain|metrics|shutdown)");
+                        "' (expected run|explain|metrics|ping|shutdown)");
     if (op == "explain") out.op = RequestOp::kExplain;
 
     const JsonValue* qasm = request.find("qasm");
@@ -224,13 +228,40 @@ encodeReplay(const std::string& id, const JobResult& result)
 
 std::string
 encodeError(const std::string& id, ErrorCode code,
-            const std::string& message)
+            const std::string& message, double retry_after_ms)
 {
     std::ostringstream oss;
     oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"error\""
         << ",\"code\":\"" << errorCodeName(code) << "\""
-        << ",\"message\":\"" << jsonEscape(message) << "\"}";
+        << ",\"message\":\"" << jsonEscape(message) << "\"";
+    if (retry_after_ms > 0.0) {
+        oss << ",\"retry_after_ms\":" << jsonNumber(retry_after_ms);
+    }
+    oss << "}";
     return oss.str();
+}
+
+std::string
+encodePing(const std::string& id, size_t queue_depth, size_t in_flight)
+{
+    std::ostringstream oss;
+    oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
+        << ",\"pong\":true,\"queue_depth\":" << queue_depth
+        << ",\"in_flight\":" << in_flight << "}";
+    return oss.str();
+}
+
+bool
+peekResponseId(const std::string& line, std::string* id)
+{
+    static const std::string kPrefix = "{\"id\":\"";
+    if (line.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+    const size_t start = kPrefix.size();
+    const size_t end = line.find('"', start);
+    if (end == std::string::npos) return false;
+    if (line.find('\\', start) < end) return false; // escaped: full parse
+    id->assign(line, start, end - start);
+    return true;
 }
 
 std::string

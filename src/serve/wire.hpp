@@ -55,6 +55,7 @@ enum class RequestOp
     kRun,     ///< Submit a job.
     kExplain, ///< Classify + route the job without executing it.
     kMetrics, ///< Return a ServiceMetrics snapshot.
+    kPing,    ///< Lightweight liveness probe (answered on the read loop).
     kShutdown ///< Drain and exit.
 };
 
@@ -95,9 +96,34 @@ std::string encodeResult(const std::string& id, const JobResult& result);
  */
 std::string encodeReplay(const std::string& id, const JobResult& result);
 
-/** Encode a failure as one response line (no trailing newline). */
+/**
+ * Encode a failure as one response line (no trailing newline). A
+ * positive `retry_after_ms` adds a `"retry_after_ms"` field — the
+ * server's own estimate of when a resubmission could succeed, derived
+ * from breaker/backoff state. qassertd attaches it to kQueueFull and
+ * kShedding rejections so qa_router and well-behaved clients back off
+ * instead of hammering a saturated shard.
+ */
 std::string encodeError(const std::string& id, ErrorCode code,
-                        const std::string& message);
+                        const std::string& message,
+                        double retry_after_ms = 0.0);
+
+/**
+ * Encode a ping response: `{"id":...,"status":"ok","pong":true,
+ * "queue_depth":N,"in_flight":N}`. Cheap enough for the fleet router's
+ * health prober to issue every probe interval against every shard.
+ */
+std::string encodePing(const std::string& id, size_t queue_depth,
+                       size_t in_flight);
+
+/**
+ * Best-effort extraction of the id of an encoded *response* line
+ * without a full JSON parse: every encoder in this file emits
+ * `{"id":"..."` first, and router-internal ids never contain escapes.
+ * Returns false (and falls back on the caller doing a full parse) when
+ * the line does not start that way or the id contains a backslash.
+ */
+bool peekResponseId(const std::string& line, std::string* id);
 
 /** Encode an "explain" routing decision as one response line. */
 std::string encodeExplain(const std::string& id,

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Tests for the fleet layer (src/fleet): consistent-hash ring edge
+ * cases (single shard, all shards down, flap-and-recover affinity,
+ * distribution uniformity), the shard health state machine, the
+ * exactly-once pending table, child-process line plumbing, and — when
+ * the qassertd binary is available — FleetRouter integration against
+ * real shard processes, including SIGKILL failover and the typed
+ * all-shards-down error.
+ */
+#include <signal.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "fleet/health.hpp"
+#include "fleet/pending.hpp"
+#include "fleet/process.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/router.hpp"
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+#include "serve/wire.hpp"
+
+namespace qa
+{
+namespace fleet
+{
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t& state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+Hash128
+randomKey(uint64_t& state)
+{
+    Hash128 key;
+    key.hi = splitmix64(state);
+    key.lo = splitmix64(state);
+    return key;
+}
+
+// ---------------------------------------------------------------- ring
+
+TEST(RingTest, SingleShardOwnsEverything)
+{
+    const HashRing ring(1);
+    uint64_t state = 1;
+    for (int i = 0; i < 100; ++i) {
+        const Hash128 key = randomKey(state);
+        EXPECT_EQ(ring.shardFor(key), 0u);
+        const auto routed = ring.route(key, [](size_t) { return true; });
+        ASSERT_TRUE(routed.has_value());
+        EXPECT_EQ(*routed, 0u);
+        EXPECT_EQ(ring.preferenceChain(key),
+                  std::vector<size_t>{0});
+    }
+}
+
+TEST(RingTest, ZeroShardsIsATypedError)
+{
+    EXPECT_THROW(HashRing(0), UserError);
+}
+
+TEST(RingTest, AllShardsDownRoutesToNothingNotForever)
+{
+    const HashRing ring(4);
+    uint64_t state = 2;
+    for (int i = 0; i < 50; ++i) {
+        const auto routed =
+            ring.route(randomKey(state), [](size_t) { return false; });
+        EXPECT_FALSE(routed.has_value());
+    }
+}
+
+TEST(RingTest, FlapRestoresAffinity)
+{
+    const HashRing ring(4);
+    uint64_t state = 3;
+    for (int i = 0; i < 200; ++i) {
+        const Hash128 key = randomKey(state);
+        const size_t home = ring.shardFor(key);
+        const std::vector<size_t> chain = ring.preferenceChain(key);
+        ASSERT_EQ(chain.size(), 4u);
+        EXPECT_EQ(chain[0], home);
+
+        // Home goes down: the key spills to the first chain successor.
+        const auto spilled = ring.route(
+            key, [&](size_t shard) { return shard != home; });
+        ASSERT_TRUE(spilled.has_value());
+        EXPECT_NE(*spilled, home);
+        EXPECT_EQ(*spilled, chain[1]);
+
+        // Home recovers: the very same key routes home again — cache
+        // affinity restored by construction, not by bookkeeping.
+        const auto recovered =
+            ring.route(key, [](size_t) { return true; });
+        ASSERT_TRUE(recovered.has_value());
+        EXPECT_EQ(*recovered, home);
+    }
+}
+
+TEST(RingTest, PreferenceChainListsEveryShardOnce)
+{
+    const HashRing ring(8);
+    uint64_t state = 4;
+    for (int i = 0; i < 50; ++i) {
+        const std::vector<size_t> chain =
+            ring.preferenceChain(randomKey(state));
+        ASSERT_EQ(chain.size(), 8u);
+        EXPECT_EQ(std::set<size_t>(chain.begin(), chain.end()).size(), 8u);
+    }
+}
+
+TEST(RingTest, DistributionIsRoughlyUniformAcrossShardCounts)
+{
+    // jobKey output is uniform by construction (it is a hash); the ring
+    // must not concentrate it. With 64 vnodes per shard the max/min
+    // share stays well within ±45% of the mean for every fleet size the
+    // smoke tests run.
+    for (const size_t shards : {size_t(2), size_t(4), size_t(8)}) {
+        const HashRing ring(shards);
+        std::vector<size_t> hits(shards, 0);
+        uint64_t state = 0xD15C0 + shards;
+        const size_t keys = 20000;
+        for (size_t i = 0; i < keys; ++i) {
+            hits[ring.shardFor(randomKey(state))]++;
+        }
+        const double mean = double(keys) / double(shards);
+        for (size_t s = 0; s < shards; ++s) {
+            EXPECT_GT(double(hits[s]), 0.55 * mean)
+                << shards << " shards, shard " << s;
+            EXPECT_LT(double(hits[s]), 1.45 * mean)
+                << shards << " shards, shard " << s;
+        }
+    }
+}
+
+TEST(RingTest, LayoutIsDeterministicAcrossInstances)
+{
+    // Same parameters => same mapping, so affinity survives a router
+    // restart (and a respawned router finds the same cache-warm shards).
+    const HashRing a(5), b(5);
+    uint64_t state = 6;
+    for (int i = 0; i < 200; ++i) {
+        const Hash128 key = randomKey(state);
+        EXPECT_EQ(a.shardFor(key), b.shardFor(key));
+        EXPECT_EQ(a.preferenceChain(key), b.preferenceChain(key));
+    }
+}
+
+// -------------------------------------------------------------- health
+
+TEST(HealthTest, FailureStreakTakesAShardDownRecoveryBringsItBack)
+{
+    HealthTracker health; // fail_threshold 3, recover_threshold 2
+    EXPECT_EQ(health.state(), ShardHealth::kUp);
+
+    health.onFailure();
+    EXPECT_EQ(health.state(), ShardHealth::kDegraded);
+
+    // A success clears the streak: degraded is sticky only while
+    // failures keep coming.
+    health.onSuccess();
+    EXPECT_EQ(health.state(), ShardHealth::kUp);
+
+    health.onFailure();
+    health.onFailure();
+    EXPECT_EQ(health.state(), ShardHealth::kDegraded);
+    health.onFailure();
+    EXPECT_EQ(health.state(), ShardHealth::kDown);
+    EXPECT_EQ(health.downTransitions(), 1u);
+
+    // One pong is not recovery.
+    health.onSuccess();
+    EXPECT_EQ(health.state(), ShardHealth::kDown);
+    health.onSuccess();
+    EXPECT_EQ(health.state(), ShardHealth::kUp);
+}
+
+TEST(HealthTest, ProcessExitIsImmediatelyDown)
+{
+    HealthTracker health;
+    health.onProcessExit();
+    EXPECT_EQ(health.state(), ShardHealth::kDown);
+    EXPECT_EQ(health.downTransitions(), 1u);
+
+    // Interleaved failures must not double-count the transition.
+    health.onFailure();
+    EXPECT_EQ(health.state(), ShardHealth::kDown);
+    EXPECT_EQ(health.downTransitions(), 1u);
+}
+
+// ------------------------------------------------------------- pending
+
+TEST(PendingTest, ResolveThroughAnyAliasIsExactlyOnce)
+{
+    PendingTable table;
+    serve::JsonValue request = serve::JsonValue::parse("{\"op\":\"run\"}");
+    const PendingPtr job =
+        table.add("client-1", std::move(request), Hash128{}, 0.0, {0, 1},
+                  Clock::TimePoint{});
+    const std::string first = table.issueAlias(job);
+    const std::string hedge = table.issueAlias(job);
+    EXPECT_NE(first, hedge);
+    EXPECT_EQ(table.find(first).get(), job.get());
+    EXPECT_EQ(table.find(hedge).get(), job.get());
+    EXPECT_EQ(table.size(), 1u);
+
+    // First response wins...
+    EXPECT_EQ(table.resolve(hedge).get(), job.get());
+    EXPECT_EQ(table.size(), 0u);
+    // ...and every other alias of the job is dead: the hedge loser is a
+    // stray, not a second client response.
+    EXPECT_EQ(table.resolve(first), nullptr);
+    EXPECT_EQ(table.resolve(hedge), nullptr);
+    EXPECT_EQ(table.find(first), nullptr);
+}
+
+TEST(PendingTest, EraseDropsJobsThatNeverDispatched)
+{
+    PendingTable table;
+    const PendingPtr job =
+        table.add("c", serve::JsonValue::parse("{}"), Hash128{}, 0.0, {0},
+                  Clock::TimePoint{});
+    EXPECT_EQ(table.size(), 1u);
+    table.erase(job);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PendingTest, OnShardFindsOutstandingDispatches)
+{
+    PendingTable table;
+    const PendingPtr a =
+        table.add("a", serve::JsonValue::parse("{}"), Hash128{}, 0.0,
+                  {0, 1}, Clock::TimePoint{});
+    const PendingPtr b =
+        table.add("b", serve::JsonValue::parse("{}"), Hash128{}, 0.0,
+                  {1, 0}, Clock::TimePoint{});
+    a->awaiting = {0};
+    b->awaiting = {1};
+    EXPECT_EQ(table.onShard(0).size(), 1u);
+    EXPECT_EQ(table.onShard(0)[0].get(), a.get());
+    EXPECT_EQ(table.onShard(1)[0].get(), b.get());
+    EXPECT_TRUE(table.onShard(2).empty());
+}
+
+// ------------------------------------------------------------- process
+
+TEST(ProcessTest, EchoRoundTripAndEofDrain)
+{
+    ChildProcess cat({"/bin/cat"});
+    ASSERT_TRUE(cat.writeLine("hello fleet"));
+    LineReader reader(cat.readFd());
+    std::string line;
+    ASSERT_EQ(reader.next(&line), LineReader::Status::kOk);
+    EXPECT_EQ(line, "hello fleet");
+
+    // EOF on stdin drains cat; its stdout EOF follows.
+    cat.closeStdin();
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+    for (int i = 0; i < 200 && !cat.tryReap(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(cat.reaped());
+}
+
+TEST(ProcessTest, OverlongLinesAreBoundedNotBuffered)
+{
+    ChildProcess cat({"/bin/cat"});
+    ASSERT_TRUE(cat.writeLine(std::string(300, 'x')));
+    ASSERT_TRUE(cat.writeLine("short"));
+    cat.closeStdin();
+    LineReader reader(cat.readFd(), 64);
+    std::string line;
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kOverflow);
+    ASSERT_EQ(reader.next(&line), LineReader::Status::kOk);
+    EXPECT_EQ(line, "short"); // stream stayed line-synchronised
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+}
+
+TEST(ProcessTest, ExecFailureIsImmediateEofNotAHang)
+{
+    ChildProcess broken({"/nonexistent/binary/for/sure"});
+    LineReader reader(broken.readFd());
+    std::string line;
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+}
+
+// ---------------------------------------------- router (real qassertd)
+
+#ifdef QA_QASSERTD_BIN
+
+/** Thread-safe collector for router-emitted response lines. */
+struct Collector
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::string> lines;
+
+    FleetRouter::Emit
+    sink()
+    {
+        return [this](const std::string& line) {
+            std::lock_guard<std::mutex> lock(mutex);
+            lines.push_back(line);
+            cv.notify_all();
+        };
+    }
+
+    bool
+    waitForCount(size_t n, double timeout_ms)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        return cv.wait_for(
+            lock, std::chrono::duration<double, std::milli>(timeout_ms),
+            [&] { return lines.size() >= n; });
+    }
+
+    std::vector<std::string>
+    snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return lines;
+    }
+};
+
+std::string
+ghzRequest(const std::string& id, int width, uint64_t seed)
+{
+    std::string qasm = "OPENQASM 2.0;\nqreg q[" + std::to_string(width) +
+                       "];\ncreg c[" + std::to_string(width) +
+                       "];\nh q[0];\n";
+    for (int k = 1; k < width; ++k) {
+        qasm += "cx q[0],q[" + std::to_string(k) + "];\n";
+    }
+    for (int k = 0; k < width; ++k) {
+        qasm += "measure q[" + std::to_string(k) + "] -> c[" +
+                std::to_string(k) + "];\n";
+    }
+    return "{\"id\":\"" + id + "\",\"qasm\":\"" + serve::jsonEscape(qasm) +
+           "\",\"shots\":64,\"seed\":" + std::to_string(seed) +
+           ",\"assert_clbits\":[[0]]}";
+}
+
+RouterOptions
+fastOptions(size_t shards)
+{
+    RouterOptions options;
+    options.shards = shards;
+    options.shard_command = {QA_QASSERTD_BIN, "--workers", "1"};
+    options.probe_interval_ms = 50.0;
+    options.maintenance_tick_ms = 5.0;
+    return options;
+}
+
+TEST(RouterTest, RoutesJobsAndAnswersWithClientIds)
+{
+    Collector collector;
+    FleetRouter router(fastOptions(2), collector.sink());
+    router.start();
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_TRUE(router.handleLine(
+            ghzRequest("job-" + std::to_string(i), 2 + i % 3, 100 + i)));
+    }
+    EXPECT_TRUE(router.drainFor(20000.0));
+    ASSERT_TRUE(collector.waitForCount(6, 5000.0));
+    router.stop();
+
+    std::set<std::string> ids;
+    for (const std::string& line : collector.snapshot()) {
+        std::string id;
+        ASSERT_TRUE(serve::peekResponseId(line, &id)) << line;
+        EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos)
+            << line;
+        ids.insert(id);
+    }
+    EXPECT_EQ(ids.size(), 6u); // every client id answered exactly once
+    const FleetCounters counters = router.counters();
+    EXPECT_EQ(counters.admitted, 6u);
+    EXPECT_EQ(counters.resolved_ok, 6u);
+}
+
+TEST(RouterTest, AllShardsDownIsATypedErrorNotAHang)
+{
+    RouterOptions options;
+    options.shards = 2;
+    options.shard_command = {"/bin/false"}; // exits instantly, no wire
+    options.respawn = false;
+    options.retry.max_attempts = 2;
+    options.maintenance_tick_ms = 5.0;
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+    EXPECT_TRUE(router.handleLine(ghzRequest("doomed", 2, 1)));
+    EXPECT_TRUE(router.drainFor(10000.0));
+    ASSERT_TRUE(collector.waitForCount(1, 5000.0));
+    router.stop();
+
+    const std::string line = collector.snapshot()[0];
+    EXPECT_NE(line.find("\"id\":\"doomed\""), std::string::npos) << line;
+    EXPECT_NE(line.find("no_shard_available"), std::string::npos) << line;
+    EXPECT_EQ(router.counters().no_shard, 1u);
+}
+
+TEST(RouterTest, KilledShardFailsOverAndNothingIsLost)
+{
+    RouterOptions options = fastOptions(3);
+    options.respawn = false; // keep the post-kill topology fixed
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+
+    // Load the fleet, then SIGKILL one shard while jobs are in flight.
+    const int jobs = 30;
+    for (int i = 0; i < jobs; ++i) {
+        EXPECT_TRUE(router.handleLine(
+            ghzRequest("k" + std::to_string(i), 2 + i % 4, 500 + i)));
+        if (i == 5) {
+            const pid_t victim = router.shardStatus(1).pid;
+            ASSERT_GT(victim, 0);
+            ::kill(victim, SIGKILL);
+        }
+    }
+    EXPECT_TRUE(router.drainFor(30000.0));
+    ASSERT_TRUE(collector.waitForCount(size_t(jobs), 5000.0));
+    router.stop();
+
+    // Exactly-once at fleet scope: every id answered once, all ok
+    // (failover re-executes deterministically; nothing lost, nothing
+    // doubled).
+    std::set<std::string> ids;
+    for (const std::string& line : collector.snapshot()) {
+        std::string id;
+        ASSERT_TRUE(serve::peekResponseId(line, &id)) << line;
+        EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos)
+            << line;
+        EXPECT_TRUE(ids.insert(id).second)
+            << "duplicate response for " << id;
+    }
+    EXPECT_EQ(ids.size(), size_t(jobs));
+    EXPECT_EQ(router.counters().resolved_ok, uint64_t(jobs));
+    EXPECT_EQ(router.shardStatus(1).health, ShardHealth::kDown);
+}
+
+TEST(RouterTest, RespawnRestoresAffinityAfterAFlap)
+{
+    RouterOptions options = fastOptions(2);
+    options.respawn_backoff.base_backoff_ms = 20.0;
+    options.respawn_backoff.max_backoff_ms = 50.0;
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+
+    // Pick a request whose structural key homes on shard 0: the ring
+    // in the router uses the same deterministic layout as a local one.
+    const HashRing ring(2, options.vnodes);
+    std::string line;
+    size_t home = 0;
+    for (uint64_t seed = 1;; ++seed) {
+        line = ghzRequest("affinity", 3, seed);
+        const serve::WireRequest request = serve::parseRequest(line);
+        home = ring.shardFor(serve::jobKey(request.spec));
+        if (home == 0) break;
+    }
+
+    EXPECT_TRUE(router.handleLine(line));
+    EXPECT_TRUE(router.drainFor(20000.0));
+    const uint64_t before = router.shardStatus(0).forwarded;
+    EXPECT_GE(before, 1u);
+
+    // Kill the home shard and wait for the full flap: death detected,
+    // respawned, pinged back to kUp.
+    ::kill(router.shardStatus(0).pid, SIGKILL);
+    bool recovered = false;
+    for (int i = 0; i < 1000; ++i) {
+        const ShardStatus status = router.shardStatus(0);
+        if (status.respawns >= 1 && status.alive &&
+            status.health == ShardHealth::kUp) {
+            recovered = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(recovered) << "shard 0 never recovered from the flap";
+    EXPECT_GE(router.shardStatus(0).down_transitions, 1u);
+
+    // The same structural key routes to its old home again.
+    EXPECT_TRUE(router.handleLine(line));
+    EXPECT_TRUE(router.drainFor(20000.0));
+    router.stop();
+    EXPECT_EQ(router.shardStatus(0).forwarded, before + 1);
+    EXPECT_EQ(router.counters().resolved_ok, 2u);
+}
+
+#else // !QA_QASSERTD_BIN
+
+TEST(RouterTest, DISABLED_NeedsQassertdBinary) { GTEST_SKIP(); }
+
+#endif
+
+} // namespace
+} // namespace fleet
+} // namespace qa

@@ -5,8 +5,11 @@
  * counts, backpressure/priority/deadline behaviour, the JSON parser,
  * and the qassertd wire protocol.
  */
+#include <csignal>
+#include <cstdio>
 #include <future>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,8 @@
 #include "common/error.hpp"
 #include "core/runner.hpp"
 #include "linalg/states.hpp"
+#include "resilience/journal.hpp"
+#include "serve/replay.hpp"
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
 #include "serve/json.hpp"
@@ -715,6 +720,164 @@ TEST(MetricsTest, HistogramBucketsAndMoments)
     EXPECT_EQ(across, snap.total);
 
     EXPECT_EQ(LatencyHistogramSnapshot{}.meanMs(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Wire extensions for the fleet: retry_after_ms hints, ping, peek
+// ---------------------------------------------------------------------
+
+TEST(WireTest, ErrorResponsesCarryRetryAfterHints)
+{
+    const std::string hinted =
+        encodeError("j1", ErrorCode::kQueueFull, "queue is full", 12.5);
+    const JsonValue parsed = JsonValue::parse(hinted);
+    EXPECT_EQ(parsed.stringOr("code", ""), "queue_full");
+    EXPECT_DOUBLE_EQ(parsed.numberOr("retry_after_ms", 0.0), 12.5);
+
+    // No estimate (0) => the field is omitted, not emitted as zero.
+    const std::string bare =
+        encodeError("j2", ErrorCode::kShedding, "shedding");
+    EXPECT_EQ(bare.find("retry_after_ms"), std::string::npos);
+}
+
+TEST(WireTest, SchedulerHintsMatchBreakerAndQueueState)
+{
+    SchedulerOptions options;
+    options.workers = 2;
+    Scheduler scheduler(options);
+    // Idle service, no completions: a token hint, never zero, so
+    // rejected callers still back off instead of spinning.
+    const double hint = scheduler.retryAfterMsHint(ErrorCode::kQueueFull);
+    EXPECT_GE(hint, 1.0);
+    EXPECT_LE(hint, 10000.0);
+    // Breaker disabled => closed => resubmit immediately.
+    EXPECT_EQ(scheduler.retryAfterMsHint(ErrorCode::kShedding), 0.0);
+    // Hints exist only for saturation rejections.
+    EXPECT_EQ(scheduler.retryAfterMsHint(ErrorCode::kBadRequest), 0.0);
+    scheduler.stop();
+}
+
+TEST(WireTest, PingIsDecodedAndEncoded)
+{
+    const WireRequest request =
+        parseRequest(R"({"op":"ping","id":"!p0.1"})");
+    EXPECT_EQ(int(request.op), int(RequestOp::kPing));
+    EXPECT_EQ(request.id, "!p0.1");
+
+    const std::string pong = encodePing("!p0.1", 3, 2);
+    const JsonValue parsed = JsonValue::parse(pong);
+    EXPECT_EQ(parsed.stringOr("id", ""), "!p0.1");
+    EXPECT_TRUE(parsed.boolOr("pong", false));
+    EXPECT_EQ(parsed.intOr("queue_depth", -1), 3);
+    EXPECT_EQ(parsed.intOr("in_flight", -1), 2);
+}
+
+TEST(WireTest, PeekResponseIdFastPath)
+{
+    std::string id;
+    ASSERT_TRUE(peekResponseId(R"({"id":"!f7.0","status":"ok"})", &id));
+    EXPECT_EQ(id, "!f7.0");
+    ASSERT_TRUE(peekResponseId(R"({"id":"","status":"ok"})", &id));
+    EXPECT_EQ(id, "");
+    // Escaped ids and non-response lines fall back to a full parse.
+    EXPECT_FALSE(peekResponseId(R"({"id":"a\"b","status":"ok"})", &id));
+    EXPECT_FALSE(peekResponseId(R"({"status":"ok","id":"x"})", &id));
+    EXPECT_FALSE(peekResponseId("", &id));
+}
+
+// ---------------------------------------------------------------------
+// Replay library: determinism and clean cancellation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Write a small valid journal and return its path. */
+std::string
+writeReplayJournal(const std::string& name)
+{
+    const std::string path = testing::TempDir() + name;
+    // TempDir persists across test runs and Journal opens O_APPEND; a
+    // stale file from a previous run would triple the entry count.
+    std::remove(path.c_str());
+    resilience::Journal journal(path);
+    const std::string qasm =
+        "OPENQASM 2.0;\\nqreg q[2];\\ncreg c[2];\\nh q[0];\\ncx "
+        "q[0],q[1];\\nmeasure q[0] -> c[0];\\nmeasure q[1] -> c[1];\\n";
+    for (uint64_t seq = 0; seq < 3; ++seq) {
+        journal.appendAccept(
+            seq, "{\"id\":\"r" + std::to_string(seq) + "\",\"qasm\":\"" +
+                     qasm + "\",\"shots\":64,\"seed\":" +
+                     std::to_string(40 + seq) + "}");
+    }
+    journal.sync();
+    return path;
+}
+
+} // namespace
+
+TEST(ReplayTest, ReplaysDeterministicallyAndVerifiesHashes)
+{
+    const std::string path = writeReplayJournal("replay_ok.ndjson");
+    std::ostringstream out1, out2, diag;
+    const ReplayReport first = replayJournal(path, out1, diag);
+    EXPECT_EQ(int(first.status), int(ReplayStatus::kOk));
+    EXPECT_EQ(first.total, 3u);
+    EXPECT_EQ(first.executed, 3u);
+    EXPECT_EQ(first.mismatches, 0u);
+    const ReplayReport second = replayJournal(path, out2, diag);
+    EXPECT_EQ(out1.str(), out2.str()); // byte-identical replays
+    EXPECT_EQ(int(second.status), int(ReplayStatus::kOk));
+}
+
+TEST(ReplayTest, DrainSignalCancelsCleanlyBetweenJobs)
+{
+    // The drain-mid-replay race, without signals: the flag is already
+    // set when replay starts, so it must abort before executing a
+    // single job — clean output (nothing emitted), journal untouched,
+    // typed kInterrupted status (qassertd maps it to exit code 3).
+    const std::string path = writeReplayJournal("replay_cancel.ndjson");
+    volatile std::sig_atomic_t cancel = SIGTERM;
+    ReplayOptions options;
+    options.cancel = &cancel;
+    std::ostringstream out, diag;
+    const ReplayReport report = replayJournal(path, out, diag, options);
+    EXPECT_EQ(int(report.status), int(ReplayStatus::kInterrupted));
+    EXPECT_EQ(report.executed, 0u);
+    EXPECT_TRUE(out.str().empty());
+
+    // The journal file is intact: a second, uncancelled replay still
+    // executes everything.
+    cancel = 0;
+    const ReplayReport resumed = replayJournal(path, out, diag, options);
+    EXPECT_EQ(int(resumed.status), int(ReplayStatus::kOk));
+    EXPECT_EQ(resumed.executed, 3u);
+}
+
+TEST(ReplayTest, MissingJournalIsATypedError)
+{
+    std::ostringstream out, diag;
+    EXPECT_THROW(replayJournal("/nonexistent/journal.ndjson", out, diag),
+                 UserError);
+}
+
+TEST(JsonTest, SetAndDumpRoundTrip)
+{
+    JsonValue value = JsonValue::parse(
+        R"({"id":"old","shots":64,"nested":{"a":[1,2,true,null]}})");
+    value.set("id", JsonValue::makeString("!f0.0"));
+    value.set("priority", JsonValue::makeNumber(2));
+    const JsonValue round = JsonValue::parse(value.dump());
+    EXPECT_EQ(round.stringOr("id", ""), "!f0.0");
+    EXPECT_EQ(round.intOr("shots", 0), 64);
+    EXPECT_EQ(round.intOr("priority", 0), 2);
+    ASSERT_NE(round.find("nested"), nullptr);
+    EXPECT_EQ(round.find("nested")->find("a")->asArray().size(), 4u);
+    // dump is stable: dump(parse(dump(x))) == dump(x).
+    EXPECT_EQ(JsonValue::parse(value.dump()).dump(), value.dump());
+
+    JsonValue scalar = JsonValue::makeNumber(1);
+    EXPECT_THROW(scalar.set("k", JsonValue::makeNumber(2)), UserError);
 }
 
 } // namespace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * qa_router: fault-tolerant front-end for a sharded qassertd fleet.
+ *
+ * Speaks the same NDJSON wire protocol as a single qassertd on
+ * stdin/stdout, but behind it fork/execs N qassertd shards, routes each
+ * job by consistent-hashing its 128-bit structural jobKey (cache
+ * affinity: identical circuit structure always lands on the same shard
+ * while it is up), probes shard health, fails over a dead shard's
+ * keyspace to its ring successors, respawns crashed shards with fresh
+ * generation-suffixed journals, and guarantees each admitted job is
+ * answered exactly once. See src/fleet/router.hpp for the full
+ * contract and DESIGN.md Sec. 13 for the topology.
+ *
+ * Usage:
+ *   qa_router --shards N [--shard-cmd "qassertd --workers 1 ..."]
+ *             [--journal-dir DIR] [--vnodes N] [--probe-ms X]
+ *             [--ping-timeout-ms X] [--hedge-ms X] [--retries N]
+ *             [--no-respawn] [--drain-ms X] [--max-line N]
+ *
+ * Extra ops beyond the qassertd set:
+ *   {"op":"fleet_status","id":"s1"}  -> per-shard health/counters; the
+ *                                       "metrics" op returns the same.
+ *
+ * SIGTERM/SIGINT, EOF, or {"op":"shutdown"} stop admission, wait for
+ * pending jobs (bounded by --drain-ms), drain the shards gracefully,
+ * and exit 0. Diagnostics go to stderr; stdout is a pure response
+ * stream.
+ */
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fleet/router.hpp"
+#include "serve/wire.hpp"
+
+namespace
+{
+
+using namespace qa;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onDrainSignal(int sig)
+{
+    g_signal = sig;
+}
+
+/** No SA_RESTART: the blocking stdin read must EINTR into the drain. */
+void
+installDrainHandlers()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = onDrainSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+}
+
+int
+parsePositiveArg(const std::string& flag, const char* value)
+{
+    if (value == nullptr) {
+        std::cerr << "qa_router: " << flag << " needs a value\n";
+        std::exit(2);
+    }
+    const int parsed = std::atoi(value);
+    if (parsed <= 0) {
+        std::cerr << "qa_router: " << flag << " must be positive, got '"
+                  << value << "'\n";
+        std::exit(2);
+    }
+    return parsed;
+}
+
+/** Whitespace-split a --shard-cmd string into argv tokens. */
+std::vector<std::string>
+splitCommand(const std::string& command)
+{
+    std::vector<std::string> argv;
+    std::istringstream in(command);
+    std::string token;
+    while (in >> token) argv.push_back(token);
+    return argv;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    fleet::RouterOptions options;
+    std::string shard_cmd = "qassertd";
+    double drain_ms = 30000.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--shards") {
+            options.shards = size_t(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--shard-cmd") {
+            if (value == nullptr) {
+                std::cerr << "qa_router: --shard-cmd needs a value\n";
+                return 2;
+            }
+            shard_cmd = value;
+            ++i;
+        } else if (arg == "--journal-dir") {
+            if (value == nullptr) {
+                std::cerr << "qa_router: --journal-dir needs a path\n";
+                return 2;
+            }
+            options.journal_dir = value;
+            ++i;
+        } else if (arg == "--vnodes") {
+            options.vnodes = size_t(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--probe-ms") {
+            options.probe_interval_ms = double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--ping-timeout-ms") {
+            options.ping_timeout_ms = double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--hedge-ms") {
+            options.hedge_ms = double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--retries") {
+            options.retry.max_attempts = parsePositiveArg(arg, value);
+            ++i;
+        } else if (arg == "--no-respawn") {
+            options.respawn = false;
+        } else if (arg == "--drain-ms") {
+            drain_ms = double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--max-line") {
+            options.max_line = size_t(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cerr
+                << "usage: qa_router --shards N [--shard-cmd CMD]"
+                   " [--journal-dir DIR]\n"
+                   "                 [--vnodes N] [--probe-ms X]"
+                   " [--ping-timeout-ms X]\n"
+                   "                 [--hedge-ms X] [--retries N]"
+                   " [--no-respawn]\n"
+                   "                 [--drain-ms X] [--max-line N]\n"
+                   "NDJSON requests on stdin, one response line per "
+                   "request on stdout;\n"
+                   "{\"op\":\"fleet_status\"} reports per-shard health "
+                   "(see DESIGN.md Sec. 13)\n";
+            return 0;
+        } else {
+            std::cerr << "qa_router: unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+    options.shard_command = splitCommand(shard_cmd);
+    if (options.shard_command.empty()) {
+        std::cerr << "qa_router: --shard-cmd must not be empty\n";
+        return 2;
+    }
+
+    // A shard dying between a liveness check and a pipe write must not
+    // SIGPIPE-kill the router (ChildProcess sets this too; being
+    // explicit in main documents the requirement).
+    std::signal(SIGPIPE, SIG_IGN);
+    installDrainHandlers();
+
+    fleet::FleetRouter router(options, [](const std::string& line) {
+        // FleetRouter serializes emit calls; no extra lock needed.
+        std::cout << line << "\n";
+        std::cout.flush();
+    });
+    try {
+        router.start();
+    } catch (const UserError& err) {
+        std::cerr << "qa_router: failed to start fleet: " << err.what()
+                  << "\n";
+        return 2;
+    }
+    std::cerr << "qa_router: ready (" << options.shards << " shard(s), "
+              << options.vnodes << " vnodes each"
+              << (options.journal_dir.empty()
+                      ? std::string()
+                      : ", journals in " + options.journal_dir)
+              << (options.hedge_ms > 0.0 ? ", hedging" : "") << ")\n";
+
+    std::string line;
+    while (g_signal == 0) {
+        const serve::ReadLineStatus read =
+            serve::readLineBounded(std::cin, &line, options.max_line);
+        if (read == serve::ReadLineStatus::kEof) break;
+        if (read == serve::ReadLineStatus::kOverflow) {
+            std::cout << serve::encodeError(
+                             "", ErrorCode::kBadRequest,
+                             "input line exceeds the " +
+                                 std::to_string(options.max_line) +
+                                 "-byte bound; request rejected unread")
+                      << "\n";
+            std::cout.flush();
+            continue;
+        }
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        if (!router.handleLine(line)) break; // shutdown op
+    }
+
+    if (g_signal != 0) {
+        std::cerr << "qa_router: caught "
+                  << (g_signal == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << "; draining (bound " << drain_ms << "ms)\n";
+    }
+    if (!router.drainFor(drain_ms)) {
+        std::cerr << "qa_router: drain timed out; failing remaining "
+                     "jobs\n";
+    }
+    router.stop();
+
+    const fleet::FleetCounters counters = router.counters();
+    std::cerr << "qa_router: done — admitted " << counters.admitted
+              << ", ok " << counters.resolved_ok << ", error "
+              << counters.resolved_error << ", retried "
+              << counters.retried << ", failovers " << counters.failovers
+              << ", hedges " << counters.hedges << ", strays "
+              << counters.strays << ", no_shard " << counters.no_shard
+              << "\n";
+    return 0;
+}

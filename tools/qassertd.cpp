@@ -25,7 +25,11 @@
  *  - with --journal, every admitted run request is appended to a
  *    crash-safe NDJSON journal *before* it enters the scheduler, and a
  *    completion record (with the result's payload hash) follows when it
- *    resolves — `--replay` re-executes the journal deterministically;
+ *    resolves — `--replay` re-executes the journal deterministically
+ *    (exit 0 bit-identical, 1 mismatch, 3 cleanly cancelled by a drain
+ *    signal);
+ *  - {"op":"ping"} is answered on the read loop with queue depth and
+ *    in-flight count — the fleet router's health probe;
  *  - SIGTERM/SIGINT, EOF, or {"op":"shutdown"} stop admission, drain
  *    in-flight work (bounded by --drain-ms), flush the journal, and
  *    exit 0 after printing a final metrics summary.
@@ -47,6 +51,7 @@
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
 #include "resilience/journal.hpp"
+#include "serve/replay.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/wire.hpp"
 
@@ -114,78 +119,31 @@ parsePositiveArg(const std::string& flag, const char* value)
 }
 
 /**
- * Replay a journal: re-execute every accepted request in admission
- * order on this thread and emit one timing-free response line each
- * (encodeReplay). Because executeJob is a pure function of the spec,
- * the output is byte-identical no matter when or where the journal was
- * written — including a journal cut short by SIGKILL. Completion
- * records double as an integrity check: a recomputed payload hash that
- * disagrees with the journaled one is reported and fails the replay.
+ * `--replay PATH`: serve/replay.hpp does the work; this wrapper maps
+ * the report to exit codes. Drain handlers are installed by main()
+ * *before* this runs — the fix for the drain-mid-replay race: a
+ * SIGTERM/SIGINT used to hit default dispositions and kill the process
+ * mid-replay (possibly mid-line); now the replay loop polls the signal
+ * flag between jobs and aborts cleanly, journal intact, exit code 3.
  */
 int
-replayJournal(const std::string& path)
+replayJournalCli(const std::string& path)
 {
-    resilience::JournalScan scan;
+    ReplayOptions options;
+    options.cancel = &g_signal;
+    ReplayReport report;
     try {
-        scan = resilience::scanJournal(path);
+        report = replayJournal(path, std::cout, std::cerr, options);
     } catch (const UserError& err) {
         std::cerr << "qassertd: replay failed: " << err.what() << "\n";
         return 1;
     }
-    if (scan.torn_tail) {
-        std::cerr << "qassertd: journal has a torn final record "
-                     "(crash mid-append); dropped\n";
+    switch (report.status) {
+    case ReplayStatus::kOk: return 0;
+    case ReplayStatus::kHashMismatch: return 1;
+    case ReplayStatus::kInterrupted: return 3;
     }
-    std::cerr << "qassertd: replaying " << scan.accepted.size()
-              << " accepted job(s), " << scan.completed.size()
-              << " completion record(s)\n";
-
-    int mismatches = 0;
-    for (const resilience::JournalEntry& entry : scan.accepted) {
-        std::string id;
-        JobResult result;
-        try {
-            const JsonValue parsed = JsonValue::parse(entry.request);
-            id = requestId(parsed);
-            WireRequest request = buildRequest(parsed);
-            result = executeJob(request.spec);
-        } catch (const UserError& err) {
-            result = JobResult{};
-            result.status = JobStatus::kFailed;
-            result.error_code = err.code();
-            result.error_message = err.what();
-        } catch (const std::exception& err) {
-            result = JobResult{};
-            result.status = JobStatus::kFailed;
-            result.error_code = ErrorCode::kGeneric;
-            result.error_message = err.what();
-        }
-        std::cout << encodeReplay(id, result) << "\n";
-
-        const auto completed = scan.completed.find(entry.seq);
-        if (completed == scan.completed.end()) continue;
-        if (completed->second.status != "ok" &&
-            completed->second.status != "failed") {
-            continue; // rejected/cancelled records carry no payload hash
-        }
-        const std::string recomputed = payloadHash(result).str();
-        if (recomputed != completed->second.hash) {
-            std::cerr << "qassertd: seq " << entry.seq
-                      << " payload hash mismatch (journal "
-                      << completed->second.hash << ", replay "
-                      << recomputed << ")\n";
-            ++mismatches;
-        }
-    }
-    std::cout.flush();
-    if (mismatches > 0) {
-        std::cerr << "qassertd: replay NOT bit-identical (" << mismatches
-                  << " mismatching payload(s))\n";
-        return 1;
-    }
-    std::cerr << "qassertd: replay done; all journaled payloads "
-                 "reproduced bit-identically\n";
-    return 0;
+    return 1;
 }
 
 /**
@@ -310,7 +268,11 @@ main(int argc, char** argv)
         }
     }
 
-    if (!replay_path.empty()) return replayJournal(replay_path);
+    // Before replay, not just before serving: replay must see drain
+    // signals too (clean abort between jobs instead of a default kill).
+    installDrainHandlers();
+
+    if (!replay_path.empty()) return replayJournalCli(replay_path);
     if (!explain_path.empty()) return explainFile(explain_path);
 
     std::unique_ptr<resilience::Journal> journal;
@@ -326,7 +288,6 @@ main(int argc, char** argv)
         }
     }
 
-    installDrainHandlers();
     Scheduler scheduler(options);
     ResponseWriter out;
     std::cerr << "qassertd: ready (" << scheduler.workers() << " workers"
@@ -364,6 +325,14 @@ main(int argc, char** argv)
 
         try {
             WireRequest request = buildRequest(parsed);
+            if (request.op == RequestOp::kPing) {
+                // Answered on the read loop, never queued: the fleet
+                // router's health prober needs pongs even when every
+                // worker is busy and the queue is full.
+                out.writeLine(encodePing(id, scheduler.queueDepth(),
+                                         scheduler.inFlight()));
+                continue;
+            }
             if (request.op == RequestOp::kMetrics) {
                 out.writeLine(encodeMetrics(scheduler.metrics()));
                 continue;
@@ -412,7 +381,12 @@ main(int argc, char** argv)
                 throw;
             }
         } catch (const UserError& err) {
-            out.writeLine(encodeError(id, err.code(), err.what()));
+            // Saturation rejections carry the scheduler's own estimate
+            // of when a resubmission could succeed, so routers and
+            // well-behaved clients back off instead of hammering.
+            out.writeLine(encodeError(id, err.code(), err.what(),
+                                      scheduler.retryAfterMsHint(
+                                          err.code())));
         }
     }
 
