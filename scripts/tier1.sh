@@ -11,10 +11,15 @@
 # watchdog reclaim/respawn, zombie joins, and the pooled shot loops of
 # all three simulation backends — under TSAN, and an ASan+UBSan build
 # (QA_ENABLE_ASAN=ON) that runs the fault-injection, recovery-policy,
-# service, backend, and resilience tests, whose error paths exercise
-# exception propagation out of worker pools, scheduler callbacks, the
-# backend router's incapable-request rejections, and the adversarial
-# wire corpus.
+# service, backend, assertion-compiler, and resilience tests, whose
+# error paths exercise exception propagation out of worker pools,
+# scheduler callbacks, the backend router's incapable-request
+# rejections, the compiler's unsupported-assertion diagnostics, and the
+# adversarial wire corpus. The release half also runs the
+# assertion-compiler smoke (scripts/acomp_smoke.sh): a raw GHZ circuit
+# auto-asserted by qassertd --auto-assert must pass clean and flag an
+# injected X fault on every shot, including through a 2-shard
+# qa_router.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
 #
@@ -42,6 +47,7 @@ if [[ "$skip_release" -ne 1 ]]; then
     (cd build && ctest --output-on-failure -j)
     scripts/chaos_smoke.sh build/tools/qassertd
     scripts/fleet_smoke.sh build
+    scripts/acomp_smoke.sh build
 fi
 
 if [[ "$skip_tsan" -ne 1 ]]; then
@@ -73,8 +79,9 @@ if [[ "$skip_asan" -ne 1 ]]; then
     cmake --build build-asan -j \
         --target test_inject --target test_policy --target test_engine \
         --target test_serve --target test_backend --target test_resilience \
-        --target test_fusion
+        --target test_fusion --target test_acomp
     ./build-asan/tests/test_fusion
+    ./build-asan/tests/test_acomp
     ./build-asan/tests/test_inject
     ./build-asan/tests/test_policy
     ./build-asan/tests/test_engine \

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The assertion compiler (DESIGN.md Sec. 14): lower assertion sites —
+ * caller-supplied or generator-discovered — into the cheapest capable
+ * executable form per slot, producing the instrumented sub-circuit
+ * variants the policy runner executes.
+ *
+ * Form selection extends the backend router's cost model: each
+ * candidate form's gate count is weighted by
+ * backend::assertionGateWeight under the backend the instrumented
+ * circuit would route to. Stabilizer-expressible slots therefore lower
+ * to ancilla-free Pauli parity measurements (which keep a Clifford
+ * program on the tableau backend); projectors with no stabilizer
+ * structure fall back to the paper's unitary designs (SWAP / OR / NDD),
+ * ancillas and all. A slot admitting no form under the requested knobs
+ * raises UserError(kUnsupportedAssertion) anchored to the source
+ * statement — never a silent fallback.
+ */
+#ifndef QA_ACOMP_COMPILER_HPP
+#define QA_ACOMP_COMPILER_HPP
+
+#include <string>
+#include <vector>
+
+#include "acomp/generator.hpp"
+#include "acomp/lowering.hpp"
+#include "circuit/circuit.hpp"
+#include "core/builders.hpp"
+#include "sim/options.hpp"
+
+namespace qa
+{
+namespace acomp
+{
+
+/** Assertion-compiler knobs. */
+struct AcompOptions
+{
+    /** Requested lowering (kAuto: cost model decides per slot). */
+    LoweringRequest lowering = LoweringRequest::kAuto;
+
+    /** Generator knobs (autoAssert only). */
+    GeneratorOptions generator;
+
+    /** Backend request the cost model weighs candidates under. */
+    BackendRequest backend = BackendRequest::kAuto;
+
+    /** SWAP-design placement (matches AssertedProgram's default). */
+    SwapPlacement placement = SwapPlacement::kInvBeforePrepAfter;
+
+    /**
+     * Soft cap on kPauliSample sub-circuit variants: the variant count
+     * is the lcm of the sampled slots' generator counts when that fits
+     * the cap, else the largest generator count (every generator still
+     * sampled, just unevenly).
+     */
+    int max_sample_variants = 16;
+};
+
+/** A compiled (instrumented) program ready for the policy runner. */
+struct CompiledProgram
+{
+    /**
+     * Instrumented sub-circuit variants; shot s executes variant
+     * s % variants.size(). One entry unless a slot lowered to
+     * kPauliSample. All variants share qubit/clbit layout.
+     */
+    std::vector<QuantumCircuit> variants;
+
+    /** Per-slot lowering decisions, in insertion order. */
+    std::vector<SlotSummary> slots;
+
+    /** Clbits carrying the raw program's own measurements. */
+    std::vector<int> program_clbits;
+
+    /** Raw circuit dimensions (variants may be wider). */
+    int raw_qubits = 0;
+    int raw_clbits = 0;
+
+    /** True when kRepair is sound: every slot is SWAP-based (state
+     *  re-prepared on failure) and there is a single variant. */
+    bool repair_supported = false;
+
+    /** True when the sites came from the assertion generator. */
+    bool generated = false;
+};
+
+/**
+ * Lower assertion sites into an instrumented program. Sites may target
+ * any raw instruction boundary (position == size(): end of circuit);
+ * slot clbits are appended after the raw circuit's own, so the raw
+ * program's histogram is the marginal over [0, raw_clbits). Throws
+ * UserError(kUnsupportedAssertion) when any site admits no executable
+ * form under opts.lowering.
+ */
+CompiledProgram compileAssertions(const QuantumCircuit& raw,
+                                  const std::vector<AssertionSite>& sites,
+                                  const AcompOptions& opts = {});
+
+/**
+ * Generate-then-compile: discover sites with generateAssertions and
+ * lower them. A circuit yielding no sites compiles to a single
+ * uninstrumented variant (the raw circuit) with zero slots.
+ */
+CompiledProgram autoAssert(const QuantumCircuit& raw,
+                           const AcompOptions& opts = {},
+                           const std::vector<QasmPos>* positions = nullptr);
+
+/**
+ * Human-readable per-slot lowering table (form, invariant, position,
+ * qubits, clbits, ancillas, gate/CX budget, sub-circuit count) for
+ * qa_explain and `qassertd` explain responses.
+ */
+std::string formatLoweringTable(const CompiledProgram& compiled);
+
+} // namespace acomp
+} // namespace qa
+
+#endif // QA_ACOMP_COMPILER_HPP

@@ -1,0 +1,26 @@
+#include "acomp/run.hpp"
+
+#include "common/error.hpp"
+
+namespace qa
+{
+namespace acomp
+{
+
+PolicyOutcome
+runLowered(const CompiledProgram& compiled, const SimOptions& options,
+           const PolicyOptions& popts)
+{
+    QA_REQUIRE(!compiled.variants.empty(),
+               "runLowered needs a compiled program");
+    std::vector<std::vector<int>> slot_clbits;
+    for (const SlotSummary& slot : compiled.slots) {
+        slot_clbits.push_back(slot.clbits);
+    }
+    return runVariantsPolicy(compiled.variants, slot_clbits,
+                             compiled.program_clbits,
+                             compiled.repair_supported, options, popts);
+}
+
+} // namespace acomp
+} // namespace qa

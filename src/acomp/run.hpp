@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Execution of compiled (lowered) assertion programs: a thin adapter
+ * from acomp::CompiledProgram to the core policy runner's
+ * variant-aware shot loop.
+ */
+#ifndef QA_ACOMP_RUN_HPP
+#define QA_ACOMP_RUN_HPP
+
+#include "acomp/compiler.hpp"
+#include "core/runner.hpp"
+
+namespace qa
+{
+namespace acomp
+{
+
+/**
+ * Run a compiled program under an assertion policy: shot s executes
+ * variant s % variants.size(), slot verdicts come from the compiled
+ * slot clbits (all-zero = pass), and the accepted program histogram is
+ * the marginal over the raw circuit's own clbits. Deterministic across
+ * thread counts like runAssertedPolicy. kRepair requires
+ * compiled.repair_supported (all-SWAP slots, single variant).
+ */
+PolicyOutcome runLowered(const CompiledProgram& compiled,
+                         const SimOptions& options,
+                         const PolicyOptions& policy = {});
+
+} // namespace acomp
+} // namespace qa
+
+#endif // QA_ACOMP_RUN_HPP

@@ -191,6 +191,26 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
     return choice;
 }
 
+double
+assertionGateWeight(BackendKind kind, int num_qubits)
+{
+    const int n = std::max(1, num_qubits);
+    switch (kind) {
+      case BackendKind::kStabilizer:
+        // O(n) row update per gate (O(n^2) for measures; gates
+        // dominate assertion fragments).
+        return double(n);
+      case BackendKind::kStatevector:
+        // O(2^n) amplitudes per gate; clamp the exponent so the weight
+        // stays finite and comparable for wide circuits.
+        return std::ldexp(1.0, std::min(n, 48));
+      case BackendKind::kDensityMatrix:
+        // O(4^n) per gate.
+        return std::ldexp(1.0, std::min(2 * n, 60));
+    }
+    return 1.0;
+}
+
 std::string
 explainRouting(const QuantumCircuit& circuit, const SimOptions& options)
 {

@@ -83,6 +83,17 @@ BackendChoice routeShots(const QuantumCircuit& circuit,
                          const SimOptions& options);
 
 /**
+ * Relative cost of executing one extra gate on a backend at the given
+ * circuit width: O(n) for the tableau, O(2^n) / O(4^n) for the dense
+ * backends (exponents clamped to keep the weight finite). The
+ * assertion compiler multiplies a candidate lowering's gate count by
+ * this weight — under the backend the instrumented circuit would route
+ * to — to compare executable forms on equal footing. Deterministic,
+ * like everything else in this header.
+ */
+double assertionGateWeight(BackendKind kind, int num_qubits);
+
+/**
  * Multi-line human-readable report of the analysis and routing for a
  * job: circuit profile, noise profile, per-backend capability verdicts,
  * and the chosen backend with its reason. Powers `qassertd --explain`

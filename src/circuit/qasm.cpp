@@ -284,8 +284,9 @@ splitCommas(const std::string& s)
 } // namespace
 
 QuantumCircuit
-parseQasm(const std::string& source)
+parseQasm(const std::string& source, std::vector<QasmPos>* positions)
 {
+    if (positions != nullptr) positions->clear();
     const std::vector<Statement> statements = tokenizeStatements(source);
 
     // First pass: collect register declarations to size the circuit.
@@ -360,7 +361,15 @@ parseQasm(const std::string& source)
         return it->second.base + index;
     };
 
+    QasmPos last_pos{1, 1};
     for (const Statement& st : statements) {
+        // Instructions appended while handling the previous statement
+        // carry its position (a statement may use `continue` below, so
+        // the sync happens at the top of the next iteration).
+        if (positions != nullptr) {
+            positions->resize(circuit.size(), last_pos);
+        }
+        last_pos = QasmPos{st.loc.line, st.loc.col};
         const std::string text = trim(st.text);
         if (text.empty()) continue;
         if (text.rfind("OPENQASM", 0) == 0 ||
@@ -524,6 +533,7 @@ parseQasm(const std::string& source)
                              "'");
         }
     }
+    if (positions != nullptr) positions->resize(circuit.size(), last_pos);
     return circuit;
 }
 

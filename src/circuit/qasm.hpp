@@ -15,14 +15,29 @@
 #define QA_CIRCUIT_QASM_HPP
 
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 
 namespace qa
 {
 
-/** Parse an OpenQASM 2.0 program. Throws UserError with line context. */
-QuantumCircuit parseQasm(const std::string& source);
+/** Source position (1-based) of a parsed QASM statement. */
+struct QasmPos
+{
+    int line = 0;
+    int col = 0;
+};
+
+/**
+ * Parse an OpenQASM 2.0 program. Throws UserError with line context.
+ * When `positions` is non-null it receives one QasmPos per emitted
+ * instruction (parallel to circuit.instructions()), pointing at the
+ * source statement that produced it — the assertion compiler uses this
+ * to anchor kUnsupportedAssertion diagnostics to the submitted text.
+ */
+QuantumCircuit parseQasm(const std::string& source,
+                         std::vector<QasmPos>* positions = nullptr);
 
 } // namespace qa
 

@@ -23,6 +23,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kShedding:          return "shedding";
       case ErrorCode::kJournalCorrupt:    return "journal_corrupt";
       case ErrorCode::kNoShardAvailable:  return "no_shard_available";
+      case ErrorCode::kUnsupportedAssertion:
+          return "unsupported_assertion";
     }
     return "unknown";
 }

@@ -44,7 +44,9 @@ enum class ErrorCode
     kWorkerLost,        ///< Scheduler worker wedged/died while executing.
     kShedding,          ///< Circuit breaker open; load shed at admission.
     kJournalCorrupt,    ///< Journal record damaged beyond the torn tail.
-    kNoShardAvailable   ///< Fleet router found no live shard for a job.
+    kNoShardAvailable,  ///< Fleet router found no live shard for a job.
+    kUnsupportedAssertion ///< Assertion projector admits no lowering
+                          ///< under the requested knobs (acomp).
 };
 
 /** Stable human-readable name of an error code. */

@@ -107,12 +107,12 @@ PolicyOutcome
 runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
                   const PolicyOptions& popts)
 {
-    QA_REQUIRE(options.shots > 0, "need a positive shot count");
-    QA_REQUIRE(popts.max_attempts >= 1, "max_attempts must be >= 1");
-    if (popts.policy == AssertionPolicy::kRepair) {
-        for (const AssertedProgram::Slot& slot : program.slots()) {
+    bool repair_supported = true;
+    for (const AssertedProgram::Slot& slot : program.slots()) {
+        if (slot.design != AssertionDesign::kSwap) {
+            repair_supported = false;
             QA_REQUIRE_CODE(
-                slot.design == AssertionDesign::kSwap,
+                popts.policy != AssertionPolicy::kRepair,
                 ErrorCode::kPolicyUnsupported,
                 std::string("repair policy requires SWAP-based slots "
                             "(which restore the asserted state); found ") +
@@ -120,20 +120,67 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         }
     }
 
-    const auto& slots = program.slots();
+    std::vector<std::vector<int>> slot_clbits;
+    for (const AssertedProgram::Slot& slot : program.slots()) {
+        slot_clbits.push_back(slot.clbits);
+    }
+    return runVariantsPolicy({program.circuit()}, slot_clbits,
+                             program.programClbits(), repair_supported,
+                             options, popts);
+}
 
-    // Route once per run: the resolved backend is recorded on the
-    // outcome and every worker samples from the same prepared circuit.
-    const backend::RoutedRun routed =
-        backend::prepareRun(program.circuit(), options);
+PolicyOutcome
+runVariantsPolicy(const std::vector<QuantumCircuit>& variants,
+                  const std::vector<std::vector<int>>& slot_clbits,
+                  const std::vector<int>& program_clbits,
+                  bool repair_supported, const SimOptions& options,
+                  const PolicyOptions& popts)
+{
+    QA_REQUIRE(!variants.empty(), "need at least one circuit variant");
+    QA_REQUIRE(options.shots > 0, "need a positive shot count");
+    QA_REQUIRE(popts.max_attempts >= 1, "max_attempts must be >= 1");
+    QA_REQUIRE_CODE(popts.policy != AssertionPolicy::kRepair ||
+                        repair_supported,
+                    ErrorCode::kPolicyUnsupported,
+                    "repair policy requires slots that restore the "
+                    "asserted state on every variant");
+    for (const QuantumCircuit& variant : variants) {
+        QA_REQUIRE(variant.numQubits() == variants[0].numQubits() &&
+                       variant.numClbits() == variants[0].numClbits(),
+                   "circuit variants must share the register layout");
+    }
+    const size_t num_variants = variants.size();
+
+    // Route variant 0 once; the remaining variants are prepared on the
+    // same resolved backend (forced explicitly) so per-shot counts stay
+    // in one determinism domain.
+    std::vector<backend::RoutedRun> routed;
+    routed.push_back(backend::prepareRun(variants[0], options));
+    if (num_variants > 1) {
+        SimOptions forced = options;
+        switch (routed[0].choice.backend) {
+          case BackendKind::kStatevector:
+            forced.backend = BackendRequest::kStatevector;
+            break;
+          case BackendKind::kDensityMatrix:
+            forced.backend = BackendRequest::kDensityMatrix;
+            break;
+          case BackendKind::kStabilizer:
+            forced.backend = BackendRequest::kStabilizer;
+            break;
+        }
+        for (size_t v = 1; v < num_variants; ++v) {
+            routed.push_back(backend::prepareRun(variants[v], forced));
+        }
+    }
 
     PolicyOutcome out;
-    out.backend = routed.choice;
+    out.backend = routed[0].choice;
     out.policy = popts.policy;
     out.shots_requested = options.shots;
-    out.slot_error_rate.assign(slots.size(), 0.0);
+    out.slot_error_rate.assign(slot_clbits.size(), 0.0);
 
-    std::vector<long> slot_errors(slots.size(), 0);
+    std::vector<long> slot_errors(slot_clbits.size(), 0);
     long passed = 0;
 
     if (popts.policy == AssertionPolicy::kAbort) {
@@ -141,18 +188,23 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         // order and stop at the first flagged one, so the abort point is
         // deterministic.
         const ShotDeadline deadline(options.deadline_ms);
-        const auto sampler = routed.prepared->makeSampler();
+        std::vector<std::unique_ptr<backend::ShotSampler>> samplers(
+            num_variants);
         for (int s = 0; s < options.shots; ++s) {
             if (deadline.active() && (s & 63) == 0 && deadline.expired()) {
                 out.truncated = true;
                 break;
             }
+            const size_t v = size_t(s) % num_variants;
+            if (samplers[v] == nullptr) {
+                samplers[v] = routed[v].prepared->makeSampler();
+            }
             Rng rng = Rng::forStream(options.seed, uint64_t(s));
-            const std::string bits = sampler->runOne(rng);
+            const std::string bits = samplers[v]->runOne(rng);
             ++out.shots_completed;
             bool any = false;
-            for (size_t i = 0; i < slots.size(); ++i) {
-                if (!allZero(bits, slots[i].clbits)) {
+            for (size_t i = 0; i < slot_clbits.size(); ++i) {
+                if (!allZero(bits, slot_clbits[i])) {
                     ++slot_errors[i];
                     any = true;
                 }
@@ -186,11 +238,20 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
         const ShotLoopStatus status = runShotPool(
             options.shots, options.num_threads, options.deadline_ms,
             locals, [&]() {
-                return [&, sampler = routed.prepared->makeSampler()](
-                           int shot, Local& local) {
+                // One sampler per variant per worker, created on first
+                // use (a worker that never draws a variant never pays
+                // for its scratch).
+                auto samplers = std::make_shared<std::vector<
+                    std::unique_ptr<backend::ShotSampler>>>(num_variants);
+                return [&, samplers](int shot, Local& local) {
                     if (local.slot_errors.empty()) {
-                        local.slot_errors.assign(slots.size(), 0);
+                        local.slot_errors.assign(slot_clbits.size(), 0);
                     }
+                    const size_t v = size_t(shot) % num_variants;
+                    if ((*samplers)[v] == nullptr) {
+                        (*samplers)[v] = routed[v].prepared->makeSampler();
+                    }
+                    backend::ShotSampler& sampler = *(*samplers)[v];
                     std::string bits;
                     bool any = false;
                     for (int a = 0; a < attempts; ++a) {
@@ -198,11 +259,11 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
                             options.seed,
                             uint64_t(shot) * uint64_t(attempts) +
                                 uint64_t(a));
-                        bits = sampler->runOne(rng);
+                        bits = sampler.runOne(rng);
                         any = false;
-                        for (size_t i = 0; i < slots.size(); ++i) {
+                        for (size_t i = 0; i < slot_clbits.size(); ++i) {
                             const bool flagged =
-                                !allZero(bits, slots[i].clbits);
+                                !allZero(bits, slot_clbits[i]);
                             if (a == 0 && flagged) ++local.slot_errors[i];
                             any |= flagged;
                         }
@@ -211,8 +272,9 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
                         if (a + 1 < attempts) ++local.retries;
                     }
                     if (popts.policy == AssertionPolicy::kRepair) {
-                        // SWAP slots re-prepared the asserted state, so
-                        // the program output is usable either way.
+                        // Repair-capable slots re-prepared the asserted
+                        // state, so the program output is usable either
+                        // way.
                         ++local.raw.map[bits];
                         ++local.raw.shots;
                         if (any) ++local.repaired;
@@ -241,7 +303,7 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
 
     out.raw.shots = out.shots_accepted;
     if (out.shots_completed > 0) {
-        for (size_t i = 0; i < slots.size(); ++i) {
+        for (size_t i = 0; i < slot_clbits.size(); ++i) {
             out.slot_error_rate[i] =
                 double(slot_errors[i]) / double(out.shots_completed);
         }
@@ -249,8 +311,7 @@ runAssertedPolicy(const AssertedProgram& program, const SimOptions& options,
     }
 
     out.raw.truncated = out.truncated;
-    out.program_counts =
-        marginalCounts(out.raw, program.programClbits());
+    out.program_counts = marginalCounts(out.raw, program_clbits);
     return out;
 }
 

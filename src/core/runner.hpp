@@ -158,6 +158,28 @@ PolicyOutcome runAssertedPolicy(const AssertedProgram& program,
                                 const SimOptions& options,
                                 const PolicyOptions& policy);
 
+/**
+ * Generalized policy loop over sub-circuit variants: shot s executes
+ * variants[s % variants.size()], slot verdicts are read from
+ * `slot_clbits` (all-zero = pass), and the accepted program histogram
+ * is the marginal over `program_clbits`. This is the execution engine
+ * behind the assertion compiler's kPauliSample lowering (acomp/run.hpp)
+ * and the delegation target of runAssertedPolicy (single variant —
+ * bit-identical to the historical behavior).
+ *
+ * Variant 0 is routed normally; the other variants are forced onto the
+ * same resolved backend so counts merge under one determinism domain.
+ * All variants must share the qubit/clbit layout. kRepair requires
+ * `repair_supported` (the caller vouches every slot restores the
+ * asserted state) and throws UserError(kPolicyUnsupported) otherwise.
+ */
+PolicyOutcome runVariantsPolicy(const std::vector<QuantumCircuit>& variants,
+                                const std::vector<std::vector<int>>& slot_clbits,
+                                const std::vector<int>& program_clbits,
+                                bool repair_supported,
+                                const SimOptions& options,
+                                const PolicyOptions& policy);
+
 } // namespace qa
 
 #endif // QA_CORE_RUNNER_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "acomp/run.hpp"
 #include "backend/backend.hpp"
 #include "circuit/hash.hpp"
 #include "common/error.hpp"
@@ -86,7 +87,15 @@ jobKey(const JobSpec& spec)
         }
         // The plain path only executes under kDiscard (anything else
         // fails, and failures are never cached), so the policy carries
-        // no information here.
+        // no information here — except under auto_assert, where the
+        // compiler path honors the full policy range and the lowering
+        // request changes the instrumented circuit.
+        stream.u64(spec.auto_assert ? 1 : 0);
+        if (spec.auto_assert) {
+            stream.i64(int64_t(spec.assert_lowering));
+            stream.i64(int64_t(spec.policy));
+            stream.i64(spec.max_attempts);
+        }
     }
     const Hash128 noise = spec.noise.fingerprint();
     stream.u64(noise.hi);
@@ -115,6 +124,10 @@ executeJob(const JobSpec& spec)
     result.tag = spec.tag;
 
     if (spec.program != nullptr) {
+        QA_REQUIRE_CODE(!spec.auto_assert, ErrorCode::kBadRequest,
+                        "auto_assert conflicts with an explicit "
+                        "AssertedProgram (the program already carries "
+                        "its assertions)");
         PolicyOptions popts;
         popts.policy = spec.policy;
         popts.max_attempts = spec.max_attempts;
@@ -126,6 +139,34 @@ executeJob(const JobSpec& spec)
         result.pass_rate = outcome.pass_rate;
         result.truncated = outcome.truncated;
         result.backend = outcome.backend;
+        return result;
+    }
+
+    if (spec.auto_assert) {
+        QA_REQUIRE_CODE(spec.assert_clbits.empty(), ErrorCode::kBadRequest,
+                        "auto_assert conflicts with explicit "
+                        "assert_clbits slots (the compiler allocates "
+                        "its own slot clbits)");
+        acomp::AcompOptions aopts;
+        aopts.lowering = spec.assert_lowering;
+        aopts.backend = spec.backend;
+        const acomp::CompiledProgram compiled = acomp::autoAssert(
+            spec.circuit, aopts,
+            spec.qasm_positions.empty() ? nullptr
+                                        : &spec.qasm_positions);
+        PolicyOptions popts;
+        popts.policy = spec.policy;
+        popts.max_attempts = spec.max_attempts;
+        const PolicyOutcome outcome =
+            acomp::runLowered(compiled, options, popts);
+        result.counts = outcome.raw;
+        result.program_counts = outcome.program_counts;
+        result.slot_error_rate = outcome.slot_error_rate;
+        result.pass_rate = outcome.pass_rate;
+        result.truncated = outcome.truncated;
+        result.backend = outcome.backend;
+        result.assertions = compiled.slots;
+        result.assert_variants = int(compiled.variants.size());
         return result;
     }
 
@@ -227,6 +268,15 @@ payloadHash(const JobResult& result)
     for (double rate : result.slot_error_rate) stream.f64(rate);
     stream.f64(result.pass_rate);
     stream.u64(result.truncated ? 1 : 0);
+    stream.u64(result.assertions.size());
+    for (const acomp::SlotSummary& slot : result.assertions) {
+        stream.i64(int64_t(slot.form));
+        stream.i64(int64_t(slot.invariant));
+        stream.u64(slot.position);
+        stream.u64(slot.clbits.size());
+        for (int c : slot.clbits) stream.i64(c);
+    }
+    stream.i64(result.assert_variants);
     return stream.digest();
 }
 

@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "acomp/compiler.hpp"
 #include "circuit/circuit.hpp"
+#include "circuit/qasm.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "backend/router.hpp"
@@ -100,6 +102,26 @@ struct JobSpec
     /** Opt out of the cross-job result cache for this job. */
     bool use_cache = true;
 
+    /**
+     * Assertion-compiler path: treat `circuit` as a raw, assertion-free
+     * program, discover invariants with acomp::generateAssertions, and
+     * execute the lowered instrumented variants under `policy`.
+     * Conflicts with `program` and with explicit `assert_clbits` slots
+     * (kBadRequest). Absorbed into the cache key.
+     */
+    bool auto_assert = false;
+
+    /** Lowering request for auto_assert slots; absorbed into the key. */
+    acomp::LoweringRequest assert_lowering = acomp::LoweringRequest::kAuto;
+
+    /**
+     * Per-instruction source positions of `circuit` when it arrived as
+     * QASM text (wire path) — anchors kUnsupportedAssertion diagnostics
+     * and generated-slot reports to the submitted source. Not keyed
+     * (pure metadata).
+     */
+    std::vector<QasmPos> qasm_positions;
+
     /** Caller-chosen label echoed in the result; not part of the key. */
     std::string tag;
 };
@@ -155,6 +177,17 @@ struct JobResult
 
     /** Milliseconds spent executing (0 on a cache hit). */
     double exec_ms = 0.0;
+
+    /**
+     * Lowered assertion slots (auto_assert jobs): form, invariant
+     * class, position, and resource budget per generated slot. Empty
+     * when the generator found nothing to assert.
+     */
+    std::vector<acomp::SlotSummary> assertions;
+
+    /** Sub-circuit variants executed round-robin (1 unless a slot
+     *  lowered to kPauliSample). */
+    int assert_variants = 1;
 
     /** Echo of JobSpec::tag. */
     std::string tag;

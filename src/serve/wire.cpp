@@ -71,6 +71,51 @@ encodeCounts(std::ostringstream& oss, const Counts& counts)
 }
 
 void
+encodeIntArray(std::ostringstream& oss, const std::vector<int>& values)
+{
+    oss << "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i) oss << ",";
+        oss << values[i];
+    }
+    oss << "]";
+}
+
+/**
+ * The assertion compiler's lowering report, shared by run results,
+ * replay lines, and auto_assert explains: `,"auto_assert":{...}`.
+ */
+void
+encodeAutoAssert(std::ostringstream& oss,
+                 const std::vector<acomp::SlotSummary>& slots,
+                 int variants)
+{
+    oss << ",\"auto_assert\":{\"generated\":" << slots.size()
+        << ",\"variants\":" << variants << ",\"slots\":[";
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const acomp::SlotSummary& slot = slots[i];
+        if (i) oss << ",";
+        oss << "{\"form\":\"" << acomp::formName(slot.form) << "\""
+            << ",\"invariant\":\""
+            << acomp::invariantClassName(slot.invariant) << "\""
+            << ",\"position\":" << slot.position << ",\"qubits\":";
+        encodeIntArray(oss, slot.qubits);
+        oss << ",\"clbits\":";
+        encodeIntArray(oss, slot.clbits);
+        oss << ",\"ancillas\":" << slot.ancillas.size()
+            << ",\"gates\":" << slot.gates << ",\"cx\":" << slot.cx
+            << ",\"sub_circuits\":" << slot.sub_circuits
+            << ",\"generators\":" << slot.generators;
+        if (slot.source_line > 0) {
+            oss << ",\"source\":{\"line\":" << slot.source_line
+                << ",\"col\":" << slot.source_col << "}";
+        }
+        oss << "}";
+    }
+    oss << "]}";
+}
+
+void
 encodeHistogram(std::ostringstream& oss, const char* name,
                 const LatencyHistogramSnapshot& hist)
 {
@@ -127,7 +172,8 @@ buildRequest(const JsonValue& request)
     QA_REQUIRE_CODE(qasm != nullptr && qasm->isString(),
                     ErrorCode::kBadRequest,
                     "run request needs a string 'qasm' field");
-    out.spec.circuit = parseQasm(qasm->asString());
+    out.spec.circuit =
+        parseQasm(qasm->asString(), &out.spec.qasm_positions);
     out.spec.shots = int(request.intOr("shots", out.spec.shots));
     QA_REQUIRE_CODE(out.spec.shots > 0, ErrorCode::kBadRequest,
                     "shots must be positive");
@@ -147,6 +193,15 @@ buildRequest(const JsonValue& request)
                         "' (expected auto|statevector|density_matrix|"
                         "stabilizer)");
     out.spec.tag = out.id;
+    out.spec.auto_assert = request.boolOr("auto_assert", false);
+    const std::string lowering = request.stringOr(
+        "assert_lowering",
+        acomp::loweringRequestName(out.spec.assert_lowering));
+    QA_REQUIRE_CODE(
+        acomp::parseLoweringRequest(lowering, &out.spec.assert_lowering),
+        ErrorCode::kBadRequest,
+        "unknown assert_lowering '" + lowering +
+            "' (expected auto|swap|or|ndd|pauli|pauli_sample)");
     if (const JsonValue* slots = request.find("assert_clbits")) {
         out.spec.assert_clbits = decodeSlots(*slots);
     }
@@ -190,6 +245,9 @@ encodeResult(const std::string& id, const JobResult& result)
         encodeCounts(oss, result.program_counts);
         oss << ",\"accepted_shots\":" << result.program_counts.shots;
     }
+    if (!result.assertions.empty()) {
+        encodeAutoAssert(oss, result.assertions, result.assert_variants);
+    }
     oss << ",\"queue_ms\":" << jsonNumber(result.queue_ms)
         << ",\"exec_ms\":" << jsonNumber(result.exec_ms) << "}";
     return oss.str();
@@ -221,6 +279,9 @@ encodeReplay(const std::string& id, const JobResult& result)
         oss << ",\"program_counts\":";
         encodeCounts(oss, result.program_counts);
         oss << ",\"accepted_shots\":" << result.program_counts.shots;
+    }
+    if (!result.assertions.empty()) {
+        encodeAutoAssert(oss, result.assertions, result.assert_variants);
     }
     oss << "}";
     return oss.str();
@@ -265,7 +326,8 @@ peekResponseId(const std::string& line, std::string* id)
 }
 
 std::string
-encodeExplain(const std::string& id, const backend::BackendChoice& choice)
+encodeExplain(const std::string& id, const backend::BackendChoice& choice,
+              const acomp::CompiledProgram* compiled)
 {
     std::ostringstream oss;
     oss << "{\"id\":\"" << jsonEscape(id) << "\",\"status\":\"ok\""
@@ -290,7 +352,12 @@ encodeExplain(const std::string& id, const backend::BackendChoice& choice)
         oss << "\"" << jsonEscape(name) << "\":" << n;
     }
     oss << "}}"
-        << ",\"reason\":\"" << jsonEscape(choice.reason) << "\"}";
+        << ",\"reason\":\"" << jsonEscape(choice.reason) << "\"";
+    if (compiled != nullptr) {
+        encodeAutoAssert(oss, compiled->slots,
+                         int(compiled->variants.size()));
+    }
+    oss << "}";
     return oss.str();
 }
 

@@ -13,6 +13,10 @@
  *    "backend": "auto",               // or statevector|density_matrix|
  *                                     // stabilizer (explicit override)
  *    "assert_clbits": [[0],[1,2]],    // assertion slots (|0..0> = pass)
+ *    "auto_assert": true,             // raw circuit: generate + lower
+ *                                     // assertions (assertion compiler)
+ *    "assert_lowering": "auto",       // or swap|or|ndd|pauli|
+ *                                     // pauli_sample (auto_assert only)
  *    "noise": {"kind": "melbourne"}}  // or "none" (default) or
  *                                     // {"kind":"depolarizing",
  *                                     //  "p1":1e-3,"p2":1e-2}
@@ -25,10 +29,19 @@
  *    "queue_ms":0.1,"exec_ms":3.2}
  *   {"id":"job-2","status":"error","code":"queue_full","message":"..."}
  *
+ * auto_assert results additionally carry the compiled lowering report:
+ *   "auto_assert":{"generated":2,"variants":1,"slots":[
+ *     {"form":"pauli","invariant":"entangled","position":5,
+ *      "qubits":[0,1,2],"clbits":[0,1,2],"ancillas":0,"gates":14,
+ *      "cx":4,"sub_circuits":1,"generators":3,
+ *      "source":{"line":7,"col":1}},...]}
+ *
  * An "explain" request takes the same fields as "run" but classifies
  * and routes without executing:
  *   {"id":"e1","status":"ok","class":"clifford","backend":"stabilizer",
  *    "capable":true,"non_clifford_gates":0,"reason":"..."}
+ * Under auto_assert the explain response routes the instrumented
+ * variant-0 circuit and appends the same "auto_assert" block.
  *
  * Responses are emitted in completion order (the id is the correlation
  * key), which is what lets a single connection keep the whole worker
@@ -125,9 +138,14 @@ std::string encodePing(const std::string& id, size_t queue_depth,
  */
 bool peekResponseId(const std::string& line, std::string* id);
 
-/** Encode an "explain" routing decision as one response line. */
+/**
+ * Encode an "explain" routing decision as one response line. When
+ * `compiled` is non-null (auto_assert explains) the line additionally
+ * carries the assertion compiler's per-slot lowering report.
+ */
 std::string encodeExplain(const std::string& id,
-                          const backend::BackendChoice& choice);
+                          const backend::BackendChoice& choice,
+                          const acomp::CompiledProgram* compiled = nullptr);
 
 /** Encode a metrics snapshot as one response line. */
 std::string encodeMetrics(const MetricsSnapshot& snapshot);

@@ -116,4 +116,61 @@ recognizeClifford(const Instruction& instr)
     return recognizeCliffordMatrix(instr.matrix);
 }
 
+namespace
+{
+
+/** Embed a k-qubit local Pauli onto n qubits via the placement map. */
+PauliString
+embedPauli(const PauliString& local, int n, const std::vector<int>& qubits)
+{
+    PauliString out(n);
+    out.setPhase(local.phase());
+    for (int j = 0; j < local.numQubits(); ++j) {
+        out.setX(qubits[size_t(j)], local.x(j));
+        out.setZ(qubits[size_t(j)], local.z(j));
+    }
+    return out;
+}
+
+} // namespace
+
+PauliString
+conjugatePauli(const PauliString& pauli, const CliffordAction& action,
+               const std::vector<int>& qubits)
+{
+    QA_REQUIRE(int(qubits.size()) == action.arity,
+               "conjugatePauli: qubit list does not match the action");
+    const int n = pauli.numQubits();
+
+    // Factors outside the gate's support commute with U and survive
+    // unchanged; the original phase rides along.
+    PauliString out(n);
+    out.setPhase(pauli.phase());
+    std::vector<bool> local(size_t(n), false);
+    for (int q : qubits) {
+        QA_REQUIRE(q >= 0 && q < n, "conjugatePauli: qubit out of range");
+        local[size_t(q)] = true;
+    }
+    for (int q = 0; q < n; ++q) {
+        if (local[size_t(q)]) continue;
+        out.setX(q, pauli.x(q));
+        out.setZ(q, pauli.z(q));
+    }
+
+    // Each local factor maps to a product of the generator images:
+    // X -> x_image, Z -> z_image, Y = i X Z -> i * x_image * z_image.
+    // Distinct local qubits' factors act on disjoint wires and commute,
+    // so multiplying the images in qubit order is phase-exact.
+    for (size_t j = 0; j < qubits.size(); ++j) {
+        const int q = qubits[j];
+        const bool fx = pauli.x(q);
+        const bool fz = pauli.z(q);
+        if (!fx && !fz) continue;
+        if (fx && fz) out.setPhase(out.phase() + 1); // Y = i X Z
+        if (fx) out = out * embedPauli(action.x_images[j], n, qubits);
+        if (fz) out = out * embedPauli(action.z_images[j], n, qubits);
+    }
+    return out;
+}
+
 } // namespace qa

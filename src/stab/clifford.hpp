@@ -61,6 +61,19 @@ std::optional<CliffordAction> recognizeClifford(const Instruction& instr);
  */
 bool isNamedCliffordGate(const Instruction& instr);
 
+/**
+ * Conjugate an n-qubit Pauli by a k-qubit Clifford gate placed on
+ * `qubits` (qubits[j] hosts the action's local qubit j): returns
+ * U P U^dag, phase-exact. Factors outside `qubits` pass through;
+ * each local X/Z factor is replaced by the action's generator image
+ * (Y = i X Z decomposes into both). This is how the assertion compiler
+ * pushes stabilizer generators through basis-change circuits without
+ * materializing any matrix.
+ */
+PauliString conjugatePauli(const PauliString& pauli,
+                           const CliffordAction& action,
+                           const std::vector<int>& qubits);
+
 } // namespace qa
 
 #endif // QA_STAB_CLIFFORD_HPP

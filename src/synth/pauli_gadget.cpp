@@ -1,0 +1,100 @@
+#include "synth/pauli_gadget.hpp"
+
+#include "common/error.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Rotate each X/Y factor of the generator onto Z (or undo it). */
+void
+appendBasisRotation(QuantumCircuit& circuit, const PauliString& generator,
+                    const std::vector<int>& qubits, bool inverse,
+                    PauliGadgetCost& cost)
+{
+    const int k = generator.numQubits();
+    for (int j = 0; j < k; ++j) {
+        const int q = qubits[size_t(j)];
+        if (generator.x(j) && generator.z(j)) {
+            // Y factor: C(sdg;h) maps Y -> Z, undone by h;s.
+            if (inverse) {
+                circuit.h(q);
+                circuit.s(q);
+            } else {
+                circuit.sdg(q);
+                circuit.h(q);
+            }
+            cost.gates += 2;
+        } else if (generator.x(j)) {
+            // X factor: h maps X -> Z (self-inverse).
+            circuit.h(q);
+            cost.gates += 1;
+        }
+    }
+}
+
+} // namespace
+
+PauliGadgetCost
+appendPauliMeasureGadget(QuantumCircuit& circuit,
+                         const PauliString& generator,
+                         const std::vector<int>& qubits, int clbit)
+{
+    const int k = generator.numQubits();
+    QA_REQUIRE(size_t(k) == qubits.size(),
+               "pauli gadget: generator width must match the qubit list");
+    QA_REQUIRE(generator.phase() == 0 || generator.phase() == 2,
+               "pauli gadget: generator must be Hermitian (+/-P)");
+    for (const int q : qubits) {
+        QA_REQUIRE(q >= 0 && q < circuit.numQubits(),
+                   "pauli gadget: qubit index out of range");
+    }
+    QA_REQUIRE(clbit >= 0 && clbit < circuit.numClbits(),
+               "pauli gadget: clbit index out of range");
+
+    std::vector<int> support;
+    for (int j = 0; j < k; ++j) {
+        if (generator.x(j) || generator.z(j)) {
+            support.push_back(qubits[size_t(j)]);
+        }
+    }
+    QA_REQUIRE(!support.empty(),
+               "pauli gadget: identity generator has no parity to measure");
+
+    PauliGadgetCost cost;
+    appendBasisRotation(circuit, generator, qubits, /*inverse=*/false, cost);
+
+    // Fold the Z-parity of the rotated support onto its last qubit.
+    for (size_t i = 0; i + 1 < support.size(); ++i) {
+        circuit.cx(support[i], support[i + 1]);
+        cost.gates += 1;
+        cost.cx += 1;
+    }
+
+    // A -P generator stabilizes the odd-parity branch; conjugating the
+    // measurement with X keeps the |0> = pass convention either way.
+    const int parity = support.back();
+    const bool negated = generator.phase() == 2;
+    if (negated) {
+        circuit.x(parity);
+        cost.gates += 1;
+    }
+    circuit.measure(parity, clbit);
+    cost.gates += 1;
+    if (negated) {
+        circuit.x(parity);
+        cost.gates += 1;
+    }
+
+    for (size_t i = support.size() - 1; i-- > 0;) {
+        circuit.cx(support[i], support[i + 1]);
+        cost.gates += 1;
+        cost.cx += 1;
+    }
+    appendBasisRotation(circuit, generator, qubits, /*inverse=*/true, cost);
+    return cost;
+}
+
+} // namespace qa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ancilla-free Pauli parity-measurement gadget: the executable form the
+ * assertion compiler lowers stabilizer assertion slots to (Proq-style
+ * projector decomposition, PAPERS.md 1911.12855).
+ *
+ * For a signed Pauli generator +/-P the gadget rotates every X/Y factor
+ * onto Z, accumulates the Z-parity of the support onto its last qubit
+ * with a CX ladder, measures that qubit into one classical bit, and
+ * exactly undoes the ladder and rotations. The measurement is
+ * non-destructive on the asserted subspace: a +1 eigenstate passes
+ * through unchanged, anything else is projected onto the measured
+ * eigenspace of the generator. The recorded bit follows the paper's
+ * convention: 0 = pass (state stabilized by the signed generator),
+ * 1 = assertion error.
+ */
+#ifndef QA_SYNTH_PAULI_GADGET_HPP
+#define QA_SYNTH_PAULI_GADGET_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stab/pauli.hpp"
+
+namespace qa
+{
+
+/** Gate budget one gadget insertion consumed. */
+struct PauliGadgetCost
+{
+    int gates = 0; ///< Instructions appended (measure included).
+    int cx = 0;    ///< CX gates within `gates`.
+};
+
+/**
+ * Append the parity-measurement gadget for `generator` to `circuit`.
+ * `generator` is local over qubits.size() wires; qubits[j] is the
+ * program qubit hosting local wire j; the outcome lands in `clbit`.
+ * The generator must be Hermitian (phase 0 or 2 — i.e. +/-P) and
+ * non-identity. All emitted gates are named Cliffords, so a Clifford
+ * program stays on the stabilizer backend after insertion.
+ */
+PauliGadgetCost appendPauliMeasureGadget(QuantumCircuit& circuit,
+                                         const PauliString& generator,
+                                         const std::vector<int>& qubits,
+                                         int clbit);
+
+} // namespace qa
+
+#endif // QA_SYNTH_PAULI_GADGET_HPP

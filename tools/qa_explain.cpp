@@ -7,17 +7,23 @@
  * Usage:
  *   qa_explain FILE [--noise none|melbourne|depolarizing]
  *             [--p1 X] [--p2 X] [--shots N] [--backend NAME] [--naive]
+ *             [--auto-assert] [--lowering NAME]
  *
  * FILE may be "-" for stdin. --shots feeds the router's density-vs-
  * replay cost model; --backend exercises explicit-override validation
- * (an incapable override is reported, not executed).
+ * (an incapable override is reported, not executed). --auto-assert
+ * runs the assertion compiler over the raw circuit first and prints
+ * the per-slot lowering table (form, ancillas, gates, sub-circuits)
+ * before routing the instrumented variant; --lowering pins the form.
  */
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "acomp/compiler.hpp"
 #include "backend/router.hpp"
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
@@ -36,9 +42,14 @@ usage(int code)
                  "                  [--shots N] [--backend auto|"
                  "statevector|density_matrix|stabilizer] [--naive]\n"
                  "                  [--no-fusion] [--fusion-max 1|2|3]\n"
+                 "                  [--auto-assert] [--lowering auto|swap|"
+                 "or|ndd|pauli|pauli_sample]\n"
                  "FILE is a QASM circuit, or - for stdin; prints the "
                  "backend routing decision\n"
-                 "and the dense-backend fusion plan without executing\n";
+                 "and the dense-backend fusion plan without executing.\n"
+                 "--auto-assert additionally prints the assertion "
+                 "compiler's lowering table and\n"
+                 "routes the instrumented circuit\n";
     return code;
 }
 
@@ -55,6 +66,8 @@ main(int argc, char** argv)
     bool naive = false;
     bool fusion = defaults::kFusion;
     int fusion_max = defaults::kFusionMaxQubits;
+    bool auto_assert = false;
+    acomp::LoweringRequest lowering = acomp::LoweringRequest::kAuto;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -86,6 +99,17 @@ main(int argc, char** argv)
             ++i;
         } else if (arg == "--naive") {
             naive = true;
+        } else if (arg == "--auto-assert") {
+            auto_assert = true;
+        } else if (arg == "--lowering") {
+            if (value == nullptr) return usage(2);
+            if (!acomp::parseLoweringRequest(value, &lowering)) {
+                std::cerr << "qa_explain: unknown lowering '" << value
+                          << "'\n";
+                return 2;
+            }
+            auto_assert = true; // pinning a form implies the compiler
+            ++i;
         } else if (arg == "--no-fusion") {
             fusion = false;
         } else if (arg == "--fusion-max") {
@@ -129,7 +153,8 @@ main(int argc, char** argv)
     }
 
     try {
-        const QuantumCircuit circuit = parseQasm(text);
+        std::vector<QasmPos> positions;
+        const QuantumCircuit circuit = parseQasm(text, &positions);
         SimOptions options;
         options.shots = shots;
         options.noise = noise.enabled() ? &noise : nullptr;
@@ -137,7 +162,18 @@ main(int argc, char** argv)
         options.naive = naive;
         options.fusion = fusion;
         options.fusion_max_qubits = fusion_max;
-        std::cout << backend::explainRouting(circuit, options);
+        if (auto_assert) {
+            acomp::AcompOptions aopts;
+            aopts.lowering = lowering;
+            aopts.backend = request;
+            const acomp::CompiledProgram compiled =
+                acomp::autoAssert(circuit, aopts, &positions);
+            std::cout << acomp::formatLoweringTable(compiled);
+            std::cout << backend::explainRouting(compiled.variants[0],
+                                                 options);
+        } else {
+            std::cout << backend::explainRouting(circuit, options);
+        }
     } catch (const UserError& err) {
         std::cerr << "qa_explain: " << err.what() << "\n";
         return 1;

@@ -8,10 +8,15 @@
  *
  * Usage:
  *   qassertd [--workers N] [--queue N] [--cache N] [--max-line N]
- *            [--retries N] [--stall-ms X] [--breaker]
+ *            [--retries N] [--stall-ms X] [--breaker] [--auto-assert]
  *            [--journal PATH] [--sync-every N] [--drain-ms X]
  *   qassertd --replay PATH
  *   qassertd --explain PATH      # classify + route a QASM file, no run
+ *
+ * --auto-assert defaults every request that does not name the field to
+ * {"auto_assert":true}: raw circuits get assertion-compiler invariants
+ * discovered, lowered, and checked (serve/job.hpp). Requests that do
+ * carry the field keep their own value. Also applies to --explain.
  *
  * Behaviour:
  *  - every input line is one request; every response is one line
@@ -47,6 +52,7 @@
 #include <sstream>
 #include <string>
 
+#include "acomp/compiler.hpp"
 #include "backend/router.hpp"
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
@@ -152,7 +158,7 @@ replayJournalCli(const std::string& path)
  * decision to stdout — without executing a single shot.
  */
 int
-explainFile(const std::string& path)
+explainFile(const std::string& path, bool auto_assert)
 {
     std::string text;
     if (path == "-") {
@@ -170,8 +176,20 @@ explainFile(const std::string& path)
         text = buffer.str();
     }
     try {
-        const QuantumCircuit circuit = parseQasm(text);
-        std::cout << backend::explainRouting(circuit, SimOptions{});
+        std::vector<QasmPos> positions;
+        const QuantumCircuit circuit = parseQasm(text, &positions);
+        if (auto_assert) {
+            // Compile first, route the instrumented variant 0: that is
+            // the circuit an auto_assert run actually executes.
+            const acomp::CompiledProgram compiled =
+                acomp::autoAssert(circuit, acomp::AcompOptions{},
+                                  &positions);
+            std::cout << acomp::formatLoweringTable(compiled);
+            std::cout << backend::explainRouting(compiled.variants[0],
+                                                 SimOptions{});
+        } else {
+            std::cout << backend::explainRouting(circuit, SimOptions{});
+        }
     } catch (const UserError& err) {
         std::cerr << "qassertd: " << err.what() << "\n";
         return 1;
@@ -188,6 +206,7 @@ main(int argc, char** argv)
     std::string journal_path;
     std::string replay_path;
     std::string explain_path;
+    bool auto_assert = false;
     size_t max_line = size_t(1) << 20;
     size_t sync_every = 8;
     double drain_ms = 30000.0;
@@ -220,6 +239,8 @@ main(int argc, char** argv)
             ++i;
         } else if (arg == "--breaker") {
             options.breaker.enabled = true;
+        } else if (arg == "--auto-assert") {
+            auto_assert = true;
         } else if (arg == "--journal") {
             if (value == nullptr) {
                 std::cerr << "qassertd: --journal needs a path\n";
@@ -253,7 +274,7 @@ main(int argc, char** argv)
                 << "usage: qassertd [--workers N] [--queue N] [--cache N]"
                    " [--max-line N]\n"
                    "                [--retries N] [--stall-ms X]"
-                   " [--breaker]\n"
+                   " [--breaker] [--auto-assert]\n"
                    "                [--journal PATH] [--sync-every N]"
                    " [--drain-ms X]\n"
                    "       qassertd --replay PATH\n"
@@ -273,7 +294,9 @@ main(int argc, char** argv)
     installDrainHandlers();
 
     if (!replay_path.empty()) return replayJournalCli(replay_path);
-    if (!explain_path.empty()) return explainFile(explain_path);
+    if (!explain_path.empty()) {
+        return explainFile(explain_path, auto_assert);
+    }
 
     std::unique_ptr<resilience::Journal> journal;
     if (!journal_path.empty()) {
@@ -325,6 +348,11 @@ main(int argc, char** argv)
 
         try {
             WireRequest request = buildRequest(parsed);
+            // --auto-assert is a default, not an override: requests
+            // that name the field (either value) keep their own.
+            if (auto_assert && parsed.find("auto_assert") == nullptr) {
+                request.spec.auto_assert = true;
+            }
             if (request.op == RequestOp::kPing) {
                 // Answered on the read loop, never queued: the fleet
                 // router's health prober needs pongs even when every
@@ -347,6 +375,26 @@ main(int argc, char** argv)
                                 ? &request.spec.noise
                                 : nullptr;
                 sim.backend = request.spec.backend;
+                if (request.spec.auto_assert) {
+                    // Compile, then route the instrumented variant 0 —
+                    // the circuit an auto_assert run would execute.
+                    // kUnsupportedAssertion propagates to the outer
+                    // catch and becomes a typed error line.
+                    acomp::AcompOptions aopts;
+                    aopts.lowering = request.spec.assert_lowering;
+                    aopts.backend = request.spec.backend;
+                    const acomp::CompiledProgram compiled =
+                        acomp::autoAssert(
+                            request.spec.circuit, aopts,
+                            request.spec.qasm_positions.empty()
+                                ? nullptr
+                                : &request.spec.qasm_positions);
+                    out.writeLine(encodeExplain(
+                        id,
+                        backend::routeShots(compiled.variants[0], sim),
+                        &compiled));
+                    continue;
+                }
                 out.writeLine(encodeExplain(
                     id,
                     backend::routeShots(request.spec.circuit, sim)));
