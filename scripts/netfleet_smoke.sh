@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+#
+# Remote-fleet network chaos smoke: qa_router --connect fronting three
+# qassertd --listen TCP shards, one of them reached through the
+# qa_netchaos fault-injection proxy, under open-loop qa_loadgen load.
+#
+# Two runs with the same workload seed:
+#   1. clean — all three shards reached directly; records the
+#      order-independent response digest (qa_loadgen --digest);
+#   2. chaos — shard 0's traffic crosses qa_netchaos with a seeded
+#      plan: connection resets after 4 KB on every 2nd connection, a
+#      5-second partition starting at t=2.5s (existing connections
+#      reset at the window edge, reconnect attempts black-holed inside
+#      it), slow-loris byte-dribbling on every 3rd connection, and a
+#      30% chance of any forwarded chunk being split into two partial
+#      writes.
+#
+# Required outcomes, enforced by tools rather than log scraping:
+#   - qa_loadgen exits non-zero on any lost or duplicated response, so
+#     "every admitted job resolves exactly once" is the tool's own exit
+#     code, through resets, the partition, and reconnects;
+#   - every response is an ok (the fleet failed over and retried
+#     through the faults rather than surfacing them to clients);
+#   - the chaos digest is bit-identical to the clean digest: network
+#     faults may move and delay work but must never change results;
+#   - qa_netchaos proxied more than one connection: the partitioned
+#     shard's router attachment really died and was re-dialed (the ring
+#     hands its keyspace back on recovery — affinity by construction);
+#   - every shard journal, written through all of the above, replays
+#     cleanly.
+#
+# Usage: scripts/netfleet_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+ROUTER="$BUILD/tools/qa_router"
+LOADGEN="$BUILD/tools/qa_loadgen"
+QASSERTD="$BUILD/tools/qassertd"
+NETCHAOS="$BUILD/tools/qa_netchaos"
+for bin in "$ROUTER" "$LOADGEN" "$QASSERTD" "$NETCHAOS"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "netfleet_smoke: binary not found at $bin" >&2
+        exit 2
+    fi
+done
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2> /dev/null || true
+    done
+    wait 2> /dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# --- 0. three qassertd --listen shards on ephemeral ports ----------
+for i in 0 1 2; do
+    "$QASSERTD" --listen 127.0.0.1:0 --port-file "$workdir/s$i.port" \
+        --workers 2 --journal "$workdir/shard-$i.ndjson" \
+        2> "$workdir/s$i.err" &
+    pids+=($!)
+done
+for _ in $(seq 100); do
+    [[ -s "$workdir/s0.port" && -s "$workdir/s1.port" \
+       && -s "$workdir/s2.port" ]] && break
+    sleep 0.1
+done
+p0="$(cat "$workdir/s0.port")"
+p1="$(cat "$workdir/s1.port")"
+p2="$(cat "$workdir/s2.port")"
+
+LOAD_ARGS=(--mode open --rate 60 --burst 4 --jobs 420 --circuits 24
+           --seed 31 --digest)
+ROUTE_ARGS="--probe-ms 50 --ping-timeout-ms 250 --idle-timeout-ms 2000"
+
+# --- 1. clean run: direct connections, record the digest -----------
+"$LOADGEN" \
+    --target-cmd "$ROUTER --connect 127.0.0.1:$p0,127.0.0.1:$p1,127.0.0.1:$p2 $ROUTE_ARGS" \
+    "${LOAD_ARGS[@]}" --label netfleet_clean \
+    > "$workdir/clean.json" 2> "$workdir/clean.err" \
+    || { echo "netfleet_smoke: clean run failed" >&2;
+         cat "$workdir/clean.err" >&2; exit 1; }
+grep -q '"ok":420' "$workdir/clean.json" \
+    || { echo "netfleet_smoke: clean run had error responses" >&2;
+         cat "$workdir/clean.json" >&2; exit 1; }
+clean_digest="$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' \
+    "$workdir/clean.json")"
+[[ -n "$clean_digest" ]] \
+    || { echo "netfleet_smoke: no digest in clean run output" >&2;
+         exit 1; }
+
+# --- 2. chaos run: shard 0 behind qa_netchaos ----------------------
+"$NETCHAOS" --listen 127.0.0.1:0 --target "127.0.0.1:$p0" \
+    --plan "reset:every=2,after_bytes=4000;partition:at=2500,dur=5000;slowloris:every=3,delay_ms=5,chunk=32;partial:p=0.3" \
+    --seed 1913 --port-file "$workdir/nc.port" \
+    2> "$workdir/nc.err" &
+pids+=($!)
+nc_pid=$!
+for _ in $(seq 100); do
+    [[ -s "$workdir/nc.port" ]] && break
+    sleep 0.1
+done
+pnc="$(cat "$workdir/nc.port")"
+
+"$LOADGEN" \
+    --target-cmd "$ROUTER --connect 127.0.0.1:$pnc,127.0.0.1:$p1,127.0.0.1:$p2 $ROUTE_ARGS" \
+    "${LOAD_ARGS[@]}" --label netfleet_chaos \
+    > "$workdir/chaos.json" 2> "$workdir/chaos.err" \
+    || { echo "netfleet_smoke: chaos run lost or duplicated jobs" >&2;
+         cat "$workdir/chaos.err" >&2; exit 1; }
+grep -q '"lost":0' "$workdir/chaos.json" \
+    || { echo "netfleet_smoke: lost jobs under network chaos" >&2;
+         cat "$workdir/chaos.json" >&2; exit 1; }
+grep -q '"duplicates":0' "$workdir/chaos.json" \
+    || { echo "netfleet_smoke: duplicated responses under chaos" >&2;
+         cat "$workdir/chaos.json" >&2; exit 1; }
+grep -q '"ok":420' "$workdir/chaos.json" \
+    || { echo "netfleet_smoke: chaos run surfaced error responses" >&2;
+         cat "$workdir/chaos.json" "$workdir/chaos.err" >&2; exit 1; }
+grep -q "qa_router: done" "$workdir/chaos.err" \
+    || { echo "netfleet_smoke: router did not drain cleanly" >&2;
+         cat "$workdir/chaos.err" >&2; exit 1; }
+
+chaos_digest="$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' \
+    "$workdir/chaos.json")"
+if [[ "$chaos_digest" != "$clean_digest" ]]; then
+    echo "netfleet_smoke: digest mismatch — chaos changed results" >&2
+    echo "  clean: $clean_digest" >&2
+    echo "  chaos: $chaos_digest" >&2
+    exit 1
+fi
+
+# The proxy must have seen reconnects: one long-lived connection would
+# mean the partition never actually severed the shard.
+kill "$nc_pid" 2> /dev/null || true
+wait "$nc_pid" 2> /dev/null || true
+nc_conns="$(sed -n 's/.*done (\([0-9]*\) connections.*/\1/p' \
+    "$workdir/nc.err")"
+if [[ -z "$nc_conns" || "$nc_conns" -lt 2 ]]; then
+    echo "netfleet_smoke: expected reconnects through the proxy," \
+         "saw ${nc_conns:-none}" >&2
+    cat "$workdir/nc.err" >&2
+    exit 1
+fi
+
+# --- 3. drain the daemons and replay every shard journal -----------
+for port in "$p0" "$p1" "$p2"; do
+    python3 - "$port" <<'EOF'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=5)
+s.sendall(b'{"op":"shutdown"}\n')
+s.close()
+EOF
+done
+for pid in "${pids[@]}"; do
+    wait "$pid" 2> /dev/null || true
+done
+pids=()
+
+for i in 0 1 2; do
+    journal="$workdir/shard-$i.ndjson"
+    [[ -s "$journal" ]] \
+        || { echo "netfleet_smoke: shard $i journal is missing" >&2;
+             exit 1; }
+    "$QASSERTD" --replay "$journal" > /dev/null 2> "$workdir/replay.err" \
+        || { echo "netfleet_smoke: replay of $journal failed" >&2;
+             cat "$workdir/replay.err" >&2; exit 1; }
+done
+
+echo "netfleet_smoke OK: 840 jobs answered exactly once across" \
+     "resets, a 5s partition, slow-loris and partial writes" \
+     "($nc_conns proxied connections), chaos digest == clean digest," \
+     "3 journals replayed intact"

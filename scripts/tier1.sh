@@ -19,7 +19,14 @@
 # assertion-compiler smoke (scripts/acomp_smoke.sh): a raw GHZ circuit
 # auto-asserted by qassertd --auto-assert must pass clean and flag an
 # injected X fault on every shot, including through a 2-shard
-# qa_router.
+# qa_router, and the remote-fleet network chaos smoke
+# (scripts/netfleet_smoke.sh): qa_router --connect fronting three
+# qassertd --listen TCP shards, one behind the qa_netchaos fault proxy
+# (resets, a 5s partition, slow-loris, partial writes), with every job
+# answered exactly once and the response digest bit-identical to a
+# chaos-free run. The TSan half additionally runs the fleet transport
+# tests (TransportTest + RemoteRouterTest), whose per-connection socket
+# reader threads race against router maintenance and teardown.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
 #
@@ -48,6 +55,7 @@ if [[ "$skip_release" -ne 1 ]]; then
     scripts/chaos_smoke.sh build/tools/qassertd
     scripts/fleet_smoke.sh build
     scripts/acomp_smoke.sh build
+    scripts/netfleet_smoke.sh build
 fi
 
 if [[ "$skip_tsan" -ne 1 ]]; then
@@ -57,7 +65,7 @@ if [[ "$skip_tsan" -ne 1 ]]; then
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target test_engine --target test_policy \
         --target test_serve --target test_backend --target test_resilience \
-        --target test_fusion
+        --target test_fusion --target test_fleet
     ./build-tsan/tests/test_fusion \
         --gtest_filter='FusionTest.CountsAreBitIdenticalAcrossThreadCounts:FusionTest.KrausNoiseKeepsTheNoisyStreamUnfused'
     ./build-tsan/tests/test_engine \
@@ -69,6 +77,8 @@ if [[ "$skip_tsan" -ne 1 ]]; then
     ./build-tsan/tests/test_backend \
         --gtest_filter='BackendDeterminismTest.*:CrossBackendTest.*'
     ./build-tsan/tests/test_resilience
+    ./build-tsan/tests/test_fleet \
+        --gtest_filter='TransportTest.*:RemoteRouterTest.*'
 fi
 
 if [[ "$skip_asan" -ne 1 ]]; then

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/error.hpp"
+#include "common/net.hpp"
 
 namespace qa
 {
@@ -124,38 +125,74 @@ ChildProcess::closeStdin()
 void
 ChildProcess::signalChild(int sig)
 {
+    std::lock_guard<std::mutex> lock(reap_mutex_);
     if (!reaped_ && pid_ > 0) ::kill(pid_, sig);
+}
+
+bool
+ChildProcess::reapedLocked(int wait_flags)
+{
+    if (reaped_) return true;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, wait_flags);
+    if (r == pid_) {
+        reaped_ = true;
+        status_ = status;
+        // The write end of the dead child's stdin is pure leak from
+        // here on (nobody will ever read it); close it now instead of
+        // waiting for the destructor — an owner that reaps exec-failure
+        // children in a loop must not accumulate pipe fds. The stdout
+        // read end stays open: a LineReader may still be draining what
+        // the child flushed before dying.
+        std::lock_guard<std::mutex> lock(write_mutex_);
+        closeQuiet(in_fd_);
+    }
+    return reaped_;
 }
 
 bool
 ChildProcess::tryReap()
 {
-    if (reaped_) return true;
-    int status = 0;
-    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
-    if (r == pid_) {
-        reaped_ = true;
-        status_ = status;
-    }
-    return reaped_;
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    return reapedLocked(WNOHANG);
 }
 
 void
 ChildProcess::forceReap()
 {
+    std::lock_guard<std::mutex> lock(reap_mutex_);
     if (reaped_) return;
     ::kill(pid_, SIGKILL);
-    int status = 0;
-    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {}
-    reaped_ = true;
-    status_ = status;
+    while (!reapedLocked(0) && errno == EINTR) {}
+    if (!reaped_) {
+        // waitpid failed outright (ECHILD: someone else collected it);
+        // treat the child as gone rather than retrying forever.
+        reaped_ = true;
+        std::lock_guard<std::mutex> wlock(write_mutex_);
+        closeQuiet(in_fd_);
+    }
+}
+
+bool
+ChildProcess::reaped() const
+{
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    return reaped_;
+}
+
+int
+ChildProcess::rawStatus() const
+{
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    return status_;
 }
 
 LineReader::Status
 LineReader::next(std::string* out)
 {
     out->clear();
-    bool overflow = false;
+    bool overflow = overflow_pending_; // resumed after a mid-line timeout
+    overflow_pending_ = false;
     for (;;) {
         // Scan only bytes not inspected before; a long partial line is
         // not rescanned from the start on every read.
@@ -184,10 +221,27 @@ LineReader::next(std::string* out)
             scanned_ = 0;
             return overflow ? Status::kOverflow : Status::kOk;
         }
+        if (idle_timeout_ms_ > 0.0 &&
+            !net::pollReadable(fd_, idle_timeout_ms_)) {
+            // Idle bound hit with no complete line buffered: the peer
+            // is wedged (partitioned socket, stalled child). Surface it
+            // instead of parking this thread forever; the partial line
+            // stays buffered so a later next() resumes cleanly.
+            overflow_pending_ = overflow;
+            return Status::kTimeout;
+        }
         char chunk[4096];
         const ssize_t n = ::read(fd_, chunk, sizeof chunk);
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Non-blocking fd (TCP transport) raced poll; wait for
+                // readability — bounded by the idle timeout when set.
+                if (idle_timeout_ms_ <= 0.0) {
+                    net::pollReadable(fd_, -1.0);
+                }
+                continue;
+            }
             eof_ = true; // treat read errors as stream end
             continue;
         }

@@ -15,7 +15,13 @@
  *    must never take the router down, so spawn() also forces SIGPIPE to
  *    SIG_IGN process-wide (documented; the tool mains do it too);
  *  - reads handle EINTR and are bounded per line, mirroring
- *    readLineBounded on the serve side;
+ *    readLineBounded on the serve side, and can additionally enforce an
+ *    idle-read timeout so a wedged peer cannot park a reader forever;
+ *  - reaping closes the child's stdin pipe fd immediately (a dead
+ *    child's write end is pure leak — before this fix an exec-failure
+ *    child reaped via tryReap kept both pipe fds open until the
+ *    destructor ran), while the stdout fd stays open so a LineReader
+ *    can still drain whatever the child flushed before dying;
  *  - the destructor never blocks on a live child: it SIGKILLs and
  *    reaps, because by then the owner has already drained gracefully
  *    or decided not to.
@@ -69,24 +75,32 @@ class ChildProcess
     /** Send `sig`; no-op once the child is reaped. */
     void signalChild(int sig);
 
-    /** Non-blocking reap; true once the child has been collected. */
+    /**
+     * Non-blocking reap; true once the child has been collected. Reaping
+     * also closes the (now useless) stdin pipe fd so a collected child
+     * — including the exec-failure exit-127 case — leaks nothing while
+     * the object lives on. Thread safe.
+     */
     bool tryReap();
 
-    /** SIGKILL + blocking reap. Idempotent. */
+    /** SIGKILL + blocking reap. Idempotent and thread safe. */
     void forceReap();
 
-    bool reaped() const { return reaped_; }
+    bool reaped() const;
 
     /** Exit status as waitpid reported it (valid once reaped). */
-    int rawStatus() const { return status_; }
+    int rawStatus() const;
 
   private:
+    bool reapedLocked(int wait_flags);
+
     pid_t pid_ = -1;
     int in_fd_ = -1;  ///< Write end of the child's stdin.
     int out_fd_ = -1; ///< Read end of the child's stdout.
     bool reaped_ = false;
     int status_ = 0;
     std::mutex write_mutex_;
+    mutable std::mutex reap_mutex_;
 };
 
 /** Buffered bounded line reader over a raw fd (a ChildProcess stdout). */
@@ -97,22 +111,37 @@ class LineReader
     {
         kOk,      ///< One complete line (newline stripped) in `out`.
         kEof,     ///< Stream ended before any byte of a new line.
-        kOverflow ///< Line exceeded the bound; rest consumed.
+        kOverflow, ///< Line exceeded the bound; rest consumed.
+        kTimeout  ///< No bytes arrived within the idle-read timeout.
     };
 
-    explicit LineReader(int fd, size_t max_len = size_t(1) << 20)
-        : fd_(fd), max_len_(max_len)
+    /**
+     * `idle_timeout_ms` bounds how long one next() call may sit waiting
+     * for the fd to become readable (0 = wait forever, the pipe-shard
+     * default). A wedged peer — a partitioned TCP shard, a child that
+     * stopped writing without exiting — surfaces as kTimeout instead of
+     * parking the reader thread forever; buffered complete lines are
+     * still returned first, and next() may be called again after a
+     * timeout (the partial line in the buffer is kept).
+     */
+    explicit LineReader(int fd, size_t max_len = size_t(1) << 20,
+                        double idle_timeout_ms = 0.0)
+        : fd_(fd), max_len_(max_len), idle_timeout_ms_(idle_timeout_ms)
     {}
 
-    /** Blocking read of the next line; EINTR is retried. */
+    /** Read the next line; EINTR and EAGAIN are retried (poll-bounded). */
     Status next(std::string* out);
+
+    void setIdleTimeout(double ms) { idle_timeout_ms_ = ms; }
 
   private:
     int fd_;
     size_t max_len_;
+    double idle_timeout_ms_;
     std::string buffer_;
     size_t scanned_ = 0; ///< buffer_ prefix already searched for '\n'.
     bool eof_ = false;
+    bool overflow_pending_ = false; ///< Timed out mid-overflow line.
 };
 
 } // namespace fleet

@@ -16,6 +16,15 @@
  * affinity). When the shard comes back, the same walk finds it first
  * again and affinity restores by construction: shardFor is a pure
  * function of (ring layout, key, up-set).
+ *
+ * Load-aware placement (PR 9) weights the ring: a shard measured twice
+ * as fast as the fleet mean owns ~twice the vnodes and therefore ~twice
+ * the keyspace. Weighting only changes *how many* of a shard's vnodes
+ * exist, never *where* they sit — vnode v of shard s hashes from
+ * (seed, s, v) alone — so reweighting from w to w' moves only the keys
+ * owned by the added/removed tail vnodes and every other key keeps its
+ * affinity home. Weights are clamped and quantized by the caller (the
+ * router) so jittery load measurements do not churn the ring.
  */
 #ifndef QA_FLEET_RING_HPP
 #define QA_FLEET_RING_HPP
@@ -43,7 +52,19 @@ class HashRing
     explicit HashRing(size_t nshards, size_t vnodes = 64,
                       uint64_t seed = 0x716172696e67ULL); // "qaring"
 
+    /**
+     * Weighted ring: shard s owns round(vnodes * weights[s]) vnodes
+     * (floored at 1 so every shard keeps at least one ring position and
+     * stays reachable by the clockwise walk). `weights.size()` must be
+     * `nshards`; an unweighted ring equals weights of all 1.0.
+     */
+    HashRing(size_t nshards, const std::vector<double>& weights,
+             size_t vnodes = 64, uint64_t seed = 0x716172696e67ULL);
+
     size_t shards() const { return nshards_; }
+
+    /** Ring positions shard `s` currently owns (tests, fleet_status). */
+    size_t vnodesOf(size_t shard) const;
 
     /** Ring-owner shard of `key`, ignoring liveness (the affinity home). */
     size_t shardFor(const Hash128& key) const;

@@ -81,11 +81,23 @@ defaultShardBreaker()
 FleetRouter::FleetRouter(RouterOptions options, Emit emit)
     : options_(std::move(options)), clock_(resolveClock(options_.clock)),
       emit_(std::move(emit)),
-      ring_(options_.shards == 0 ? 1 : options_.shards, options_.vnodes)
+      ring_(options_.connect.empty()
+                ? (options_.shards == 0 ? 1 : options_.shards)
+                : options_.connect.size(),
+            options_.vnodes)
 {
+    if (!options_.connect.empty()) {
+        // TCP fleet: one shard per endpoint; the daemons already run.
+        options_.shards = options_.connect.size();
+        endpoints_.reserve(options_.connect.size());
+        for (const std::string& text : options_.connect) {
+            endpoints_.push_back(net::parseEndpoint(text));
+        }
+    } else {
+        QA_REQUIRE(!options_.shard_command.empty(),
+                   "fleet needs a shard command or endpoints to connect");
+    }
     QA_REQUIRE(options_.shards > 0, "fleet needs at least one shard");
-    QA_REQUIRE(!options_.shard_command.empty(),
-               "fleet needs a shard command");
     shards_.reserve(options_.shards);
     for (size_t i = 0; i < options_.shards; ++i) {
         auto shard = std::make_unique<Shard>();
@@ -117,21 +129,36 @@ FleetRouter::shardArgv(size_t index, uint64_t generation) const
     return argv;
 }
 
+std::unique_ptr<ShardTransport>
+FleetRouter::makeTransport(size_t index, uint64_t generation) const
+{
+    if (index < endpoints_.size()) {
+        // A failed connect still yields a transport — one that EOFs on
+        // first read, so the reconnect backoff runs through the same
+        // death path as a crashed child.
+        return std::make_unique<TcpTransport>(endpoints_[index],
+                                              options_.tcp);
+    }
+    return std::make_unique<PipeTransport>(shardArgv(index, generation));
+}
+
 void
 FleetRouter::spawnShardLocked(size_t index)
 {
     Shard& shard = *shards_[index];
     shard.generation++;
-    shard.proc =
-        std::make_unique<ChildProcess>(shardArgv(index, shard.generation));
+    shard.transport = makeTransport(index, shard.generation);
     shard.alive = true;
     shard.ping_outstanding = false;
+    shard.attachment_ping_failures = 0;
     // Probe soon: recovery needs recover_threshold pongs.
     shard.last_probe = clock_.now() - durationMs(options_.probe_interval_ms);
     const uint64_t generation = shard.generation;
-    const int fd = shard.proc->readFd();
-    shard.reader = std::thread(
-        [this, index, generation, fd] { readerLoop(index, generation, fd); });
+    const int fd = shard.transport->readFd();
+    const double idle_ms = shard.transport->readIdleTimeoutMs();
+    shard.reader = std::thread([this, index, generation, fd, idle_ms] {
+        readerLoop(index, generation, fd, idle_ms);
+    });
 }
 
 void
@@ -151,13 +178,15 @@ FleetRouter::start()
                             options_.journal_dir + "': " + ec.message());
     }
     for (size_t i = 0; i < shards_.size(); ++i) spawnShardLocked(i);
+    last_adaptive_ = clock_.now();
     maintenance_ = std::thread([this] { maintenanceLoop(); });
 }
 
 void
-FleetRouter::readerLoop(size_t index, uint64_t generation, int fd)
+FleetRouter::readerLoop(size_t index, uint64_t generation, int fd,
+                        double idle_timeout_ms)
 {
-    LineReader reader(fd, options_.max_line);
+    LineReader reader(fd, options_.max_line, idle_timeout_ms);
     std::string line;
     for (;;) {
         const LineReader::Status status = reader.next(&line);
@@ -170,21 +199,42 @@ FleetRouter::readerLoop(size_t index, uint64_t generation, int fd)
             shards_[index]->health.onFailure();
             continue;
         }
+        if (status == LineReader::Status::kTimeout) {
+            // The peer went silent past the idle bound (blackholed
+            // socket, wedged daemon). Tear the attachment down; the
+            // loop then observes EOF and runs the full death path.
+            onReaderTimeout(index, generation);
+            continue;
+        }
         onShardLine(index, generation, line);
     }
 }
 
 void
-FleetRouter::handlePongLocked(size_t index, const std::string& alias)
+FleetRouter::onReaderTimeout(size_t index, uint64_t generation)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard& shard = *shards_[index];
+    if (shard.generation != generation || !shard.transport) return;
+    shard.health.onFailure();
+    shard.transport->terminate();
+}
+
+void
+FleetRouter::handlePongLocked(size_t index, const std::string& alias,
+                              double queue_depth)
 {
     Shard& shard = *shards_[index];
     if (shard.ping_outstanding && shard.ping_id == alias) {
         shard.ping_outstanding = false;
         shard.pings_ok++;
         shard.last_rtt_ms = clock_.elapsedMs(shard.ping_sent);
+        shard.queue_depth = queue_depth;
     }
     // Even a late pong (its probe already counted as a timeout) proves
-    // the shard is answering.
+    // the shard is answering — and resets the attachment failure streak
+    // the remote teardown path keys on.
+    shard.attachment_ping_failures = 0;
     shard.health.onSuccess();
 }
 
@@ -209,11 +259,30 @@ FleetRouter::onShardLine(size_t index, uint64_t generation,
     const bool current = shard.generation == generation;
 
     if (alias.rfind("!p", 0) == 0) {
-        if (current) handlePongLocked(index, alias);
+        if (current) {
+            double queue_depth = shard.queue_depth;
+            try {
+                const serve::JsonValue parsed =
+                    serve::JsonValue::parse(line);
+                queue_depth = parsed.numberOr("queue_depth", queue_depth);
+            } catch (const UserError&) {
+                // Malformed pong still proves liveness; keep old depth.
+            }
+            handlePongLocked(index, alias, queue_depth);
+        }
         return;
     }
 
-    if (current) shard.responses++;
+    if (!current) {
+        // Generation guard: a line surfacing from a superseded
+        // attachment (reconnected TCP shard replaying buffered output,
+        // zombie child flushing its pipe) must never resolve a job —
+        // its aliases already failed over to the current generation.
+        counters_.strays++;
+        return;
+    }
+
+    shard.responses++;
     const PendingPtr job = pending_.find(alias);
     if (!job) {
         // Hedge loser, post-failover duplicate, or stale-generation
@@ -223,7 +292,7 @@ FleetRouter::onShardLine(size_t index, uint64_t generation,
     }
 
     // Any well-formed response proves the shard is answering.
-    if (current) shard.health.onSuccess();
+    shard.health.onSuccess();
 
     // Classify: error lines may be redispatched instead of delivered.
     bool is_error = false;
@@ -237,18 +306,16 @@ FleetRouter::onShardLine(size_t index, uint64_t generation,
             retry_after_ms = parsed.numberOr("retry_after_ms", 0.0);
         }
     } catch (const UserError&) {
-        if (current) shard.health.onFailure();
+        shard.health.onFailure();
         counters_.strays++;
         return;
     }
 
-    if (current) {
-        if (is_error) {
-            shard.errors++;
-            shard.breaker->recordFailure();
-        } else {
-            shard.breaker->recordSuccess();
-        }
+    if (is_error) {
+        shard.errors++;
+        shard.breaker->recordFailure();
+    } else {
+        shard.breaker->recordSuccess();
     }
 
     if (is_error && fleetRetryableCode(code_name) && !draining_) {
@@ -257,6 +324,16 @@ FleetRouter::onShardLine(size_t index, uint64_t generation,
             std::remove(job->awaiting.begin(), job->awaiting.end(), index),
             job->awaiting.end());
         if (!job->awaiting.empty()) return;
+
+        // A refusal (queue_full/shedding) is saturation, not failure:
+        // rewind placement one step so the retry lands on the same
+        // shard once it recovers, keeping the job's cache affinity.
+        // Other retryable codes keep the advanced cursor and fail over
+        // down the chain.
+        if ((code_name == "queue_full" || code_name == "shedding") &&
+            job->next_chain > 0) {
+            job->next_chain--;
+        }
 
         const double spent = clock_.elapsedMs(job->admitted);
         if (job->dispatches < options_.retry.max_attempts) {
@@ -299,8 +376,11 @@ FleetRouter::onShardExit(size_t index, uint64_t generation)
     if (shard.generation != generation) return;
     shard.alive = false;
     shard.ping_outstanding = false;
+    shard.outlier = false;
+    shard.outlier_streak = 0;
     shard.health.onProcessExit();
-    shard.proc->tryReap();
+    shard.transport->noteEof();
+    shard.transport->finished(); // reaps a pipe child's zombie now
     shard.respawn_attempts++;
     shard.next_respawn =
         clock_.now() +
@@ -326,35 +406,50 @@ bool
 FleetRouter::dispatchLocked(const PendingPtr& job, bool hedge)
 {
     const size_t n = job->chain.size();
-    for (size_t tried = 0; tried < n; ++tried) {
-        const size_t target = job->chain[job->next_chain % n];
-        job->next_chain++;
-        Shard& shard = *shards_[target];
-        if (!shard.alive) continue;
-        if (shard.health.state() == ShardHealth::kDown) continue;
-        if (hedge && std::find(job->awaiting.begin(), job->awaiting.end(),
-                               target) != job->awaiting.end()) {
-            continue;
-        }
-        if (!shard.breaker->tryAdmit()) continue;
+    // Pass 0 routes past sustained load outliers (spill); pass 1 takes
+    // any admitting shard, so an all-outlier fleet still serves.
+    for (int pass = options_.spill ? 0 : 1; pass < 2; ++pass) {
+        bool skipped_outlier = false;
+        for (size_t tried = 0; tried < n; ++tried) {
+            const size_t target =
+                job->chain[(job->next_chain + tried) % n];
+            Shard& shard = *shards_[target];
+            if (!shard.alive) continue;
+            if (shard.health.state() == ShardHealth::kDown) continue;
+            if (hedge &&
+                std::find(job->awaiting.begin(), job->awaiting.end(),
+                          target) != job->awaiting.end()) {
+                continue;
+            }
+            if (pass == 0 && shard.outlier) {
+                skipped_outlier = true;
+                continue;
+            }
+            if (!shard.breaker->tryAdmit()) continue;
 
-        const std::string alias = pending_.issueAlias(job);
-        job->request.set("id", serve::JsonValue::makeString(alias));
-        if (!shard.proc->writeLine(job->request.dump())) {
-            // Broken pipe: the reader's EOF will run the full death
-            // path; meanwhile this alias simply never answers (the job
-            // resolves through the next dispatch, the alias becomes a
-            // stray entry cleaned up at resolution).
-            shard.health.onFailure();
-            continue;
+            const std::string alias = pending_.issueAlias(job);
+            job->request.set("id", serve::JsonValue::makeString(alias));
+            if (!shard.transport->writeLine(job->request.dump())) {
+                // Broken pipe / timed-out socket write: the reader's
+                // EOF will run the full death path; meanwhile this
+                // alias simply never answers (the job resolves through
+                // the next dispatch, the alias becomes a stray entry
+                // cleaned up at resolution).
+                shard.health.onFailure();
+                continue;
+            }
+            job->next_chain += tried + 1;
+            shard.forwarded++;
+            job->awaiting.push_back(target);
+            job->dispatches++;
+            job->parked = false;
+            job->last_dispatch = clock_.now();
+            if (pass == 0 && skipped_outlier) counters_.spills++;
+            return true;
         }
-        shard.forwarded++;
-        job->awaiting.push_back(target);
-        job->dispatches++;
-        job->parked = false;
-        job->last_dispatch = clock_.now();
-        return true;
+        if (pass == 0 && !skipped_outlier) break; // re-walk changes nothing
     }
+    job->next_chain += n; // full fruitless walk: keep rotation moving
     if (!hedge) parkOrFailLocked(job);
     return false;
 }
@@ -465,22 +560,40 @@ FleetRouter::maintenanceTickLocked()
     for (size_t i = 0; i < shards_.size(); ++i) {
         Shard& shard = *shards_[i];
         if (!shard.alive) {
-            if (shard.proc) shard.proc->tryReap();
+            if (shard.transport) shard.transport->finished();
             if (options_.respawn && !draining_ && now >= shard.next_respawn) {
                 // The reader that reported this death has finished its
                 // last locked call (it set alive = false); joining here
-                // only waits for thread teardown.
+                // only waits for thread teardown. For a pipe this
+                // respawns the child; for TCP it re-dials the daemon —
+                // same backoff schedule, same fresh generation.
                 if (shard.reader.joinable()) shard.reader.join();
-                shard.proc.reset();
+                shard.transport.reset();
                 spawnShardLocked(i);
                 shard.respawns++;
             }
             continue;
         }
+        if (shard.transport->remote() &&
+            shard.health.state() == ShardHealth::kDown &&
+            shard.attachment_ping_failures >=
+                uint64_t(options_.health.fail_threshold)) {
+            // A remote shard never delivers EOF while the network
+            // blackholes it; once probes against *this* connection have
+            // kept failing with health down, tear the connection down
+            // ourselves so the reader observes EOF and the normal
+            // failover + backoff-reconnect path runs. Gating on the
+            // attachment's own failures (not just sticky health state)
+            // lets a fresh reconnect pong its way back up instead of
+            // being recycled before its first probe answer.
+            // (terminate is idempotent; the reader exits promptly.)
+            shard.transport->terminate();
+        }
         if (shard.ping_outstanding &&
             clock_.elapsedMs(shard.ping_sent) > options_.ping_timeout_ms) {
             shard.ping_outstanding = false;
             shard.pings_failed++;
+            shard.attachment_ping_failures++;
             shard.health.onFailure();
         }
         if (!shard.ping_outstanding &&
@@ -489,15 +602,23 @@ FleetRouter::maintenanceTickLocked()
             shard.ping_id =
                 "!p" + std::to_string(i) + "." + std::to_string(shard.ping_seq++);
             shard.last_probe = now;
-            if (shard.proc->writeLine("{\"op\":\"ping\",\"id\":\"" +
-                                      shard.ping_id + "\"}")) {
+            if (shard.transport->writeLine("{\"op\":\"ping\",\"id\":\"" +
+                                           shard.ping_id + "\"}")) {
                 shard.ping_outstanding = true;
                 shard.ping_sent = now;
             } else {
                 shard.pings_failed++;
+                shard.attachment_ping_failures++;
                 shard.health.onFailure();
             }
         }
+    }
+
+    if (options_.spill) scoreOutliersLocked();
+    if (options_.adaptive_placement &&
+        clock_.elapsedMs(last_adaptive_) >= options_.adaptive_interval_ms) {
+        adaptiveReweighLocked();
+        last_adaptive_ = now;
     }
 
     for (const PendingPtr& job : pending_.all()) {
@@ -514,6 +635,117 @@ FleetRouter::maintenanceTickLocked()
             }
         }
     }
+}
+
+void
+FleetRouter::scoreOutliersLocked()
+{
+    // A shard's load only counts as an outlier against what the *rest*
+    // of the fleet reports — fleet-wide saturation is back-pressure,
+    // not an outlier — and only after `spill_streak` consecutive
+    // outlier-looking probes, so one garbage-collection hiccup on a
+    // shard does not bounce its keyspace around the ring.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[i];
+        if (!shard.alive || shard.health.state() == ShardHealth::kDown) {
+            shard.outlier = false;
+            shard.outlier_streak = 0;
+            continue;
+        }
+        if (shard.pongs_scored == shard.pings_ok) continue; // no new data
+        shard.pongs_scored = shard.pings_ok;
+
+        double peer_depth = 0.0;
+        double peer_rtt = 0.0;
+        size_t peers = 0;
+        for (size_t j = 0; j < shards_.size(); ++j) {
+            if (j == i || !shards_[j]->alive) continue;
+            peer_depth += shards_[j]->queue_depth;
+            peer_rtt += shards_[j]->last_rtt_ms;
+            peers++;
+        }
+        if (peers == 0) { // a one-shard fleet has nothing to spill to
+            shard.outlier = false;
+            shard.outlier_streak = 0;
+            continue;
+        }
+        peer_depth /= double(peers);
+        peer_rtt /= double(peers);
+
+        const bool depth_outlier =
+            shard.queue_depth >= options_.spill_min_depth &&
+            shard.queue_depth > options_.spill_factor * peer_depth;
+        const bool rtt_outlier =
+            shard.last_rtt_ms >= options_.spill_min_rtt_ms &&
+            shard.last_rtt_ms > options_.spill_factor * peer_rtt;
+        if (depth_outlier || rtt_outlier) {
+            shard.outlier_streak =
+                std::min(shard.outlier_streak + 1, 1 << 20);
+            if (shard.outlier_streak >= options_.spill_streak) {
+                shard.outlier = true;
+            }
+        } else {
+            shard.outlier_streak = 0;
+            shard.outlier = false;
+        }
+    }
+}
+
+void
+FleetRouter::adaptiveReweighLocked()
+{
+    // Measure each live shard's service rate (responses per second
+    // since the previous reweigh), smooth it, and re-derive ring
+    // weights relative to the fleet mean. Clamping and quantizing the
+    // weight means a steady fleet rebuilds nothing, and even a 2x-fast
+    // shard moves only the keys its extra tail vnodes claim.
+    const double interval_s =
+        std::max(1e-3, clock_.elapsedMs(last_adaptive_) / 1000.0);
+    double rate_sum = 0.0;
+    size_t live = 0;
+    for (const auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        const double delta =
+            double(shard.responses - shard.rate_base_responses);
+        shard.rate_base_responses = shard.responses;
+        const double rate = delta / interval_s;
+        shard.service_rate =
+            shard.service_rate == 0.0
+                ? rate
+                : (1.0 - options_.adaptive_alpha) * shard.service_rate +
+                      options_.adaptive_alpha * rate;
+        if (shard.alive) {
+            rate_sum += shard.service_rate;
+            live++;
+        }
+    }
+    if (live == 0 || rate_sum <= 0.0) return; // no signal yet
+
+    const double mean = rate_sum / double(live);
+    std::vector<double> weights(shards_.size(), 1.0);
+    bool changed = false;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[i];
+        double w = shard.weight;
+        if (shard.alive && shard.service_rate > 0.0) {
+            w = shard.service_rate / mean;
+            w = std::min(2.0, std::max(0.5, w));
+            w = double(int(w * 4.0 + 0.5)) / 4.0; // quantize: 1/4 steps
+        }
+        weights[i] = w;
+        if (w != shard.weight) {
+            shard.weight = w;
+            changed = true;
+        }
+    }
+    if (!changed) return;
+
+    ring_ = HashRing(shards_.size(), weights, options_.vnodes);
+    counters_.rebalances++;
+    status_cache_valid_ = false;
+    // In-flight jobs keep their admission-time chains (their dispatch
+    // bookkeeping indexes into them); only new admissions see the
+    // reweighted ring. That is the affinity-preserving choice too.
 }
 
 bool
@@ -542,23 +774,30 @@ FleetRouter::stop(double shard_grace_ms)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto& shard : shards_) {
-            if (shard->alive && shard->proc) {
-                shard->proc->writeLine("{\"op\":\"shutdown\"}");
-                shard->proc->closeStdin();
+            if (shard->alive && shard->transport) {
+                // A spawned child is ours to drain and stop; a remote
+                // daemon is a shared service — close our connection
+                // (it sees EOF and drops the session) but never send
+                // it a fleet-wide shutdown.
+                if (!shard->transport->remote()) {
+                    shard->transport->writeLine("{\"op\":\"shutdown\"}");
+                }
+                shard->transport->closeWrite();
             }
         }
     }
 
-    // Bounded graceful-exit wait, then SIGKILL. No router lock here:
-    // readers still need it for their final onShardExit.
+    // Bounded graceful-exit wait, then hard teardown (SIGKILL for a
+    // child, socket shutdown for TCP). No router lock here: readers
+    // still need it for their final onShardExit.
     const Clock::TimePoint deadline =
         clock_.now() + durationMs(shard_grace_ms);
     for (const auto& shard : shards_) {
-        if (!shard->proc) continue;
-        while (!shard->proc->tryReap() && clock_.now() < deadline) {
+        if (!shard->transport) continue;
+        while (!shard->transport->finished() && clock_.now() < deadline) {
             std::this_thread::sleep_for(std::chrono::milliseconds(5));
         }
-        if (!shard->proc->reaped()) shard->proc->forceReap();
+        shard->transport->terminate();
         if (shard->reader.joinable()) shard->reader.join();
     }
 
@@ -585,7 +824,9 @@ FleetCounters
 FleetRouter::counters() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counters_;
+    FleetCounters snapshot = counters_;
+    snapshot.status_cache_hits = status_cache_hits_;
+    return snapshot;
 }
 
 ShardStatus
@@ -596,7 +837,7 @@ FleetRouter::shardStatus(size_t index) const
     const Shard& shard = *shards_[index];
     ShardStatus status;
     status.index = int(index);
-    status.pid = shard.proc ? shard.proc->pid() : -1;
+    status.pid = shard.transport ? shard.transport->pid() : -1;
     status.alive = shard.alive;
     status.generation = shard.generation;
     status.health = shard.health.state();
@@ -609,6 +850,19 @@ FleetRouter::shardStatus(size_t index) const
     status.respawns = shard.respawns;
     status.down_transitions = shard.health.downTransitions();
     status.last_rtt_ms = shard.last_rtt_ms;
+    status.transport =
+        shard.transport ? shard.transport->kindName()
+                        : (index < endpoints_.size() ? "tcp" : "pipe");
+    status.attachment =
+        shard.transport ? shard.transport->describe()
+                        : (index < endpoints_.size()
+                               ? endpoints_[index].str()
+                               : std::string("unspawned"));
+    status.queue_depth = shard.queue_depth;
+    status.outlier = shard.outlier;
+    status.service_rate = shard.service_rate;
+    status.weight = shard.weight;
+    status.vnodes = ring_.vnodesOf(index);
     return status;
 }
 
@@ -622,9 +876,18 @@ FleetRouter::fleetStatusJson(const std::string& id) const
 std::string
 FleetRouter::fleetStatusLocked(const std::string& id) const
 {
+    // The id is the only per-request part of the line, so the body is
+    // cacheable: under a status-polling load the snapshot is rebuilt at
+    // most once per TTL instead of once per request.
+    if (options_.status_cache_ms > 0.0 && status_cache_valid_ &&
+        clock_.elapsedMs(status_cache_at_) < options_.status_cache_ms) {
+        status_cache_hits_++;
+        return "{\"id\":\"" + serve::jsonEscape(id) + "\"" +
+               status_cache_body_;
+    }
+
     std::ostringstream out;
-    out << "{\"id\":\"" << serve::jsonEscape(id)
-        << "\",\"status\":\"ok\",\"fleet\":{\"shards\":" << shards_.size()
+    out << ",\"status\":\"ok\",\"fleet\":{\"shards\":" << shards_.size()
         << ",\"pending\":" << pending_.size()
         << ",\"admitted\":" << counters_.admitted
         << ",\"resolved_ok\":" << counters_.resolved_ok
@@ -634,12 +897,23 @@ FleetRouter::fleetStatusLocked(const std::string& id) const
         << ",\"failovers\":" << counters_.failovers
         << ",\"hedges\":" << counters_.hedges
         << ",\"strays\":" << counters_.strays
-        << ",\"no_shard\":" << counters_.no_shard << ",\"shard\":[";
+        << ",\"no_shard\":" << counters_.no_shard
+        << ",\"spills\":" << counters_.spills
+        << ",\"rebalances\":" << counters_.rebalances
+        << ",\"status_cache_hits\":" << status_cache_hits_
+        << ",\"shard\":[";
     for (size_t i = 0; i < shards_.size(); ++i) {
         const Shard& shard = *shards_[i];
         if (i != 0) out << ",";
-        out << "{\"index\":" << i
-            << ",\"pid\":" << (shard.proc ? shard.proc->pid() : -1)
+        out << "{\"index\":" << i << ",\"transport\":\""
+            << (shard.transport
+                    ? shard.transport->kindName()
+                    : (i < endpoints_.size() ? "tcp" : "pipe"))
+            << "\",\"attachment\":\""
+            << serve::jsonEscape(shard.transport
+                                     ? shard.transport->describe()
+                                     : std::string("unspawned"))
+            << "\",\"pid\":" << (shard.transport ? shard.transport->pid() : -1)
             << ",\"alive\":" << (shard.alive ? "true" : "false")
             << ",\"generation\":" << shard.generation << ",\"state\":\""
             << shardHealthName(shard.health.state()) << "\",\"breaker\":\""
@@ -652,10 +926,18 @@ FleetRouter::fleetStatusLocked(const std::string& id) const
             << ",\"respawns\":" << shard.respawns
             << ",\"down_transitions\":" << shard.health.downTransitions()
             << ",\"last_rtt_ms\":" << serve::jsonNumber(shard.last_rtt_ms)
-            << "}";
+            << ",\"queue_depth\":" << serve::jsonNumber(shard.queue_depth)
+            << ",\"outlier\":" << (shard.outlier ? "true" : "false")
+            << ",\"service_rate\":" << serve::jsonNumber(shard.service_rate)
+            << ",\"weight\":" << serve::jsonNumber(shard.weight)
+            << ",\"vnodes\":" << ring_.vnodesOf(i) << "}";
     }
     out << "]}}";
-    return out.str();
+    status_cache_body_ = out.str();
+    status_cache_at_ = clock_.now();
+    status_cache_valid_ = true;
+    return "{\"id\":\"" + serve::jsonEscape(id) + "\"" +
+           status_cache_body_;
 }
 
 void

@@ -2,12 +2,14 @@
  * @file
  * FleetRouter: the multi-process front-end behind the qa_router binary.
  *
- * Topology: the router fork/execs N qassertd shard children (NDJSON
- * over pipes), consistent-hashes each admitted job's 128-bit structural
- * jobKey onto the shard ring (serve-layer cache affinity for free: the
- * same circuit structure always lands on the same shard while it is
- * up), and multiplexes responses back to the client, rewriting its
- * per-dispatch alias ids back to the client's ids.
+ * Topology: the router attaches N qassertd shards — fork/exec'd
+ * children on pipes, or remote `qassertd --listen` daemons over TCP
+ * (fleet/transport.hpp; both NDJSON) — consistent-hashes each admitted
+ * job's 128-bit structural jobKey onto the shard ring (serve-layer
+ * cache affinity for free: the same circuit structure always lands on
+ * the same shard while it is up), and multiplexes responses back to
+ * the client, rewriting its per-dispatch alias ids back to the
+ * client's ids.
  *
  * Robustness contract (DESIGN.md Sec. 13):
  *  - **Health probing**: a maintenance thread wire-pings every shard
@@ -35,10 +37,30 @@
  *  - **All shards down** is a typed kNoShardAvailable error after the
  *    retry budget, never a hang.
  *
+ * Remote-fleet additions (DESIGN.md Sec. 15):
+ *  - **Reconnect with generation guards**: a dead TCP attachment is
+ *    re-dialed on the respawn backoff schedule; each attachment is a
+ *    new generation, and responses tagged with a stale generation can
+ *    never resolve a job (they count as strays). A reconnected shard
+ *    therefore cannot resurrect aliases that already failed over.
+ *  - **Bounded socket I/O**: connect, write, and idle-read timeouts on
+ *    the TCP path; a wedged remote (partition, slow-loris) surfaces as
+ *    a read timeout or health-down, after which the router tears the
+ *    connection down itself so the ordinary EOF death path (failover +
+ *    backoff reconnect) runs.
+ *  - **Load-aware placement**: pong-carried queue depths and probe
+ *    RTTs feed an outlier detector; dispatch routes past an "up" shard
+ *    whose load is a sustained outlier (spill), and measured service
+ *    rates periodically reweight the ring's vnodes (rebalance) so a
+ *    consistently faster shard owns more keyspace.
+ *  - **Cached fleet_status**: status snapshots are served from a
+ *    bounded-staleness cache so status polling cannot contend with
+ *    dispatch under load.
+ *
  * Threads: the caller's admission thread (handleLine), one reader
  * thread per live shard, and one maintenance thread (probes, backoff
- * releases, hedges, respawns). One router mutex guards all shared
- * state; shard stdin writes take only the per-process pipe mutex.
+ * releases, hedges, respawns/reconnects). One router mutex guards all
+ * shared state; shard writes take only the per-transport write mutex.
  */
 #ifndef QA_FLEET_ROUTER_HPP
 #define QA_FLEET_ROUTER_HPP
@@ -53,10 +75,12 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/net.hpp"
 #include "fleet/health.hpp"
 #include "fleet/pending.hpp"
 #include "fleet/process.hpp"
 #include "fleet/ring.hpp"
+#include "fleet/transport.hpp"
 #include "resilience/breaker.hpp"
 #include "resilience/retry.hpp"
 
@@ -74,10 +98,23 @@ struct RouterOptions
     /** argv used to spawn each shard (binary + flags, no journal). */
     std::vector<std::string> shard_command;
 
+    /**
+     * Remote shards: one "host:port" per shard, each a running
+     * `qassertd --listen` daemon. Non-empty switches the whole fleet to
+     * TCP transports — `shards` becomes connect.size(), shard_command
+     * is unused, and "respawn" means reconnect (the router never owns
+     * a remote daemon's lifetime, so stop() closes connections without
+     * sending the daemons a shutdown).
+     */
+    std::vector<std::string> connect;
+
     size_t shards = 3;
 
-    /** Ring vnodes per shard. */
+    /** Ring vnodes per shard (at weight 1.0). */
     size_t vnodes = 64;
+
+    /** TCP transport bounds (connect / write / idle-read). */
+    TcpTransport::Options tcp;
 
     /**
      * When set, shard i of generation g journals to
@@ -120,6 +157,44 @@ struct RouterOptions
     /** Bound on client and shard line lengths. */
     size_t max_line = size_t(1) << 20;
 
+    /**
+     * Outlier spill: when enabled, dispatch's first pass skips an "up"
+     * shard whose pong queue depth or probe RTT has been an outlier
+     * against the rest of the fleet for `spill_streak` consecutive
+     * probes (a second pass still allows outliers, so a fleet that is
+     * uniformly loaded never rejects work it could do).
+     */
+    bool spill = false;
+
+    /** Outlier factor over the mean of the *other* shards. */
+    double spill_factor = 3.0;
+
+    /** Queue-depth floor below which a shard is never an outlier. */
+    double spill_min_depth = 4.0;
+
+    /** RTT floor (ms) below which RTT never marks an outlier. */
+    double spill_min_rtt_ms = 50.0;
+
+    /** Consecutive outlier probes before spill starts. */
+    int spill_streak = 3;
+
+    /**
+     * Load-aware adaptive placement: periodically reweight ring vnodes
+     * by each shard's measured service rate (EWMA of responses/s,
+     * clamped to [0.5, 2.0] of the fleet mean and quantized to 1/4
+     * steps so measurement jitter cannot churn the ring).
+     */
+    bool adaptive_placement = false;
+
+    /** Reweigh cadence. */
+    double adaptive_interval_ms = 2000.0;
+
+    /** Service-rate EWMA smoothing factor. */
+    double adaptive_alpha = 0.3;
+
+    /** fleet_status cache TTL; 0 = rebuild the snapshot per request. */
+    double status_cache_ms = 0.0;
+
     /** Time source; nullptr = the real steady clock. */
     Clock* clock = nullptr;
 
@@ -142,6 +217,9 @@ struct FleetCounters
     uint64_t hedges = 0;         ///< Hedged duplicates issued.
     uint64_t strays = 0;         ///< Late/duplicate shard responses dropped.
     uint64_t no_shard = 0;       ///< Jobs failed kNoShardAvailable.
+    uint64_t spills = 0;         ///< Dispatches routed past an outlier shard.
+    uint64_t rebalances = 0;     ///< Adaptive ring reweights applied.
+    uint64_t status_cache_hits = 0; ///< fleet_status served from cache.
 };
 
 /** Point-in-time view of one shard (fleet_status, tests). */
@@ -162,6 +240,13 @@ struct ShardStatus
     uint64_t respawns = 0;
     uint64_t down_transitions = 0;
     double last_rtt_ms = 0.0;
+    std::string transport;  ///< "pipe" or "tcp".
+    std::string attachment; ///< "pid 1234" / "127.0.0.1:9001".
+    double queue_depth = 0.0; ///< Last pong-reported queue depth.
+    bool outlier = false;     ///< Currently spilled past by dispatch.
+    double service_rate = 0.0; ///< EWMA responses/s (adaptive placement).
+    double weight = 1.0;       ///< Current ring weight.
+    size_t vnodes = 0;         ///< Ring positions currently owned.
 };
 
 class FleetRouter
@@ -214,7 +299,7 @@ class FleetRouter
   private:
     struct Shard
     {
-        std::unique_ptr<ChildProcess> proc;
+        std::unique_ptr<ShardTransport> transport;
         std::thread reader;
         uint64_t generation = 0;
         bool alive = false;
@@ -237,16 +322,44 @@ class FleetRouter
         uint64_t pings_ok = 0;
         uint64_t pings_failed = 0;
         uint64_t respawns = 0;
+
+        /**
+         * Probe failures observed on the *current* attachment (reset at
+         * spawn/reconnect). The remote health-down teardown keys on
+         * this, not on the sticky HealthTracker state: a reconnected
+         * shard whose health is still recovering from the previous
+         * generation's death must get a chance to pong before the
+         * maintenance loop may recycle its brand-new connection.
+         */
+        uint64_t attachment_ping_failures = 0;
+
+        // Outlier spill (pong-fed; evaluated each probe).
+        double queue_depth = 0.0;
+        uint64_t pongs_scored = 0; ///< pings_ok already folded into streak.
+        int outlier_streak = 0;
+        bool outlier = false;
+
+        // Adaptive placement (response-rate EWMA; per adaptive tick).
+        uint64_t rate_base_responses = 0;
+        double service_rate = 0.0;
+        double weight = 1.0;
     };
 
     std::vector<std::string> shardArgv(size_t index,
                                        uint64_t generation) const;
+    std::unique_ptr<ShardTransport> makeTransport(size_t index,
+                                                  uint64_t generation) const;
     void spawnShardLocked(size_t index);
-    void readerLoop(size_t index, uint64_t generation, int fd);
+    void readerLoop(size_t index, uint64_t generation, int fd,
+                    double idle_timeout_ms);
     void onShardLine(size_t index, uint64_t generation,
                      const std::string& line);
     void onShardExit(size_t index, uint64_t generation);
-    void handlePongLocked(size_t index, const std::string& alias);
+    void onReaderTimeout(size_t index, uint64_t generation);
+    void handlePongLocked(size_t index, const std::string& alias,
+                          double queue_depth);
+    void scoreOutliersLocked();
+    void adaptiveReweighLocked();
 
     /**
      * Issue one dispatch of `job` to the first admitting shard on its
@@ -269,6 +382,7 @@ class FleetRouter
     Clock& clock_;
     Emit emit_;
     HashRing ring_;
+    std::vector<net::Endpoint> endpoints_; ///< Non-empty: TCP fleet.
 
     mutable std::mutex mutex_;
     std::condition_variable idle_cv_;  ///< Pending resolutions.
@@ -279,6 +393,15 @@ class FleetRouter
     bool draining_ = false;
     bool stopped_ = false;
     bool started_ = false;
+
+    Clock::TimePoint last_adaptive_;
+
+    // fleet_status cache: the body after the id is identical across
+    // requests within the TTL, so only the id gets re-wrapped.
+    mutable std::string status_cache_body_;
+    mutable Clock::TimePoint status_cache_at_;
+    mutable bool status_cache_valid_ = false;
+    mutable uint64_t status_cache_hits_ = 0;
 
     std::thread maintenance_;
     std::mutex emit_mutex_;

@@ -1,0 +1,81 @@
+#include "fleet/transport.hpp"
+
+#include <unistd.h>
+
+namespace qa
+{
+namespace fleet
+{
+
+TcpTransport::TcpTransport(const net::Endpoint& endpoint,
+                           const Options& options)
+    : endpoint_(endpoint), options_(options)
+{
+    fd_ = net::tcpConnect(endpoint.host, endpoint.port,
+                          options.connect_timeout_ms);
+    if (fd_ < 0) {
+        // Degrade to the exec-failure shape: an fd that EOFs on first
+        // read, so the owner's reader runs its ordinary death path.
+        int pipe_fds[2] = {-1, -1};
+        if (::pipe(pipe_fds) == 0) {
+            net::closeQuiet(pipe_fds[1]); // no writer => immediate EOF
+            eof_pipe_ = pipe_fds[0];
+        }
+        finished_.store(true);
+    }
+}
+
+TcpTransport::~TcpTransport()
+{
+    terminate();
+    net::closeQuiet(fd_);
+    net::closeQuiet(eof_pipe_);
+    fd_ = -1;
+    eof_pipe_ = -1;
+}
+
+bool
+TcpTransport::writeLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (fd_ < 0 || write_closed_ || finished_.load()) return false;
+    std::string buf = line;
+    buf.push_back('\n');
+    if (net::writeAllBounded(fd_, buf.data(), buf.size(),
+                             options_.write_timeout_ms)) {
+        return true;
+    }
+    // A half-written line would desynchronise the NDJSON stream; a
+    // write that could not complete within the bound condemns the
+    // whole connection, not just this request.
+    net::shutdownBoth(fd_);
+    finished_.store(true);
+    return false;
+}
+
+void
+TcpTransport::closeWrite()
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    write_closed_ = true;
+    net::shutdownWrite(fd_);
+}
+
+int
+TcpTransport::readFd() const
+{
+    return fd_ >= 0 ? fd_ : eof_pipe_;
+}
+
+void
+TcpTransport::terminate()
+{
+    // shutdown(), not close(): the fd must stay valid while a reader
+    // thread may still be blocked in poll/read on it — shutdown wakes
+    // that reader with EOF, close would race fd reuse.
+    net::shutdownBoth(fd_);
+    finished_.store(true);
+}
+
+} // namespace fleet
+} // namespace qa

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * ShardTransport: the one seam between the fleet router and however a
+ * shard is actually reached.
+ *
+ * PR 7's router talked straight to a fork/exec'd ChildProcess; this
+ * file lifts that contract into an interface with two implementations:
+ *
+ *  - **PipeTransport** — the original topology: a qassertd child on a
+ *    pipe pair, spawned and SIGKILL-able by the router. "The shard
+ *    died" is process exit, observed as EOF on its stdout.
+ *  - **TcpTransport** — a connection to a remote `qassertd --listen`
+ *    shard. The router neither spawns nor kills the daemon; "the shard
+ *    died" is connection death (EOF, reset, bounded-connect failure,
+ *    or a router-initiated teardown after sustained probe timeouts),
+ *    and "respawn" is reconnect. A failed connect degrades to an
+ *    immediate-EOF stream — exactly the shape an exec failure has on
+ *    the pipe path — so the router's death/backoff machinery covers
+ *    both transports without caring which it is driving.
+ *
+ * Robustness contract shared by both (DESIGN.md Sec. 15):
+ *  - writeLine never blocks past its bound: pipes report EPIPE, the
+ *    socket path enforces a write timeout (a slow-loris peer that
+ *    accepts one byte a second fails the write, it does not wedge the
+ *    router);
+ *  - terminate() guarantees the transport's reader observes EOF soon
+ *    after — SIGKILL for a child, socket shutdown() for TCP (closing
+ *    the fd alone would NOT unblock a parked reader thread);
+ *  - after terminate() or peer EOF, finished() turns true and stays
+ *    true; a new generation always gets a brand-new transport, so a
+ *    reconnected shard can never resurrect a previous generation's
+ *    stream (generation guards live in the router, stream identity
+ *    lives here).
+ */
+#ifndef QA_FLEET_TRANSPORT_HPP
+#define QA_FLEET_TRANSPORT_HPP
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/net.hpp"
+#include "fleet/process.hpp"
+
+namespace qa
+{
+namespace fleet
+{
+
+/** One shard attachment (one generation of one shard). */
+class ShardTransport
+{
+  public:
+    virtual ~ShardTransport() = default;
+
+    /**
+     * Send one request line (newline appended). Thread safe. False when
+     * the stream is dead or the transport's write bound elapsed with
+     * bytes still unwritten — the caller records a shard failure.
+     */
+    virtual bool writeLine(const std::string& line) = 0;
+
+    /** Half-close the request direction (EOF-initiated drain). */
+    virtual void closeWrite() = 0;
+
+    /** Fd to hand a LineReader (the response stream). */
+    virtual int readFd() const = 0;
+
+    /** Local child pid; -1 for remote shards. */
+    virtual pid_t pid() const { return -1; }
+
+    /** True when the shard lives across a network, not a fork. */
+    virtual bool remote() const = 0;
+
+    /** Stable wire/log transport name: "pipe" or "tcp". */
+    virtual const char* kindName() const = 0;
+
+    /** Human-readable attachment ("pid 1234" / "127.0.0.1:9001"). */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Kill the attachment now. Must guarantee the reader on readFd()
+     * unblocks with EOF promptly. Idempotent and thread safe.
+     */
+    virtual void terminate() = 0;
+
+    /** The reader saw EOF; lets finished() reflect peer-initiated death. */
+    virtual void noteEof() {}
+
+    /** True once the attachment is dead (reaped child / dead socket). */
+    virtual bool finished() = 0;
+
+    /** Idle-read bound a LineReader on readFd() should use (0 = none). */
+    virtual double readIdleTimeoutMs() const { return 0.0; }
+};
+
+/** Spawned-child transport: qassertd on a pipe pair (PR 7 topology). */
+class PipeTransport : public ShardTransport
+{
+  public:
+    explicit PipeTransport(std::vector<std::string> argv)
+        : child_(std::move(argv))
+    {}
+
+    bool writeLine(const std::string& line) override
+    {
+        return child_.writeLine(line);
+    }
+    void closeWrite() override { child_.closeStdin(); }
+    int readFd() const override { return child_.readFd(); }
+    pid_t pid() const override { return child_.pid(); }
+    bool remote() const override { return false; }
+    const char* kindName() const override { return "pipe"; }
+    std::string describe() const override
+    {
+        return "pid " + std::to_string(child_.pid());
+    }
+    void terminate() override { child_.forceReap(); }
+    bool finished() override { return child_.tryReap(); }
+
+    /** The underlying child (chaos kills, exit-status checks). */
+    ChildProcess& child() { return child_; }
+
+  private:
+    ChildProcess child_;
+};
+
+/** Remote-shard transport: one TCP connection to qassertd --listen. */
+class TcpTransport : public ShardTransport
+{
+  public:
+    struct Options
+    {
+        /** Bounded connect handshake. */
+        double connect_timeout_ms = 1000.0;
+
+        /** Bound on one writeLine against a non-draining peer. */
+        double write_timeout_ms = 5000.0;
+
+        /** Idle-read bound handed to the reader (0 = unbounded). */
+        double read_idle_timeout_ms = 0.0;
+    };
+
+    /**
+     * Connect to `endpoint` within the bound. A failed connect does NOT
+     * throw: the transport comes up already finished() with an
+     * immediate-EOF readFd(), so the owner's normal death path (reader
+     * EOF -> backoff -> new transport) also covers connect failure.
+     */
+    TcpTransport(const net::Endpoint& endpoint, const Options& options);
+
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport&) = delete;
+    TcpTransport& operator=(const TcpTransport&) = delete;
+
+    bool writeLine(const std::string& line) override;
+    void closeWrite() override;
+    int readFd() const override;
+    bool remote() const override { return true; }
+    const char* kindName() const override { return "tcp"; }
+    std::string describe() const override { return endpoint_.str(); }
+    void terminate() override;
+    void noteEof() override { finished_.store(true); }
+    bool finished() override { return finished_.load(); }
+    double readIdleTimeoutMs() const override
+    {
+        return options_.read_idle_timeout_ms;
+    }
+
+    /** True when the bounded connect succeeded. */
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    net::Endpoint endpoint_;
+    Options options_;
+    int fd_ = -1;          ///< Connected socket (-1: connect failed).
+    int eof_pipe_ = -1;    ///< Immediate-EOF stand-in readFd on failure.
+    std::atomic<bool> finished_{false};
+    std::mutex write_mutex_;
+    bool write_closed_ = false;
+};
+
+} // namespace fleet
+} // namespace qa
+
+#endif // QA_FLEET_TRANSPORT_HPP

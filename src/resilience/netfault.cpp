@@ -1,0 +1,209 @@
+#include "resilience/netfault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace qa
+{
+namespace resilience
+{
+
+namespace
+{
+
+/** key=val,... for one family; every key must be consumed. */
+using Params = std::map<std::string, std::string>;
+
+Params
+parseParams(const std::string& family, const std::string& text)
+{
+    Params params;
+    if (text.empty()) return params;
+    std::stringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size()) {
+            throw UserError("netfault plan: '" + family +
+                                "' parameter '" + item +
+                                "' is not key=value", ErrorCode::kBadRequest);
+        }
+        params[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+    return params;
+}
+
+double
+takeNumber(Params& params, const std::string& family,
+           const std::string& key, double fallback, bool required)
+{
+    const auto it = params.find(key);
+    if (it == params.end()) {
+        if (required) {
+            throw UserError("netfault plan: '" + family + "' needs " +
+                                key + "=...", ErrorCode::kBadRequest);
+        }
+        return fallback;
+    }
+    const std::string text = it->second;
+    params.erase(it);
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || value < 0.0) {
+        throw UserError("netfault plan: '" + family + "' " + key +
+                            " must be a non-negative number, got '" +
+                            text + "'", ErrorCode::kBadRequest);
+    }
+    return value;
+}
+
+void
+rejectLeftovers(const Params& params, const std::string& family)
+{
+    if (params.empty()) return;
+    throw UserError("netfault plan: '" + family +
+                        "' does not take parameter '" +
+                        params.begin()->first + "'", ErrorCode::kBadRequest);
+}
+
+/** 1-based "every K-th connection": every=3 hits conn 2, 5, 8, ... */
+bool
+everyHits(uint64_t every, uint64_t conn)
+{
+    return every > 0 && (conn % every) == every - 1;
+}
+
+} // namespace
+
+NetFaultPlan
+NetFaultPlan::parse(const std::string& text, uint64_t seed)
+{
+    NetFaultPlan plan;
+    plan.seed_ = seed;
+    if (text.empty()) return plan;
+
+    std::stringstream in(text);
+    std::string clause;
+    while (std::getline(in, clause, ';')) {
+        if (clause.empty()) continue;
+        const size_t colon = clause.find(':');
+        const std::string family = clause.substr(0, colon);
+        Params params = parseParams(
+            family,
+            colon == std::string::npos ? "" : clause.substr(colon + 1));
+
+        if (family == "reset") {
+            plan.reset_enabled_ = true;
+            plan.reset_every_ = uint64_t(
+                takeNumber(params, family, "every", 0.0, true));
+            plan.reset_after_bytes_ = uint64_t(
+                takeNumber(params, family, "after_bytes", 0.0, false));
+        } else if (family == "partition") {
+            plan.partition_at_ms_ =
+                takeNumber(params, family, "at", 0.0, true);
+            plan.partition_dur_ms_ =
+                takeNumber(params, family, "dur", 0.0, true);
+        } else if (family == "slowloris") {
+            plan.slowloris_enabled_ = true;
+            plan.slowloris_every_ = uint64_t(
+                takeNumber(params, family, "every", 0.0, true));
+            plan.slowloris_delay_ms_ =
+                takeNumber(params, family, "delay_ms", 0.0, true);
+            plan.slowloris_chunk_ = uint64_t(
+                takeNumber(params, family, "chunk", 1.0, false));
+            if (plan.slowloris_chunk_ == 0) plan.slowloris_chunk_ = 1;
+            plan.slowloris_bytes_ = uint64_t(
+                takeNumber(params, family, "bytes", 0.0, false));
+        } else if (family == "partial") {
+            plan.partial_p_ =
+                takeNumber(params, family, "p", 0.0, true);
+            if (plan.partial_p_ > 1.0) {
+                throw UserError("netfault plan: partial p must be in "
+                                "[0, 1]", ErrorCode::kBadRequest);
+            }
+        } else if (family == "blackhole") {
+            plan.blackhole_enabled_ = true;
+            plan.blackhole_every_ = uint64_t(
+                takeNumber(params, family, "every", 0.0, true));
+            plan.blackhole_dur_ms_ =
+                takeNumber(params, family, "dur", 0.0, true);
+        } else {
+            throw UserError("netfault plan: unknown fault family '" +
+                                family + "'", ErrorCode::kBadRequest);
+        }
+        rejectLeftovers(params, family);
+    }
+    return plan;
+}
+
+NetConnFaults
+NetFaultPlan::connFaults(uint64_t conn) const
+{
+    NetConnFaults faults;
+    if (reset_enabled_ && everyHits(reset_every_, conn)) {
+        faults.reset = true;
+        faults.reset_after_bytes = reset_after_bytes_;
+    }
+    if (slowloris_enabled_ && everyHits(slowloris_every_, conn)) {
+        faults.slowloris = true;
+        faults.slowloris_delay_ms = slowloris_delay_ms_;
+        faults.slowloris_chunk = slowloris_chunk_;
+        faults.slowloris_bytes = slowloris_bytes_;
+    }
+    if (blackhole_enabled_ && everyHits(blackhole_every_, conn)) {
+        faults.blackhole = true;
+        faults.blackhole_dur_ms = blackhole_dur_ms_;
+    }
+    return faults;
+}
+
+bool
+NetFaultPlan::partialWrite(uint64_t conn, uint64_t chunk) const
+{
+    if (partial_p_ <= 0.0) return false;
+    if (partial_p_ >= 1.0) return true;
+    // Counter-based: hash (seed, conn, chunk) to a uniform in [0, 1).
+    HashStream hs(seed_);
+    hs.u64(0x706172746c77ULL); // "partlw": domain-separate from ring
+    hs.u64(conn).u64(chunk);
+    const double u =
+        double(hs.digest().hi >> 11) / double(uint64_t(1) << 53);
+    return u < partial_p_;
+}
+
+std::string
+NetFaultPlan::describe() const
+{
+    std::ostringstream out;
+    out << "seed=" << seed_;
+    if (reset_enabled_) {
+        out << " reset(every=" << reset_every_
+            << ",after_bytes=" << reset_after_bytes_ << ")";
+    }
+    if (hasPartition()) {
+        out << " partition(at=" << partition_at_ms_
+            << "ms,dur=" << partition_dur_ms_ << "ms)";
+    }
+    if (slowloris_enabled_) {
+        out << " slowloris(every=" << slowloris_every_
+            << ",delay_ms=" << slowloris_delay_ms_
+            << ",chunk=" << slowloris_chunk_;
+        if (slowloris_bytes_ > 0) out << ",bytes=" << slowloris_bytes_;
+        out << ")";
+    }
+    if (partial_p_ > 0.0) out << " partial(p=" << partial_p_ << ")";
+    if (blackhole_enabled_) {
+        out << " blackhole(every=" << blackhole_every_
+            << ",dur=" << blackhole_dur_ms_ << "ms)";
+    }
+    return out.str();
+}
+
+} // namespace resilience
+} // namespace qa

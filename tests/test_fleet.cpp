@@ -8,8 +8,11 @@
  * real shard processes, including SIGKILL failover and the typed
  * all-shards-down error.
  */
+#include <dirent.h>
 #include <signal.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -22,11 +25,13 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/net.hpp"
 #include "fleet/health.hpp"
 #include "fleet/pending.hpp"
 #include "fleet/process.hpp"
 #include "fleet/ring.hpp"
 #include "fleet/router.hpp"
+#include "fleet/transport.hpp"
 #include "serve/job.hpp"
 #include "serve/json.hpp"
 #include "serve/wire.hpp"
@@ -166,6 +171,67 @@ TEST(RingTest, LayoutIsDeterministicAcrossInstances)
     }
 }
 
+// ------------------------------------------------------ weighted ring
+
+TEST(RingTest, WeightedVnodeCountsScaleWithWeight)
+{
+    const HashRing ring(4, {2.0, 1.0, 1.0, 0.5}, 64);
+    EXPECT_EQ(ring.vnodesOf(0), 128u);
+    EXPECT_EQ(ring.vnodesOf(1), 64u);
+    EXPECT_EQ(ring.vnodesOf(2), 64u);
+    EXPECT_EQ(ring.vnodesOf(3), 32u);
+
+    // A tiny weight still owns at least one position: a shard on the
+    // ring is always reachable.
+    const HashRing floor(2, {1.0, 0.001}, 64);
+    EXPECT_EQ(floor.vnodesOf(1), 1u);
+}
+
+TEST(RingTest, UnitWeightsMatchTheUnweightedLayout)
+{
+    const HashRing plain(4, 64);
+    const HashRing weighted(4, {1.0, 1.0, 1.0, 1.0}, 64);
+    uint64_t state = 7;
+    for (int i = 0; i < 300; ++i) {
+        const Hash128 key = randomKey(state);
+        EXPECT_EQ(plain.shardFor(key), weighted.shardFor(key));
+    }
+}
+
+TEST(RingTest, ReweightMovesKeysOnlyToTheUpweightedShard)
+{
+    // Vnode positions depend only on (seed, shard, vnode index), so
+    // raising one shard's weight adds positions for that shard and
+    // leaves every other position where it was: a key either keeps its
+    // owner or moves to the up-weighted shard — adaptive placement can
+    // never scramble unrelated affinity.
+    const HashRing before(4, 64);
+    const HashRing after(4, {1.0, 1.0, 1.0, 1.25}, 64);
+    uint64_t state = 8;
+    size_t moved = 0;
+    const size_t keys = 4000;
+    for (size_t i = 0; i < keys; ++i) {
+        const Hash128 key = randomKey(state);
+        const size_t was = before.shardFor(key);
+        const size_t now = after.shardFor(key);
+        if (was != now) {
+            moved++;
+            EXPECT_EQ(now, 3u) << "key moved to a shard whose weight "
+                                  "did not change";
+        }
+    }
+    // Movement is proportional to the weight delta (16 of 272 vnodes),
+    // not a rehash of the keyspace.
+    EXPECT_LT(double(moved) / double(keys), 0.15);
+}
+
+TEST(RingTest, InvalidWeightsAreTypedErrors)
+{
+    EXPECT_THROW(HashRing(2, std::vector<double>{1.0}, 64), UserError);
+    EXPECT_THROW(HashRing(2, {1.0, 0.0}, 64), UserError);
+    EXPECT_THROW(HashRing(2, {1.0, -2.0}, 64), UserError);
+}
+
 // -------------------------------------------------------------- health
 
 TEST(HealthTest, FailureStreakTakesAShardDownRecoveryBringsItBack)
@@ -206,6 +272,32 @@ TEST(HealthTest, ProcessExitIsImmediatelyDown)
     health.onFailure();
     EXPECT_EQ(health.state(), ShardHealth::kDown);
     EXPECT_EQ(health.downTransitions(), 1u);
+}
+
+TEST(HealthTest, ProbeJitterOscillationNeverReachesDown)
+{
+    // Satellite: rapid up->degraded->up flapping — one dropped probe
+    // followed by a good one, over and over, as network jitter produces
+    // — must never accumulate into a down transition (which would
+    // trigger failover and dump the shard's keyspace on its siblings).
+    HealthTracker health; // fail_threshold 3
+    for (int i = 0; i < 1000; ++i) {
+        health.onFailure();
+        EXPECT_EQ(health.state(), ShardHealth::kDegraded);
+        health.onSuccess();
+        EXPECT_EQ(health.state(), ShardHealth::kUp);
+    }
+    EXPECT_EQ(health.downTransitions(), 0u);
+
+    // Even two failures out of every three probes stays degraded: only
+    // a *consecutive* failure streak is allowed to take a shard down.
+    for (int i = 0; i < 300; ++i) {
+        health.onFailure();
+        health.onFailure();
+        health.onSuccess();
+        EXPECT_NE(health.state(), ShardHealth::kDown);
+    }
+    EXPECT_EQ(health.downTransitions(), 0u);
 }
 
 // ------------------------------------------------------------- pending
@@ -304,9 +396,62 @@ TEST(ProcessTest, ExecFailureIsImmediateEofNotAHang)
     EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
 }
 
-// ---------------------------------------------- router (real qassertd)
+size_t
+countOpenFds()
+{
+    size_t count = 0;
+    DIR* dir = opendir("/proc/self/fd");
+    if (dir == nullptr) return 0;
+    while (readdir(dir) != nullptr) count++;
+    closedir(dir);
+    return count;
+}
 
-#ifdef QA_QASSERTD_BIN
+TEST(ProcessTest, ReapPathClosesPipeFdsNoLeakAcrossRespawns)
+{
+    // Satellite regression: a respawn loop (exec failures included)
+    // must return every pipe fd — a leak here starves a long-lived
+    // router of descriptors one flap at a time.
+    const size_t before = countOpenFds();
+    for (int i = 0; i < 8; ++i) {
+        ChildProcess broken({"/nonexistent/binary/for/sure"});
+        LineReader reader(broken.readFd());
+        std::string line;
+        EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+        broken.forceReap();
+    }
+    for (int i = 0; i < 4; ++i) {
+        ChildProcess cat({"/bin/cat"});
+        cat.closeStdin();
+        cat.forceReap();
+    }
+    EXPECT_EQ(countOpenFds(), before);
+}
+
+TEST(ProcessTest, IdleReadTimeoutSurfacesInsteadOfBlockingForever)
+{
+    // cat echoes only what it is sent: an idle stream must surface
+    // kTimeout within the bound, and the reader must stay usable.
+    ChildProcess cat({"/bin/cat"});
+    LineReader reader(cat.readFd(), size_t(1) << 20, 60.0);
+    std::string line;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kTimeout);
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(waited_ms, 50.0);
+    EXPECT_LT(waited_ms, 5000.0);
+
+    // Bytes that arrive after a timeout are not lost.
+    ASSERT_TRUE(cat.writeLine("late but intact"));
+    ASSERT_EQ(reader.next(&line), LineReader::Status::kOk);
+    EXPECT_EQ(line, "late but intact");
+    cat.forceReap();
+}
+
+// ---------------------------------------------------------- harnesses
 
 /** Thread-safe collector for router-emitted response lines. */
 struct Collector
@@ -359,6 +504,492 @@ ghzRequest(const std::string& id, int width, uint64_t seed)
            "\",\"shots\":64,\"seed\":" + std::to_string(seed) +
            ",\"assert_clbits\":[[0]]}";
 }
+
+/** A ghzRequest whose structural jobKey homes on `home` of `shards`. */
+std::string
+requestHomedOn(size_t home, size_t shards, size_t vnodes,
+               const std::string& id)
+{
+    const HashRing ring(shards, vnodes);
+    for (uint64_t seed = 1;; ++seed) {
+        const std::string line = ghzRequest(id, 3, seed);
+        const serve::WireRequest request = serve::parseRequest(line);
+        if (ring.shardFor(serve::jobKey(request.spec)) == home) {
+            return line;
+        }
+    }
+}
+
+/**
+ * In-test remote shard: a real TCP listener speaking just enough of the
+ * qassertd wire protocol for router tests — pongs with a configurable
+ * queue depth, scripted shedding, scripted response swallowing — so the
+ * TCP fleet path is testable without a daemon binary or real jobs.
+ */
+class FakeTcpShard
+{
+  public:
+    struct Behavior
+    {
+        size_t queue_depth = 0;   ///< Reported in every pong.
+        int shed_first = 0;       ///< Shed the first N run requests.
+        double retry_after_ms = 40.0;
+        bool swallow_runs = false; ///< Accept runs, never answer them.
+    };
+
+    FakeTcpShard() : FakeTcpShard(Behavior()) {}
+
+    explicit FakeTcpShard(Behavior behavior) : behavior_(behavior)
+    {
+        std::string error;
+        listen_fd_ =
+            net::tcpListen("127.0.0.1", 0, 8, &port_, &error);
+        if (listen_fd_ < 0) {
+            throw InternalError("FakeTcpShard listen failed: " + error);
+        }
+        accept_thread_ = std::thread([this] { acceptLoop(); });
+    }
+
+    ~FakeTcpShard() { stop(); }
+
+    int port() const { return port_; }
+
+    std::string
+    endpoint() const
+    {
+        return "127.0.0.1:" + std::to_string(port_);
+    }
+
+    size_t
+    connections()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return accepted_;
+    }
+
+    size_t
+    runsSeen()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return runs_seen_;
+    }
+
+    /** Hard-drop every live connection (simulated shard crash/reset). */
+    void
+    dropConnections()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const int fd : live_fds_) net::shutdownBoth(fd);
+    }
+
+    void
+    stop()
+    {
+        if (stopping_.exchange(true)) return;
+        dropConnections();
+        if (accept_thread_.joinable()) accept_thread_.join();
+        std::vector<std::thread> workers;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            workers.swap(threads_);
+        }
+        for (std::thread& t : workers) t.join();
+        net::closeQuiet(listen_fd_);
+    }
+
+  private:
+    void
+    acceptLoop()
+    {
+        while (!stopping_.load()) {
+            const int fd = net::tcpAccept(listen_fd_, 50.0);
+            if (fd == -2) break;
+            if (fd < 0) continue;
+            std::lock_guard<std::mutex> lock(mutex_);
+            accepted_++;
+            live_fds_.push_back(fd);
+            threads_.emplace_back([this, fd] { serveConn(fd); });
+        }
+    }
+
+    void
+    serveConn(int fd)
+    {
+        LineReader reader(fd, size_t(1) << 20, 50.0);
+        std::string line;
+        for (;;) {
+            const LineReader::Status status = reader.next(&line);
+            if (status == LineReader::Status::kEof) break;
+            if (status == LineReader::Status::kTimeout) {
+                if (stopping_.load()) break;
+                continue;
+            }
+            if (status != LineReader::Status::kOk) continue;
+            handleLine(fd, line);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            live_fds_.erase(
+                std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                live_fds_.end());
+        }
+        net::closeQuiet(fd);
+    }
+
+    void
+    handleLine(int fd, const std::string& line)
+    {
+        std::string op;
+        std::string id;
+        try {
+            const serve::JsonValue parsed = serve::JsonValue::parse(line);
+            op = parsed.stringOr("op", "run");
+            id = parsed.stringOr("id", "");
+        } catch (const UserError&) {
+            return;
+        }
+        std::string reply;
+        if (op == "ping") {
+            reply = serve::encodePing(id, behavior_.queue_depth, 0);
+        } else if (op == "shutdown") {
+            return; // remote daemons ignore fleet-scope shutdowns here
+        } else {
+            bool shed = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                runs_seen_++;
+                if (sheds_issued_ < behavior_.shed_first) {
+                    sheds_issued_++;
+                    shed = true;
+                }
+                if (behavior_.swallow_runs) return;
+            }
+            reply = shed ? serve::encodeError(id, ErrorCode::kShedding,
+                                              "fake shard saturated",
+                                              behavior_.retry_after_ms)
+                         : "{\"id\":\"" + serve::jsonEscape(id) +
+                               "\",\"status\":\"ok\",\"fake\":true}";
+        }
+        reply += "\n";
+        net::writeAllBounded(fd, reply.data(), reply.size(), 5000.0);
+    }
+
+    Behavior behavior_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+    std::mutex mutex_;
+    std::vector<std::thread> threads_;
+    std::vector<int> live_fds_;
+    size_t accepted_ = 0;
+    size_t runs_seen_ = 0;
+    int sheds_issued_ = 0;
+};
+
+/** Fast probe/maintenance cadence for a remote (TCP) fake-shard fleet. */
+RouterOptions
+remoteOptions(const std::vector<std::string>& endpoints)
+{
+    RouterOptions options;
+    options.connect = endpoints;
+    options.probe_interval_ms = 30.0;
+    options.maintenance_tick_ms = 5.0;
+    options.respawn_backoff.base_backoff_ms = 20.0;
+    options.respawn_backoff.max_backoff_ms = 50.0;
+    return options;
+}
+
+// ---------------------------------------------------------- transport
+
+TEST(TransportTest, PipeTransportEchoAndTerminate)
+{
+    PipeTransport cat({"/bin/cat"});
+    EXPECT_FALSE(cat.remote());
+    EXPECT_STREQ(cat.kindName(), "pipe");
+    ASSERT_TRUE(cat.writeLine("over the pipe"));
+    LineReader reader(cat.readFd());
+    std::string line;
+    ASSERT_EQ(reader.next(&line), LineReader::Status::kOk);
+    EXPECT_EQ(line, "over the pipe");
+
+    cat.terminate();
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+    EXPECT_TRUE(cat.finished());
+}
+
+TEST(TransportTest, TcpTransportRoundTripAgainstFakeShard)
+{
+    FakeTcpShard shard;
+    TcpTransport::Options topts;
+    TcpTransport tcp(net::parseEndpoint(shard.endpoint()), topts);
+    ASSERT_TRUE(tcp.connected());
+    EXPECT_TRUE(tcp.remote());
+    EXPECT_STREQ(tcp.kindName(), "tcp");
+    EXPECT_EQ(tcp.describe(), shard.endpoint());
+    EXPECT_EQ(tcp.pid(), -1);
+
+    ASSERT_TRUE(tcp.writeLine("{\"op\":\"ping\",\"id\":\"t1\"}"));
+    LineReader reader(tcp.readFd());
+    std::string line;
+    ASSERT_EQ(reader.next(&line), LineReader::Status::kOk);
+    EXPECT_NE(line.find("\"pong\":true"), std::string::npos) << line;
+
+    // terminate() must unblock the reader with EOF (shutdown, not a
+    // close racing the read) and latch finished().
+    tcp.terminate();
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+    EXPECT_TRUE(tcp.finished());
+    EXPECT_FALSE(tcp.writeLine("after death"));
+}
+
+TEST(TransportTest, FailedConnectIsImmediateEofNotAThrowOrHang)
+{
+    // Grab an ephemeral port, then close the listener: connecting to it
+    // must now be refused.
+    int port = 0;
+    std::string error;
+    const int probe = net::tcpListen("127.0.0.1", 0, 1, &port, &error);
+    ASSERT_GE(probe, 0) << error;
+    net::closeQuiet(probe);
+
+    TcpTransport::Options topts;
+    topts.connect_timeout_ms = 200.0;
+    TcpTransport tcp(net::Endpoint{"127.0.0.1", port}, topts);
+    EXPECT_FALSE(tcp.connected());
+    EXPECT_TRUE(tcp.finished());
+    EXPECT_FALSE(tcp.writeLine("never sent"));
+
+    // The stand-in readFd must deliver EOF instantly — the exact shape
+    // an exec failure has on the pipe path.
+    LineReader reader(tcp.readFd());
+    std::string line;
+    EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+}
+
+// ------------------------------------------------- router (fake shards)
+
+TEST(RemoteRouterTest, RoutesOverTcpAndAnswersExactlyOnce)
+{
+    FakeTcpShard a;
+    FakeTcpShard b;
+    Collector collector;
+    FleetRouter router(remoteOptions({a.endpoint(), b.endpoint()}),
+                       collector.sink());
+    router.start();
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(router.handleLine(
+            ghzRequest("t" + std::to_string(i), 2 + i % 3, 40 + i)));
+    }
+    EXPECT_TRUE(router.drainFor(20000.0));
+    ASSERT_TRUE(collector.waitForCount(8, 5000.0));
+    router.stop();
+
+    std::set<std::string> ids;
+    for (const std::string& line : collector.snapshot()) {
+        std::string id;
+        ASSERT_TRUE(serve::peekResponseId(line, &id)) << line;
+        EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos)
+            << line;
+        EXPECT_TRUE(ids.insert(id).second) << "duplicate for " << id;
+    }
+    EXPECT_EQ(ids.size(), 8u);
+    EXPECT_EQ(router.counters().resolved_ok, 8u);
+    EXPECT_EQ(a.runsSeen() + b.runsSeen(), 8u);
+    EXPECT_EQ(router.shardStatus(0).transport, "tcp");
+    EXPECT_EQ(router.shardStatus(0).attachment, a.endpoint());
+}
+
+TEST(RemoteRouterTest, ShedThenRetryLandsOnTheSameShard)
+{
+    // Satellite: a shed is saturation, not failure — after the shard's
+    // retry_after_ms hint (propagated over TCP like over pipes) the
+    // retry must land on the *same* shard, keeping cache affinity.
+    FakeTcpShard::Behavior shedding;
+    shedding.shed_first = 1;
+    shedding.retry_after_ms = 30.0;
+    FakeTcpShard home(shedding);
+    FakeTcpShard sibling;
+    RouterOptions options =
+        remoteOptions({home.endpoint(), sibling.endpoint()});
+    options.retry.max_attempts = 3;
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+
+    EXPECT_TRUE(router.handleLine(
+        requestHomedOn(0, 2, options.vnodes, "affine")));
+    EXPECT_TRUE(router.drainFor(20000.0));
+    ASSERT_TRUE(collector.waitForCount(1, 5000.0));
+    router.stop();
+
+    const std::string line = collector.snapshot()[0];
+    EXPECT_NE(line.find("\"id\":\"affine\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos) << line;
+    EXPECT_EQ(home.runsSeen(), 2u);    // shed once, then served
+    EXPECT_EQ(sibling.runsSeen(), 0u); // affinity never leaked away
+    EXPECT_EQ(router.counters().retried, 1u);
+}
+
+TEST(RemoteRouterTest, DroppedConnectionReconnectsAndRestoresAffinity)
+{
+    FakeTcpShard home;
+    FakeTcpShard sibling;
+    RouterOptions options =
+        remoteOptions({home.endpoint(), sibling.endpoint()});
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+
+    const std::string line =
+        requestHomedOn(0, 2, options.vnodes, "sticky");
+    EXPECT_TRUE(router.handleLine(line));
+    EXPECT_TRUE(router.drainFor(20000.0));
+    EXPECT_EQ(home.runsSeen(), 1u);
+    const uint64_t generation_before = router.shardStatus(0).generation;
+
+    // Hard-drop the shard's connection: the router must observe EOF,
+    // re-dial with a fresh generation, and probe the shard back to kUp.
+    home.dropConnections();
+    bool recovered = false;
+    for (int i = 0; i < 1000; ++i) {
+        const ShardStatus status = router.shardStatus(0);
+        if (status.respawns >= 1 && status.alive &&
+            status.generation > generation_before &&
+            status.health == ShardHealth::kUp) {
+            recovered = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    {
+        const ShardStatus s = router.shardStatus(0);
+        ASSERT_TRUE(recovered)
+            << "shard 0 never reconnected: respawns=" << s.respawns
+            << " alive=" << s.alive << " gen=" << s.generation
+            << " health=" << int(s.health)
+            << " pings_ok=" << s.pings_ok
+            << " pings_failed=" << s.pings_failed
+            << " down_transitions=" << s.down_transitions
+            << " conns=" << home.connections();
+    }
+    EXPECT_GE(home.connections(), 2u);
+
+    // Same structural key routes to its old home over the new
+    // connection — affinity is by construction, not by bookkeeping.
+    EXPECT_TRUE(router.handleLine(line));
+    EXPECT_TRUE(router.drainFor(20000.0));
+    router.stop();
+    EXPECT_EQ(home.runsSeen(), 2u);
+    EXPECT_EQ(sibling.runsSeen(), 0u);
+    EXPECT_EQ(router.counters().resolved_ok, 2u);
+}
+
+TEST(RemoteRouterTest, EofClearsPendingAliasesExactlyOnce)
+{
+    // Satellite: a job in flight on a shard whose socket dies must be
+    // resolved exactly once through the EOF path — with no other shard
+    // to fail over to and respawn off, that is one typed error line.
+    FakeTcpShard::Behavior mute;
+    mute.swallow_runs = true;
+    FakeTcpShard shard(mute);
+    RouterOptions options = remoteOptions({shard.endpoint()});
+    options.respawn = false;
+    options.retry.max_attempts = 2;
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+
+    EXPECT_TRUE(router.handleLine(ghzRequest("doomed", 2, 7)));
+    // Let it dispatch (and be swallowed), then kill the connection.
+    for (int i = 0; i < 500 && shard.runsSeen() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(shard.runsSeen(), 1u);
+    shard.dropConnections();
+
+    EXPECT_TRUE(router.drainFor(20000.0));
+    ASSERT_TRUE(collector.waitForCount(1, 5000.0));
+    router.stop();
+
+    const std::vector<std::string> lines = collector.snapshot();
+    ASSERT_EQ(lines.size(), 1u); // exactly once, not zero, not twice
+    EXPECT_NE(lines[0].find("\"id\":\"doomed\""), std::string::npos)
+        << lines[0];
+    EXPECT_NE(lines[0].find("no_shard_available"), std::string::npos)
+        << lines[0];
+    EXPECT_EQ(router.counters().no_shard, 1u);
+}
+
+TEST(RemoteRouterTest, SustainedQueueDepthOutlierIsSpilledPast)
+{
+    FakeTcpShard::Behavior drowning;
+    drowning.queue_depth = 100;
+    FakeTcpShard slow(drowning);
+    FakeTcpShard fast_a;
+    FakeTcpShard fast_b;
+    RouterOptions options = remoteOptions(
+        {slow.endpoint(), fast_a.endpoint(), fast_b.endpoint()});
+    options.spill = true;
+    options.spill_streak = 3;
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+
+    // Three consecutive pongs reporting depth 100 against peers at 0
+    // must mark the shard an outlier.
+    bool flagged = false;
+    for (int i = 0; i < 1000; ++i) {
+        if (router.shardStatus(0).outlier) {
+            flagged = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(flagged) << "queue-depth outlier never flagged";
+
+    // Dispatch must route around it: the drowning shard is "up" but
+    // gets no work while its siblings can take it.
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(router.handleLine(
+            ghzRequest("s" + std::to_string(i), 2 + i % 3, 900 + i)));
+    }
+    EXPECT_TRUE(router.drainFor(20000.0));
+    ASSERT_TRUE(collector.waitForCount(20, 5000.0));
+    router.stop();
+
+    EXPECT_EQ(slow.runsSeen(), 0u);
+    EXPECT_GE(router.counters().spills, 1u);
+    EXPECT_EQ(router.counters().resolved_ok, 20u);
+}
+
+TEST(RemoteRouterTest, FleetStatusBodyIsCachedWithinTtl)
+{
+    FakeTcpShard shard;
+    RouterOptions options = remoteOptions({shard.endpoint()});
+    options.status_cache_ms = 10000.0;
+    Collector collector;
+    FleetRouter router(options, collector.sink());
+    router.start();
+    EXPECT_TRUE(router.handleLine(
+        "{\"op\":\"fleet_status\",\"id\":\"s1\"}"));
+    EXPECT_TRUE(router.handleLine(
+        "{\"op\":\"fleet_status\",\"id\":\"s2\"}"));
+    ASSERT_TRUE(collector.waitForCount(2, 5000.0));
+    router.stop();
+
+    // Same cached body, each client's own id.
+    const std::vector<std::string> lines = collector.snapshot();
+    EXPECT_NE(lines[0].find("\"id\":\"s1\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"id\":\"s2\""), std::string::npos);
+    EXPECT_EQ(lines[0].substr(lines[0].find(',')),
+              lines[1].substr(lines[1].find(',')));
+    EXPECT_EQ(router.counters().status_cache_hits, 1u);
+}
+
+// ---------------------------------------------- router (real qassertd)
+
+#ifdef QA_QASSERTD_BIN
 
 RouterOptions
 fastOptions(size_t shards)

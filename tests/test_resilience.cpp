@@ -28,6 +28,7 @@
 #include "resilience/breaker.hpp"
 #include "resilience/chaos.hpp"
 #include "resilience/journal.hpp"
+#include "resilience/netfault.hpp"
 #include "resilience/retry.hpp"
 #include "resilience/supervisor.hpp"
 #include "serve/job.hpp"
@@ -834,6 +835,126 @@ TEST(ReplayTest, EncodeReplayIsTimingFreeAndReproducible)
     EXPECT_EQ(line_a.find("queue_ms"), std::string::npos);
     EXPECT_EQ(line_a.find("exec_ms"), std::string::npos);
     EXPECT_EQ(line_a.find("cache_hit"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Network-fault plans (qa_netchaos model)
+// ---------------------------------------------------------------------
+
+TEST(NetFaultTest, EmptyPlanFaultsNothing)
+{
+    const NetFaultPlan plan = NetFaultPlan::parse("", 1);
+    for (uint64_t conn = 0; conn < 20; ++conn) {
+        EXPECT_FALSE(plan.connFaults(conn).any());
+        EXPECT_FALSE(plan.partialWrite(conn, 0));
+    }
+    EXPECT_FALSE(plan.hasPartition());
+}
+
+TEST(NetFaultTest, EveryCountsOneBasedSoTheFirstConnectionIsSpared)
+{
+    // every=3 hits connections 2, 5, 8, ...: a fresh fleet's first
+    // connection to each shard comes up clean before faults start.
+    const NetFaultPlan plan = NetFaultPlan::parse("reset:every=3", 7);
+    for (uint64_t conn = 0; conn < 12; ++conn) {
+        EXPECT_EQ(plan.connFaults(conn).reset, conn % 3 == 2)
+            << "conn " << conn;
+    }
+}
+
+TEST(NetFaultTest, FamiliesComposeOnOneConnection)
+{
+    const NetFaultPlan plan = NetFaultPlan::parse(
+        "reset:every=2,after_bytes=512;"
+        "slowloris:every=2,delay_ms=20,chunk=8,bytes=4096;"
+        "blackhole:every=4,dur=250",
+        3);
+    const NetConnFaults faults = plan.connFaults(3); // hit by all three
+    EXPECT_TRUE(faults.reset);
+    EXPECT_EQ(faults.reset_after_bytes, 512u);
+    EXPECT_TRUE(faults.slowloris);
+    EXPECT_EQ(faults.slowloris_delay_ms, 20.0);
+    EXPECT_EQ(faults.slowloris_chunk, 8u);
+    EXPECT_EQ(faults.slowloris_bytes, 4096u);
+    EXPECT_TRUE(faults.blackhole);
+    EXPECT_EQ(faults.blackhole_dur_ms, 250.0);
+    EXPECT_TRUE(faults.any());
+
+    const NetConnFaults spared = plan.connFaults(0);
+    EXPECT_FALSE(spared.any());
+}
+
+TEST(NetFaultTest, PartitionWindowIsHalfOpen)
+{
+    const NetFaultPlan plan =
+        NetFaultPlan::parse("partition:at=1000,dur=500", 1);
+    ASSERT_TRUE(plan.hasPartition());
+    EXPECT_EQ(plan.partitionAtMs(), 1000.0);
+    EXPECT_EQ(plan.partitionEndMs(), 1500.0);
+    EXPECT_FALSE(plan.inPartition(999.0));
+    EXPECT_TRUE(plan.inPartition(1000.0));
+    EXPECT_TRUE(plan.inPartition(1499.0));
+    EXPECT_FALSE(plan.inPartition(1500.0));
+}
+
+TEST(NetFaultTest, PartialWritesAreSeededAndDeterministic)
+{
+    const NetFaultPlan a = NetFaultPlan::parse("partial:p=0.5", 11);
+    const NetFaultPlan b = NetFaultPlan::parse("partial:p=0.5", 11);
+    const NetFaultPlan c = NetFaultPlan::parse("partial:p=0.5", 12);
+    size_t hits = 0;
+    size_t differs_from_c = 0;
+    for (uint64_t conn = 0; conn < 8; ++conn) {
+        for (uint64_t chunk = 0; chunk < 64; ++chunk) {
+            const bool split = a.partialWrite(conn, chunk);
+            // Same seed -> identical per-chunk decisions, every time.
+            EXPECT_EQ(split, b.partialWrite(conn, chunk));
+            if (split) hits++;
+            if (split != c.partialWrite(conn, chunk)) differs_from_c++;
+        }
+    }
+    // p=0.5 over 512 chunks: comfortably within [25%, 75%].
+    EXPECT_GT(hits, 128u);
+    EXPECT_LT(hits, 384u);
+    // A different seed is a different fault schedule.
+    EXPECT_GT(differs_from_c, 0u);
+
+    // p=0 never splits, p=1 always splits — no RNG on the edges.
+    const NetFaultPlan never = NetFaultPlan::parse("partial:p=0", 1);
+    const NetFaultPlan always = NetFaultPlan::parse("partial:p=1", 1);
+    EXPECT_FALSE(never.partialWrite(0, 0));
+    EXPECT_TRUE(always.partialWrite(0, 0));
+}
+
+TEST(NetFaultTest, MalformedPlansAreTypedErrors)
+{
+    const uint64_t seed = 1;
+    // Unknown family.
+    EXPECT_THROW(NetFaultPlan::parse("explode:every=2", seed), UserError);
+    // Unknown key within a known family.
+    EXPECT_THROW(NetFaultPlan::parse("reset:every=2,whoops=1", seed),
+                 UserError);
+    // Missing required key.
+    EXPECT_THROW(NetFaultPlan::parse("slowloris:every=2", seed),
+                 UserError);
+    // Malformed number and malformed key=value.
+    EXPECT_THROW(NetFaultPlan::parse("reset:every=abc", seed), UserError);
+    EXPECT_THROW(NetFaultPlan::parse("reset:every", seed), UserError);
+    // Probability out of range.
+    EXPECT_THROW(NetFaultPlan::parse("partial:p=1.5", seed), UserError);
+}
+
+TEST(NetFaultTest, DescribeSummarizesEveryActiveFamily)
+{
+    const NetFaultPlan plan = NetFaultPlan::parse(
+        "reset:every=7;partition:at=2000,dur=5000;partial:p=0.25", 9);
+    const std::string text = plan.describe();
+    EXPECT_NE(text.find("seed=9"), std::string::npos) << text;
+    EXPECT_NE(text.find("reset(every=7"), std::string::npos) << text;
+    EXPECT_NE(text.find("partition(at=2000ms,dur=5000ms"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("partial(p=0.25)"), std::string::npos) << text;
 }
 
 } // namespace

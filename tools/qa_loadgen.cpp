@@ -29,6 +29,15 @@
  * wire saw duplicate response ids — the loadgen doubles as the fleet's
  * exactly-once checker. Results are emitted as one JSON line on stdout
  * (and appended to --out PATH when given) for BENCH_PR7.json.
+ *
+ * --digest adds a "digest" field: a 128-bit order-independent hash of
+ * every response's *deterministic* payload (timing fields queue_ms /
+ * exec_ms and the placement-dependent cache_hit flag are stripped, the
+ * rest is hashed keyed by the request id, and the per-response hashes
+ * are XOR-combined so arrival order does not matter). Two runs with the
+ * same seed against the same fleet must produce equal digests even when
+ * one ran under qa_netchaos and the other did not — the bit-identity
+ * check behind scripts/netfleet_smoke.sh.
  */
 #include <sys/types.h>
 
@@ -49,6 +58,7 @@
 #include <signal.h>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "fleet/process.hpp"
 #include "serve/json.hpp"
 #include "serve/wire.hpp"
@@ -158,6 +168,47 @@ percentile(std::vector<double>& sorted, double q)
     return sorted[idx];
 }
 
+/**
+ * Drop one "key":value pair (and its separating comma) from a JSON
+ * object rendered on one line. Value-shape agnostic for scalar values
+ * (number, bool, string without embedded commas/braces) — which covers
+ * every volatile field the wire emits. No-op when the key is absent.
+ */
+std::string
+stripField(const std::string& json, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t at = json.find(needle);
+    if (at == std::string::npos) return json;
+    size_t end = at + needle.size();
+    while (end < json.size() && json[end] != ',' && json[end] != '}') {
+        ++end;
+    }
+    size_t begin = at;
+    if (end < json.size() && json[end] == ',') {
+        ++end; // drop the trailing comma ...
+    } else if (begin > 0 && json[begin - 1] == ',') {
+        --begin; // ... or the leading one for a last field
+    }
+    return json.substr(0, begin) + json.substr(end);
+}
+
+/**
+ * Hash of one response's deterministic payload, keyed by the request
+ * id so digests detect id/payload cross-wiring, not just multiset
+ * equality of payloads.
+ */
+Hash128
+responseDigest(const std::string& id, const std::string& line)
+{
+    std::string cleaned = stripField(line, "queue_ms");
+    cleaned = stripField(cleaned, "exec_ms");
+    cleaned = stripField(cleaned, "cache_hit");
+    HashStream hs(0xd16357ULL);
+    hs.str(id).str(cleaned);
+    return hs.digest();
+}
+
 } // namespace
 
 int
@@ -178,6 +229,7 @@ main(int argc, char** argv)
     int kill_shard = -1;
     size_t kill_after = 0;
     double drain_wait_ms = 60000.0;
+    bool digest = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -233,6 +285,8 @@ main(int argc, char** argv)
         } else if (arg == "--drain-wait-ms") {
             drain_wait_ms = double(parsePositiveArg(arg, value));
             ++i;
+        } else if (arg == "--digest") {
+            digest = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cerr
                 << "usage: qa_loadgen [--target-cmd CMD] [--mode "
@@ -241,7 +295,8 @@ main(int argc, char** argv)
                    "S] [--shots N]\n"
                    "                  [--concurrency C | --rate R "
                    "--burst B]\n"
-                   "                  [--kill-shard K --kill-after N]\n"
+                   "                  [--kill-shard K --kill-after N]"
+                   " [--digest]\n"
                    "                  [--label S] [--out PATH] [--seed "
                    "N]\n";
             return 0;
@@ -282,6 +337,7 @@ main(int argc, char** argv)
     std::vector<pid_t> shard_pids;
     std::vector<SteadyClock::time_point> sent_at(jobs);
     std::vector<double> latency_ms(jobs, -1.0);
+    Hash128 combined_digest; // XOR-combined: order-independent.
 
     std::thread reader([&] {
         fleet::LineReader lines(target.readFd());
@@ -324,6 +380,11 @@ main(int argc, char** argv)
                 std::chrono::duration<double, std::milli>(
                     SteadyClock::now() - sent_at[index])
                     .count();
+            if (digest) {
+                const Hash128 h = responseDigest(id, line);
+                combined_digest.hi ^= h.hi;
+                combined_digest.lo ^= h.lo;
+            }
             answered++;
             if (is_ok) ok++;
             else errors++;
@@ -450,7 +511,11 @@ main(int argc, char** argv)
            << ",\"p999\":" << serve::jsonNumber(percentile(sorted, 0.999))
            << ",\"max\":"
            << serve::jsonNumber(sorted.empty() ? 0.0 : sorted.back())
-           << "}}";
+           << "}";
+    if (digest) {
+        result << ",\"digest\":\"" << combined_digest.str() << "\"";
+    }
+    result << "}";
     std::cout << result.str() << "\n";
     if (!out_path.empty()) {
         std::ofstream out(out_path, std::ios::app);

@@ -17,6 +17,19 @@
  *             [--journal-dir DIR] [--vnodes N] [--probe-ms X]
  *             [--ping-timeout-ms X] [--hedge-ms X] [--retries N]
  *             [--no-respawn] [--drain-ms X] [--max-line N]
+ *   qa_router --connect host:port,host:port,...
+ *             [--connect-timeout-ms X] [--write-timeout-ms X]
+ *             [--idle-timeout-ms X] [... same routing flags]
+ *
+ * --connect switches the fleet to remote TCP shards (qassertd
+ * --listen daemons); the shard count is the endpoint count and
+ * "respawn" means re-dialing a dead endpoint. Placement knobs (work
+ * for both transports):
+ *   --spill             skip persistently-overloaded shards (outlier
+ *                       detection from pong queue depth + probe RTT)
+ *   --adaptive          reweigh ring vnodes from measured per-shard
+ *                       service rate
+ *   --status-cache-ms X cache the fleet_status body for X ms
  *
  * Extra ops beyond the qassertd set:
  *   {"op":"fleet_status","id":"s1"}  -> per-shard health/counters; the
@@ -92,6 +105,19 @@ splitCommand(const std::string& command)
     return argv;
 }
 
+/** Comma-split a --connect endpoint list. */
+std::vector<std::string>
+splitEndpoints(const std::string& list)
+{
+    std::vector<std::string> endpoints;
+    std::istringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) endpoints.push_back(item);
+    }
+    return endpoints;
+}
+
 } // namespace
 
 int
@@ -137,6 +163,41 @@ main(int argc, char** argv)
             ++i;
         } else if (arg == "--no-respawn") {
             options.respawn = false;
+        } else if (arg == "--connect") {
+            if (value == nullptr) {
+                std::cerr << "qa_router: --connect needs "
+                             "host:port[,host:port...]\n";
+                return 2;
+            }
+            options.connect = splitEndpoints(value);
+            if (options.connect.empty()) {
+                std::cerr << "qa_router: --connect list is empty\n";
+                return 2;
+            }
+            ++i;
+        } else if (arg == "--connect-timeout-ms") {
+            options.tcp.connect_timeout_ms =
+                double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--write-timeout-ms") {
+            options.tcp.write_timeout_ms =
+                double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--idle-timeout-ms") {
+            options.tcp.read_idle_timeout_ms =
+                double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--spill") {
+            options.spill = true;
+        } else if (arg == "--adaptive") {
+            options.adaptive_placement = true;
+        } else if (arg == "--adaptive-ms") {
+            options.adaptive_interval_ms =
+                double(parsePositiveArg(arg, value));
+            ++i;
+        } else if (arg == "--status-cache-ms") {
+            options.status_cache_ms = double(parsePositiveArg(arg, value));
+            ++i;
         } else if (arg == "--drain-ms") {
             drain_ms = double(parsePositiveArg(arg, value));
             ++i;
@@ -152,10 +213,17 @@ main(int argc, char** argv)
                    "                 [--hedge-ms X] [--retries N]"
                    " [--no-respawn]\n"
                    "                 [--drain-ms X] [--max-line N]\n"
+                   "       qa_router --connect host:port,...\n"
+                   "                 [--connect-timeout-ms X]"
+                   " [--write-timeout-ms X]\n"
+                   "                 [--idle-timeout-ms X]"
+                   " [--spill] [--adaptive]\n"
+                   "                 [--adaptive-ms X]"
+                   " [--status-cache-ms X]\n"
                    "NDJSON requests on stdin, one response line per "
                    "request on stdout;\n"
                    "{\"op\":\"fleet_status\"} reports per-shard health "
-                   "(see DESIGN.md Sec. 13)\n";
+                   "(see DESIGN.md Sec. 13/15)\n";
             return 0;
         } else {
             std::cerr << "qa_router: unknown option '" << arg << "'\n";
@@ -186,12 +254,17 @@ main(int argc, char** argv)
                   << "\n";
         return 2;
     }
-    std::cerr << "qa_router: ready (" << options.shards << " shard(s), "
+    const size_t nshards =
+        options.connect.empty() ? options.shards : options.connect.size();
+    std::cerr << "qa_router: ready (" << nshards
+              << (options.connect.empty() ? " shard(s), " : " remote shard(s), ")
               << options.vnodes << " vnodes each"
               << (options.journal_dir.empty()
                       ? std::string()
                       : ", journals in " + options.journal_dir)
-              << (options.hedge_ms > 0.0 ? ", hedging" : "") << ")\n";
+              << (options.hedge_ms > 0.0 ? ", hedging" : "")
+              << (options.spill ? ", spill" : "")
+              << (options.adaptive_placement ? ", adaptive" : "") << ")\n";
 
     std::string line;
     while (g_signal == 0) {

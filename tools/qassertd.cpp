@@ -10,8 +10,18 @@
  *   qassertd [--workers N] [--queue N] [--cache N] [--max-line N]
  *            [--retries N] [--stall-ms X] [--breaker] [--auto-assert]
  *            [--journal PATH] [--sync-every N] [--drain-ms X]
+ *            [--listen HOST:PORT] [--port-file PATH]
  *   qassertd --replay PATH
  *   qassertd --explain PATH      # classify + route a QASM file, no run
+ *
+ * --listen serves the same NDJSON protocol over TCP instead of stdin:
+ * any number of concurrent connections (each a remote qa_router, or a
+ * plain netcat), one reader thread per connection, responses written to
+ * the connection the request arrived on. Port 0 binds an ephemeral
+ * port; --port-file writes the actually bound port to PATH (how test
+ * harnesses avoid port races). A shutdown request on any connection —
+ * or SIGTERM/SIGINT — drains the whole daemon; a connection closing
+ * only ends that connection.
  *
  * --auto-assert defaults every request that does not name the field to
  * {"auto_assert":true}: raw circuits get assertion-compiler invariants
@@ -56,7 +66,9 @@
 #include "backend/router.hpp"
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
+#include "common/net.hpp"
 #include "resilience/journal.hpp"
+#include "serve/listen.hpp"
 #include "serve/replay.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/wire.hpp"
@@ -206,6 +218,8 @@ main(int argc, char** argv)
     std::string journal_path;
     std::string replay_path;
     std::string explain_path;
+    std::string listen_spec;
+    std::string port_file;
     bool auto_assert = false;
     size_t max_line = size_t(1) << 20;
     size_t sync_every = 8;
@@ -254,6 +268,21 @@ main(int argc, char** argv)
         } else if (arg == "--drain-ms") {
             drain_ms = double(parsePositiveArg(arg, value));
             ++i;
+        } else if (arg == "--listen") {
+            if (value == nullptr) {
+                std::cerr << "qassertd: --listen needs HOST:PORT "
+                             "(port 0 = ephemeral)\n";
+                return 2;
+            }
+            listen_spec = value;
+            ++i;
+        } else if (arg == "--port-file") {
+            if (value == nullptr) {
+                std::cerr << "qassertd: --port-file needs a path\n";
+                return 2;
+            }
+            port_file = value;
+            ++i;
         } else if (arg == "--replay") {
             if (value == nullptr) {
                 std::cerr << "qassertd: --replay needs a path\n";
@@ -277,6 +306,8 @@ main(int argc, char** argv)
                    " [--breaker] [--auto-assert]\n"
                    "                [--journal PATH] [--sync-every N]"
                    " [--drain-ms X]\n"
+                   "                [--listen HOST:PORT] [--port-file "
+                   "PATH]\n"
                    "       qassertd --replay PATH\n"
                    "       qassertd --explain PATH   (QASM file, - for "
                    "stdin; routes without executing)\n"
@@ -312,129 +343,69 @@ main(int argc, char** argv)
     }
 
     Scheduler scheduler(options);
-    ResponseWriter out;
-    std::cerr << "qassertd: ready (" << scheduler.workers() << " workers"
-              << (journal ? ", journaled" : "")
-              << (options.supervisor.stall_timeout_ms > 0.0 ? ", supervised"
-                                                            : "")
-              << ")\n";
+    LineService::Options service_options;
+    service_options.auto_assert = auto_assert;
+    LineService service(scheduler, journal.get(), service_options);
 
-    uint64_t journal_seq = 0;
-    std::string line;
-    bool shutdown_requested = false;
-    while (!shutdown_requested && g_signal == 0) {
-        const ReadLineStatus read =
-            readLineBounded(std::cin, &line, max_line);
-        if (read == ReadLineStatus::kEof) {
-            break; // closed pipe, or EINTR from a drain signal
-        }
-        if (read == ReadLineStatus::kOverflow) {
-            out.writeLine(encodeError(
-                "", ErrorCode::kBadRequest,
-                "input line exceeds the " + std::to_string(max_line) +
-                    "-byte bound; request rejected unread"));
-            continue;
-        }
-        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-        JsonValue parsed;
+    if (!listen_spec.empty()) {
+        // TCP front-end: same LineService, sockets instead of stdin.
+        SocketServer::Options sopts;
         try {
-            parsed = JsonValue::parse(line);
+            const net::Endpoint endpoint = net::parseEndpoint(listen_spec);
+            sopts.host = endpoint.host;
+            sopts.port = endpoint.port;
         } catch (const UserError& err) {
-            out.writeLine(encodeError("", err.code(), err.what()));
-            continue;
+            std::cerr << "qassertd: " << err.what() << "\n";
+            return 2;
         }
-        const std::string id = requestId(parsed);
+        sopts.max_line = max_line;
+        SocketServer server(service, sopts);
+        std::string error;
+        if (!server.start(&error)) {
+            std::cerr << "qassertd: " << error << "\n";
+            return 2;
+        }
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file);
+            pf << server.port() << "\n";
+            if (!pf) {
+                std::cerr << "qassertd: cannot write port file '"
+                          << port_file << "'\n";
+                return 2;
+            }
+        }
+        std::cerr << "qassertd: listening on " << sopts.host << ":"
+                  << server.port() << " (" << scheduler.workers()
+                  << " workers" << (journal ? ", journaled" : "") << ")\n";
+        server.run(&g_signal);
+        std::cerr << "qassertd: listener stopped ("
+                  << server.accepted() << " connections served)\n";
+    } else {
+        ResponseWriter out;
+        std::cerr << "qassertd: ready (" << scheduler.workers()
+                  << " workers" << (journal ? ", journaled" : "")
+                  << (options.supervisor.stall_timeout_ms > 0.0
+                          ? ", supervised"
+                          : "")
+                  << ")\n";
 
-        try {
-            WireRequest request = buildRequest(parsed);
-            // --auto-assert is a default, not an override: requests
-            // that name the field (either value) keep their own.
-            if (auto_assert && parsed.find("auto_assert") == nullptr) {
-                request.spec.auto_assert = true;
+        std::string line;
+        bool shutdown_requested = false;
+        while (!shutdown_requested && g_signal == 0) {
+            const ReadLineStatus read =
+                readLineBounded(std::cin, &line, max_line);
+            if (read == ReadLineStatus::kEof) {
+                break; // closed pipe, or EINTR from a drain signal
             }
-            if (request.op == RequestOp::kPing) {
-                // Answered on the read loop, never queued: the fleet
-                // router's health prober needs pongs even when every
-                // worker is busy and the queue is full.
-                out.writeLine(encodePing(id, scheduler.queueDepth(),
-                                         scheduler.inFlight()));
+            if (read == ReadLineStatus::kOverflow) {
+                out.writeLine(service.overflowError(max_line));
                 continue;
             }
-            if (request.op == RequestOp::kMetrics) {
-                out.writeLine(encodeMetrics(scheduler.metrics()));
-                continue;
-            }
-            if (request.op == RequestOp::kExplain) {
-                // Route without executing: same analysis the scheduler
-                // path runs, zero shots.
-                SimOptions sim;
-                sim.shots = request.spec.shots;
-                sim.seed = request.spec.seed;
-                sim.noise = request.spec.noise.enabled()
-                                ? &request.spec.noise
-                                : nullptr;
-                sim.backend = request.spec.backend;
-                if (request.spec.auto_assert) {
-                    // Compile, then route the instrumented variant 0 —
-                    // the circuit an auto_assert run would execute.
-                    // kUnsupportedAssertion propagates to the outer
-                    // catch and becomes a typed error line.
-                    acomp::AcompOptions aopts;
-                    aopts.lowering = request.spec.assert_lowering;
-                    aopts.backend = request.spec.backend;
-                    const acomp::CompiledProgram compiled =
-                        acomp::autoAssert(
-                            request.spec.circuit, aopts,
-                            request.spec.qasm_positions.empty()
-                                ? nullptr
-                                : &request.spec.qasm_positions);
-                    out.writeLine(encodeExplain(
-                        id,
-                        backend::routeShots(compiled.variants[0], sim),
-                        &compiled));
-                    continue;
-                }
-                out.writeLine(encodeExplain(
-                    id,
-                    backend::routeShots(request.spec.circuit, sim)));
-                continue;
-            }
-            if (request.op == RequestOp::kShutdown) {
-                shutdown_requested = true;
-                continue;
-            }
-            const uint64_t seq = journal_seq++;
-            // Write-ahead: the accept record hits the journal before
-            // the scheduler sees the job, so a crash between the two
-            // replays the job instead of losing it.
-            if (journal) journal->appendAccept(seq, line);
-            resilience::Journal* journal_raw = journal.get();
-            try {
-                scheduler.submit(
-                    std::move(request.spec),
-                    [id, seq, &out, journal_raw](JobResult result) {
-                        if (journal_raw != nullptr) {
-                            journal_raw->appendComplete(
-                                seq, jobStatusName(result.status),
-                                payloadHash(result).str());
-                        }
-                        out.writeLine(encodeResult(id, result));
-                    });
-            } catch (const UserError&) {
-                // Admission refused after the write-ahead record: close
-                // the journal entry so replay does not resurrect a job
-                // the caller saw rejected.
-                if (journal) journal->appendComplete(seq, "rejected", "");
-                throw;
-            }
-        } catch (const UserError& err) {
-            // Saturation rejections carry the scheduler's own estimate
-            // of when a resubmission could succeed, so routers and
-            // well-behaved clients back off instead of hammering.
-            out.writeLine(encodeError(id, err.code(), err.what(),
-                                      scheduler.retryAfterMsHint(
-                                          err.code())));
+            shutdown_requested = !service.handleLine(
+                line,
+                [&out](const std::string& response) {
+                    out.writeLine(response);
+                });
         }
     }
 
