@@ -6,12 +6,12 @@
 # qa_router's three shards under open-loop load and requires every job
 # answered exactly once), then a
 # ThreadSanitizer build (QA_ENABLE_TSAN=ON) that runs the shot-engine,
-# policy-runner, service-scheduler, backend-subsystem,
+# policy-runner, service-scheduler, backend-subsystem, MPS-backend,
 # gate-fusion/kernel, and resilience-chaos tests — the multi-threaded code paths, including
 # watchdog reclaim/respawn, zombie joins, and the pooled shot loops of
-# all three simulation backends — under TSAN, and an ASan+UBSan build
+# all four simulation backends — under TSAN, and an ASan+UBSan build
 # (QA_ENABLE_ASAN=ON) that runs the fault-injection, recovery-policy,
-# service, backend, assertion-compiler, and resilience tests, whose
+# service, backend, MPS, assertion-compiler, and resilience tests, whose
 # error paths exercise exception propagation out of worker pools,
 # scheduler callbacks, the backend router's incapable-request
 # rejections, the compiler's unsupported-assertion diagnostics, and the
@@ -24,7 +24,11 @@
 # qassertd --listen TCP shards, one behind the qa_netchaos fault proxy
 # (resets, a 5s partition, slow-loris, partial writes), with every job
 # answered exactly once and the response digest bit-identical to a
-# chaos-free run. The TSan half additionally runs the fleet transport
+# chaos-free run, and the MPS-backend smoke (scripts/mps_smoke.sh): a
+# 30-qubit non-Clifford Trotter chain through qassertd must auto-route
+# to the MPS backend, execute ok with zero truncation, and refuse a
+# starved chi=2 override with the typed capability error. The TSan
+# half additionally runs the fleet transport
 # tests (TransportTest + RemoteRouterTest), whose per-connection socket
 # reader threads race against router maintenance and teardown.
 #
@@ -56,6 +60,7 @@ if [[ "$skip_release" -ne 1 ]]; then
     scripts/fleet_smoke.sh build
     scripts/acomp_smoke.sh build
     scripts/netfleet_smoke.sh build
+    scripts/mps_smoke.sh build
 fi
 
 if [[ "$skip_tsan" -ne 1 ]]; then
@@ -65,7 +70,7 @@ if [[ "$skip_tsan" -ne 1 ]]; then
         -DQASSERT_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j --target test_engine --target test_policy \
         --target test_serve --target test_backend --target test_resilience \
-        --target test_fusion --target test_fleet
+        --target test_fusion --target test_fleet --target test_mps
     ./build-tsan/tests/test_fusion \
         --gtest_filter='FusionTest.CountsAreBitIdenticalAcrossThreadCounts:FusionTest.KrausNoiseKeepsTheNoisyStreamUnfused'
     ./build-tsan/tests/test_engine \
@@ -76,6 +81,8 @@ if [[ "$skip_tsan" -ne 1 ]]; then
         --gtest_filter='SchedulerTest.*:CacheTest.*'
     ./build-tsan/tests/test_backend \
         --gtest_filter='BackendDeterminismTest.*:CrossBackendTest.*'
+    ./build-tsan/tests/test_mps \
+        --gtest_filter='MpsBackendTest.BitIdenticalAcrossThreadCounts:MpsBackendTest.MidCircuitBitIdenticalAcrossThreadCounts:RouterMpsTest.WideTrotterChainExecutesExactly'
     ./build-tsan/tests/test_resilience
     ./build-tsan/tests/test_fleet \
         --gtest_filter='TransportTest.*:RemoteRouterTest.*'
@@ -89,7 +96,7 @@ if [[ "$skip_asan" -ne 1 ]]; then
     cmake --build build-asan -j \
         --target test_inject --target test_policy --target test_engine \
         --target test_serve --target test_backend --target test_resilience \
-        --target test_fusion --target test_acomp
+        --target test_fusion --target test_acomp --target test_mps
     ./build-asan/tests/test_fusion
     ./build-asan/tests/test_acomp
     ./build-asan/tests/test_inject
@@ -98,6 +105,7 @@ if [[ "$skip_asan" -ne 1 ]]; then
         --gtest_filter='ShotPoolTest.*:EngineTest.Deadline*'
     ./build-asan/tests/test_serve
     ./build-asan/tests/test_backend
+    ./build-asan/tests/test_mps
     ./build-asan/tests/test_resilience
 fi
 

@@ -116,6 +116,8 @@ weighKind(BackendRequest request, bool clifford)
         return BackendKind::kDensityMatrix;
       case BackendRequest::kStabilizer:
         return BackendKind::kStabilizer;
+      case BackendRequest::kMps:
+        return BackendKind::kMps;
       case BackendRequest::kAuto:
         break;
     }
@@ -179,6 +181,15 @@ costUnitary(const AssertionSite& site, const CorrectSubspace& subspace,
             raw_clifford &&
             backend::analyzeCircuit(frag).non_clifford_gates == 0;
         const BackendKind kind = weighKind(request, clifford);
+        if (kind == BackendKind::kMps) {
+            // The MPS chain lowers arity-3 gadget gates but nothing
+            // wider; a form that needs them cannot serve this backend.
+            for (const Instruction& instr : frag.instructions()) {
+                if (instr.isGate() && instr.arity() > 3) {
+                    return std::nullopt;
+                }
+            }
+        }
         cand.score =
             double(cand.gates) *
                 backend::assertionGateWeight(

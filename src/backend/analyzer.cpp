@@ -113,6 +113,77 @@ analyzeNoise(const NoiseModel* noise)
     return profile;
 }
 
+EntanglementProfile
+analyzeEntanglement(const QuantumCircuit& circuit)
+{
+    EntanglementProfile ent;
+    const int n = circuit.numQubits();
+    if (n < 1) return ent;
+
+    // crossings[k] = multi-qubit gates spanning the cut between sites
+    // k and k+1, for 0 <= k < n - 1.
+    std::vector<size_t> crossings(n > 1 ? size_t(n - 1) : 0, 0);
+    for (const Instruction& instr : circuit.instructions()) {
+        if (!instr.isGate()) continue;
+        const int arity = int(instr.qubits.size());
+        ent.max_gate_arity = std::max(ent.max_gate_arity, arity);
+        if (arity < 2) continue;
+        const auto [lo_it, hi_it] =
+            std::minmax_element(instr.qubits.begin(), instr.qubits.end());
+        const int lo = *lo_it;
+        const int hi = *hi_it;
+        for (int k = lo; k < hi; ++k) ++crossings[size_t(k)];
+        const size_t dist = size_t(hi - lo);
+        if (dist > 1) ++ent.long_range_gates;
+        // One update per gate plus a there-and-back SWAP chain.
+        ent.swap_routed_ops += 1 + 2 * (dist - 1);
+    }
+
+    for (size_t k = 0; k < crossings.size(); ++k) {
+        ent.max_cut_crossings =
+            std::max(ent.max_cut_crossings, crossings[k]);
+        // Schmidt rank at cut k is capped both by the crossing count
+        // (each crossing at most doubles it) and the Hilbert dimension
+        // of the smaller side.
+        const size_t dim_exp = std::min(k + 1, size_t(n) - k - 1);
+        const size_t needed = std::min(crossings[k], dim_exp);
+        ent.needed_log2_chi =
+            std::max(ent.needed_log2_chi, int(needed));
+    }
+    return ent;
+}
+
+namespace
+{
+
+/** floor(log2(chi_cap)) for chi_cap >= 1. */
+int
+log2Floor(int chi_cap)
+{
+    int bits = 0;
+    while ((1 << (bits + 1)) <= chi_cap) ++bits;
+    return bits;
+}
+
+} // namespace
+
+int
+mpsEffectiveChi(const EntanglementProfile& ent, int chi_cap)
+{
+    if (chi_cap < 1) chi_cap = 1;
+    if (ent.needed_log2_chi >= 30) return chi_cap;
+    return std::min(chi_cap, 1 << ent.needed_log2_chi);
+}
+
+double
+mpsTruncationBound(const EntanglementProfile& ent, int chi_cap)
+{
+    if (chi_cap < 1) chi_cap = 1;
+    const int capbits = log2Floor(chi_cap);
+    if (ent.needed_log2_chi <= capbits) return 0.0;
+    return 1.0 - std::ldexp(1.0, capbits - ent.needed_log2_chi);
+}
+
 std::optional<PauliChannel>
 recognizePauliChannel(const KrausChannel& channel)
 {

@@ -93,6 +93,55 @@ struct NoiseProfile
 NoiseProfile analyzeNoise(const NoiseModel* noise);
 
 /**
+ * Entanglement-growth heuristic for MPS routing: how much bond
+ * dimension the line ordering (qubit i <-> site i) plausibly needs.
+ *
+ * Every multi-qubit gate spanning qubits [lo, hi] crosses the bond cuts
+ * lo < k <= hi - 1... more precisely the cuts between sites (k, k+1)
+ * for lo <= k < hi, and each crossing can at most double the Schmidt
+ * rank at that cut. Exact rank is also bounded by the cut's Hilbert
+ * dimension, min(2^(k+1), 2^(n-k-1)). The profile's needed_log2_chi is
+ * the max over cuts of min(crossings, dimension exponent): a cheap
+ * upper-bound estimate of log2 of the bond dimension an exact MPS run
+ * would need.
+ */
+struct EntanglementProfile
+{
+    /** Largest per-cut crossing count across the line (graph width). */
+    size_t max_cut_crossings = 0;
+
+    /** log2 of the estimated exact bond dimension (see above). */
+    int needed_log2_chi = 0;
+
+    /** Widest gate arity seen (MPS lowers arity 3, rejects > 3). */
+    int max_gate_arity = 0;
+
+    /** Multi-qubit gates acting on non-adjacent qubit pairs. */
+    size_t long_range_gates = 0;
+
+    /**
+     * Two-site updates an MPS run would execute: one per adjacent 2q
+     * gate plus 2 * (distance - 1) routing SWAPs per long-range gate.
+     */
+    size_t swap_routed_ops = 0;
+};
+
+/** Analyze 2q-gate connectivity across the line ordering; pure. */
+EntanglementProfile analyzeEntanglement(const QuantumCircuit& circuit);
+
+/** Bond dimension a chi-capped run would actually reach (<= cap). */
+int mpsEffectiveChi(const EntanglementProfile& ent, int chi_cap);
+
+/**
+ * Estimated truncation-error bound for running the circuit with the
+ * given chi cap: 0.0 when the cap covers the estimated exact bond
+ * dimension, else 1 - 2^(log2(cap) - needed_log2_chi) — the Schmidt
+ * weight a flat spectrum would lose. Deliberately pessimistic for
+ * peaked spectra; it gates *capability*, not correctness.
+ */
+double mpsTruncationBound(const EntanglementProfile& ent, int chi_cap);
+
+/**
  * A Kraus channel recognized as a Pauli mixture: outcome i applies the
  * single-qubit Pauli with symplectic bits (x, z) = `paulis[i]` with
  * unnormalized weight `weights[i]` (the |c|^2 of K_i = c * P_i).

@@ -16,6 +16,9 @@
  *  - stabilizer: Aaronson-Gottesman tableau for Clifford circuits
  *    (including recognized-matrix Cliffords and Pauli/readout noise);
  *    O(n) per gate row-update, O(n^2) per measurement.
+ *  - mps: bond-dimension-capped matrix product state (mps/mps_state.hpp)
+ *    for wide low-entanglement circuits; O(chi^3) per 2q gate, SWAP
+ *    routing for long-range pairs, tracked truncation error.
  *
  * Determinism contract: for a fixed resolved backend, counts are
  * bit-identical across thread counts (per-shot RNG streams). Across
@@ -91,6 +94,15 @@ class PreparedCircuit
     virtual ~PreparedCircuit() = default;
 
     virtual std::unique_ptr<ShotSampler> makeSampler() const = 0;
+
+    /**
+     * Cumulative truncation error the preparation accepted (discarded
+     * Schmidt weight for the MPS backend's shared prefix). Exact
+     * backends return 0.0. Deterministic — shot-loop truncation is
+     * deliberately not aggregated here, so the value is identical for
+     * any thread count.
+     */
+    virtual double truncationError() const { return 0.0; }
 };
 
 /**
@@ -151,6 +163,7 @@ namespace detail
 const Backend& statevectorBackend();
 const Backend& densityMatrixBackend();
 const Backend& stabilizerBackend();
+const Backend& mpsBackend();
 } // namespace detail
 
 } // namespace backend

@@ -25,6 +25,8 @@ backendFor(BackendKind kind)
         return detail::densityMatrixBackend();
       case BackendKind::kStabilizer:
         return detail::stabilizerBackend();
+      case BackendKind::kMps:
+        return detail::mpsBackend();
     }
     QA_FAIL("unknown backend kind");
 }

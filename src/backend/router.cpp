@@ -19,6 +19,14 @@ namespace
  */
 constexpr int kDensityMaxQubits = 8;
 
+/**
+ * Below this width the dense statevector engine is comfortable (2^n
+ * fits in cache-friendly memory) and its SIMD kernels beat the MPS
+ * SVD machinery even on product-ish states, so auto-routing never
+ * picks MPS. Explicit `backend=mps` requests ignore this floor.
+ */
+constexpr int kMpsMinQubits = 24;
+
 /** Deterministic cost estimates used to arbitrate density vs replay. */
 struct CostEstimate
 {
@@ -81,6 +89,76 @@ densityObjection(const CircuitProfile& circuit)
     return "";
 }
 
+/** Why the MPS backend cannot run this job ("" when it can). */
+std::string
+mpsObjection(const EntanglementProfile& ent, const NoiseProfile& noise,
+             const SimOptions& options)
+{
+    if (ent.max_gate_arity > 3) {
+        std::ostringstream out;
+        out << ent.max_gate_arity
+            << "-qubit gates exceed the MPS lowering (max arity 3)";
+        return out.str();
+    }
+    if (noise.kraus) {
+        return "gate-level Kraus channels (MPS runs pure-state "
+               "trajectories without per-gate noise)";
+    }
+    const double bound =
+        mpsTruncationBound(ent, std::max(1, options.mps_chi));
+    if (bound > options.mps_trunc_tol) {
+        std::ostringstream out;
+        out << "estimated truncation error " << std::scientific
+            << std::setprecision(2) << bound
+            << " exceeds the mps_tol tolerance " << options.mps_trunc_tol
+            << " (entanglement width needs chi ~ 2^"
+            << ent.needed_log2_chi << ", cap is "
+            << std::max(1, options.mps_chi) << ")";
+        return out.str();
+    }
+    return "";
+}
+
+/**
+ * Estimated work for an MPS run: chi^3-ish two-site updates for the
+ * unitary part, then either cheap left-to-right sampling (terminal
+ * measurements) or per-shot suffix replay (mid-circuit collapse).
+ */
+double
+mpsCost(const CircuitProfile& profile, const EntanglementProfile& ent,
+        int chi, int shots)
+{
+    const double chi_d = double(std::max(1, chi));
+    const double two_site = double(ent.swap_routed_ops) * chi_d * chi_d *
+                            chi_d * 8.0;
+    const double one_site = double(profile.gates) * chi_d * chi_d * 2.0;
+    const double evolve = two_site + one_site;
+    const double sample =
+        double(shots) * double(profile.num_qubits) * chi_d * chi_d;
+    if (profile.terminal_measure_only) return evolve + sample;
+    // Mid-circuit collapse: per-shot replay plus O(n chi^3)
+    // re-canonicalization per collapse.
+    const double collapses =
+        double(profile.measures + profile.resets);
+    return double(shots) *
+           (evolve + collapses * double(profile.num_qubits) * chi_d *
+                         chi_d * chi_d);
+}
+
+/** Prefix-aware statevector cost (mirrors the engine's replay split). */
+double
+statevectorCost(const CircuitProfile& profile, int shots,
+                size_t effective_instructions)
+{
+    const double dim = std::ldexp(1.0, std::min(profile.num_qubits, 60));
+    const double work = double(effective_instructions) + 1.0;
+    if (profile.terminal_measure_only) {
+        // Evolve once, sample the final distribution per shot.
+        return work * dim + double(shots) * double(profile.num_qubits);
+    }
+    return double(shots) * work * dim;
+}
+
 std::string
 describeNoise(const NoiseProfile& noise)
 {
@@ -103,10 +181,15 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
 {
     const CircuitProfile profile = analyzeCircuit(circuit);
     const NoiseProfile noise = analyzeNoise(options.noise);
+    const EntanglementProfile ent = analyzeEntanglement(circuit);
+    const int chi_cap = std::max(1, options.mps_chi);
 
     BackendChoice choice;
     choice.klass = profile.klass;
     choice.non_clifford_gates = profile.non_clifford_gates;
+    choice.mps_chi = mpsEffectiveChi(ent, chi_cap);
+    choice.mps_ent_width = int(ent.max_cut_crossings);
+    choice.mps_trunc_bound = mpsTruncationBound(ent, chi_cap);
 
     // Fusion summary: what the dense backends will execute. Kraus
     // channels revert the noisy stream to raw gates at prepare time,
@@ -126,6 +209,7 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
 
     const std::string stab_why = stabilizerObjection(profile, noise);
     const std::string dens_why = densityObjection(profile);
+    const std::string mps_why = mpsObjection(ent, noise, options);
 
     if (options.backend != BackendRequest::kAuto) {
         choice.explicit_request = true;
@@ -152,6 +236,14 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
                     : "stabilizer backend cannot run this job: " +
                           stab_why;
             break;
+          case BackendRequest::kMps:
+            choice.backend = BackendKind::kMps;
+            choice.capable = mps_why.empty();
+            choice.reason =
+                choice.capable
+                    ? "explicit mps request"
+                    : "mps backend cannot run this job: " + mps_why;
+            break;
           case BackendRequest::kAuto:
             break;
         }
@@ -171,6 +263,32 @@ routeShots(const QuantumCircuit& circuit, const SimOptions& options)
                         describeNoise(noise) + "), O(n^2)-per-gate "
                         "tableau simulation";
         return choice;
+    }
+
+    // Chi-capped MPS: wide non-Clifford circuits whose entanglement
+    // width fits the cap cost O(chi^3) per 2q gate instead of O(2^n)
+    // per instruction. Gated on a width floor (dense SIMD wins below
+    // it) and an honest cost comparison against the prefix-aware
+    // statevector estimate.
+    if (mps_why.empty() && !noise.kraus &&
+        profile.num_qubits >= kMpsMinQubits) {
+        const double mps_est =
+            mpsCost(profile, ent, choice.mps_chi, options.shots);
+        const double sv_est =
+            statevectorCost(profile, options.shots, effective);
+        if (mps_est < sv_est) {
+            choice.backend = BackendKind::kMps;
+            std::ostringstream why;
+            why << "wide low-entanglement circuit: chi-capped MPS "
+                   "(chi="
+                << choice.mps_chi << ", entanglement width "
+                << choice.mps_ent_width << ", est truncation bound "
+                << std::scientific << std::setprecision(1)
+                << choice.mps_trunc_bound
+                << ") beats 2^n dense evolution";
+            choice.reason = why.str();
+            return choice;
+        }
     }
 
     if (noise.kraus && !noise.pauli_only && dens_why.empty()) {
@@ -207,6 +325,10 @@ assertionGateWeight(BackendKind kind, int num_qubits)
       case BackendKind::kDensityMatrix:
         // O(4^n) per gate.
         return std::ldexp(1.0, std::min(2 * n, 60));
+      case BackendKind::kMps:
+        // O(chi^3) two-site updates: 2^n until the default cap binds,
+        // then flat (chi=64 -> 64^3 = 2^18 flops per gate).
+        return std::min(std::ldexp(1.0, std::min(n, 48)), 262144.0);
     }
     return 1.0;
 }
@@ -216,9 +338,11 @@ explainRouting(const QuantumCircuit& circuit, const SimOptions& options)
 {
     const CircuitProfile profile = analyzeCircuit(circuit);
     const NoiseProfile noise = analyzeNoise(options.noise);
+    const EntanglementProfile ent = analyzeEntanglement(circuit);
     const BackendChoice choice = routeShots(circuit, options);
     const std::string stab_why = stabilizerObjection(profile, noise);
     const std::string dens_why = densityObjection(profile);
+    const std::string mps_why = mpsObjection(ent, noise, options);
 
     std::ostringstream out;
     out << "circuit: " << profile.num_qubits << " qubits, "
@@ -264,10 +388,23 @@ explainRouting(const QuantumCircuit& circuit, const SimOptions& options)
         if (fs.kernel_counts.empty()) out << " none";
         out << "\n";
     }
+    out << "entanglement: width " << ent.max_cut_crossings
+        << " (needs chi ~ 2^" << ent.needed_log2_chi << "), chi cap "
+        << std::max(1, options.mps_chi) << " -> effective chi "
+        << choice.mps_chi << ", est truncation bound "
+        << std::scientific << std::setprecision(2)
+        << choice.mps_trunc_bound << std::defaultfloat;
+    if (ent.long_range_gates > 0) {
+        out << ", " << ent.long_range_gates
+            << " SWAP-routed long-range gates";
+    }
+    out << "\n";
     out << "capable: statevector=yes, density_matrix="
         << (dens_why.empty() ? "yes" : "no (" + dens_why + ")")
         << ", stabilizer="
-        << (stab_why.empty() ? "yes" : "no (" + stab_why + ")") << "\n";
+        << (stab_why.empty() ? "yes" : "no (" + stab_why + ")")
+        << ", mps="
+        << (mps_why.empty() ? "yes" : "no (" + mps_why + ")") << "\n";
     out << "chosen: " << backendName(choice.backend)
         << (choice.capable ? "" : " [INCAPABLE]") << " — "
         << choice.reason << "\n";

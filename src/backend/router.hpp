@@ -66,6 +66,17 @@ struct BackendChoice
      */
     FusionStats fusion;
 
+    /**
+     * MPS cost-model facts, filled for every routed job (pure function
+     * of circuit and options, whatever backend wins): the bond cap a
+     * chi-capped run would actually reach, the entanglement width of
+     * the 2q-connectivity graph across the line ordering, and the
+     * estimated truncation-error bound at the configured cap.
+     */
+    int mps_chi = 1;
+    int mps_ent_width = 0;
+    double mps_trunc_bound = 0.0;
+
     /** Human-readable explanation of the decision (one sentence). */
     std::string reason;
 };

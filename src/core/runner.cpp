@@ -168,6 +168,9 @@ runVariantsPolicy(const std::vector<QuantumCircuit>& variants,
           case BackendKind::kStabilizer:
             forced.backend = BackendRequest::kStabilizer;
             break;
+          case BackendKind::kMps:
+            forced.backend = BackendRequest::kMps;
+            break;
         }
         for (size_t v = 1; v < num_variants; ++v) {
             routed.push_back(backend::prepareRun(variants[v], forced));
@@ -176,6 +179,10 @@ runVariantsPolicy(const std::vector<QuantumCircuit>& variants,
 
     PolicyOutcome out;
     out.backend = routed[0].choice;
+    for (const backend::RoutedRun& run : routed) {
+        out.mps_truncation_error = std::max(
+            out.mps_truncation_error, run.prepared->truncationError());
+    }
     out.policy = popts.policy;
     out.shots_requested = options.shots;
     out.slot_error_rate.assign(slot_clbits.size(), 0.0);

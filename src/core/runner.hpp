@@ -144,6 +144,13 @@ struct PolicyOutcome
 
     /** Which simulation backend the router resolved for this run. */
     backend::BackendChoice backend;
+
+    /**
+     * Cumulative prepare-time truncation error (max across circuit
+     * variants) when the run resolved to the MPS backend; 0.0 on the
+     * exact backends. Deterministic for any thread count.
+     */
+    double mps_truncation_error = 0.0;
 };
 
 /**

@@ -1,0 +1,88 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+
+namespace qa
+{
+
+namespace
+{
+
+/** Keep eigenpairs with value > rel_cutoff * values[0] (PSD input). */
+size_t
+numericalRank(const std::vector<double>& values, double rel_cutoff)
+{
+    if (values.empty() || values[0] <= 0.0) return 0;
+    const double floor = values[0] * rel_cutoff;
+    size_t rank = 0;
+    while (rank < values.size() && values[rank] > floor) ++rank;
+    return rank;
+}
+
+} // namespace
+
+SvdResult
+svdThin(const CMatrix& a, double rel_cutoff)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    QA_REQUIRE(m > 0 && n > 0, "svdThin needs a non-empty matrix");
+
+    SvdResult out;
+    if (m <= n) {
+        // Gram on the row side: A A^dagger = U diag(sigma^2) U^dagger.
+        const EigenResult eig = eigHermitian(a * a.dagger());
+        const size_t k = numericalRank(eig.values, rel_cutoff);
+        out.sigma.resize(k);
+        out.u = CMatrix(m, k);
+        for (size_t j = 0; j < k; ++j) {
+            out.sigma[j] = std::sqrt(std::max(eig.values[j], 0.0));
+            for (size_t i = 0; i < m; ++i) {
+                out.u(i, j) = eig.vectors(i, j);
+            }
+        }
+        // V^dagger = diag(1/sigma) U^dagger A.
+        out.vdag = CMatrix(k, n);
+        for (size_t j = 0; j < k; ++j) {
+            const double inv = 1.0 / out.sigma[j];
+            for (size_t c = 0; c < n; ++c) {
+                Complex acc = 0.0;
+                for (size_t i = 0; i < m; ++i) {
+                    acc += std::conj(out.u(i, j)) * a(i, c);
+                }
+                out.vdag(j, c) = acc * inv;
+            }
+        }
+    } else {
+        // Gram on the column side: A^dagger A = V diag(sigma^2) V^dagger.
+        const EigenResult eig = eigHermitian(a.dagger() * a);
+        const size_t k = numericalRank(eig.values, rel_cutoff);
+        out.sigma.resize(k);
+        out.vdag = CMatrix(k, n);
+        for (size_t j = 0; j < k; ++j) {
+            out.sigma[j] = std::sqrt(std::max(eig.values[j], 0.0));
+            for (size_t c = 0; c < n; ++c) {
+                out.vdag(j, c) = std::conj(eig.vectors(c, j));
+            }
+        }
+        // U = A V diag(1/sigma).
+        out.u = CMatrix(m, k);
+        for (size_t j = 0; j < k; ++j) {
+            const double inv = 1.0 / out.sigma[j];
+            for (size_t i = 0; i < m; ++i) {
+                Complex acc = 0.0;
+                for (size_t c = 0; c < n; ++c) {
+                    acc += a(i, c) * eig.vectors(c, j);
+                }
+                out.u(i, j) = acc * inv;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace qa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Thin singular value decomposition built on the Jacobi Hermitian
+ * eigensolver (linalg/eigen.hpp): A = U diag(sigma) V^dagger with only
+ * the numerically nonzero singular triplets kept.
+ *
+ * The MPS backend's two-site updates are the hot caller: the
+ * decomposition of the (2*chi_left) x (2*chi_right) theta matrix is what
+ * truncation and canonicalization are made of. The implementation
+ * diagonalizes the smaller Gram matrix (A A^dagger or A^dagger A) and
+ * recovers the other factor by projection, so the Jacobi sweep cost is
+ * O(min(m,n)^3) rather than O(max(m,n)^3). Deterministic: no RNG, no
+ * parallelism — safe for the router/cache determinism contract.
+ */
+#ifndef QA_LINALG_SVD_HPP
+#define QA_LINALG_SVD_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qa
+{
+
+/** Thin SVD: a = u * diag(sigma) * vdag, with rank() kept triplets. */
+struct SvdResult
+{
+    /** m x k matrix of left singular vectors (orthonormal columns). */
+    CMatrix u;
+
+    /** The k singular values, descending, all > 0. */
+    std::vector<double> sigma;
+
+    /** k x n matrix of conjugated right singular vectors (rows). */
+    CMatrix vdag;
+
+    size_t rank() const { return sigma.size(); }
+};
+
+/**
+ * Decompose `a`, dropping singular values with sigma^2 below
+ * `rel_cutoff` times the largest sigma^2 (numerical rank). A zero
+ * matrix yields rank 0. Gram-based: small singular values carry
+ * roughly half the precision of a direct bidiagonalization, which is
+ * ample for Schmidt spectra feeding chi-square-level statistics.
+ */
+SvdResult svdThin(const CMatrix& a, double rel_cutoff = 1e-24);
+
+} // namespace qa
+
+#endif // QA_LINALG_SVD_HPP

@@ -40,6 +40,8 @@ specOptions(const JobSpec& spec)
     options.num_threads = spec.num_threads;
     options.deadline_ms = spec.deadline_ms;
     options.backend = spec.backend;
+    options.mps_chi = spec.mps_chi;
+    options.mps_trunc_tol = spec.mps_trunc_tol;
     return options;
 }
 
@@ -112,6 +114,9 @@ jobKey(const JobSpec& spec)
         spec.program != nullptr ? spec.program->circuit() : spec.circuit,
         specOptions(spec));
     stream.i64(int64_t(choice.backend));
+    // The chi cap changes MPS histograms bit-wise but is inert on the
+    // exact backends, so it only gains key entropy when MPS resolved.
+    if (choice.backend == BackendKind::kMps) stream.i64(spec.mps_chi);
     return stream.digest();
 }
 
@@ -139,6 +144,7 @@ executeJob(const JobSpec& spec)
         result.pass_rate = outcome.pass_rate;
         result.truncated = outcome.truncated;
         result.backend = outcome.backend;
+        result.mps_truncation_error = outcome.mps_truncation_error;
         return result;
     }
 
@@ -165,6 +171,7 @@ executeJob(const JobSpec& spec)
         result.pass_rate = outcome.pass_rate;
         result.truncated = outcome.truncated;
         result.backend = outcome.backend;
+        result.mps_truncation_error = outcome.mps_truncation_error;
         result.assertions = compiled.slots;
         result.assert_variants = int(compiled.variants.size());
         return result;
@@ -199,6 +206,7 @@ executeJob(const JobSpec& spec)
     const backend::RoutedRun routed =
         backend::prepareRun(spec.circuit, options);
     result.backend = routed.choice;
+    result.mps_truncation_error = routed.prepared->truncationError();
     const Counts raw = backend::runPrepared(*routed.prepared, options);
     result.counts = raw;
     result.truncated = raw.truncated;
@@ -268,6 +276,7 @@ payloadHash(const JobResult& result)
     for (double rate : result.slot_error_rate) stream.f64(rate);
     stream.f64(result.pass_rate);
     stream.u64(result.truncated ? 1 : 0);
+    stream.f64(result.mps_truncation_error);
     stream.u64(result.assertions.size());
     for (const acomp::SlotSummary& slot : result.assertions) {
         stream.i64(int64_t(slot.form));

@@ -87,6 +87,16 @@ struct JobSpec
     uint64_t seed = defaults::kSeed;
 
     /**
+     * MPS backend knobs: the bond-dimension cap and the truncation
+     * tolerance the router's capability check enforces. The cap is
+     * absorbed into the cache key only when the job resolves to the MPS
+     * backend (exact backends ignore it); the tolerance gates
+     * capability only, and incapable jobs fail un-cached.
+     */
+    int mps_chi = defaults::kMpsChi;
+    double mps_trunc_tol = defaults::kMpsTruncTol;
+
+    /**
      * Threads for the job's own shot loop. The default keeps the
      * scheduler's worker pool as the only parallelism; raise it for
      * huge single jobs on an otherwise idle service.
@@ -167,6 +177,13 @@ struct JobResult
 
     /** Which simulation backend the router resolved for this job. */
     backend::BackendChoice backend;
+
+    /**
+     * Cumulative truncation error the MPS preparation accepted
+     * (discarded Schmidt weight of the shared prefix); 0.0 on exact
+     * backends. Part of the deterministic payload.
+     */
+    double mps_truncation_error = 0.0;
 
     /** Failure classification when status == kFailed/kCancelled. */
     ErrorCode error_code = ErrorCode::kGeneric;

@@ -74,6 +74,8 @@ LineService::handleLine(const std::string& line, const Emit& emit)
                             ? &request.spec.noise
                             : nullptr;
             sim.backend = request.spec.backend;
+            sim.mps_chi = request.spec.mps_chi;
+            sim.mps_trunc_tol = request.spec.mps_trunc_tol;
             if (request.spec.auto_assert) {
                 // Compile, then route the instrumented variant 0 —
                 // the circuit an auto_assert run would execute.

@@ -68,6 +68,7 @@ ServiceMetrics::snapshot() const
         backend_density_matrix.load(std::memory_order_relaxed);
     snap.backend_stabilizer =
         backend_stabilizer.load(std::memory_order_relaxed);
+    snap.backend_mps = backend_mps.load(std::memory_order_relaxed);
     snap.queue_wait = queue_wait.snapshot();
     snap.execute = execute.snapshot();
     return snap;
@@ -107,7 +108,8 @@ MetricsSnapshot::str() const
         << cacheHitRate() << "\n"
         << "  backends: statevector=" << backend_statevector
         << " density_matrix=" << backend_density_matrix
-        << " stabilizer=" << backend_stabilizer << "\n";
+        << " stabilizer=" << backend_stabilizer
+        << " mps=" << backend_mps << "\n";
     renderHistogram(oss, "queue_wait", queue_wait);
     renderHistogram(oss, "execute", execute);
     return oss.str();

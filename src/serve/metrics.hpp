@@ -95,6 +95,7 @@ struct MetricsSnapshot
     uint64_t backend_statevector = 0;
     uint64_t backend_density_matrix = 0;
     uint64_t backend_stabilizer = 0;
+    uint64_t backend_mps = 0;
 
     LatencyHistogramSnapshot queue_wait;
     LatencyHistogramSnapshot execute;
@@ -128,6 +129,7 @@ class ServiceMetrics
     std::atomic<uint64_t> backend_statevector{0};
     std::atomic<uint64_t> backend_density_matrix{0};
     std::atomic<uint64_t> backend_stabilizer{0};
+    std::atomic<uint64_t> backend_mps{0};
 
     LatencyHistogram queue_wait;
     LatencyHistogram execute;
@@ -146,6 +148,9 @@ class ServiceMetrics
             break;
           case BackendKind::kStabilizer:
             backend_stabilizer.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case BackendKind::kMps:
+            backend_mps.fetch_add(1, std::memory_order_relaxed);
             break;
         }
     }

@@ -115,6 +115,18 @@ encodeAutoAssert(std::ostringstream& oss,
     oss << "]}";
 }
 
+/** The MPS facts block for results that resolved to the MPS backend. */
+void
+encodeMpsBlock(std::ostringstream& oss, const JobResult& result)
+{
+    oss << ",\"mps\":{\"chi\":" << result.backend.mps_chi
+        << ",\"ent_width\":" << result.backend.mps_ent_width
+        << ",\"trunc_bound\":"
+        << jsonNumber(result.backend.mps_trunc_bound)
+        << ",\"truncation_error\":"
+        << jsonNumber(result.mps_truncation_error) << "}";
+}
+
 void
 encodeHistogram(std::ostringstream& oss, const char* name,
                 const LatencyHistogramSnapshot& hist)
@@ -191,7 +203,15 @@ buildRequest(const JsonValue& request)
                     ErrorCode::kBadRequest,
                     "unknown backend '" + backend +
                         "' (expected auto|statevector|density_matrix|"
-                        "stabilizer)");
+                        "stabilizer|mps)");
+    out.spec.mps_chi = int(request.intOr("mps_chi", out.spec.mps_chi));
+    QA_REQUIRE_CODE(out.spec.mps_chi >= 1 && out.spec.mps_chi <= 1024,
+                    ErrorCode::kBadRequest,
+                    "mps_chi must be in [1, 1024]");
+    out.spec.mps_trunc_tol =
+        request.numberOr("mps_tol", out.spec.mps_trunc_tol);
+    QA_REQUIRE_CODE(out.spec.mps_trunc_tol >= 0.0, ErrorCode::kBadRequest,
+                    "mps_tol must be non-negative");
     out.spec.tag = out.id;
     out.spec.auto_assert = request.boolOr("auto_assert", false);
     const std::string lowering = request.stringOr(
@@ -248,6 +268,9 @@ encodeResult(const std::string& id, const JobResult& result)
     if (!result.assertions.empty()) {
         encodeAutoAssert(oss, result.assertions, result.assert_variants);
     }
+    if (result.backend.backend == BackendKind::kMps) {
+        encodeMpsBlock(oss, result);
+    }
     oss << ",\"queue_ms\":" << jsonNumber(result.queue_ms)
         << ",\"exec_ms\":" << jsonNumber(result.exec_ms) << "}";
     return oss.str();
@@ -282,6 +305,9 @@ encodeReplay(const std::string& id, const JobResult& result)
     }
     if (!result.assertions.empty()) {
         encodeAutoAssert(oss, result.assertions, result.assert_variants);
+    }
+    if (result.backend.backend == BackendKind::kMps) {
+        encodeMpsBlock(oss, result);
     }
     oss << "}";
     return oss.str();
@@ -352,6 +378,10 @@ encodeExplain(const std::string& id, const backend::BackendChoice& choice,
         oss << "\"" << jsonEscape(name) << "\":" << n;
     }
     oss << "}}"
+        << ",\"mps\":{\"chi\":" << choice.mps_chi
+        << ",\"ent_width\":" << choice.mps_ent_width
+        << ",\"trunc_bound\":" << jsonNumber(choice.mps_trunc_bound)
+        << "}"
         << ",\"reason\":\"" << jsonEscape(choice.reason) << "\"";
     if (compiled != nullptr) {
         encodeAutoAssert(oss, compiled->slots,
@@ -386,7 +416,8 @@ encodeMetrics(const MetricsSnapshot& snapshot)
         << ",\"backend_jobs\":{"
         << "\"statevector\":" << snapshot.backend_statevector
         << ",\"density_matrix\":" << snapshot.backend_density_matrix
-        << ",\"stabilizer\":" << snapshot.backend_stabilizer << "}"
+        << ",\"stabilizer\":" << snapshot.backend_stabilizer
+        << ",\"mps\":" << snapshot.backend_mps << "}"
         << ",";
     encodeHistogram(oss, "queue_wait_ms", snapshot.queue_wait);
     oss << ",";

@@ -25,7 +25,8 @@ enum class BackendKind
 {
     kStatevector,   ///< Dense pure-state evolution, O(2^n) per gate.
     kDensityMatrix, ///< Dense mixed-state evolution, O(4^n) per gate.
-    kStabilizer     ///< Clifford tableau, O(n) per gate / O(n^2) measure.
+    kStabilizer,    ///< Clifford tableau, O(n) per gate / O(n^2) measure.
+    kMps            ///< Bond-capped matrix product state, O(chi^3) per 2q gate.
 };
 
 /** What a caller may ask for: a concrete backend, or automatic routing. */
@@ -34,7 +35,8 @@ enum class BackendRequest
     kAuto,          ///< Router picks the cheapest capable backend.
     kStatevector,
     kDensityMatrix,
-    kStabilizer
+    kStabilizer,
+    kMps
 };
 
 /** Stable wire/log name of a backend kind. */
@@ -45,6 +47,7 @@ backendName(BackendKind kind)
       case BackendKind::kStatevector:   return "statevector";
       case BackendKind::kDensityMatrix: return "density_matrix";
       case BackendKind::kStabilizer:    return "stabilizer";
+      case BackendKind::kMps:           return "mps";
     }
     return "unknown";
 }
@@ -58,6 +61,7 @@ backendRequestName(BackendRequest request)
       case BackendRequest::kStatevector:   return "statevector";
       case BackendRequest::kDensityMatrix: return "density_matrix";
       case BackendRequest::kStabilizer:    return "stabilizer";
+      case BackendRequest::kMps:           return "mps";
     }
     return "unknown";
 }
@@ -77,6 +81,10 @@ parseBackendRequest(const std::string& name, BackendRequest* out)
     }
     if (name == "stabilizer") {
         *out = BackendRequest::kStabilizer;
+        return true;
+    }
+    if (name == "mps") {
+        *out = BackendRequest::kMps;
         return true;
     }
     return false;
@@ -111,6 +119,20 @@ inline constexpr int kFusionMaxQubits = 2;
 
 /** AVX2 kernels on by default (runtime-dispatched; see sim/kernels.hpp). */
 inline constexpr bool kSimd = true;
+
+/**
+ * MPS bond-dimension cap: every two-site update keeps at most this many
+ * Schmidt coefficients. 64 serves the 30-50 qubit low-entanglement
+ * regime with per-gate cost ~2^18 flops.
+ */
+inline constexpr int kMpsChi = 64;
+
+/**
+ * Largest estimated truncation-error bound (from the router's
+ * entanglement heuristic) at which the MPS backend is considered
+ * capable of a circuit.
+ */
+inline constexpr double kMpsTruncTol = 1e-6;
 } // namespace defaults
 
 /** Options for shot-based simulation. */
@@ -168,6 +190,22 @@ struct SimOptions
      * by the CPU; false forces the scalar kernels.
      */
     bool simd = defaults::kSimd;
+
+    /**
+     * MPS backend bond-dimension cap (chi). Larger values widen the
+     * class of circuits the backend can run exactly at the cost of
+     * O(chi^3) two-site updates. Part of the routing decision and the
+     * serve cache key for MPS-routed jobs.
+     */
+    int mps_chi = defaults::kMpsChi;
+
+    /**
+     * MPS capability tolerance: the router treats the MPS backend as
+     * incapable of a circuit whose estimated truncation-error bound
+     * exceeds this. Forcing backend=mps past the tolerance is a typed
+     * kBadRequest, not a silent fallback.
+     */
+    double mps_trunc_tol = defaults::kMpsTruncTol;
 };
 
 } // namespace qa

@@ -7,6 +7,7 @@
  * Usage:
  *   qa_explain FILE [--noise none|melbourne|depolarizing]
  *             [--p1 X] [--p2 X] [--shots N] [--backend NAME] [--naive]
+ *             [--chi N] [--mps-tol X]
  *             [--auto-assert] [--lowering NAME]
  *
  * FILE may be "-" for stdin. --shots feeds the router's density-vs-
@@ -40,8 +41,9 @@ usage(int code)
     std::cerr << "usage: qa_explain FILE [--noise none|melbourne|"
                  "depolarizing] [--p1 X] [--p2 X]\n"
                  "                  [--shots N] [--backend auto|"
-                 "statevector|density_matrix|stabilizer] [--naive]\n"
+                 "statevector|density_matrix|stabilizer|mps] [--naive]\n"
                  "                  [--no-fusion] [--fusion-max 1|2|3]\n"
+                 "                  [--chi N] [--mps-tol X]\n"
                  "                  [--auto-assert] [--lowering auto|swap|"
                  "or|ndd|pauli|pauli_sample]\n"
                  "FILE is a QASM circuit, or - for stdin; prints the "
@@ -66,6 +68,8 @@ main(int argc, char** argv)
     bool naive = false;
     bool fusion = defaults::kFusion;
     int fusion_max = defaults::kFusionMaxQubits;
+    int mps_chi = defaults::kMpsChi;
+    double mps_tol = defaults::kMpsTruncTol;
     bool auto_assert = false;
     acomp::LoweringRequest lowering = acomp::LoweringRequest::kAuto;
 
@@ -109,6 +113,14 @@ main(int argc, char** argv)
                 return 2;
             }
             auto_assert = true; // pinning a form implies the compiler
+            ++i;
+        } else if (arg == "--chi") {
+            if (value == nullptr) return usage(2);
+            mps_chi = std::atoi(value);
+            ++i;
+        } else if (arg == "--mps-tol") {
+            if (value == nullptr) return usage(2);
+            mps_tol = std::atof(value);
             ++i;
         } else if (arg == "--no-fusion") {
             fusion = false;
@@ -162,6 +174,8 @@ main(int argc, char** argv)
         options.naive = naive;
         options.fusion = fusion;
         options.fusion_max_qubits = fusion_max;
+        options.mps_chi = mps_chi;
+        options.mps_trunc_tol = mps_tol;
         if (auto_assert) {
             acomp::AcompOptions aopts;
             aopts.lowering = lowering;
